@@ -1,0 +1,66 @@
+package preduce
+
+import (
+	"io"
+
+	"partialreduce/internal/checkpoint"
+	"partialreduce/internal/hetero"
+	"partialreduce/internal/metrics"
+	"partialreduce/internal/optim"
+)
+
+// Checkpoint is a serializable training-state snapshot: model parameters,
+// optimizer velocity, and counters.
+type Checkpoint = checkpoint.State
+
+// SGD is the momentum optimizer (exposed for checkpoint restore in custom
+// training loops).
+type SGD = optim.SGD
+
+// NewSGD returns a momentum-SGD optimizer over n parameters.
+func NewSGD(cfg OptimizerConfig, n int) *SGD { return optim.NewSGD(cfg, n) }
+
+// SaveCheckpoint writes a model's (and optionally its optimizer's) state.
+// Pass a nil optimizer for inference-only snapshots.
+func SaveCheckpoint(w io.Writer, m Model, opt *SGD, iter int) error {
+	s := &Checkpoint{Params: m.Params().Clone(), Iter: int64(iter)}
+	if opt != nil {
+		vel, step := opt.State()
+		s.Velocity = vel
+		s.Step = int64(step)
+	}
+	return checkpoint.Write(w, s)
+}
+
+// LoadCheckpoint reads a snapshot and restores it into m (and opt when both
+// are non-nil and the snapshot carries optimizer state). It returns the
+// snapshot for access to the counters.
+func LoadCheckpoint(r io.Reader, m Model, opt *SGD) (*Checkpoint, error) {
+	s, err := checkpoint.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	m.SetParams(s.Params)
+	if opt != nil && len(s.Velocity) > 0 {
+		if err := opt.Restore(s.Velocity, int(s.Step)); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// WriteCurvesCSV exports run curves as CSV (strategy,time_s,updates,accuracy).
+func WriteCurvesCSV(w io.Writer, results ...*Result) error {
+	return metrics.WriteCurvesCSV(w, results...)
+}
+
+// WriteSummaryCSV exports one CSV row per run with the Table 1 metrics.
+func WriteSummaryCSV(w io.Writer, results ...*Result) error {
+	return metrics.WriteSummaryCSV(w, results...)
+}
+
+// ReplayTrace builds a heterogeneity model replaying recorded per-batch
+// durations (CSV columns: worker,seconds).
+func ReplayTrace(r io.Reader) (HeteroModel, error) {
+	return hetero.ReadReplayCSV(r)
+}

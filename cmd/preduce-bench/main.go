@@ -1,0 +1,253 @@
+// Command preduce-bench regenerates the paper's tables and figures on the
+// simulated cluster and prints them in the paper's layout.
+//
+// Usage:
+//
+//	preduce-bench -exp table1            # Table 1 (CIFAR-10 end-to-end grid)
+//	preduce-bench -exp fig9 -seed 3      # production-cluster comparison
+//	preduce-bench -exp all -quick        # everything, reduced budgets
+//
+// Experiments: table1, fig4, fig7a, fig7b, fig8, fig9, fig10, fig11,
+// ablations, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"partialreduce/internal/experiments"
+	"partialreduce/internal/metrics"
+)
+
+// outDir, when non-empty, receives plot-ready CSV exports per experiment.
+var outDir string
+
+// exportCurves writes a curve CSV for a figure when -csv is set.
+func exportCurves(name string, results ...*metrics.Result) {
+	if outDir == "" {
+		return
+	}
+	f, err := os.Create(filepath.Join(outDir, name+".csv"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "csv:", err)
+		return
+	}
+	defer f.Close()
+	if err := metrics.WriteCurvesCSV(f, results...); err != nil {
+		fmt.Fprintln(os.Stderr, "csv:", err)
+	}
+}
+
+// exportSummary writes a summary CSV for a table when -csv is set.
+func exportSummary(name string, results ...*metrics.Result) {
+	if outDir == "" {
+		return
+	}
+	f, err := os.Create(filepath.Join(outDir, name+".csv"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "csv:", err)
+		return
+	}
+	defer f.Close()
+	if err := metrics.WriteSummaryCSV(f, results...); err != nil {
+		fmt.Fprintln(os.Stderr, "csv:", err)
+	}
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id: table1|fig4|fig7a|fig7b|fig8|fig9|fig10|fig11|geo|seeds|ablations|all")
+	seed := flag.Int64("seed", 1, "master seed for datasets, initialization and timing draws")
+	quickFlag := flag.Bool("quick", false, "reduced update budgets and thresholds")
+	parallel := flag.Int("parallel", 0, "max concurrent cells (0 = GOMAXPROCS)")
+	csvDir := flag.String("csv", "", "directory to write plot-ready CSV files into (curves and summaries)")
+	flag.Parse()
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	outDir = *csvDir
+
+	opts := experiments.Options{Seed: *seed, Quick: *quickFlag, Parallelism: *parallel}
+
+	runners := map[string]func(experiments.Options) error{
+		"table1":    runTable1,
+		"fig4":      runFig4,
+		"fig7a":     runFig7a,
+		"fig7b":     runFig7b,
+		"fig8":      runFig8,
+		"fig9":      runFig9,
+		"fig10":     runFig10,
+		"fig11":     runFig11,
+		"ablations": runAblations,
+		"geo":       runGeo,
+		"seeds":     runSeeds,
+	}
+	order := []string{"fig4", "table1", "fig7a", "fig7b", "fig8", "fig9", "fig10", "fig11", "geo", "seeds", "ablations"}
+
+	var ids []string
+	if *exp == "all" {
+		ids = order
+	} else if _, ok := runners[*exp]; ok {
+		ids = []string{*exp}
+	} else {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		fmt.Printf("=== %s (seed=%d quick=%v) ===\n", id, *seed, *quickFlag)
+		if err := runners[id](opts); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("--- %s done in %s ---\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func runTable1(opts experiments.Options) error {
+	res, err := experiments.Table1(opts)
+	if err != nil {
+		return err
+	}
+	res.Format(os.Stdout)
+	var all []*metrics.Result
+	for _, blk := range res.Blocks {
+		for _, byStrategy := range blk.Cells {
+			for _, r := range byStrategy {
+				all = append(all, r)
+			}
+		}
+	}
+	exportSummary("table1", all...)
+	for _, m := range []string{"resnet34", "vgg19", "densenet121"} {
+		for _, hl := range []int{1, 2, 3} {
+			if name, best := res.Best(m, hl); best != nil {
+				fmt.Printf("best run time %s HL=%d: %s (%.0fs)\n", m, hl, name, best.RunTime)
+			}
+		}
+	}
+	return nil
+}
+
+func runFig4(opts experiments.Options) error {
+	res, err := experiments.Fig4(opts)
+	if err != nil {
+		return err
+	}
+	res.Format(os.Stdout)
+	return nil
+}
+
+func runFig7a(opts experiments.Options) error {
+	cs, err := experiments.Fig7a(opts)
+	if err != nil {
+		return err
+	}
+	cs.Format(os.Stdout)
+	exportCurveSet("fig7a", cs)
+	return nil
+}
+
+// exportCurveSet dumps every series of a figure.
+func exportCurveSet(name string, cs *experiments.CurveSet) {
+	var rs []*metrics.Result
+	for _, s := range cs.Order {
+		if r := cs.Final[s]; r != nil {
+			rs = append(rs, r)
+		}
+	}
+	exportCurves(name, rs...)
+}
+
+func runFig7b(opts experiments.Options) error {
+	cs, err := experiments.Fig7b(opts)
+	if err != nil {
+		return err
+	}
+	cs.Format(os.Stdout)
+	exportCurveSet("fig7b", cs)
+	return nil
+}
+
+func runFig8(opts experiments.Options) error {
+	res, err := experiments.Fig8(opts)
+	if err != nil {
+		return err
+	}
+	res.Format(os.Stdout)
+	return nil
+}
+
+func runFig9(opts experiments.Options) error {
+	res, err := experiments.Fig9(opts)
+	if err != nil {
+		return err
+	}
+	res.Format(os.Stdout)
+	return nil
+}
+
+func runFig10(opts experiments.Options) error {
+	sets, err := experiments.Fig10(opts)
+	if err != nil {
+		return err
+	}
+	for i, cs := range sets {
+		cs.Format(os.Stdout)
+		exportCurveSet(fmt.Sprintf("fig10-%d", i), cs)
+	}
+	return nil
+}
+
+func runFig11(opts experiments.Options) error {
+	results, err := experiments.Fig11(opts)
+	if err != nil {
+		return err
+	}
+	for _, res := range results {
+		res.Format(os.Stdout)
+	}
+	return nil
+}
+
+func runGeo(opts experiments.Options) error {
+	res, err := experiments.GeoStudy(opts)
+	if err != nil {
+		return err
+	}
+	res.Format(os.Stdout)
+	return nil
+}
+
+func runSeeds(opts experiments.Options) error {
+	res, err := experiments.Robustness(opts, 5)
+	if err != nil {
+		return err
+	}
+	res.Format(os.Stdout)
+	return nil
+}
+
+func runAblations(opts experiments.Options) error {
+	w, err := experiments.AblationWeights(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Ablation: aggregation weighting (ResNet-34/CIFAR-10, production)")
+	w.Format(os.Stdout)
+
+	f, err := experiments.AblationGroupFilter(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Ablation: group-frozen avoidance (adversarial 2+2 cluster, P=2)")
+	f.Format(os.Stdout)
+	return nil
+}

@@ -1,0 +1,105 @@
+// Command preduce-sim runs a single simulated training configuration and
+// prints its metrics and accuracy curve.
+//
+// Usage:
+//
+//	preduce-sim -strategy "DYN P=3" -workload resnet34/cifar10 -n 8 -hl 3
+//	preduce-sim -strategy AR -workload resnet18/imagenet -n 32 -env production
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"partialreduce/internal/cluster"
+	"partialreduce/internal/experiments"
+	"partialreduce/internal/model"
+)
+
+func main() {
+	strategy := flag.String("strategy", "CON P=3",
+		`strategy: AR | ER | AD | PS BSP | PS ASP | PS HETE | PS BK-<b> | CON P=<p> | DYN P=<p>`)
+	workload := flag.String("workload", "resnet34/cifar10",
+		"workload: <profile>/<dataset> with profile in {resnet18,resnet34,vgg16,vgg19,densenet121} and dataset in {cifar10,cifar100,imagenet}")
+	n := flag.Int("n", 8, "number of workers")
+	hl := flag.Int("hl", 1, "heterogeneity level (workers sharing one GPU)")
+	env := flag.String("env", "hl", "environment: hl | production")
+	seed := flag.Int64("seed", 1, "master seed")
+	quickFlag := flag.Bool("quick", false, "reduced budget and threshold")
+	curve := flag.Bool("curve", false, "print the full accuracy curve")
+	flag.Parse()
+
+	w, err := parseWorkload(*workload)
+	if err != nil {
+		fail(err)
+	}
+	opts := experiments.Options{Seed: *seed, Quick: *quickFlag}
+	if *quickFlag {
+		w = w.Quick()
+	}
+	_ = opts
+
+	cell := experiments.Cell{Workload: w, N: *n, Seed: *seed}
+	switch *env {
+	case "hl":
+		cell.Env, cell.HL = experiments.EnvHL, *hl
+	case "production":
+		cell.Env = experiments.EnvProduction
+	default:
+		fail(fmt.Errorf("unknown environment %q", *env))
+	}
+
+	s, err := experiments.StrategyFor(*strategy)
+	if err != nil {
+		fail(err)
+	}
+	cfg, err := cell.Build()
+	if err != nil {
+		fail(err)
+	}
+	c, err := cluster.New(cfg, s.Name())
+	if err != nil {
+		fail(err)
+	}
+	res, err := s.Run(c)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("workload:   %s (threshold %.2f)\n", w.Name, w.Threshold)
+	fmt.Printf("cluster:    N=%d, %s\n", *n, cfg.Hetero.Name())
+	fmt.Printf("result:     %s\n", res)
+	if *curve {
+		fmt.Println("curve (time, updates, accuracy):")
+		for _, p := range res.Curve {
+			fmt.Printf("  %10.1f %8d %.4f\n", p.Time, p.Updates, p.Accuracy)
+		}
+	}
+}
+
+func parseWorkload(s string) (experiments.Workload, error) {
+	parts := strings.SplitN(s, "/", 2)
+	if len(parts) != 2 {
+		return experiments.Workload{}, fmt.Errorf("workload %q: want <profile>/<dataset>", s)
+	}
+	prof, err := model.ProfileByName(parts[0])
+	if err != nil {
+		return experiments.Workload{}, err
+	}
+	switch parts[1] {
+	case "cifar10":
+		return experiments.CIFAR10Workload(prof), nil
+	case "cifar100":
+		return experiments.CIFAR100Workload(prof), nil
+	case "imagenet":
+		return experiments.ImageNetWorkload(prof), nil
+	}
+	return experiments.Workload{}, fmt.Errorf("unknown dataset %q", parts[1])
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,121 @@
+// Command preduce-spectral computes the spectral quantities of §3.2: the
+// expected synchronization matrix E[W_k], its bound ρ, and Theorem 1's ρ̄,
+// for either the uniform group distribution (homogeneous environment) or a
+// skewed distribution over pairs (heterogeneous). With no flags it
+// reproduces Figure 4's two scenarios.
+//
+// Usage:
+//
+//	preduce-spectral                 # Figure 4 scenarios
+//	preduce-spectral -n 8 -p 3      # uniform groups, 8 workers, P=3
+//	preduce-spectral -n 3 -p 2 -skew 0.5   # fast pair twice as likely
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"partialreduce/internal/spectral"
+)
+
+func main() {
+	n := flag.Int("n", 0, "workers (0 = reproduce Figure 4)")
+	p := flag.Int("p", 2, "group size")
+	skew := flag.Float64("skew", 0, "probability of the first pair (N=3, P=2 only); 0 = uniform")
+	sweep := flag.Bool("sweep", false, "sweep P for fixed N: rho, rho-bar, Theorem 1's max feasible learning rate")
+	flag.Parse()
+
+	if *sweep {
+		if *n < 2 {
+			fail(fmt.Errorf("-sweep needs -n >= 2"))
+		}
+		sweepP(*n)
+		return
+	}
+	if *n == 0 {
+		fig4()
+		return
+	}
+	var dist spectral.GroupDist
+	if *skew > 0 {
+		if *n != 3 || *p != 2 {
+			fail(fmt.Errorf("-skew requires -n 3 -p 2"))
+		}
+		rest := (1 - *skew) / 2
+		dist = spectral.GroupDist{
+			N:      3,
+			Groups: [][]int{{0, 1}, {1, 2}, {0, 2}},
+			Probs:  []float64{*skew, rest, rest},
+		}
+	} else {
+		if *p < 1 || *p > *n {
+			fail(fmt.Errorf("need 1 <= p <= n"))
+		}
+		dist = spectral.UniformGroups(*n, *p)
+	}
+	report(fmt.Sprintf("N=%d P=%d (%d groups)", *n, *p, len(dist.Groups)), dist)
+}
+
+// sweepP prints how the spectral machinery of §3.2 changes with the group
+// size under the uniform (homogeneous) distribution: ρ = 1 − (P−1)/(N−1)
+// shrinks as P grows, ρ̄ follows, and Theorem 1's feasible learning-rate
+// region widens — the theory behind Fig. 8's statistical-efficiency panel.
+func sweepP(n int) {
+	fmt.Printf("uniform groups, N=%d (L=1 assumed for the feasibility bound)\n", n)
+	fmt.Printf("%4s %10s %12s %16s\n", "P", "rho", "rho-bar", "max feasible lr")
+	for p := 2; p <= n; p++ {
+		rho := spectral.UniformRho(n, p)
+		// Binary-search the largest gamma satisfying Eq. (7).
+		lo, hi := 0.0, 1e3
+		for i := 0; i < 200; i++ {
+			mid := (lo + hi) / 2
+			if spectral.LearningRateFeasible(mid, 1, n, p, rho) {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		fmt.Printf("%4d %10.4f %12.4f %16.6f\n", p, rho, spectral.RhoBar(rho), lo)
+	}
+}
+
+func fig4() {
+	report("Fig 4(a): homogeneous, N=3 P=2", spectral.GroupDist{
+		N:      3,
+		Groups: [][]int{{0, 1}, {1, 2}, {0, 2}},
+		Probs:  []float64{1.0 / 3, 1.0 / 3, 1.0 / 3},
+	})
+	report("Fig 4(b): one worker 2x slower", spectral.GroupDist{
+		N:      3,
+		Groups: [][]int{{0, 1}, {1, 2}, {0, 2}},
+		Probs:  []float64{0.5, 0.25, 0.25},
+	})
+}
+
+func report(title string, dist spectral.GroupDist) {
+	m, err := spectral.MeanW(dist)
+	if err != nil {
+		fail(err)
+	}
+	rho, err := spectral.Rho(m)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%s\n", title)
+	fmt.Printf("  E[W] =\n")
+	for i := 0; i < m.Rows; i++ {
+		fmt.Printf("   ")
+		for j := 0; j < m.Cols; j++ {
+			fmt.Printf(" %7.4f", m.At(i, j))
+		}
+		fmt.Println()
+	}
+	fmt.Printf("  rho = %.4f   spectral gap 1-rho = %.4f   rho-bar = %.4f\n\n",
+		rho, 1-rho, spectral.RhoBar(rho))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,95 @@
+package preduce_test
+
+import (
+	"fmt"
+	"log"
+
+	preduce "partialreduce"
+)
+
+// Train a model with partial reduce on a simulated heterogeneous cluster.
+func ExampleSimulate() {
+	ds, err := preduce.GaussianMixture(preduce.MixtureConfig{
+		Classes: 4, Dim: 16, Examples: 2400, Separation: 3.2, Noise: 1, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := ds.Split(0.8)
+
+	res, err := preduce.Simulate(preduce.SimConfig{
+		N:         8,
+		Spec:      preduce.Spec{Inputs: 16, Hidden: []int{16}, Classes: 4},
+		Seed:      7,
+		Train:     train,
+		Test:      test,
+		BatchSize: 16,
+		Optimizer: preduce.OptimizerConfig{LR: 0.05, Momentum: 0.9},
+		Profile:   preduce.ResNet34,
+		Hetero:    preduce.GPUSharing(8, 3, preduce.ResNet34.BatchCompute, 0.1, 7),
+		Net:       preduce.DefaultNetwork(),
+		Threshold: 0.9,
+	}, preduce.NewPReduce(preduce.PReduceConfig{P: 3}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("converged:", res.Converged)
+	// Output: converged: true
+}
+
+// Compute the paper's Figure 4 spectral bounds analytically.
+func ExampleRho() {
+	homogeneous := preduce.GroupDist{
+		N:      3,
+		Groups: [][]int{{0, 1}, {1, 2}, {0, 2}},
+		Probs:  []float64{1.0 / 3, 1.0 / 3, 1.0 / 3},
+	}
+	m, err := preduce.MeanW(homogeneous)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rho, err := preduce.Rho(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rho = %.3f\n", rho)
+	// Output: rho = 0.500
+}
+
+// The closed form for uniform group distributions.
+func ExampleUniformRho() {
+	for _, p := range []int{2, 4, 8} {
+		fmt.Printf("N=8 P=%d: rho = %.3f\n", p, preduce.UniformRho(8, p))
+	}
+	// Output:
+	// N=8 P=2: rho = 0.857
+	// N=8 P=4: rho = 0.571
+	// N=8 P=8: rho = 0.000
+}
+
+// Train with real goroutine workers and ring collectives.
+func ExampleRunLive() {
+	ds, err := preduce.GaussianMixture(preduce.MixtureConfig{
+		Classes: 3, Dim: 10, Examples: 1200, Separation: 3.5, Noise: 1, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := ds.Split(0.8)
+
+	rep, err := preduce.RunLive(preduce.LiveConfig{
+		N: 4, P: 2,
+		Spec:      preduce.Spec{Inputs: 10, Hidden: []int{12}, Classes: 3},
+		Seed:      3,
+		Train:     train,
+		Test:      test,
+		BatchSize: 16,
+		Optimizer: preduce.OptimizerConfig{LR: 0.05, Momentum: 0.9},
+		Iters:     80,
+	}, preduce.NewMemWorld(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("trained above 85%:", rep.FinalAccuracy > 0.85)
+	// Output: trained above 85%: true
+}

@@ -1,0 +1,88 @@
+// Production: the paper's shared-cluster scenario (§5.3). Sixteen workers on
+// a regime-switching slowdown trace train a CIFAR-100-class workload; the
+// example prints both strategies' accuracy-over-time trajectories and the
+// per-update-time distribution that explains the gap: All-Reduce's barrier
+// inherits the slowest worker's regime, partial reduce rides the fast ones.
+//
+//	go run ./examples/production
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	preduce "partialreduce"
+)
+
+func main() {
+	arRes := run(preduce.NewAllReduce())
+	dynRes := run(preduce.NewPReduce(preduce.PReduceConfig{
+		P: 4, Weighting: preduce.Dynamic, Approx: preduce.ClosestIteration,
+	}))
+
+	fmt.Println("ResNet-34-class workload on a production trace, N=16:")
+	fmt.Printf("  %s\n  %s\n", arRes, dynRes)
+	if dynRes.RunTime > 0 && dynRes.PerUpdate() > 0 {
+		fmt.Printf("\nper-update speedup: %.1fx   total speedup: %.2fx\n",
+			arRes.PerUpdate()/dynRes.PerUpdate(), arRes.RunTime/dynRes.RunTime)
+	}
+
+	fmt.Println("\nupdate-interval distribution (seconds between updates):")
+	for _, r := range []*preduce.Result{arRes, dynRes} {
+		fmt.Printf("  %-10s %s\n", r.Strategy, histogram(intervals(r)))
+	}
+}
+
+func run(s preduce.Strategy) *preduce.Result {
+	ds, err := preduce.GaussianMixture(preduce.MixtureConfig{
+		Classes: 100, Dim: 64, Examples: 12000,
+		Separation: 4.0, Noise: 1.0, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := ds.Split(0.8)
+	res, err := preduce.Simulate(preduce.SimConfig{
+		N:         16,
+		Spec:      preduce.Spec{Inputs: 64, Hidden: []int{48}, Classes: 100},
+		Seed:      11,
+		Train:     train,
+		Test:      test,
+		BatchSize: 24,
+		Optimizer: preduce.OptimizerConfig{LR: 0.03, Momentum: 0.9, WeightDecay: 1e-4},
+		Profile:   preduce.ResNet34,
+		Hetero:    preduce.ProductionTrace(16, preduce.ResNet34.BatchCompute, 11),
+		Net:       preduce.DefaultNetwork(),
+		Threshold: 0.70,
+		EvalEvery: 50,
+	}, s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+// intervals derives update intervals from the curve's (time, updates) pairs.
+func intervals(r *preduce.Result) []float64 {
+	var out []float64
+	for i := 1; i < len(r.Curve); i++ {
+		dt := r.Curve[i].Time - r.Curve[i-1].Time
+		du := r.Curve[i].Updates - r.Curve[i-1].Updates
+		if du > 0 {
+			out = append(out, dt/float64(du))
+		}
+	}
+	return out
+}
+
+// histogram renders quartiles of the interval distribution.
+func histogram(xs []float64) string {
+	if len(xs) == 0 {
+		return "(no samples)"
+	}
+	sort.Float64s(xs)
+	q := func(f float64) float64 { return xs[int(f*float64(len(xs)-1))] }
+	return fmt.Sprintf("p25=%.2fs p50=%.2fs p75=%.2fs max=%.2fs",
+		q(0.25), q(0.50), q(0.75), xs[len(xs)-1])
+}

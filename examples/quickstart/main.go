@@ -1,0 +1,49 @@
+// Quickstart: train a classifier with partial reduce on an 8-worker
+// simulated cluster and print the run's metrics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	preduce "partialreduce"
+)
+
+func main() {
+	// A synthetic 10-class dataset standing in for CIFAR-10.
+	ds, err := preduce.GaussianMixture(preduce.MixtureConfig{
+		Classes: 10, Dim: 32, Examples: 6000,
+		Separation: 3.5, Noise: 1.0, Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := ds.Split(0.8)
+
+	cfg := preduce.SimConfig{
+		N:         8,                                                        // workers
+		Spec:      preduce.Spec{Inputs: 32, Hidden: []int{24}, Classes: 10}, // proxy model
+		Seed:      42,
+		Train:     train,
+		Test:      test,
+		BatchSize: 16,
+		Optimizer: preduce.OptimizerConfig{LR: 0.03, Momentum: 0.9, WeightDecay: 1e-4},
+		Profile:   preduce.ResNet34,                       // wire size + compute cost
+		Hetero:    preduce.Homogeneous(8, 0.41, 0.15, 42), // per-batch seconds
+		Net:       preduce.DefaultNetwork(),               // α–β cost model
+		Threshold: 0.90,                                   // stop at 90% test accuracy
+	}
+
+	// Partial reduce with groups of 3 and constant 1/P weights.
+	res, err := preduce.Simulate(cfg, preduce.NewPReduce(preduce.PReduceConfig{P: 3}))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("P-Reduce (P=3):", res)
+	fmt.Printf("reached %.1f%% accuracy after %d partial-reduce updates "+
+		"(%.1f simulated seconds, %.3fs per update)\n",
+		100*res.FinalAccuracy, res.Updates, res.RunTime, res.PerUpdate())
+}

@@ -1,0 +1,3 @@
+module partialreduce
+
+go 1.24

@@ -1,0 +1,62 @@
+// Package baselines implements the seven comparison systems of the paper's
+// evaluation (§5.1): the collective-operation methods All-Reduce,
+// Eager-Reduce and AD-PSGD, and the parameter-server methods BSP, ASP, HETE
+// (staleness-aware learning rates) and BK (backup workers). Each runs real
+// SGD on the shared cluster substrate; only the synchronization structure
+// and the communication cost model differ.
+package baselines
+
+import (
+	"partialreduce/internal/cluster"
+	"partialreduce/internal/metrics"
+	"partialreduce/internal/tensor"
+)
+
+// AllReduce is bulk-synchronous ring all-reduce training: every iteration,
+// all N workers barrier, average gradients with a ring all-reduce, and apply
+// the identical update. The round takes as long as the slowest worker — the
+// straggler sensitivity the paper targets.
+type AllReduce struct{}
+
+// NewAllReduce returns the AR baseline.
+func NewAllReduce() *AllReduce { return &AllReduce{} }
+
+// Name implements cluster.Strategy.
+func (*AllReduce) Name() string { return "AR" }
+
+// Run implements cluster.Strategy.
+func (*AllReduce) Run(c *cluster.Cluster) (*metrics.Result, error) {
+	n := float64(c.Cfg.N)
+	avg := tensor.NewVector(len(c.Init))
+
+	var round func()
+	round = func() {
+		// The barrier waits for the slowest worker's batch, then the group
+		// pays one full-cluster ring all-reduce.
+		var maxDt float64
+		for _, w := range c.Workers {
+			if dt := c.ComputeTime(w); dt > maxDt {
+				maxDt = dt
+			}
+		}
+		dur := maxDt + c.RingTimeAll()
+		c.Eng.After(dur, func() {
+			avg.Zero()
+			for _, w := range c.Workers {
+				g, _ := c.GradientAtCurrent(w)
+				avg.Axpy(1/n, g)
+			}
+			for _, w := range c.Workers {
+				w.Opt.Update(w.Params(), avg, 1)
+				w.Iter++
+			}
+			c.RecordUpdate()
+			if !c.Eng.Stopped() {
+				round()
+			}
+		})
+	}
+	c.Eng.At(0, round)
+	c.Eng.Run()
+	return c.Finish(), nil
+}

@@ -1,0 +1,222 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+
+	"partialreduce/internal/cluster"
+	"partialreduce/internal/hetero"
+	"partialreduce/internal/metrics"
+	"partialreduce/internal/testutil"
+)
+
+func runStrategy(t *testing.T, cfg cluster.Config, s cluster.Strategy) *metrics.Result {
+	t.Helper()
+	c := testutil.Run(t, cfg, s)
+	return c.Track.Result()
+}
+
+func TestNamesStable(t *testing.T) {
+	cases := map[string]cluster.Strategy{
+		"AR":      NewAllReduce(),
+		"ER":      NewEagerReduce(),
+		"AD":      NewADPSGD(),
+		"PS BSP":  NewPSBSP(),
+		"PS ASP":  NewPSASP(),
+		"PS HETE": NewPSHETE(),
+		"PS BK-3": NewPSBK(3),
+	}
+	for want, s := range cases {
+		if s.Name() != want {
+			t.Errorf("Name() = %q, want %q", s.Name(), want)
+		}
+	}
+}
+
+func TestAllStrategiesConvergeHomogeneous(t *testing.T) {
+	strategies := []cluster.Strategy{
+		NewAllReduce(),
+		NewADPSGD(),
+		NewPSBSP(),
+		NewPSASP(),
+		NewPSHETE(),
+		NewPSBK(3),
+	}
+	for _, s := range strategies {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			t.Parallel()
+			cfg := testutil.Config(t, 11)
+			res := runStrategy(t, cfg, s)
+			if !res.Converged {
+				t.Fatalf("%s did not converge: %+v", s.Name(), res)
+			}
+			if res.Updates <= 0 || res.RunTime <= 0 {
+				t.Fatalf("%s: degenerate metrics %+v", s.Name(), res)
+			}
+		})
+	}
+}
+
+func TestPSBKValidation(t *testing.T) {
+	cfg := testutil.Config(t, 12)
+	c, err := cluster.New(cfg, "bk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPSBK(-1).Run(c); err == nil {
+		t.Fatal("negative backups accepted")
+	}
+	if _, err := NewPSBK(cfg.N).Run(c); err == nil {
+		t.Fatal("all-backup configuration accepted")
+	}
+}
+
+// Statistical efficiency: asynchronous PS needs more updates than
+// synchronous BSP (staleness), the core Table 1 shape.
+func TestASPNeedsMoreUpdatesThanBSP(t *testing.T) {
+	cfg := testutil.Config(t, 13)
+	bsp := runStrategy(t, cfg, NewPSBSP())
+	cfg2 := testutil.Config(t, 13)
+	asp := runStrategy(t, cfg2, NewPSASP())
+	if !bsp.Converged || !asp.Converged {
+		t.Fatalf("baselines did not converge: bsp=%+v asp=%+v", bsp, asp)
+	}
+	if asp.Updates <= bsp.Updates {
+		t.Fatalf("ASP updates (%d) should exceed BSP updates (%d)", asp.Updates, bsp.Updates)
+	}
+	// Hardware efficiency: ASP's per-update time is far lower.
+	if asp.PerUpdate() >= bsp.PerUpdate() {
+		t.Fatalf("ASP per-update (%v) should beat BSP (%v)", asp.PerUpdate(), bsp.PerUpdate())
+	}
+}
+
+// Straggler sensitivity: AR's run time under GPU sharing degrades roughly
+// with the slowdown factor, while BK rides the fast majority.
+func TestBKToleratesStragglers(t *testing.T) {
+	cfgAR := testutil.Config(t, 14)
+	cfgAR.Hetero = hetero.NewGPUSharing(cfgAR.N, 3, testutil.Profile.BatchCompute, 0.05, 14)
+	ar := runStrategy(t, cfgAR, NewAllReduce())
+
+	cfgBK := testutil.Config(t, 14)
+	cfgBK.Hetero = hetero.NewGPUSharing(cfgBK.N, 3, testutil.Profile.BatchCompute, 0.05, 14)
+	bk := runStrategy(t, cfgBK, NewPSBK(3))
+
+	if !ar.Converged || !bk.Converged {
+		t.Fatalf("did not converge: ar=%+v bk=%+v", ar, bk)
+	}
+	if bk.PerUpdate() >= ar.PerUpdate() {
+		t.Fatalf("BK per-update (%v) should beat AR (%v) under HL=3", bk.PerUpdate(), ar.PerUpdate())
+	}
+}
+
+// AD-PSGD's per-update time is the lowest of the decentralized methods but
+// its inconsistent updates cost statistical efficiency vs AR.
+func TestADShapes(t *testing.T) {
+	cfg := testutil.Config(t, 15)
+	ad := runStrategy(t, cfg, NewADPSGD())
+	cfg2 := testutil.Config(t, 15)
+	ar := runStrategy(t, cfg2, NewAllReduce())
+	if !ad.Converged || !ar.Converged {
+		t.Fatalf("did not converge: ad=%+v ar=%+v", ad, ar)
+	}
+	if ad.PerUpdate() >= ar.PerUpdate() {
+		t.Fatalf("AD per-update (%v) should beat AR (%v)", ad.PerUpdate(), ar.PerUpdate())
+	}
+	if ad.Updates <= ar.Updates {
+		t.Fatalf("AD updates (%d) should exceed AR updates (%d)", ad.Updates, ar.Updates)
+	}
+}
+
+// ER rounds advance at majority pace, so its per-update time must undercut
+// AR's full barrier under heterogeneity.
+func TestERFasterRoundsThanAR(t *testing.T) {
+	cfgER := testutil.Config(t, 16)
+	cfgER.Hetero = hetero.NewGPUSharing(cfgER.N, 3, testutil.Profile.BatchCompute, 0.05, 16)
+	cfgER.Threshold = 0.999 // compare pace, not convergence
+	cfgER.MaxUpdates = 500
+	er := runStrategy(t, cfgER, NewEagerReduce())
+
+	cfgAR := testutil.Config(t, 16)
+	cfgAR.Hetero = hetero.NewGPUSharing(cfgAR.N, 3, testutil.Profile.BatchCompute, 0.05, 16)
+	cfgAR.Threshold = 0.999
+	cfgAR.MaxUpdates = 500
+	ar := runStrategy(t, cfgAR, NewAllReduce())
+
+	if er.PerUpdate() >= ar.PerUpdate() {
+		t.Fatalf("ER per-update (%v) should beat AR (%v) under HL=3", er.PerUpdate(), ar.PerUpdate())
+	}
+}
+
+func TestHETEAtLeastAsStatisticallyEfficientAsASP(t *testing.T) {
+	cfg := testutil.Config(t, 17)
+	cfg.Hetero = hetero.NewGPUSharing(cfg.N, 3, testutil.Profile.BatchCompute, 0.05, 17)
+	asp := runStrategy(t, cfg, NewPSASP())
+
+	cfg2 := testutil.Config(t, 17)
+	cfg2.Hetero = hetero.NewGPUSharing(cfg2.N, 3, testutil.Profile.BatchCompute, 0.05, 17)
+	hete := runStrategy(t, cfg2, NewPSHETE())
+
+	if !asp.Converged || !hete.Converged {
+		t.Fatalf("did not converge: asp=%+v hete=%+v", asp, hete)
+	}
+	// The staleness-aware rule should not need substantially more updates.
+	if float64(hete.Updates) > 1.5*float64(asp.Updates) {
+		t.Fatalf("HETE updates (%d) much worse than ASP (%d)", hete.Updates, asp.Updates)
+	}
+}
+
+func TestPickNeighborNeverSelf(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for n := 2; n <= 6; n++ {
+		for self := 0; self < n; self++ {
+			seen := map[int]bool{}
+			for i := 0; i < 200; i++ {
+				j := pickNeighbor(rng, n, self)
+				if j == self || j < 0 || j >= n {
+					t.Fatalf("pickNeighbor(n=%d, self=%d) = %d", n, self, j)
+				}
+				seen[j] = true
+			}
+			if len(seen) != n-1 {
+				t.Fatalf("pickNeighbor(n=%d, self=%d) covered %d of %d neighbors", n, self, len(seen), n-1)
+			}
+		}
+	}
+}
+
+// D-PSGD: synchronous gossip — per-update time between AD-PSGD's pairwise
+// exchange and AR's full ring, statistical efficiency worse than AR (ring
+// mixing is slow), and every replica still reaches good accuracy.
+func TestDPSGDShapes(t *testing.T) {
+	cfg := testutil.Config(t, 18)
+	dp := runStrategy(t, cfg, NewDPSGD())
+	cfg2 := testutil.Config(t, 18)
+	ar := runStrategy(t, cfg2, NewAllReduce())
+	if !dp.Converged || !ar.Converged {
+		t.Fatalf("did not converge: dpsgd=%+v ar=%+v", dp, ar)
+	}
+	if dp.PerUpdate() >= ar.PerUpdate() {
+		t.Fatalf("D-PSGD per-update (%v) should beat AR (%v): neighbor messages only", dp.PerUpdate(), ar.PerUpdate())
+	}
+	if dp.Updates < ar.Updates {
+		t.Fatalf("D-PSGD updates (%d) below AR (%d): ring mixing cannot beat global averaging", dp.Updates, ar.Updates)
+	}
+	if NewDPSGD().Name() != "D-PSGD" {
+		t.Fatal("name")
+	}
+}
+
+// All replicas end close together: gossip keeps the ring coupled.
+func TestDPSGDReplicasCoupled(t *testing.T) {
+	cfg := testutil.Config(t, 19)
+	c := testutil.Run(t, cfg, NewDPSGD())
+	if !c.Track.Result().Converged {
+		t.Fatalf("did not converge: %+v", c.Track.Result())
+	}
+	for _, w := range c.Workers {
+		if acc := c.EvalParams(w.Params()); acc < 0.8 {
+			t.Fatalf("worker %d replica at %.3f", w.ID, acc)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package checkpoint serializes training state so long runs can stop and
+// resume: model parameters, optimizer velocity, and iteration counters, in a
+// small self-describing binary format (magic, version, sizes, little-endian
+// float64 payloads with a checksum). The live and simulated runtimes share
+// it; a checkpoint taken on one can seed the other.
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"math"
+)
+
+const (
+	magic   = 0x50524443 // "PRDC"
+	version = 1
+)
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// State is a snapshot of one worker's (or the cluster-average) training
+// state.
+type State struct {
+	// Params is the flat model parameter vector.
+	Params []float64
+	// Velocity is the optimizer's momentum buffer (may be empty when the
+	// optimizer is stateless).
+	Velocity []float64
+	// Iter is the iteration counter at snapshot time.
+	Iter int64
+	// Step is the optimizer's update counter (drives LR schedules).
+	Step int64
+}
+
+// Validate reports whether the state is internally consistent.
+func (s *State) Validate() error {
+	if len(s.Params) == 0 {
+		return fmt.Errorf("checkpoint: empty parameter vector")
+	}
+	if len(s.Velocity) != 0 && len(s.Velocity) != len(s.Params) {
+		return fmt.Errorf("checkpoint: velocity length %d != params length %d",
+			len(s.Velocity), len(s.Params))
+	}
+	if s.Iter < 0 || s.Step < 0 {
+		return fmt.Errorf("checkpoint: negative counters")
+	}
+	return nil
+}
+
+// Write serializes s to w.
+func Write(w io.Writer, s *State) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	crc := crc64.New(crcTable)
+	out := io.MultiWriter(bw, crc)
+
+	hdr := []uint64{magic, version, uint64(len(s.Params)), uint64(len(s.Velocity)),
+		uint64(s.Iter), uint64(s.Step)}
+	for _, v := range hdr {
+		if err := binary.Write(out, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := writeFloats(out, s.Params); err != nil {
+		return err
+	}
+	if err := writeFloats(out, s.Velocity); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, crc.Sum64()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a State from r, verifying the checksum.
+func Read(r io.Reader) (*State, error) {
+	br := bufio.NewReader(r)
+	crc := crc64.New(crcTable)
+	in := io.TeeReader(br, crc)
+
+	var hdr [6]uint64
+	for i := range hdr {
+		if err := binary.Read(in, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("checkpoint: short header: %w", err)
+		}
+	}
+	if hdr[0] != magic {
+		return nil, fmt.Errorf("checkpoint: bad magic %#x", hdr[0])
+	}
+	if hdr[1] != version {
+		return nil, fmt.Errorf("checkpoint: unsupported version %d", hdr[1])
+	}
+	nParams, nVel := hdr[2], hdr[3]
+	const maxLen = 1 << 31
+	if nParams == 0 || nParams > maxLen || nVel > maxLen {
+		return nil, fmt.Errorf("checkpoint: implausible sizes %d/%d", nParams, nVel)
+	}
+	if nVel != 0 && nVel != nParams {
+		return nil, fmt.Errorf("checkpoint: velocity length %d != params length %d", nVel, nParams)
+	}
+	s := &State{
+		Params:   make([]float64, nParams),
+		Velocity: make([]float64, nVel),
+		Iter:     int64(hdr[4]),
+		Step:     int64(hdr[5]),
+	}
+	if err := readFloats(in, s.Params); err != nil {
+		return nil, err
+	}
+	if err := readFloats(in, s.Velocity); err != nil {
+		return nil, err
+	}
+	want := crc.Sum64()
+	var got uint64
+	if err := binary.Read(br, binary.LittleEndian, &got); err != nil {
+		return nil, fmt.Errorf("checkpoint: missing checksum: %w", err)
+	}
+	if got != want {
+		return nil, fmt.Errorf("checkpoint: checksum mismatch (corrupt file)")
+	}
+	return s, nil
+}
+
+func writeFloats(w io.Writer, xs []float64) error {
+	buf := make([]byte, 8*4096)
+	for len(xs) > 0 {
+		n := min(len(xs), 4096)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(xs[i]))
+		}
+		if _, err := w.Write(buf[:8*n]); err != nil {
+			return err
+		}
+		xs = xs[n:]
+	}
+	return nil
+}
+
+func readFloats(r io.Reader, xs []float64) error {
+	buf := make([]byte, 8*4096)
+	for len(xs) > 0 {
+		n := min(len(xs), 4096)
+		if _, err := io.ReadFull(r, buf[:8*n]); err != nil {
+			return fmt.Errorf("checkpoint: short payload: %w", err)
+		}
+		for i := 0; i < n; i++ {
+			xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+		}
+		xs = xs[n:]
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

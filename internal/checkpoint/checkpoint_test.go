@@ -1,0 +1,165 @@
+package checkpoint
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func randomState(rng *rand.Rand, n int, withVel bool) *State {
+	s := &State{Params: make([]float64, n), Iter: rng.Int63n(1000), Step: rng.Int63n(1000)}
+	for i := range s.Params {
+		s.Params[i] = rng.NormFloat64()
+	}
+	if withVel {
+		s.Velocity = make([]float64, n)
+		for i := range s.Velocity {
+			s.Velocity[i] = rng.NormFloat64()
+		}
+	}
+	return s
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, withVel := range []bool{true, false} {
+		s := randomState(rng, 10_000, withVel)
+		var buf bytes.Buffer
+		if err := Write(&buf, s); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Iter != s.Iter || got.Step != s.Step {
+			t.Fatalf("counters: %+v vs %+v", got, s)
+		}
+		for i := range s.Params {
+			if got.Params[i] != s.Params[i] {
+				t.Fatal("params mismatch")
+			}
+		}
+		if len(got.Velocity) != len(s.Velocity) {
+			t.Fatalf("velocity length %d vs %d", len(got.Velocity), len(s.Velocity))
+		}
+		for i := range s.Velocity {
+			if got.Velocity[i] != s.Velocity[i] {
+				t.Fatal("velocity mismatch")
+			}
+		}
+	}
+}
+
+func TestSpecialFloats(t *testing.T) {
+	s := &State{Params: []float64{math.Inf(1), math.Inf(-1), 0, -0.0, math.MaxFloat64, math.SmallestNonzeroFloat64}}
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Params {
+		if math.Float64bits(got.Params[i]) != math.Float64bits(s.Params[i]) {
+			t.Fatalf("bit-level mismatch at %d", i)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []*State{
+		{},
+		{Params: []float64{1}, Velocity: []float64{1, 2}},
+		{Params: []float64{1}, Iter: -1},
+		{Params: []float64{1}, Step: -1},
+	}
+	for i, s := range bad {
+		if s.Validate() == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+		var buf bytes.Buffer
+		if Write(&buf, s) == nil {
+			t.Errorf("case %d: Write accepted invalid state", i)
+		}
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	s := randomState(rand.New(rand.NewSource(2)), 100, true)
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)/2] ^= 0xFF
+	if _, err := Read(bytes.NewReader(data)); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corruption not detected: %v", err)
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	s := randomState(rand.New(rand.NewSource(3)), 100, false)
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := Read(bytes.NewReader(data[:len(data)-9])); err == nil {
+		t.Fatal("truncation not detected")
+	}
+	if _, err := Read(bytes.NewReader(data[:10])); err == nil {
+		t.Fatal("header truncation not detected")
+	}
+}
+
+func TestBadMagicAndVersion(t *testing.T) {
+	s := randomState(rand.New(rand.NewSource(4)), 4, false)
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	bad := append([]byte{}, data...)
+	bad[0] ^= 1
+	if _, err := Read(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic not detected: %v", err)
+	}
+	bad = append([]byte{}, data...)
+	bad[8] = 99 // version field
+	if _, err := Read(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("bad version not detected: %v", err)
+	}
+}
+
+// Property: any state round-trips bit-exactly.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8, withVel bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomState(rng, int(n)+1, withVel)
+		var buf bytes.Buffer
+		if err := Write(&buf, s); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Iter != s.Iter || got.Step != s.Step || len(got.Params) != len(s.Params) {
+			return false
+		}
+		for i := range s.Params {
+			if got.Params[i] != s.Params[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

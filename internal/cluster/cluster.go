@@ -1,0 +1,310 @@
+// Package cluster is the shared substrate every training strategy runs on:
+// N simulated workers, each holding a real model replica, an SGD optimizer
+// with worker-local momentum, and a sampler over its data shard, all driven
+// by one discrete-event engine. Strategies (P-Reduce and the baselines)
+// schedule compute and communication events against this substrate; gradient
+// math is executed for real, while durations come from the heterogeneity and
+// network cost models. This is the simulator DESIGN.md documents as the
+// substitute for the paper's GPU cluster.
+package cluster
+
+import (
+	"fmt"
+
+	"partialreduce/internal/data"
+	"partialreduce/internal/hetero"
+	"partialreduce/internal/metrics"
+	"partialreduce/internal/model"
+	"partialreduce/internal/netmodel"
+	"partialreduce/internal/optim"
+	"partialreduce/internal/sim"
+	"partialreduce/internal/tensor"
+)
+
+// Config describes one training run.
+type Config struct {
+	N         int           // number of workers
+	Spec      model.Builder // proxy model architecture (model.Spec or model.ConvSpec)
+	Seed      int64         // master seed (model init, samplers, strategy RNG)
+	Train     *data.Dataset
+	Test      *data.Dataset
+	BatchSize int
+	Optimizer optim.Config
+	Profile   model.Profile   // wire size + reference compute time
+	Hetero    hetero.Model    // per-worker compute durations
+	Net       netmodel.Params // communication costs
+	// Topology optionally adds per-worker link speeds and geo-distributed
+	// zones (the paper's communication heterogeneity, Case 1); nil means a
+	// flat fabric.
+	Topology *netmodel.Topology
+
+	Threshold  float64 // stop when the averaged model reaches this accuracy
+	EvalEvery  int     // evaluate every EvalEvery updates (default 25)
+	MaxUpdates int     // safety cap (default 200000)
+	MaxTime    float64 // virtual-second horizon (default 1e7)
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.N < 1:
+		return fmt.Errorf("cluster: need N >= 1, got %d", c.N)
+	case c.Train == nil || c.Test == nil:
+		return fmt.Errorf("cluster: train and test datasets required")
+	case c.Spec == nil:
+		return fmt.Errorf("cluster: model builder required")
+	case c.BatchSize < 1:
+		return fmt.Errorf("cluster: batch size must be positive")
+	case c.Hetero == nil:
+		return fmt.Errorf("cluster: heterogeneity model required")
+	case c.Threshold <= 0 || c.Threshold > 1:
+		return fmt.Errorf("cluster: threshold must be in (0,1], got %v", c.Threshold)
+	case c.Train.Len() < c.N:
+		return fmt.Errorf("cluster: %d examples cannot shard across %d workers", c.Train.Len(), c.N)
+	}
+	if err := c.Optimizer.Validate(); err != nil {
+		return err
+	}
+	if err := c.Profile.Validate(); err != nil {
+		return err
+	}
+	if err := c.Topology.Validate(c.N); err != nil {
+		return err
+	}
+	return c.Net.Validate()
+}
+
+func (c *Config) applyDefaults() {
+	if c.EvalEvery == 0 {
+		c.EvalEvery = 25
+	}
+	if c.MaxUpdates == 0 {
+		c.MaxUpdates = 200_000
+	}
+	if c.MaxTime == 0 {
+		c.MaxTime = 1e7
+	}
+}
+
+// Worker is one simulated training process.
+type Worker struct {
+	ID      int
+	Model   model.Model
+	Opt     *optim.SGD
+	Sampler *data.Sampler
+	Iter    int // completed local iterations
+
+	grad     tensor.Vector
+	snapshot tensor.Vector // params at compute start (for inconsistent reads)
+	live     tensor.Vector // scratch for restoring params around a gradient
+	batch    *data.Batch
+}
+
+// Params returns the worker's live parameter vector.
+func (w *Worker) Params() tensor.Vector { return w.Model.Params() }
+
+// Cluster binds workers, engine, dataset shards, and metrics for one run.
+type Cluster struct {
+	Cfg     Config
+	Eng     *sim.Engine
+	Workers []*Worker
+	Init    tensor.Vector // the shared initial model x₁ (for dynamic P-Reduce)
+	Track   *metrics.Tracker
+
+	// EvalOverride, when set, replaces the averaged-replica evaluation:
+	// parameter-server strategies evaluate the server's global model, and
+	// Eager-Reduce its reference model.
+	EvalOverride func() float64
+
+	evalModel model.Model   // scratch replica for evaluating averaged params
+	evalBuf   tensor.Vector // scratch average buffer
+	updates   int
+}
+
+// New builds a cluster: shards the training set, replicates the model with
+// one shared initialization (every paper strategy starts all replicas at the
+// same point), and seeds independent sampler streams.
+func New(cfg Config, strategyName string) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.applyDefaults()
+
+	c := &Cluster{
+		Cfg:   cfg,
+		Eng:   &sim.Engine{},
+		Track: metrics.NewTracker(strategyName, cfg.Profile.Name, cfg.Threshold),
+	}
+	base := cfg.Spec.Build(cfg.Seed)
+	c.Init = base.Params().Clone()
+	c.evalModel = base.Clone()
+	c.evalBuf = tensor.NewVector(base.NumParams())
+
+	shards := cfg.Train.Shard(cfg.N)
+	c.Workers = make([]*Worker, cfg.N)
+	for i := range c.Workers {
+		c.Workers[i] = &Worker{
+			ID:       i,
+			Model:    base.Clone(),
+			Opt:      optim.NewSGD(cfg.Optimizer, base.NumParams()),
+			Sampler:  data.NewSampler(shards[i], mix(cfg.Seed, int64(i))),
+			grad:     tensor.NewVector(base.NumParams()),
+			snapshot: tensor.NewVector(base.NumParams()),
+			live:     tensor.NewVector(base.NumParams()),
+		}
+	}
+	return c, nil
+}
+
+func mix(seed, id int64) int64 { return seed*1_000_003 + id*7919 + 1 }
+
+// ComputeTime samples the duration of the batch worker w starts now. Hetero
+// models are constructed with the profile's BatchCompute as their base, so
+// no rescaling happens here.
+func (c *Cluster) ComputeTime(w *Worker) float64 {
+	return c.Cfg.Hetero.ComputeTime(w.ID, c.Eng.Now())
+}
+
+// Snapshot records w's current parameters as the basis of its next gradient
+// (the model version the worker "reads" when its batch starts). Strategies
+// call it at compute-start; AD-PSGD's inconsistent averaging may change the
+// live parameters before the gradient lands.
+func (c *Cluster) Snapshot(w *Worker) { w.snapshot.CopyFrom(w.Params()) }
+
+// Gradient computes w's mini-batch gradient at its snapshot into w's buffer
+// and returns (gradient, loss). The returned vector is owned by the worker
+// and valid until its next Gradient call.
+func (c *Cluster) Gradient(w *Worker) (tensor.Vector, float64) {
+	w.batch = w.Sampler.Sample(w.batch, c.Cfg.BatchSize)
+	w.live.CopyFrom(w.Params())
+	w.Model.SetParams(w.snapshot)
+	loss := w.Model.Gradient(w.grad, w.batch)
+	w.Model.SetParams(w.live)
+	return w.grad, loss
+}
+
+// GradientAtCurrent computes w's gradient at its live parameters (used by
+// synchronous strategies where no one mutates params mid-batch).
+func (c *Cluster) GradientAtCurrent(w *Worker) (tensor.Vector, float64) {
+	w.batch = w.Sampler.Sample(w.batch, c.Cfg.BatchSize)
+	loss := w.Model.Gradient(w.grad, w.batch)
+	return w.grad, loss
+}
+
+// WireBytes returns the message size of one model or gradient.
+func (c *Cluster) WireBytes() int64 { return c.Cfg.Profile.WireBytes() }
+
+// Communication cost helpers. Every strategy charges transfers through
+// these, so a Topology (per-worker links, geo zones) transparently affects
+// all of them.
+
+// RingTime returns the duration of a ring all-reduce among members.
+func (c *Cluster) RingTime(members []int) float64 {
+	if c.Cfg.Topology != nil {
+		return c.Cfg.Topology.RingAllReduce(c.Cfg.Net, members, c.WireBytes())
+	}
+	return c.Cfg.Net.RingAllReduce(len(members), c.WireBytes())
+}
+
+// RingTimeAll returns the duration of a full-cluster ring all-reduce.
+func (c *Cluster) RingTimeAll() float64 {
+	if c.Cfg.Topology == nil {
+		return c.Cfg.Net.RingAllReduce(c.Cfg.N, c.WireBytes())
+	}
+	members := make([]int, c.Cfg.N)
+	for i := range members {
+		members[i] = i
+	}
+	return c.Cfg.Topology.RingAllReduce(c.Cfg.Net, members, c.WireBytes())
+}
+
+// PSTime returns worker w's parameter-server push/pull round trip.
+func (c *Cluster) PSTime(w int) float64 {
+	if c.Cfg.Topology != nil {
+		return c.Cfg.Topology.PSExchange(c.Cfg.Net, w, c.WireBytes())
+	}
+	return c.Cfg.Net.PSExchange(c.WireBytes())
+}
+
+// PSTimeMax returns the slowest worker's PS round trip (the synchronous
+// round cost).
+func (c *Cluster) PSTimeMax() float64 {
+	var m float64
+	for w := 0; w < c.Cfg.N; w++ {
+		if t := c.PSTime(w); t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// PairTime returns the duration of an atomic pairwise model average.
+func (c *Cluster) PairTime(a, b int) float64 {
+	if c.Cfg.Topology != nil {
+		return c.Cfg.Topology.PairAverage(c.Cfg.Net, a, b, c.WireBytes())
+	}
+	return c.Cfg.Net.PairAverage(c.WireBytes())
+}
+
+// RecordUpdate counts one synchronization update, evaluates the averaged
+// model on schedule, and stops the engine when the run converges or exceeds
+// its budgets. Strategies must call it once per update event.
+func (c *Cluster) RecordUpdate() {
+	c.updates++
+	c.Track.Update(c.Eng.Now())
+	if c.updates%c.Cfg.EvalEvery == 0 {
+		if c.Track.Observe(c.Eng.Now(), c.eval()) {
+			c.Eng.Stop()
+			return
+		}
+	}
+	if c.updates >= c.Cfg.MaxUpdates || c.Eng.Now() >= c.Cfg.MaxTime {
+		c.Track.Cutoff(c.Eng.Now())
+		c.Eng.Stop()
+	}
+}
+
+// Updates returns the number of updates recorded so far.
+func (c *Cluster) Updates() int { return c.updates }
+
+func (c *Cluster) eval() float64 {
+	if c.EvalOverride != nil {
+		return c.EvalOverride()
+	}
+	return c.EvalAverage()
+}
+
+// EvalAverage evaluates the test accuracy of the average of all worker
+// models — the paper's inference model (Alg. 2 line 8).
+func (c *Cluster) EvalAverage() float64 {
+	c.evalBuf.Zero()
+	for _, w := range c.Workers {
+		c.evalBuf.Add(w.Params())
+	}
+	c.evalBuf.Scale(1 / float64(len(c.Workers)))
+	return c.EvalParams(c.evalBuf)
+}
+
+// EvalParams evaluates the test accuracy of an arbitrary parameter vector.
+func (c *Cluster) EvalParams(p tensor.Vector) float64 {
+	c.evalModel.SetParams(p)
+	return model.Accuracy(c.evalModel, c.Cfg.Test)
+}
+
+// Finish seals and returns the run's result. Call after the engine stops.
+func (c *Cluster) Finish() *metrics.Result {
+	c.Track.Cutoff(c.Eng.Now())
+	if !c.Track.Converged() {
+		// Record a final point so curves always end at the cutoff state.
+		c.Track.Observe(c.Eng.Now(), c.eval())
+	}
+	return c.Track.Result()
+}
+
+// Strategy is a training algorithm over the cluster substrate.
+type Strategy interface {
+	// Name identifies the strategy in results ("AR", "CON P=3", ...).
+	Name() string
+	// Run executes training to convergence or cutoff and returns the result.
+	Run(c *Cluster) (*metrics.Result, error)
+}

@@ -1,0 +1,234 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"partialreduce/internal/data"
+	"partialreduce/internal/hetero"
+	"partialreduce/internal/model"
+	"partialreduce/internal/netmodel"
+	"partialreduce/internal/optim"
+	"partialreduce/internal/tensor"
+)
+
+func testConfig(t *testing.T, seed int64) Config {
+	t.Helper()
+	ds, err := data.GaussianMixture(data.MixtureConfig{
+		Classes: 3, Dim: 8, Examples: 600, Separation: 3, Noise: 1, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := ds.Split(0.8)
+	return Config{
+		N:         4,
+		Spec:      model.Spec{Inputs: 8, Hidden: []int{8}, Classes: 3},
+		Seed:      seed,
+		Train:     train,
+		Test:      test,
+		BatchSize: 8,
+		Optimizer: optim.Config{LR: 0.05, Momentum: 0.9},
+		Profile:   model.Profile{Name: "t", WireParams: 1000, BatchCompute: 0.1, BytesPerParam: 4},
+		Hetero:    hetero.NewHomogeneous(4, 0.1, 0, seed),
+		Net:       netmodel.Default(),
+		Threshold: 0.9,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := testConfig(t, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.N = 0 },
+		func(c *Config) { c.Train = nil },
+		func(c *Config) { c.Test = nil },
+		func(c *Config) { c.BatchSize = 0 },
+		func(c *Config) { c.Hetero = nil },
+		func(c *Config) { c.Threshold = 0 },
+		func(c *Config) { c.Threshold = 1.5 },
+		func(c *Config) { c.N = c.Train.Len() + 1 },
+		func(c *Config) { c.Optimizer.LR = -1 },
+		func(c *Config) { c.Profile.WireParams = 0 },
+		func(c *Config) { c.Net.Bandwidth = 0 },
+	}
+	for i, mutate := range mutations {
+		cfg := testConfig(t, 1)
+		mutate(&cfg)
+		if cfg.Validate() == nil {
+			t.Errorf("mutation %d: expected validation error", i)
+		}
+	}
+}
+
+func TestNewClusterSetup(t *testing.T) {
+	cfg := testConfig(t, 2)
+	c, err := New(cfg, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Workers) != 4 {
+		t.Fatalf("workers: %d", len(c.Workers))
+	}
+	// All replicas share the initialization and equal Init.
+	for _, w := range c.Workers {
+		for i, v := range w.Params() {
+			if v != c.Init[i] {
+				t.Fatal("replica does not match shared init")
+			}
+		}
+	}
+	// Replicas are independent storage.
+	c.Workers[0].Params().Fill(0)
+	if c.Workers[1].Params().NormInf() == 0 {
+		t.Fatal("replicas share storage")
+	}
+	if c.Init.NormInf() == 0 {
+		t.Fatal("Init aliases a replica")
+	}
+}
+
+func TestGradientSnapshotSemantics(t *testing.T) {
+	cfg := testConfig(t, 3)
+	c, err := New(cfg, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := c.Workers[0]
+	c.Snapshot(w)
+	// Perturb live params after the snapshot (as AD-PSGD averaging would).
+	w.Params().Fill(0)
+	g1, _ := c.Gradient(w)
+	// The gradient must reflect the snapshot, not the zeroed params: at the
+	// Glorot init it cannot equal the all-zero-params gradient.
+	w2 := c.Workers[1]
+	w2.Params().Fill(0)
+	c.Snapshot(w2)
+	g2, _ := c.Gradient(w2)
+	diff := g1.Clone()
+	diff.Sub(g2)
+	if diff.NormInf() == 0 {
+		t.Fatal("gradient ignored the snapshot")
+	}
+	// Live params survive the gradient computation.
+	if w.Params().NormInf() != 0 {
+		t.Fatal("Gradient clobbered live params")
+	}
+}
+
+func TestRecordUpdateStopsAtThreshold(t *testing.T) {
+	cfg := testConfig(t, 4)
+	cfg.EvalEvery = 1
+	cfg.Threshold = 0.85
+	c, err := New(cfg, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Train worker 0 to high accuracy, copy to all, then record an update:
+	// the engine must stop converged.
+	w := c.Workers[0]
+	g := tensor.NewVector(len(c.Init))
+	for k := 0; k < 1500; k++ {
+		c.Snapshot(w)
+		grad, _ := c.Gradient(w)
+		copy(g, grad)
+		w.Opt.Update(w.Params(), g, 1)
+	}
+	for _, other := range c.Workers[1:] {
+		other.Params().CopyFrom(w.Params())
+	}
+	c.Eng.At(0, func() { c.RecordUpdate() })
+	c.Eng.Run()
+	res := c.Finish()
+	if !res.Converged {
+		t.Fatalf("expected convergence, got %+v (acc=%v)", res, c.EvalAverage())
+	}
+}
+
+func TestRecordUpdateCutoffs(t *testing.T) {
+	cfg := testConfig(t, 5)
+	cfg.MaxUpdates = 3
+	c, err := New(cfg, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tick func()
+	tick = func() {
+		c.RecordUpdate()
+		if !c.Eng.Stopped() {
+			c.Eng.After(1, tick)
+		}
+	}
+	c.Eng.At(0, tick)
+	c.Eng.Run()
+	if c.Updates() != 3 {
+		t.Fatalf("updates: %d, want cutoff at 3", c.Updates())
+	}
+	res := c.Finish()
+	if res.Converged {
+		t.Fatal("cutoff run marked converged")
+	}
+}
+
+func TestMaxTimeCutoff(t *testing.T) {
+	cfg := testConfig(t, 6)
+	cfg.MaxTime = 10
+	c, err := New(cfg, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tick func()
+	tick = func() {
+		c.RecordUpdate()
+		if !c.Eng.Stopped() {
+			c.Eng.After(4, tick)
+		}
+	}
+	c.Eng.At(0, tick)
+	c.Eng.Run()
+	if c.Eng.Now() < 10 || c.Eng.Now() > 14 {
+		t.Fatalf("stopped at %v, want shortly after MaxTime=10", c.Eng.Now())
+	}
+}
+
+func TestEvalOverride(t *testing.T) {
+	cfg := testConfig(t, 7)
+	cfg.EvalEvery = 1
+	c, err := New(cfg, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.EvalOverride = func() float64 { return 1.0 }
+	c.Eng.At(0, func() { c.RecordUpdate() })
+	c.Eng.Run()
+	if !c.Finish().Converged {
+		t.Fatal("eval override not used")
+	}
+}
+
+func TestEvalParamsMatchesModelAccuracy(t *testing.T) {
+	cfg := testConfig(t, 8)
+	c, err := New(cfg, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cfg.Spec.Build(cfg.Seed)
+	got := c.EvalParams(m.Params())
+	want := model.Accuracy(m, cfg.Test)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("EvalParams %v != Accuracy %v", got, want)
+	}
+}
+
+func TestWireBytes(t *testing.T) {
+	cfg := testConfig(t, 9)
+	c, err := New(cfg, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.WireBytes() != 4000 {
+		t.Fatalf("WireBytes: %d", c.WireBytes())
+	}
+}

@@ -1,0 +1,267 @@
+// Package collective implements the data-moving collective operations the
+// live runtime uses: ring all-reduce (reduce-scatter followed by all-gather,
+// the bandwidth-optimal algorithm of Patarasuk & Yuan that the paper's
+// prototype uses through Gloo), binomial-tree broadcast, and gather. All
+// collectives operate over an arbitrary subgroup of ranks, which is exactly
+// what P-Reduce needs: each controller-formed group runs its own collective,
+// and disjoint groups run concurrently without interference.
+package collective
+
+import (
+	"fmt"
+
+	"partialreduce/internal/transport"
+)
+
+// Tag layout: callers supply an operation id unique per collective instance
+// (e.g. the P-Reduce group sequence number); phase and step occupy low bits.
+func tag(opID uint32, phase, step int) uint64 {
+	return uint64(opID)<<24 | uint64(phase)<<16 | uint64(step)
+}
+
+const (
+	phaseReduceScatter = 1
+	phaseAllGather     = 2
+	phaseBroadcast     = 3
+	phaseGather        = 4
+	phaseAllGatherFull = 5
+)
+
+// position returns the caller's index within group, or an error if absent.
+// Every member must pass the identical group slice (same order).
+func position(t transport.Transport, group []int) (int, error) {
+	for i, r := range group {
+		if r == t.Rank() {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("collective: rank %d not in group %v", t.Rank(), group)
+}
+
+// chunk returns the [lo, hi) bounds of chunk c when n elements are split
+// into g near-equal chunks.
+func chunk(n, g, c int) (lo, hi int) {
+	base := n / g
+	rem := n % g
+	lo = c*base + min(c, rem)
+	size := base
+	if c < rem {
+		size++
+	}
+	return lo, lo + size
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// AllReduceSum sums data element-wise across the members of group, leaving
+// the total in every member's data slice. All members must call it with the
+// same group, opID, and data length. Groups of one return immediately.
+func AllReduceSum(t transport.Transport, group []int, opID uint32, data []float64) error {
+	g := len(group)
+	if g <= 1 {
+		return nil
+	}
+	pos, err := position(t, group)
+	if err != nil {
+		return err
+	}
+	next := group[(pos+1)%g]
+	prev := group[(pos-1+g)%g]
+	n := len(data)
+
+	// Reduce-scatter: after g−1 steps, chunk (pos+1) mod g is fully reduced
+	// here.
+	for s := 0; s < g-1; s++ {
+		sendChunk := ((pos-s)%g + g) % g
+		recvChunk := ((pos-s-1)%g + g) % g
+		lo, hi := chunk(n, g, sendChunk)
+		if err := t.Send(next, tag(opID, phaseReduceScatter, s), data[lo:hi]); err != nil {
+			return err
+		}
+		in, err := t.Recv(prev, tag(opID, phaseReduceScatter, s))
+		if err != nil {
+			return err
+		}
+		lo, hi = chunk(n, g, recvChunk)
+		if hi-lo != len(in) {
+			return fmt.Errorf("collective: chunk size mismatch %d != %d", hi-lo, len(in))
+		}
+		for i := range in {
+			data[lo+i] += in[i]
+		}
+	}
+
+	// All-gather: circulate the reduced chunks.
+	for s := 0; s < g-1; s++ {
+		sendChunk := ((pos+1-s)%g + g) % g
+		recvChunk := ((pos-s)%g + g) % g
+		lo, hi := chunk(n, g, sendChunk)
+		if err := t.Send(next, tag(opID, phaseAllGather, s), data[lo:hi]); err != nil {
+			return err
+		}
+		in, err := t.Recv(prev, tag(opID, phaseAllGather, s))
+		if err != nil {
+			return err
+		}
+		lo, hi = chunk(n, g, recvChunk)
+		if hi-lo != len(in) {
+			return fmt.Errorf("collective: chunk size mismatch %d != %d", hi-lo, len(in))
+		}
+		copy(data[lo:hi], in)
+	}
+	return nil
+}
+
+// AllReduceMean averages data element-wise across the group.
+func AllReduceMean(t transport.Transport, group []int, opID uint32, data []float64) error {
+	if err := AllReduceSum(t, group, opID, data); err != nil {
+		return err
+	}
+	inv := 1 / float64(len(group))
+	for i := range data {
+		data[i] *= inv
+	}
+	return nil
+}
+
+// WeightedAverage computes the weighted sum Σ_i weights[i]·data_i across the
+// group, leaving the result in every member's data. weight is the caller's
+// own coefficient — the P-Reduce aggregation (Alg. 2 line 7) with the
+// controller's constant or dynamic weights.
+func WeightedAverage(t transport.Transport, group []int, opID uint32, data []float64, weight float64) error {
+	for i := range data {
+		data[i] *= weight
+	}
+	return AllReduceSum(t, group, opID, data)
+}
+
+// Broadcast distributes root's data to every group member using a binomial
+// tree. Non-root members' data slices are overwritten; lengths must match.
+func Broadcast(t transport.Transport, group []int, opID uint32, root int, data []float64) error {
+	g := len(group)
+	if g <= 1 {
+		return nil
+	}
+	pos, err := position(t, group)
+	if err != nil {
+		return err
+	}
+	rootPos := -1
+	for i, r := range group {
+		if r == root {
+			rootPos = i
+			break
+		}
+	}
+	if rootPos < 0 {
+		return fmt.Errorf("collective: root %d not in group %v", root, group)
+	}
+	// Relative position with root at 0.
+	rel := ((pos-rootPos)%g + g) % g
+
+	received := rel == 0
+	for d := 1; d < g; d <<= 1 {
+		if received && rel < d {
+			dst := rel + d
+			if dst < g {
+				to := group[(dst+rootPos)%g]
+				if err := t.Send(to, tag(opID, phaseBroadcast, d), data); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if !received && rel < 2*d {
+			src := rel - d
+			from := group[(src+rootPos)%g]
+			in, err := t.Recv(from, tag(opID, phaseBroadcast, d))
+			if err != nil {
+				return err
+			}
+			if len(in) != len(data) {
+				return fmt.Errorf("collective: broadcast size mismatch %d != %d", len(in), len(data))
+			}
+			copy(data, in)
+			received = true
+		}
+	}
+	return nil
+}
+
+// Gather collects every member's data at root, returned in group order.
+// Non-root members receive nil.
+func Gather(t transport.Transport, group []int, opID uint32, root int, data []float64) ([][]float64, error) {
+	pos, err := position(t, group)
+	if err != nil {
+		return nil, err
+	}
+	if t.Rank() != root {
+		return nil, t.Send(root, tag(opID, phaseGather, pos), data)
+	}
+	out := make([][]float64, len(group))
+	for i, r := range group {
+		if r == root {
+			cp := make([]float64, len(data))
+			copy(cp, data)
+			out[i] = cp
+			continue
+		}
+		in, err := t.Recv(r, tag(opID, phaseGather, i))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = in
+	}
+	return out, nil
+}
+
+// AllGather collects every member's fixed-size data at every member,
+// concatenated in group order. All members must pass equal-length data.
+func AllGather(t transport.Transport, group []int, opID uint32, data []float64) ([][]float64, error) {
+	g := len(group)
+	out := make([][]float64, g)
+	pos, err := position(t, group)
+	if err != nil {
+		return nil, err
+	}
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	out[pos] = cp
+	if g == 1 {
+		return out, nil
+	}
+	// Ring circulation: g−1 steps, each member forwarding the slice it
+	// received last step.
+	next := group[(pos+1)%g]
+	prev := group[(pos-1+g)%g]
+	cur := data
+	for s := 0; s < g-1; s++ {
+		if err := t.Send(next, tag(opID, phaseAllGatherFull, s), cur); err != nil {
+			return nil, err
+		}
+		in, err := t.Recv(prev, tag(opID, phaseAllGatherFull, s))
+		if err != nil {
+			return nil, err
+		}
+		if len(in) != len(data) {
+			return nil, fmt.Errorf("collective: all-gather size mismatch %d != %d", len(in), len(data))
+		}
+		src := ((pos-s-1)%g + g) % g
+		out[src] = in
+		cur = in
+	}
+	return out, nil
+}
+
+// Barrier blocks until every group member has entered it.
+func Barrier(t transport.Transport, group []int, opID uint32) error {
+	// A zero-byte ring all-reduce is a barrier: completion requires a
+	// message from every member.
+	buf := make([]float64, len(group))
+	return AllReduceSum(t, group, opID, buf)
+}

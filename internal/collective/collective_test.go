@@ -1,0 +1,368 @@
+package collective
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"partialreduce/internal/transport"
+)
+
+// runGroup calls f concurrently for every member of group and waits.
+func runGroup(t *testing.T, eps []*transport.Mem, group []int, f func(tr transport.Transport) error) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make([]error, len(group))
+	for i, r := range group {
+		i, r := i, r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = f(eps[r])
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("member %d (rank %d): %v", i, group[i], err)
+		}
+	}
+}
+
+func TestChunkPartition(t *testing.T) {
+	for n := 0; n < 30; n++ {
+		for g := 1; g <= 8; g++ {
+			covered := 0
+			prevHi := 0
+			for c := 0; c < g; c++ {
+				lo, hi := chunk(n, g, c)
+				if lo != prevHi {
+					t.Fatalf("n=%d g=%d c=%d: gap/overlap lo=%d prevHi=%d", n, g, c, lo, prevHi)
+				}
+				covered += hi - lo
+				prevHi = hi
+			}
+			if covered != n {
+				t.Fatalf("n=%d g=%d: covered %d", n, g, covered)
+			}
+		}
+	}
+}
+
+func TestAllReduceSumFullGroup(t *testing.T) {
+	const n, d = 4, 10
+	eps := transport.NewMem(n)
+	group := []int{0, 1, 2, 3}
+	datas := make([][]float64, n)
+	want := make([]float64, d)
+	for r := range datas {
+		datas[r] = make([]float64, d)
+		for i := range datas[r] {
+			datas[r][i] = float64(r*100 + i)
+			want[i] += datas[r][i]
+		}
+	}
+	runGroup(t, eps, group, func(tr transport.Transport) error {
+		return AllReduceSum(tr, group, 1, datas[tr.Rank()])
+	})
+	for r := range datas {
+		for i := range want {
+			if math.Abs(datas[r][i]-want[i]) > 1e-9 {
+				t.Fatalf("rank %d elem %d: %v want %v", r, i, datas[r][i], want[i])
+			}
+		}
+	}
+}
+
+func TestAllReduceSubgroup(t *testing.T) {
+	// Only ranks {1,3,4} of a 6-rank world participate.
+	eps := transport.NewMem(6)
+	group := []int{1, 3, 4}
+	datas := map[int][]float64{
+		1: {1, 2, 3, 4, 5},
+		3: {10, 20, 30, 40, 50},
+		4: {100, 200, 300, 400, 500},
+	}
+	runGroup(t, eps, group, func(tr transport.Transport) error {
+		return AllReduceSum(tr, group, 2, datas[tr.Rank()])
+	})
+	want := []float64{111, 222, 333, 444, 555}
+	for _, r := range group {
+		for i := range want {
+			if datas[r][i] != want[i] {
+				t.Fatalf("rank %d: %v", r, datas[r])
+			}
+		}
+	}
+}
+
+func TestConcurrentDisjointGroups(t *testing.T) {
+	// Two disjoint groups all-reduce simultaneously — the P-Reduce pattern.
+	eps := transport.NewMem(6)
+	g1, g2 := []int{0, 1, 2}, []int{3, 4, 5}
+	datas := make([][]float64, 6)
+	for r := range datas {
+		datas[r] = []float64{float64(r + 1)}
+	}
+	var wg sync.WaitGroup
+	for _, spec := range []struct {
+		group []int
+		op    uint32
+	}{{g1, 10}, {g2, 11}} {
+		spec := spec
+		for _, r := range spec.group {
+			r := r
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := AllReduceSum(eps[r], spec.group, spec.op, datas[r]); err != nil {
+					t.Errorf("rank %d: %v", r, err)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	for _, r := range g1 {
+		if datas[r][0] != 6 { // 1+2+3
+			t.Fatalf("g1 rank %d: %v", r, datas[r])
+		}
+	}
+	for _, r := range g2 {
+		if datas[r][0] != 15 { // 4+5+6
+			t.Fatalf("g2 rank %d: %v", r, datas[r])
+		}
+	}
+}
+
+func TestAllReduceGroupOfOne(t *testing.T) {
+	eps := transport.NewMem(1)
+	data := []float64{7}
+	if err := AllReduceSum(eps[0], []int{0}, 1, data); err != nil {
+		t.Fatal(err)
+	}
+	if data[0] != 7 {
+		t.Fatalf("got %v", data)
+	}
+}
+
+func TestAllReduceNotInGroup(t *testing.T) {
+	eps := transport.NewMem(3)
+	if err := AllReduceSum(eps[2], []int{0, 1}, 1, []float64{1}); err == nil {
+		t.Fatal("non-member accepted")
+	}
+}
+
+func TestAllReduceMean(t *testing.T) {
+	eps := transport.NewMem(2)
+	datas := [][]float64{{2, 4}, {4, 8}}
+	group := []int{0, 1}
+	runGroup(t, eps, group, func(tr transport.Transport) error {
+		return AllReduceMean(tr, group, 3, datas[tr.Rank()])
+	})
+	for r := range datas {
+		if datas[r][0] != 3 || datas[r][1] != 6 {
+			t.Fatalf("rank %d: %v", r, datas[r])
+		}
+	}
+}
+
+func TestWeightedAverage(t *testing.T) {
+	eps := transport.NewMem(2)
+	datas := [][]float64{{10}, {20}}
+	weights := []float64{0.25, 0.75}
+	group := []int{0, 1}
+	runGroup(t, eps, group, func(tr transport.Transport) error {
+		return WeightedAverage(tr, group, 4, datas[tr.Rank()], weights[tr.Rank()])
+	})
+	want := 0.25*10 + 0.75*20
+	for r := range datas {
+		if math.Abs(datas[r][0]-want) > 1e-12 {
+			t.Fatalf("rank %d: %v want %v", r, datas[r][0], want)
+		}
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8} {
+		eps := transport.NewMem(n)
+		group := make([]int, n)
+		for i := range group {
+			group[i] = i
+		}
+		for root := 0; root < n; root += max(1, n/3) {
+			datas := make([][]float64, n)
+			for r := range datas {
+				datas[r] = make([]float64, 4)
+			}
+			for i := range datas[root] {
+				datas[root][i] = float64(root*10 + i)
+			}
+			root := root
+			runGroup(t, eps, group, func(tr transport.Transport) error {
+				return Broadcast(tr, group, uint32(100+root), root, datas[tr.Rank()])
+			})
+			for r := range datas {
+				for i := range datas[r] {
+					if datas[r][i] != float64(root*10+i) {
+						t.Fatalf("n=%d root=%d rank %d: %v", n, root, r, datas[r])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBroadcastBadRoot(t *testing.T) {
+	eps := transport.NewMem(3)
+	if err := Broadcast(eps[0], []int{0, 1}, 1, 2, []float64{1}); err == nil {
+		t.Fatal("root outside group accepted")
+	}
+}
+
+func TestGather(t *testing.T) {
+	eps := transport.NewMem(4)
+	group := []int{0, 2, 3}
+	root := 2
+	datas := map[int][]float64{0: {1}, 2: {2}, 3: {3}}
+	results := make(map[int][][]float64)
+	var mu sync.Mutex
+	runGroup(t, eps, group, func(tr transport.Transport) error {
+		out, err := Gather(tr, group, 7, root, datas[tr.Rank()])
+		mu.Lock()
+		results[tr.Rank()] = out
+		mu.Unlock()
+		return err
+	})
+	if results[0] != nil || results[3] != nil {
+		t.Fatal("non-root received gather output")
+	}
+	got := results[2]
+	if len(got) != 3 || got[0][0] != 1 || got[1][0] != 2 || got[2][0] != 3 {
+		t.Fatalf("gather at root: %v", got)
+	}
+}
+
+// Property: for random group sizes, vector lengths (including lengths
+// smaller than the group), and values, ring all-reduce matches the
+// sequential sum on every member.
+func TestQuickAllReduceMatchesSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := 2 + rng.Intn(7)
+		d := 1 + rng.Intn(12) // may be < g: some chunks are empty
+		eps := transport.NewMem(g)
+		group := make([]int, g)
+		for i := range group {
+			group[i] = i
+		}
+		datas := make([][]float64, g)
+		want := make([]float64, d)
+		for r := range datas {
+			datas[r] = make([]float64, d)
+			for i := range datas[r] {
+				datas[r][i] = rng.NormFloat64()
+				want[i] += datas[r][i]
+			}
+		}
+		var wg sync.WaitGroup
+		ok := true
+		var mu sync.Mutex
+		for _, r := range group {
+			r := r
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := AllReduceSum(eps[r], group, 1, datas[r]); err != nil {
+					mu.Lock()
+					ok = false
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		if !ok {
+			return false
+		}
+		for r := range datas {
+			for i := range want {
+				if math.Abs(datas[r][i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestAllGather(t *testing.T) {
+	eps := transport.NewMem(4)
+	group := []int{0, 1, 2, 3}
+	results := make([][][]float64, 4)
+	runGroup(t, eps, group, func(tr transport.Transport) error {
+		out, err := AllGather(tr, group, 21, []float64{float64(tr.Rank() * 10), float64(tr.Rank()*10 + 1)})
+		results[tr.Rank()] = out
+		return err
+	})
+	for r := 0; r < 4; r++ {
+		for src := 0; src < 4; src++ {
+			want0 := float64(src * 10)
+			if results[r][src][0] != want0 || results[r][src][1] != want0+1 {
+				t.Fatalf("rank %d slot %d: %v", r, src, results[r][src])
+			}
+		}
+	}
+}
+
+func TestAllGatherSingleton(t *testing.T) {
+	eps := transport.NewMem(1)
+	out, err := AllGather(eps[0], []int{0}, 1, []float64{7})
+	if err != nil || len(out) != 1 || out[0][0] != 7 {
+		t.Fatalf("singleton all-gather: %v %v", out, err)
+	}
+	// The returned slot must be a copy, not an alias.
+	in := []float64{1}
+	out, _ = AllGather(eps[0], []int{0}, 2, in)
+	in[0] = 99
+	if out[0][0] != 1 {
+		t.Fatal("all-gather aliased caller data")
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	eps := transport.NewMem(3)
+	group := []int{0, 1, 2}
+	var reached [3]int32
+	var wg sync.WaitGroup
+	for _, r := range group {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			atomic.StoreInt32(&reached[r], 1)
+			if err := Barrier(eps[r], group, 31); err != nil {
+				t.Errorf("rank %d: %v", r, err)
+				return
+			}
+			// After the barrier, every rank must have entered it.
+			for i := range reached {
+				if atomic.LoadInt32(&reached[i]) == 0 {
+					t.Errorf("rank %d passed barrier before rank %d entered", r, i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,65 @@
+package controller
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The paper argues the controller cannot become a bottleneck (§4): each
+// message is a few bytes and the work per signal is queue bookkeeping plus
+// a windowed connectivity check. These benchmarks measure signals/second at
+// cluster sizes far beyond the paper's 32 workers.
+func BenchmarkControllerReady(b *testing.B) {
+	for _, n := range []int{8, 64, 512} {
+		for _, p := range []int{4, 16} {
+			if p > n {
+				continue
+			}
+			b.Run(fmt.Sprintf("N=%d/P=%d", n, p), func(b *testing.B) {
+				c, err := New(Config{N: n, P: p})
+				if err != nil {
+					b.Fatal(err)
+				}
+				iters := make([]int, n)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					w := i % n
+					iters[w]++
+					if _, err := c.Ready(Signal{Worker: w, Iter: iters[w]}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// Dynamic weighting adds the EMA computation per group.
+func BenchmarkControllerReadyDynamic(b *testing.B) {
+	c, err := New(Config{N: 64, P: 8, Weighting: Dynamic, Approx: ClosestIteration})
+	if err != nil {
+		b.Fatal(err)
+	}
+	iters := make([]int, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := i % 64
+		iters[w] += 1 + w%3 // staggered iteration numbers exercise the EMA path
+		if _, err := c.Ready(Signal{Worker: w, Iter: iters[w]}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSyncGraphConnectivity(b *testing.B) {
+	g := NewSyncGraph(512, 128)
+	for i := 0; i < 128; i++ {
+		g.Add([]int{i % 512, (i*7 + 1) % 512, (i*13 + 2) % 512})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Connected()
+	}
+}

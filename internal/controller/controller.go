@@ -1,0 +1,350 @@
+// Package controller implements the paper's P-Reduce controller (Fig. 6): a
+// signal queue collecting ready messages in FIFO order, a group filter that
+// pops P signals and applies group-frozen avoidance over a sync-graph of
+// recent groups, a weight generator producing constant or staleness-aware
+// dynamic aggregation weights, a group history database, and the group
+// broadcaster (the Group values returned to the runtime). The controller
+// never touches model parameters or gradients — its messages are a few
+// bytes, exactly as §4 requires.
+package controller
+
+import (
+	"fmt"
+
+	"partialreduce/internal/tensor"
+)
+
+// Config describes a controller.
+type Config struct {
+	N int // total workers
+	P int // group size, 2 ≤ P ≤ N
+	// Window is the sync-graph history length T. Zero selects the paper's
+	// minimum ⌈(N−1)/(P−1)⌉, below which disconnection cannot be
+	// distinguished from an under-filled window (§4).
+	Window int
+	// Weighting selects constant (1/P) or dynamic (EMA staleness) weights.
+	Weighting Weighting
+	// Alpha is the EMA decay for dynamic weighting; zero selects 0.6.
+	Alpha float64
+	// Approx selects how dynamic weighting fills missing relative-iteration
+	// slots; the default InitialModel is the paper's conservative rule.
+	Approx ApproxRule
+	// DisableGroupFilter turns group-frozen avoidance off (ablation only).
+	DisableGroupFilter bool
+	// RecordGroups keeps the full group log for offline analysis.
+	RecordGroups bool
+	// Zones optionally assigns each worker to a zone (geo-distributed data
+	// centers). With ZoneAffinity set, the group filter prefers forming
+	// groups within one zone — cheap intra-DC collectives — while the
+	// group-frozen avoidance still periodically forces cross-zone groups,
+	// keeping the sync-graph connected so updates flow between zones.
+	Zones        []int
+	ZoneAffinity bool
+}
+
+// MinWindow returns ⌈(n−1)/(p−1)⌉, the smallest history window that can
+// witness a connected sync-graph.
+func MinWindow(n, p int) int {
+	return (n - 2 + p - 1) / (p - 1) // ceil((n-1)/(p-1))
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.N < 2:
+		return fmt.Errorf("controller: need N >= 2 workers, got %d", c.N)
+	case c.P < 2 || c.P > c.N:
+		return fmt.Errorf("controller: need 2 <= P <= N, got P=%d N=%d", c.P, c.N)
+	case c.Window < 0:
+		return fmt.Errorf("controller: negative window %d", c.Window)
+	case c.Window > 0 && c.Window < MinWindow(c.N, c.P):
+		return fmt.Errorf("controller: window %d below minimum %d for N=%d P=%d",
+			c.Window, MinWindow(c.N, c.P), c.N, c.P)
+	case c.Alpha < 0 || c.Alpha >= 1:
+		return fmt.Errorf("controller: alpha must be in [0,1), got %v", c.Alpha)
+	case c.ZoneAffinity && len(c.Zones) != c.N:
+		return fmt.Errorf("controller: zone affinity needs %d zone assignments, got %d", c.N, len(c.Zones))
+	case !c.ZoneAffinity && len(c.Zones) != 0 && len(c.Zones) != c.N:
+		return fmt.Errorf("controller: %d zone assignments for %d workers", len(c.Zones), c.N)
+	}
+	if c.ZoneAffinity {
+		// Every zone must be able to fill a group on its own, or its members
+		// would starve waiting for same-zone partners.
+		pop := map[int]int{}
+		for _, z := range c.Zones {
+			pop[z]++
+		}
+		for z, n := range pop {
+			if n < c.P {
+				return fmt.Errorf("controller: zone %d has %d workers, need >= P=%d for affinity", z, n, c.P)
+			}
+		}
+	}
+	return nil
+}
+
+// Signal is one worker's ready message. Iter is the worker's current
+// iteration number; constant weighting ignores it.
+type Signal struct {
+	Worker int
+	Iter   int
+}
+
+// Group is the controller's reply to the members of a formed group.
+type Group struct {
+	// Members lists the worker ids in pop order.
+	Members []int
+	// Iters holds each member's reported iteration, aligned with Members.
+	Iters []int
+	// Weights holds each member's aggregation weight, aligned with Members.
+	Weights []float64
+	// InitWeight is the weight on the shared initial model x₁ under the
+	// InitialModel approximation rule; zero otherwise.
+	InitWeight float64
+	// Iter is the group's maximum iteration number. After aggregating, every
+	// member sets its iteration counter to Iter ("their models are the
+	// latest", §3.3.3).
+	Iter int
+	// Bridged reports that the group filter rewrote this group to reconnect
+	// a frozen sync-graph.
+	Bridged bool
+}
+
+// Stats summarizes controller activity.
+type Stats struct {
+	GroupsFormed  int
+	Interventions int // groups rewritten by frozen avoidance
+	FrozenChecks  int // times the filter inspected a full, disconnected graph
+}
+
+// Controller is the P-Reduce controller. It is not safe for concurrent use;
+// callers (the simulator's event loop or the live runtime's accept loop)
+// serialize access.
+type Controller struct {
+	cfg    Config
+	queue  []Signal
+	queued []bool // queued[w] reports worker w has a signal in the queue
+	graph  *SyncGraph
+	stats  Stats
+
+	// Group history database: co-occurrence counts sufficient to rebuild
+	// the empirical E[W_k] exactly, plus the optional full log.
+	together [][]int // together[i][j] = groups containing both i and j, i≠j
+	inGroup  []int   // inGroup[i] = groups containing i
+	log      [][]int // full group log when RecordGroups
+}
+
+// New returns a controller for cfg. Zero Window and Alpha select defaults.
+func New(cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Window == 0 {
+		cfg.Window = MinWindow(cfg.N, cfg.P)
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 0.6
+	}
+	c := &Controller{
+		cfg:     cfg,
+		queued:  make([]bool, cfg.N),
+		graph:   NewSyncGraph(cfg.N, cfg.Window),
+		inGroup: make([]int, cfg.N),
+	}
+	c.together = make([][]int, cfg.N)
+	for i := range c.together {
+		c.together[i] = make([]int, cfg.N)
+	}
+	return c, nil
+}
+
+// Config returns the effective configuration (defaults resolved).
+func (c *Controller) Config() Config { return c.cfg }
+
+// QueueLen returns the number of waiting ready signals.
+func (c *Controller) QueueLen() int { return len(c.queue) }
+
+// Stats returns activity counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// Groups returns the recorded group log (nil unless RecordGroups).
+func (c *Controller) Groups() [][]int { return c.log }
+
+// Ready accepts a worker's ready signal and returns the groups formed as a
+// result (zero or one under normal operation). It rejects out-of-range
+// workers and duplicate signals from a worker that is already queued: a
+// worker sends exactly one ready per iteration and blocks for its group.
+func (c *Controller) Ready(s Signal) ([]Group, error) {
+	if s.Worker < 0 || s.Worker >= c.cfg.N {
+		return nil, fmt.Errorf("controller: worker %d out of range [0,%d)", s.Worker, c.cfg.N)
+	}
+	if c.queued[s.Worker] {
+		return nil, fmt.Errorf("controller: worker %d already has a queued signal", s.Worker)
+	}
+	c.queue = append(c.queue, s)
+	c.queued[s.Worker] = true
+
+	var groups []Group
+	for len(c.queue) >= c.cfg.P {
+		g, ok := c.formGroup()
+		if !ok {
+			break
+		}
+		groups = append(groups, g)
+	}
+	return groups, nil
+}
+
+// formGroup pops P signals (FIFO), applies group-frozen avoidance, records
+// the group, and generates its weights. It returns ok=false when the filter
+// defers formation to wait for a bridging signal.
+func (c *Controller) formGroup() (Group, bool) {
+	p := c.cfg.P
+	bridged := false
+
+	// Group-frozen avoidance (§4): with a full window and a disconnected
+	// sync-graph, the filter forces the next group to span components. If
+	// the FIFO candidate sits inside one component, it swaps in a waiting
+	// signal from another component; if none is waiting, it defers the group
+	// until one arrives. Deferral cannot deadlock: workers outside the
+	// candidate's component are either computing or aggregating and always
+	// send their next ready signal.
+	if !c.cfg.DisableGroupFilter && c.graph.Full() && !c.graph.Connected() {
+		c.stats.FrozenChecks++
+		comp := c.graph.Components()
+		if sameComponent(c.queue[:p], comp) {
+			home := comp[c.queue[0].Worker]
+			bridgeAt := -1
+			for i := p; i < len(c.queue); i++ {
+				if comp[c.queue[i].Worker] != home {
+					bridgeAt = i
+					break
+				}
+			}
+			if bridgeAt < 0 {
+				return Group{}, false // defer until a bridging signal arrives
+			}
+			c.queue[p-1], c.queue[bridgeAt] = c.queue[bridgeAt], c.queue[p-1]
+			bridged = true
+			c.stats.Interventions++
+		}
+	}
+
+	// Zone affinity: when the graph is healthy, form groups inside one zone
+	// so the collective stays inside one data center, deferring until some
+	// zone has P signals queued (always resolvable: every zone has ≥ P
+	// members, and queued workers' zone-mates are computing and will
+	// signal). Bridged groups are exempt — they exist to cross zones.
+	if c.cfg.ZoneAffinity && !bridged {
+		if !c.gatherZone(p) {
+			return Group{}, false
+		}
+	}
+
+	members := make([]int, p)
+	iters := make([]int, p)
+	maxIter := 0
+	for i := 0; i < p; i++ {
+		s := c.queue[i]
+		members[i] = s.Worker
+		iters[i] = s.Iter
+		if s.Iter > maxIter {
+			maxIter = s.Iter
+		}
+		c.queued[s.Worker] = false
+	}
+	c.queue = append(c.queue[:0], c.queue[p:]...)
+
+	// History database update.
+	c.graph.Add(members)
+	c.stats.GroupsFormed++
+	for _, w := range members {
+		c.inGroup[w]++
+	}
+	for i := 0; i < p; i++ {
+		for j := i + 1; j < p; j++ {
+			c.together[members[i]][members[j]]++
+			c.together[members[j]][members[i]]++
+		}
+	}
+	if c.cfg.RecordGroups {
+		logged := make([]int, p)
+		copy(logged, members)
+		c.log = append(c.log, logged)
+	}
+
+	g := Group{Members: members, Iters: iters, Iter: maxIter, Bridged: bridged}
+	switch c.cfg.Weighting {
+	case Dynamic:
+		g.Weights, g.InitWeight = DynamicWeights(iters, c.cfg.Alpha, c.cfg.Approx)
+	default:
+		g.Weights = ConstantWeights(p)
+	}
+	return g, true
+}
+
+// gatherZone stably moves p same-zone signals to the front of the queue,
+// choosing the zone of the earliest signal whose zone has p signals waiting.
+// It reports whether any zone could fill a group.
+func (c *Controller) gatherZone(p int) bool {
+	counts := map[int]int{}
+	for _, s := range c.queue {
+		counts[c.cfg.Zones[s.Worker]]++
+	}
+	zone, found := 0, false
+	for _, s := range c.queue {
+		if z := c.cfg.Zones[s.Worker]; counts[z] >= p {
+			zone, found = z, true
+			break
+		}
+	}
+	if !found {
+		return false
+	}
+	var same, other []Signal
+	for _, s := range c.queue {
+		if len(same) < p && c.cfg.Zones[s.Worker] == zone {
+			same = append(same, s)
+		} else {
+			other = append(other, s)
+		}
+	}
+	c.queue = c.queue[:0]
+	c.queue = append(c.queue, same...)
+	c.queue = append(c.queue, other...)
+	return true
+}
+
+func sameComponent(signals []Signal, comp []int) bool {
+	for _, s := range signals[1:] {
+		if comp[s.Worker] != comp[signals[0].Worker] {
+			return false
+		}
+	}
+	return true
+}
+
+// MeanW returns the empirical average synchronization matrix E[W_k] over all
+// groups formed so far (Eq. 4 averaged over k): off-diagonal (i,j) entries
+// are count(i,j grouped)/(K·P); diagonals add 1/P per membership and 1 per
+// non-membership. It returns nil before any group has formed.
+func (c *Controller) MeanW() *tensor.Matrix {
+	k := c.stats.GroupsFormed
+	if k == 0 {
+		return nil
+	}
+	n, p := c.cfg.N, float64(c.cfg.P)
+	kf := float64(k)
+	m := tensor.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				in := float64(c.inGroup[i])
+				m.Set(i, i, (in/p+(kf-in))/kf)
+				continue
+			}
+			m.Set(i, j, float64(c.together[i][j])/(p*kf))
+		}
+	}
+	return m
+}

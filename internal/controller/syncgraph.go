@@ -1,0 +1,103 @@
+package controller
+
+// SyncGraph tracks the "recently synchronized together" relation the group
+// filter uses for group-frozen avoidance (§4). Workers are vertices; every
+// P-Reduce group contributes a clique over its members; only the most recent
+// Window groups count. The controller requires Window ≥ ⌈(N−1)/(P−1)⌉, the
+// minimum number of P-sized groups whose union can connect N vertices, so a
+// disconnected graph over a full window is evidence of isolated sub-clusters
+// rather than of a window that is simply too short.
+type SyncGraph struct {
+	n      int
+	window int
+	groups [][]int // ring buffer of the most recent groups
+	next   int     // ring cursor
+	filled bool
+}
+
+// NewSyncGraph returns a graph over n workers remembering window groups.
+func NewSyncGraph(n, window int) *SyncGraph {
+	if n < 1 || window < 1 {
+		panic("controller: SyncGraph needs n >= 1 and window >= 1")
+	}
+	return &SyncGraph{n: n, window: window, groups: make([][]int, 0, window)}
+}
+
+// Add records a formed group, evicting the oldest once the window is full.
+func (g *SyncGraph) Add(members []int) {
+	m := make([]int, len(members))
+	copy(m, members)
+	if len(g.groups) < g.window {
+		g.groups = append(g.groups, m)
+		if len(g.groups) == g.window {
+			g.filled = true
+		}
+		return
+	}
+	g.groups[g.next] = m
+	g.next = (g.next + 1) % g.window
+}
+
+// Full reports whether the window holds Window groups, the precondition for
+// treating disconnection as group freeze.
+func (g *SyncGraph) Full() bool { return g.filled }
+
+// Len returns the number of groups currently in the window.
+func (g *SyncGraph) Len() int { return len(g.groups) }
+
+// Components labels each worker with a component id in [0, #components) via
+// union-find over the windowed groups.
+func (g *SyncGraph) Components() []int {
+	parent := make([]int, g.n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, grp := range g.groups {
+		for i := 1; i < len(grp); i++ {
+			union(grp[0], grp[i])
+		}
+	}
+	ids := make([]int, g.n)
+	next := 0
+	seen := make(map[int]int, g.n)
+	for i := 0; i < g.n; i++ {
+		r := find(i)
+		id, ok := seen[r]
+		if !ok {
+			id = next
+			next++
+			seen[r] = id
+		}
+		ids[i] = id
+	}
+	return ids
+}
+
+// NumComponents returns the number of connected components.
+func (g *SyncGraph) NumComponents() int {
+	ids := g.Components()
+	maxID := 0
+	for _, id := range ids {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	return maxID + 1
+}
+
+// Connected reports whether all workers are in one component.
+func (g *SyncGraph) Connected() bool { return g.NumComponents() == 1 }

@@ -1,0 +1,234 @@
+package controller
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func TestConstantWeights(t *testing.T) {
+	for p := 1; p <= 8; p++ {
+		w := ConstantWeights(p)
+		if len(w) != p {
+			t.Fatalf("P=%d: %d weights", p, len(w))
+		}
+		for _, x := range w {
+			if math.Abs(x-1/float64(p)) > 1e-15 {
+				t.Fatalf("P=%d: weight %v", p, x)
+			}
+		}
+	}
+}
+
+func TestDynamicEqualItersIsConstant(t *testing.T) {
+	// All members at the same iteration: dynamic must degenerate to 1/P.
+	w, init := DynamicWeights([]int{7, 7, 7}, 0.6, InitialModel)
+	if init != 0 {
+		t.Fatalf("init weight %v, want 0", init)
+	}
+	for _, x := range w {
+		if math.Abs(x-1.0/3) > 1e-12 {
+			t.Fatalf("weights %v, want uniform 1/3", w)
+		}
+	}
+}
+
+func TestDynamicFresherGetsMore(t *testing.T) {
+	// Worker at iter 10 is fresher than the one at iter 7.
+	w, init := DynamicWeights([]int{10, 7}, 0.6, InitialModel)
+	if w[0] <= w[1] {
+		t.Fatalf("fresh weight %v <= stale weight %v", w[0], w[1])
+	}
+	if got := sum(w) + init; math.Abs(got-1) > 1e-12 {
+		t.Fatalf("weights+init sum to %v", got)
+	}
+	// Relative iters are 1 and 4, so slots 2,3 are missing: init weight must
+	// be positive under the InitialModel rule.
+	if init <= 0 {
+		t.Fatalf("expected positive init weight, got %v", init)
+	}
+}
+
+func TestDynamicTieSplitting(t *testing.T) {
+	// Two members share relative iteration 1; one lags by one step. The tied
+	// members split the fresh slot's weight equally (§3.3.3), and the fresh
+	// slot as a whole outweighs the stale slot.
+	w, _ := DynamicWeights([]int{5, 5, 4}, 0.6, InitialModel)
+	if math.Abs(w[0]-w[1]) > 1e-12 {
+		t.Fatalf("tied members got %v and %v", w[0], w[1])
+	}
+	if freshSlot, staleSlot := w[0]+w[1], w[2]; staleSlot >= freshSlot {
+		t.Fatalf("stale slot %v >= fresh slot %v", staleSlot, freshSlot)
+	}
+}
+
+func TestDynamicClosestIteration(t *testing.T) {
+	// Relative iters 1 and 4: slots 2 and 3 are missing. Under
+	// ClosestIteration, slot 2 goes to the fresh member (distance 1 each,
+	// fresher wins tie... slot 2: |1-2|=1, |4-2|=2 → fresh; slot 3:
+	// |1-3|=2, |4-3|=1 → stale).
+	w, init := DynamicWeights([]int{10, 7}, 0.6, ClosestIteration)
+	if init != 0 {
+		t.Fatalf("init weight %v under ClosestIteration", init)
+	}
+	if math.Abs(sum(w)-1) > 1e-12 {
+		t.Fatalf("weights sum to %v", sum(w))
+	}
+	alpha, kmax := 0.6, 4
+	wantFresh := emaSlotWeight(alpha, 1, kmax) + emaSlotWeight(alpha, 2, kmax)
+	wantStale := emaSlotWeight(alpha, 4, kmax) + emaSlotWeight(alpha, 3, kmax)
+	if math.Abs(w[0]-wantFresh) > 1e-12 || math.Abs(w[1]-wantStale) > 1e-12 {
+		t.Fatalf("got %v want [%v %v]", w, wantFresh, wantStale)
+	}
+}
+
+func TestEmaSlotWeightsFormDistribution(t *testing.T) {
+	for _, alpha := range []float64{0.3, 0.6, 0.9} {
+		for kmax := 1; kmax <= 10; kmax++ {
+			var s float64
+			prev := math.Inf(1)
+			for slot := 1; slot <= kmax; slot++ {
+				w := emaSlotWeight(alpha, slot, kmax)
+				if w <= 0 || w > 1 {
+					t.Fatalf("alpha=%v kmax=%d slot=%d: weight %v", alpha, kmax, slot, w)
+				}
+				if w > prev {
+					t.Fatalf("weights not decaying at slot %d", slot)
+				}
+				prev = w
+				s += w
+			}
+			if math.Abs(s-1) > 1e-12 {
+				t.Fatalf("alpha=%v kmax=%d: slots sum to %v", alpha, kmax, s)
+			}
+		}
+	}
+}
+
+func TestDynamicWeightsEdgeCases(t *testing.T) {
+	if w, init := DynamicWeights(nil, 0.6, InitialModel); w != nil || init != 0 {
+		t.Fatal("empty group should produce no weights")
+	}
+	w, init := DynamicWeights([]int{3}, 0.6, InitialModel)
+	if len(w) != 1 || math.Abs(w[0]-1) > 1e-12 || init != 0 {
+		t.Fatalf("singleton group: w=%v init=%v", w, init)
+	}
+}
+
+func TestDynamicInvalidAlphaPanics(t *testing.T) {
+	for _, alpha := range []float64{0, 1, -0.1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("alpha=%v: expected panic", alpha)
+				}
+			}()
+			DynamicWeights([]int{1, 2}, alpha, InitialModel)
+		}()
+	}
+}
+
+func TestWeightingStrings(t *testing.T) {
+	if Constant.String() != "constant" || Dynamic.String() != "dynamic" {
+		t.Fatal("Weighting strings")
+	}
+	if InitialModel.String() != "initial-model" || ClosestIteration.String() != "closest-iteration" {
+		t.Fatal("ApproxRule strings")
+	}
+	if Weighting(9).String() == "" || ApproxRule(9).String() == "" {
+		t.Fatal("unknown values should still render")
+	}
+}
+
+func TestSortedDescending(t *testing.T) {
+	in := []int{3, 9, 1, 9}
+	out := sortedDescending(in)
+	want := []int{9, 9, 3, 1}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("got %v want %v", out, want)
+		}
+	}
+	if in[0] != 3 {
+		t.Fatal("input mutated")
+	}
+}
+
+// Property: for any group of iteration numbers and either rule, weights are
+// a probability distribution, members at the same iteration weigh the same,
+// and under the InitialModel rule the total weight of a fresher slot exceeds
+// that of a staler one (the EMA decay the paper requires).
+func TestQuickDynamicWeightInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := 2 + r.Intn(6)
+		iters := make([]int, p)
+		base := r.Intn(100)
+		for i := range iters {
+			iters[i] = base + r.Intn(12)
+		}
+		alpha := 0.05 + 0.9*r.Float64()
+		for _, rule := range []ApproxRule{InitialModel, ClosestIteration} {
+			w, init := DynamicWeights(iters, alpha, rule)
+			total := init
+			for _, x := range w {
+				if x < 0 || x > 1 || math.IsNaN(x) {
+					return false
+				}
+				total += x
+			}
+			if math.Abs(total-1) > 1e-9 {
+				return false
+			}
+			if rule == ClosestIteration && init != 0 {
+				return false
+			}
+			// Equal iterations split their slot equally.
+			for i := 0; i < p; i++ {
+				for j := 0; j < p; j++ {
+					if iters[i] == iters[j] && math.Abs(w[i]-w[j]) > 1e-12 {
+						return false
+					}
+				}
+			}
+			if rule == InitialModel {
+				// Slot totals (member weight × tie count) decay with staleness.
+				slotTotal := map[int]float64{}
+				ties := map[int]int{}
+				maxIter := iters[0]
+				for _, k := range iters {
+					if k > maxIter {
+						maxIter = k
+					}
+				}
+				for i, k := range iters {
+					rel := maxIter - k + 1
+					slotTotal[rel] += w[i]
+					ties[rel]++
+				}
+				for ra, wa := range slotTotal {
+					for rb, wb := range slotTotal {
+						if ra < rb && wa <= wb-1e-12 {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,186 @@
+// Package core implements the paper's contribution: the P-Reduce training
+// strategy (Algorithm 2). Each worker computes a mini-batch gradient,
+// applies it locally, and sends a ready signal to the controller; once P
+// signals queue up, the controller forms a temporary group whose members
+// average their models with constant (1/P) or dynamic (staleness-aware EMA)
+// weights and immediately continue. Groups overlap in time, so no worker
+// ever waits at a global barrier — the property that buys heterogeneity
+// tolerance.
+package core
+
+import (
+	"fmt"
+
+	"partialreduce/internal/cluster"
+	"partialreduce/internal/controller"
+	"partialreduce/internal/metrics"
+	"partialreduce/internal/tensor"
+)
+
+// PReduceConfig configures the strategy.
+type PReduceConfig struct {
+	P         int                  // group size
+	Weighting controller.Weighting // Constant or Dynamic
+	Alpha     float64              // EMA decay for Dynamic (0 -> controller default)
+	Approx    controller.ApproxRule
+	Window    int // sync-graph window (0 -> controller minimum)
+	// DisableGroupFilter turns group-frozen avoidance off (ablation only).
+	DisableGroupFilter bool
+	// Overlap hides group communication behind the next batch's computation
+	// (the DDP-style pipelining §4 leaves as future work): a worker starts
+	// its next batch immediately after signaling ready; the group's model
+	// average lands mid-batch, and the in-flight gradient — computed on the
+	// pre-aggregation snapshot — is applied on top of the aggregated model.
+	Overlap bool
+	// ZoneAffinity makes the controller prefer same-zone groups when the
+	// cluster has a geo-distributed topology (cheap intra-DC collectives);
+	// group-frozen avoidance still bridges zones periodically.
+	ZoneAffinity bool
+}
+
+// PReduce is the partial-reduce training strategy.
+type PReduce struct {
+	cfg PReduceConfig
+}
+
+// NewPReduce returns the strategy for cfg.
+func NewPReduce(cfg PReduceConfig) *PReduce { return &PReduce{cfg: cfg} }
+
+// Name implements cluster.Strategy: "CON P=3", "DYN P=3", "CON+OV P=3"...
+func (p *PReduce) Name() string {
+	tag := "CON"
+	if p.cfg.Weighting == controller.Dynamic {
+		tag = "DYN"
+	}
+	if p.cfg.Overlap {
+		tag += "+OV"
+	}
+	return fmt.Sprintf("%s P=%d", tag, p.cfg.P)
+}
+
+func (p *PReduce) controllerConfig(c *cluster.Cluster) controller.Config {
+	cfg := controller.Config{
+		N:                  c.Cfg.N,
+		P:                  p.cfg.P,
+		Window:             p.cfg.Window,
+		Weighting:          p.cfg.Weighting,
+		Alpha:              p.cfg.Alpha,
+		Approx:             p.cfg.Approx,
+		DisableGroupFilter: p.cfg.DisableGroupFilter,
+	}
+	if p.cfg.ZoneAffinity {
+		cfg.ZoneAffinity = true
+		zones := make([]int, c.Cfg.N)
+		for w := range zones {
+			zones[w] = c.Cfg.Topology.ZoneOf(w)
+		}
+		cfg.Zones = zones
+	}
+	return cfg
+}
+
+// Run implements cluster.Strategy.
+func (p *PReduce) Run(c *cluster.Cluster) (*metrics.Result, error) {
+	res, _, err := p.RunWithStats(c)
+	return res, err
+}
+
+// RunInfo carries a run's result plus the controller-side observables the
+// analysis experiments need.
+type RunInfo struct {
+	Result *metrics.Result
+	Stats  controller.Stats
+	// MeanW is the empirical average synchronization matrix E[W_k] over the
+	// run's groups (§3.2's Assumption 2 object); nil if no group formed.
+	MeanW *tensor.Matrix
+}
+
+// RunWithStats runs training and also returns the controller's activity
+// counters (groups formed, frozen-avoidance interventions), which the
+// ablation experiments report.
+func (p *PReduce) RunWithStats(c *cluster.Cluster) (*metrics.Result, controller.Stats, error) {
+	info, err := p.RunDetailed(c)
+	if err != nil {
+		return nil, controller.Stats{}, err
+	}
+	return info.Result, info.Stats, nil
+}
+
+// RunDetailed runs training and returns the result together with controller
+// statistics and the empirical E[W_k].
+func (p *PReduce) RunDetailed(c *cluster.Cluster) (*RunInfo, error) {
+	ctrl, err := controller.New(p.controllerConfig(c))
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.runWith(c, ctrl)
+	if err != nil {
+		return nil, err
+	}
+	return &RunInfo{Result: res, Stats: ctrl.Stats(), MeanW: ctrl.MeanW()}, nil
+}
+
+// runWith drives Algorithm 2 on the cluster's event engine.
+func (p *PReduce) runWith(c *cluster.Cluster, ctrl *controller.Controller) (*metrics.Result, error) {
+	if p.cfg.Overlap {
+		return p.runOverlapped(c, ctrl)
+	}
+	agg := tensor.NewVector(len(c.Init))
+	var readyErr error
+
+	var startCompute func(w *cluster.Worker)
+	onGroupDone := func(g controller.Group) {
+		// Weighted model average (Alg. 2 line 7; §3.3 for dynamic weights).
+		agg.Zero()
+		for i, wid := range g.Members {
+			agg.Axpy(g.Weights[i], c.Workers[wid].Params())
+		}
+		if g.InitWeight > 0 {
+			agg.Axpy(g.InitWeight, c.Init)
+		}
+		for _, wid := range g.Members {
+			w := c.Workers[wid]
+			w.Params().CopyFrom(agg)
+			w.Iter = g.Iter // fast-forward (§3.3.3)
+		}
+		c.RecordUpdate()
+		for _, wid := range g.Members {
+			startCompute(c.Workers[wid])
+		}
+	}
+
+	onComputeDone := func(w *cluster.Worker) {
+		grad, _ := c.Gradient(w)
+		w.Opt.Update(w.Params(), grad, 1) // local update (Alg. 2 line 4)
+		w.Iter++
+		groups, err := ctrl.Ready(controller.Signal{Worker: w.ID, Iter: w.Iter})
+		if err != nil {
+			readyErr = err
+			c.Eng.Stop()
+			return
+		}
+		for _, g := range groups {
+			g := g
+			// One controller round trip plus a ring all-reduce sized to the
+			// group: P-Reduce preserves collective bandwidth utilization
+			// while shrinking the synchronization scope (§3.1.1).
+			dur := c.Cfg.Net.CtrlRTT + c.RingTime(g.Members)
+			c.Eng.After(dur, func() { onGroupDone(g) })
+		}
+	}
+
+	startCompute = func(w *cluster.Worker) {
+		c.Snapshot(w)
+		c.Eng.After(c.ComputeTime(w), func() { onComputeDone(w) })
+	}
+
+	for _, w := range c.Workers {
+		w := w
+		c.Eng.At(0, func() { startCompute(w) })
+	}
+	c.Eng.Run()
+	if readyErr != nil {
+		return nil, readyErr
+	}
+	return c.Finish(), nil
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"partialreduce/internal/cluster"
+	"partialreduce/internal/controller"
+	"partialreduce/internal/core"
+	"partialreduce/internal/metrics"
+	"partialreduce/internal/model"
+	"partialreduce/internal/netmodel"
+)
+
+// GeoResult compares strategies on a geo-distributed two-data-center
+// cluster (the paper's communication-heterogeneity Case 1): inter-zone
+// links are an order of magnitude slower than intra-zone ones.
+type GeoResult struct {
+	AR       *metrics.Result // All-Reduce: every ring spans both zones
+	CON      *metrics.Result // plain P-Reduce: most random groups span zones
+	Affinity *metrics.Result // zone-affinity P-Reduce: intra-zone groups,
+	// with frozen-avoidance bridges carrying updates across
+	Interventions int // cross-zone bridges forced by the group filter
+}
+
+// GeoStudy runs the geo-distributed comparison: VGG-19-class workload
+// (communication-bound), 16 workers split across two zones, 10 GbE between
+// zones versus the intra-zone fabric.
+func GeoStudy(opts Options) (*GeoResult, error) {
+	w := opts.workload(CIFAR10Workload(model.VGG19))
+	topo := netmodel.GeoDistributed(16, 20e-3, 1.25e9)
+
+	build := func(name string) (*cluster.Cluster, error) {
+		cell := Cell{Workload: w, N: 16, Env: EnvHL, HL: 1, Seed: opts.Seed}
+		cfg, err := cell.Build()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Topology = topo
+		return cluster.New(cfg, name)
+	}
+
+	out := &GeoResult{}
+
+	c, err := build("AR")
+	if err != nil {
+		return nil, err
+	}
+	if out.AR, err = StrategyMust("AR").Run(c); err != nil {
+		return nil, err
+	}
+
+	if c, err = build("CON P=4"); err != nil {
+		return nil, err
+	}
+	if out.CON, err = StrategyMust("CON P=4").Run(c); err != nil {
+		return nil, err
+	}
+
+	if c, err = build("CON P=4 +zone"); err != nil {
+		return nil, err
+	}
+	affinity := core.NewPReduce(core.PReduceConfig{P: 4, ZoneAffinity: true,
+		Weighting: controller.Constant})
+	res, stats, err := affinity.RunWithStats(c)
+	if err != nil {
+		return nil, err
+	}
+	res.Strategy = "CON P=4 +zone"
+	out.Affinity = res
+	out.Interventions = stats.Interventions
+	return out, nil
+}
+
+// StrategyMust resolves a known strategy name, panicking on typos — for
+// experiment code whose names are compile-time constants.
+func StrategyMust(name string) cluster.Strategy {
+	s, err := StrategyFor(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Format renders the geo comparison.
+func (g *GeoResult) Format(w io.Writer) {
+	fmt.Fprintf(w, "Two zones (8+8 workers), 20 ms / 1.25 GB/s between zones:\n")
+	for _, r := range []*metrics.Result{g.AR, g.CON, g.Affinity} {
+		fmt.Fprintf(w, "  %s\n", r)
+	}
+	if g.CON != nil && g.Affinity != nil && g.Affinity.RunTime > 0 {
+		fmt.Fprintf(w, "zone affinity vs plain P-Reduce: %.2fx faster (%d forced cross-zone bridges)\n",
+			g.CON.RunTime/g.Affinity.RunTime, g.Interventions)
+	}
+	if g.AR != nil && g.Affinity != nil && g.Affinity.RunTime > 0 {
+		fmt.Fprintf(w, "zone affinity vs All-Reduce:    %.2fx faster\n", g.AR.RunTime/g.Affinity.RunTime)
+	}
+}
+
+// AblationOverlap compares blocking and overlapped (pipelined) P-Reduce on
+// the communication-bound VGG-19 profile at a fixed update budget, isolating
+// how much group-communication time the pipelining hides.
+func AblationOverlap(opts Options) (blocking, overlapped *metrics.Result, err error) {
+	w := opts.workload(CIFAR10Workload(model.VGG19))
+	run := func(overlap bool, name string) (*metrics.Result, error) {
+		cell := Cell{Workload: w, N: 8, Env: EnvHL, HL: 1, Seed: opts.Seed}
+		cfg, err := cell.Build()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Threshold = 0.999 // run to the budget: compare pace
+		cfg.MaxUpdates = 1200
+		c, err := cluster.New(cfg, name)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.NewPReduce(core.PReduceConfig{P: 3, Overlap: overlap}).Run(c)
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+	if blocking, err = run(false, "CON P=3"); err != nil {
+		return nil, nil, err
+	}
+	if overlapped, err = run(true, "CON+OV P=3"); err != nil {
+		return nil, nil, err
+	}
+	return blocking, overlapped, nil
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"partialreduce/internal/metrics"
+	"partialreduce/internal/model"
+)
+
+// RobustnessResult aggregates the headline comparison across seeds: the
+// total-runtime speedup of dynamic partial reduce over All-Reduce on the
+// heterogeneous CIFAR-10 cell, per seed.
+type RobustnessResult struct {
+	Seeds    []int64
+	Speedups []float64 // aligned with Seeds; 0 when either side failed
+	ARFail   int       // seeds where AR missed the threshold
+	DYNFail  int       // seeds where DYN missed the threshold
+}
+
+// Robustness reruns the headline AR-vs-DYN comparison (ResNet-34/CIFAR-10,
+// HL=3, N=8) across several seeds — dataset, initialization, and timing
+// draws all change — and reports the per-seed speedups. The paper's claim
+// band is 1.21×–2×.
+func Robustness(opts Options, seeds int) (*RobustnessResult, error) {
+	if seeds < 1 {
+		return nil, fmt.Errorf("experiments: need at least one seed")
+	}
+	w := opts.workload(CIFAR10Workload(model.ResNet34))
+	out := &RobustnessResult{}
+
+	type pair struct{ ar, dyn *metrics.Result }
+	results := make([]pair, seeds)
+	var jobs []job
+	for i := 0; i < seeds; i++ {
+		i := i
+		seed := opts.Seed + int64(i)
+		out.Seeds = append(out.Seeds, seed)
+		cell := Cell{Workload: w, N: 8, Env: EnvHL, HL: 3, Seed: seed}
+		jobs = append(jobs,
+			job{cell: cell, strategy: "AR", store: func(r *metrics.Result) { results[i].ar = r }},
+			job{cell: cell, strategy: "DYN P=3", store: func(r *metrics.Result) { results[i].dyn = r }},
+		)
+	}
+	if err := runAll(opts, jobs); err != nil {
+		return nil, err
+	}
+	out.Speedups = make([]float64, seeds)
+	for i, p := range results {
+		if p.ar == nil || !p.ar.Converged {
+			out.ARFail++
+			continue
+		}
+		if p.dyn == nil || !p.dyn.Converged {
+			out.DYNFail++
+			continue
+		}
+		out.Speedups[i] = p.ar.RunTime / p.dyn.RunTime
+	}
+	return out, nil
+}
+
+// Format renders per-seed speedups and the min/mean/max band.
+func (r *RobustnessResult) Format(w io.Writer) {
+	fmt.Fprintf(w, "DYN P=3 total-runtime speedup over AR (ResNet-34/CIFAR-10, HL=3):\n")
+	var sum, minV, maxV float64
+	count := 0
+	for i, s := range r.Speedups {
+		if s == 0 {
+			fmt.Fprintf(w, "  seed %-3d  (did not converge)\n", r.Seeds[i])
+			continue
+		}
+		fmt.Fprintf(w, "  seed %-3d  %.2fx\n", r.Seeds[i], s)
+		sum += s
+		if count == 0 || s < minV {
+			minV = s
+		}
+		if s > maxV {
+			maxV = s
+		}
+		count++
+	}
+	if count > 0 {
+		fmt.Fprintf(w, "band: min %.2fx  mean %.2fx  max %.2fx over %d seeds (paper: 1.21x-2x)\n",
+			minV, sum/float64(count), maxV, count)
+	}
+}

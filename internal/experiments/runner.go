@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"partialreduce/internal/baselines"
+	"partialreduce/internal/cluster"
+	"partialreduce/internal/controller"
+	"partialreduce/internal/core"
+	"partialreduce/internal/metrics"
+)
+
+// Options tune an experiment run.
+type Options struct {
+	// Seed drives every dataset, initialization, and duration draw.
+	Seed int64
+	// Quick shrinks workloads for smoke tests and benchmarks.
+	Quick bool
+	// Parallelism bounds concurrent cells; zero selects GOMAXPROCS.
+	Parallelism int
+}
+
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) workload(w Workload) Workload {
+	if o.Quick {
+		return w.Quick()
+	}
+	return w
+}
+
+// StrategyFor builds the strategy named like Table 1's columns: "AR", "ER",
+// "AD", "PS BSP", "PS ASP", "PS HETE", "PS BK-<b>", "CON P=<p>",
+// "DYN P=<p>".
+func StrategyFor(name string) (cluster.Strategy, error) {
+	var p, b int
+	switch {
+	case name == "AR":
+		return baselines.NewAllReduce(), nil
+	case name == "ER":
+		return baselines.NewEagerReduce(), nil
+	case name == "AD":
+		return baselines.NewADPSGD(), nil
+	case name == "D-PSGD":
+		return baselines.NewDPSGD(), nil
+	case name == "PS BSP":
+		return baselines.NewPSBSP(), nil
+	case name == "PS ASP":
+		return baselines.NewPSASP(), nil
+	case name == "PS HETE":
+		return baselines.NewPSHETE(), nil
+	case matchInt(name, "PS BK-%d", &b):
+		return baselines.NewPSBK(b), nil
+	case matchInt(name, "CON P=%d", &p):
+		return core.NewPReduce(core.PReduceConfig{P: p}), nil
+	case matchInt(name, "DYN P=%d", &p):
+		// Dynamic weighting uses the closest-iteration approximation for
+		// missing EMA slots (§3.3.3's alternative): the literal
+		// initial-model rule shifts weight mass onto x₁ when staleness is
+		// large, which measurably degrades convergence in our reproduction
+		// (see the ablation in experiments tests and DESIGN.md).
+		return core.NewPReduce(core.PReduceConfig{
+			P: p, Weighting: controller.Dynamic, Approx: controller.ClosestIteration,
+		}), nil
+	}
+	return nil, fmt.Errorf("experiments: unknown strategy %q", name)
+}
+
+func matchInt(s, format string, out *int) bool {
+	n, err := fmt.Sscanf(s, format, out)
+	return err == nil && n == 1
+}
+
+// job is one (cell, strategy) run.
+type job struct {
+	cell     Cell
+	strategy string
+	// store receives the result.
+	store func(*metrics.Result)
+}
+
+// runAll executes jobs with bounded parallelism; the first error aborts the
+// batch (in-flight cells complete).
+func runAll(opts Options, jobs []job) error {
+	sem := make(chan struct{}, opts.workers())
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+
+	for _, j := range jobs {
+		j := j
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res, err := runCell(j.cell, j.strategy)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%s on %s (%s): %w",
+						j.strategy, j.cell.Workload.Name, j.cell.envString(), err)
+				}
+				mu.Unlock()
+				return
+			}
+			mu.Lock()
+			j.store(res)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// runCell executes one simulation.
+func runCell(cell Cell, strategy string) (*metrics.Result, error) {
+	s, err := StrategyFor(strategy)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := cell.Build()
+	if err != nil {
+		return nil, err
+	}
+	c, err := cluster.New(cfg, strategy)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(c)
+}

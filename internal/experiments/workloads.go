@@ -1,0 +1,182 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation (§5), plus the ablations DESIGN.md calls out. Each
+// runner builds the workload (dataset substitute, proxy model, CNN cost
+// profile), sweeps the paper's parameter grid across strategies, and formats
+// rows/series in the paper's layout. Cells run in parallel; each cell is an
+// independent deterministic simulation.
+package experiments
+
+import (
+	"fmt"
+
+	"partialreduce/internal/cluster"
+	"partialreduce/internal/data"
+	"partialreduce/internal/hetero"
+	"partialreduce/internal/model"
+	"partialreduce/internal/netmodel"
+	"partialreduce/internal/optim"
+)
+
+// Workload pairs a dataset substitute with a proxy model and a paper CNN's
+// cost profile, and carries the experiment's convergence threshold.
+type Workload struct {
+	Name      string // e.g. "ResNet-34/CIFAR-10"
+	Profile   model.Profile
+	Spec      model.Spec
+	Dataset   func(seed int64) (*data.Dataset, error)
+	Threshold float64
+	BatchSize int
+	Optimizer optim.Config
+	EvalEvery int
+	// MaxUpdates/MaxTime bound runs that never reach the threshold (how ER's
+	// N/A cells arise).
+	MaxUpdates int
+	MaxTime    float64
+	// TestCap subsamples the held-out set to bound evaluation cost
+	// (0 = use all).
+	TestCap int
+	// LabelNoise corrupts this fraction of training labels. It injects the
+	// irreducible gradient variance real image datasets have — without it,
+	// single stale gradients are as informative as averaged fresh ones and
+	// every asynchronous baseline is unrealistically sample-efficient.
+	LabelNoise float64
+}
+
+// Quick shrinks the statistical work for smoke tests and benchmarks: a
+// looser threshold and a halved update budget, preserving every comparative
+// shape.
+func (w Workload) Quick() Workload {
+	w.Threshold *= 0.92
+	w.MaxUpdates /= 2
+	return w
+}
+
+// CIFAR10Workload returns the named CNN profile on the CIFAR-10 substitute
+// (10-class mixture, 90% threshold as in §5.1).
+func CIFAR10Workload(profile model.Profile) Workload {
+	return Workload{
+		Name:       profile.Name + "/cifar10",
+		Profile:    profile,
+		Spec:       model.Spec{Inputs: 32, Hidden: []int{24}, Classes: 10},
+		Dataset:    data.CIFAR10Sub,
+		Threshold:  0.90,
+		BatchSize:  16,
+		Optimizer:  optim.Config{LR: 0.03, Momentum: 0.9, WeightDecay: 1e-4},
+		EvalEvery:  20,
+		MaxUpdates: 24_000,
+		MaxTime:    2e6,
+		LabelNoise: 0.12,
+	}
+}
+
+// CIFAR100Workload returns the named profile on the CIFAR-100 substitute
+// (100-class mixture, 70% threshold as in §5.1).
+func CIFAR100Workload(profile model.Profile) Workload {
+	return Workload{
+		Name:       profile.Name + "/cifar100",
+		Profile:    profile,
+		Spec:       model.Spec{Inputs: 64, Hidden: []int{48}, Classes: 100},
+		Dataset:    data.CIFAR100Sub,
+		Threshold:  0.70,
+		BatchSize:  24,
+		Optimizer:  optim.Config{LR: 0.03, Momentum: 0.9, WeightDecay: 1e-4},
+		EvalEvery:  50,
+		MaxUpdates: 24_000,
+		MaxTime:    2e6,
+		TestCap:    1500,
+		LabelNoise: 0.12,
+	}
+}
+
+// ImageNetWorkload returns the named profile on the ImageNet substitute
+// (1000-class mixture) with the paper's step-decay schedule.
+func ImageNetWorkload(profile model.Profile) Workload {
+	return Workload{
+		Name:      profile.Name + "/imagenet",
+		Profile:   profile,
+		Spec:      model.Spec{Inputs: 96, Hidden: []int{48}, Classes: 300},
+		Dataset:   data.ImageNetSub,
+		Threshold: 0.52,
+		BatchSize: 32,
+		Optimizer: optim.Config{
+			LR: 0.05, Momentum: 0.9, WeightDecay: 1e-4,
+			Schedule: optim.StepDecay{Every: 2500, Factor: 0.1},
+		},
+		EvalEvery:  100,
+		MaxUpdates: 8_000,
+		MaxTime:    5e6,
+		TestCap:    1000,
+		LabelNoise: 0.10,
+	}
+}
+
+// EnvKind selects the heterogeneity environment of a cell.
+type EnvKind int
+
+const (
+	// EnvHL is the synthetic GPU-sharing environment of §5.2 at a given
+	// heterogeneity level.
+	EnvHL EnvKind = iota
+	// EnvProduction is the regime-switching shared-cluster trace of §5.3.
+	EnvProduction
+)
+
+// Cell fully describes one simulation run.
+type Cell struct {
+	Workload Workload
+	N        int
+	Env      EnvKind
+	HL       int // used when Env == EnvHL
+	Seed     int64
+}
+
+// Build constructs the cluster config for the cell.
+func (c Cell) Build() (cluster.Config, error) {
+	ds, err := c.Workload.Dataset(c.Seed)
+	if err != nil {
+		return cluster.Config{}, err
+	}
+	train, test := ds.Split(0.8)
+	train.CorruptLabels(c.Workload.LabelNoise, c.Seed+7)
+	if cap := c.Workload.TestCap; cap > 0 && test.Len() > cap {
+		test, _ = test.Split(float64(cap) / float64(test.Len()))
+	}
+	var h hetero.Model
+	switch c.Env {
+	case EnvProduction:
+		h = hetero.NewTrace(c.N, c.Workload.Profile.BatchCompute, c.Seed+1)
+	default:
+		hl := c.HL
+		if hl < 1 {
+			hl = 1
+		}
+		// Jitter 0.15 matches real per-batch variance on shared hosts and
+		// desynchronizes worker arrivals, so P-Reduce groups form without
+		// phase-locked queue waits (the regime the paper measures).
+		h = hetero.NewGPUSharing(c.N, hl, c.Workload.Profile.BatchCompute, 0.15, c.Seed+1)
+	}
+	return cluster.Config{
+		N:          c.N,
+		Spec:       c.Workload.Spec,
+		Seed:       c.Seed,
+		Train:      train,
+		Test:       test,
+		BatchSize:  c.Workload.BatchSize,
+		Optimizer:  c.Workload.Optimizer,
+		Profile:    c.Workload.Profile,
+		Hetero:     h,
+		Net:        netmodel.Default(),
+		Threshold:  c.Workload.Threshold,
+		EvalEvery:  c.Workload.EvalEvery,
+		MaxUpdates: c.Workload.MaxUpdates,
+		MaxTime:    c.Workload.MaxTime,
+	}, nil
+}
+
+// envString names the environment for output.
+func (c Cell) envString() string {
+	if c.Env == EnvProduction {
+		return "production"
+	}
+	return fmt.Sprintf("HL=%d", c.HL)
+}

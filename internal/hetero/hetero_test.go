@@ -1,0 +1,166 @@
+package hetero
+
+import (
+	"math"
+	"testing"
+)
+
+func meanComputeTime(m Model, worker, samples int) float64 {
+	var sum float64
+	for i := 0; i < samples; i++ {
+		sum += m.ComputeTime(worker, float64(i))
+	}
+	return sum / float64(samples)
+}
+
+func TestHomogeneousMean(t *testing.T) {
+	h := NewHomogeneous(4, 0.5, 0.05, 1)
+	for w := 0; w < 4; w++ {
+		m := meanComputeTime(h, w, 2000)
+		if math.Abs(m-0.5) > 0.02 {
+			t.Fatalf("worker %d mean %v, want ~0.5", w, m)
+		}
+	}
+	if h.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+func TestHomogeneousNoJitterIsExact(t *testing.T) {
+	h := NewHomogeneous(2, 0.3, 0, 1)
+	for i := 0; i < 10; i++ {
+		if h.ComputeTime(0, 0) != 0.3 {
+			t.Fatal("zero jitter should give exact base")
+		}
+	}
+}
+
+func TestHomogeneousDeterminism(t *testing.T) {
+	a := NewHomogeneous(3, 0.5, 0.1, 7)
+	b := NewHomogeneous(3, 0.5, 0.1, 7)
+	for i := 0; i < 50; i++ {
+		for w := 0; w < 3; w++ {
+			if a.ComputeTime(w, 0) != b.ComputeTime(w, 0) {
+				t.Fatal("same seed diverged")
+			}
+		}
+	}
+}
+
+func TestGPUSharingSlowdown(t *testing.T) {
+	g := NewGPUSharing(8, 3, 0.4, 0.05, 2)
+	shared := meanComputeTime(g, 0, 2000)
+	solo := meanComputeTime(g, 5, 2000)
+	// Expected ratio: IdleChance at solo speed, the rest at 1.9x.
+	want := g.IdleChance + (1-g.IdleChance)*(1+0.45*2)
+	ratio := shared / solo
+	if math.Abs(ratio-want) > 0.15 {
+		t.Fatalf("shared/solo ratio %v, want ~%v (HL=3)", ratio, want)
+	}
+	if g.Name() != "gpu-sharing(HL=3)" {
+		t.Fatalf("name %q", g.Name())
+	}
+}
+
+func TestGPUSharingHL1IsHomogeneous(t *testing.T) {
+	g := NewGPUSharing(4, 1, 0.4, 0.05, 3)
+	for w := 0; w < 4; w++ {
+		m := meanComputeTime(g, w, 2000)
+		if math.Abs(m-0.4) > 0.02 {
+			t.Fatalf("HL=1 worker %d mean %v, want ~0.4", w, m)
+		}
+	}
+}
+
+func TestGPUSharingValidation(t *testing.T) {
+	for _, hl := range []int{0, -1, 9} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("HL=%d: expected panic", hl)
+				}
+			}()
+			NewGPUSharing(8, hl, 0.4, 0.05, 1)
+		}()
+	}
+}
+
+func TestTraceRegimes(t *testing.T) {
+	tr := NewTrace(4, 0.2, 5)
+	// Sampling across a long horizon must hit slow regimes: the max observed
+	// slowdown should exceed 4x base and the mean should exceed base.
+	var maxT, sum float64
+	n := 0
+	for now := 0.0; now < 5000; now += 1.0 {
+		ct := tr.ComputeTime(1, now)
+		if ct > maxT {
+			maxT = ct
+		}
+		sum += ct
+		n++
+	}
+	mean := sum / float64(n)
+	if maxT < 0.2*4 {
+		t.Fatalf("max compute time %v never hit a slow regime", maxT)
+	}
+	if mean < 0.2*1.2 {
+		t.Fatalf("mean %v too close to base; regimes not applied", mean)
+	}
+	if tr.Name() != "production-trace" {
+		t.Fatalf("name %q", tr.Name())
+	}
+}
+
+func TestTraceMonotoneTimeAdvance(t *testing.T) {
+	// Queries at increasing times must not panic and must keep the regime
+	// machinery consistent even with large jumps.
+	tr := NewTrace(2, 0.1, 9)
+	times := []float64{0, 0.5, 100, 100.1, 5000}
+	for _, now := range times {
+		if ct := tr.ComputeTime(0, now); ct <= 0 {
+			t.Fatalf("non-positive compute time %v at %v", ct, now)
+		}
+	}
+}
+
+func TestTraceWorkersIndependent(t *testing.T) {
+	tr := NewTrace(2, 0.1, 11)
+	same := true
+	for now := 0.0; now < 200; now += 1 {
+		if tr.ComputeTime(0, now) != tr.ComputeTime(1, now) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("two workers produced identical traces")
+	}
+}
+
+func TestFixed(t *testing.T) {
+	f := &Fixed{Base: 0.5, Multipliers: []float64{1, 2, 1}}
+	if f.ComputeTime(1, 0) != 1.0 {
+		t.Fatalf("fixed worker 1: %v", f.ComputeTime(1, 0))
+	}
+	if f.ComputeTime(0, 99) != 0.5 {
+		t.Fatalf("fixed worker 0: %v", f.ComputeTime(0, 99))
+	}
+	if f.Name() != "fixed" {
+		t.Fatalf("name %q", f.Name())
+	}
+}
+
+func TestLognormalMeanOne(t *testing.T) {
+	rng := workerStreams(1, 42)[0]
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += lognormal(rng, 0.3)
+	}
+	if m := sum / n; math.Abs(m-1) > 0.02 {
+		t.Fatalf("lognormal mean %v, want ~1", m)
+	}
+	if lognormal(rng, 0) != 1 {
+		t.Fatal("sigma=0 must return exactly 1")
+	}
+}

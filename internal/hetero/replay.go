@@ -1,0 +1,96 @@
+package hetero
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"partialreduce/internal/sim"
+)
+
+// Replay plays back recorded per-batch durations — the hook for driving the
+// simulator with measured production traces instead of synthetic models.
+// Each worker has its own sequence of durations (seconds per batch),
+// consumed one per ComputeTime call and wrapped cyclically.
+type Replay struct {
+	durations [][]float64
+	cursor    []int
+}
+
+// NewReplay builds a replay model from per-worker duration sequences. Every
+// worker needs at least one sample.
+func NewReplay(durations [][]float64) (*Replay, error) {
+	if len(durations) == 0 {
+		return nil, fmt.Errorf("hetero: replay needs at least one worker")
+	}
+	for w, ds := range durations {
+		if len(ds) == 0 {
+			return nil, fmt.Errorf("hetero: worker %d has no samples", w)
+		}
+		for i, d := range ds {
+			if d <= 0 {
+				return nil, fmt.Errorf("hetero: worker %d sample %d is %v, want positive", w, i, d)
+			}
+		}
+	}
+	return &Replay{durations: durations, cursor: make([]int, len(durations))}, nil
+}
+
+// ReadReplayCSV parses a trace in CSV form: one row per observation with
+// columns "worker,seconds" (a header row is skipped if present). Rows may
+// arrive in any order; each worker's samples keep file order.
+func ReadReplayCSV(r io.Reader) (*Replay, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	byWorker := map[int][]float64{}
+	maxWorker := -1
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("hetero: trace csv: %w", err)
+		}
+		line++
+		w, werr := strconv.Atoi(rec[0])
+		d, derr := strconv.ParseFloat(rec[1], 64)
+		if werr != nil || derr != nil {
+			if line == 1 {
+				continue // header row
+			}
+			return nil, fmt.Errorf("hetero: trace csv line %d: bad row %v", line, rec)
+		}
+		if w < 0 {
+			return nil, fmt.Errorf("hetero: trace csv line %d: negative worker %d", line, w)
+		}
+		byWorker[w] = append(byWorker[w], d)
+		if w > maxWorker {
+			maxWorker = w
+		}
+	}
+	if maxWorker < 0 {
+		return nil, fmt.Errorf("hetero: trace csv has no data rows")
+	}
+	durations := make([][]float64, maxWorker+1)
+	for w := range durations {
+		durations[w] = byWorker[w]
+	}
+	return NewReplay(durations)
+}
+
+// ComputeTime implements Model.
+func (r *Replay) ComputeTime(worker int, _ sim.Time) float64 {
+	ds := r.durations[worker]
+	d := ds[r.cursor[worker]%len(ds)]
+	r.cursor[worker]++
+	return d
+}
+
+// Name implements Model.
+func (r *Replay) Name() string { return "replay" }
+
+// Workers returns the number of workers the trace covers.
+func (r *Replay) Workers() int { return len(r.durations) }

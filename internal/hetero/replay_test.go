@@ -1,0 +1,93 @@
+package hetero
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReplayCycles(t *testing.T) {
+	r, err := NewReplay([][]float64{{0.1, 0.2}, {0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.1, 0.2, 0.1, 0.2}
+	for i, w := range want {
+		if got := r.ComputeTime(0, float64(i)); got != w {
+			t.Fatalf("worker 0 call %d: %v want %v", i, got, w)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if got := r.ComputeTime(1, 0); got != 0.5 {
+			t.Fatalf("worker 1: %v", got)
+		}
+	}
+	if r.Workers() != 2 || r.Name() != "replay" {
+		t.Fatal("metadata")
+	}
+}
+
+func TestNewReplayValidation(t *testing.T) {
+	cases := [][][]float64{
+		{},
+		{{}},
+		{{0.1}, {}},
+		{{0.1, -0.5}},
+		{{0}},
+	}
+	for i, ds := range cases {
+		if _, err := NewReplay(ds); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestReadReplayCSV(t *testing.T) {
+	csvData := `worker,seconds
+0,0.41
+1,0.82
+0,0.45
+1,0.79
+`
+	r, err := ReadReplayCSV(strings.NewReader(csvData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Workers() != 2 {
+		t.Fatalf("workers: %d", r.Workers())
+	}
+	if got := r.ComputeTime(0, 0); got != 0.41 {
+		t.Fatalf("first sample: %v", got)
+	}
+	if got := r.ComputeTime(0, 0); got != 0.45 {
+		t.Fatalf("second sample: %v", got)
+	}
+	if got := r.ComputeTime(1, 0); got != 0.82 {
+		t.Fatalf("worker 1: %v", got)
+	}
+}
+
+func TestReadReplayCSVNoHeader(t *testing.T) {
+	r, err := ReadReplayCSV(strings.NewReader("0,0.3\n0,0.6\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.ComputeTime(0, 0); got != 0.3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestReadReplayCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                 // empty
+		"worker,seconds\n", // header only
+		"0,0.3\nx,y\n",     // bad row past header
+		"-1,0.5\n",         // negative worker
+		"0,0.5,extra\n",    // wrong column count
+		"0,0.1\n2,0.2\n",   // worker 1 missing (gap)
+	}
+	for i, data := range cases {
+		if _, err := ReadReplayCSV(strings.NewReader(data)); err == nil {
+			t.Errorf("case %d: expected error for %q", i, data)
+		}
+	}
+}

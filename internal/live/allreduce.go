@@ -1,0 +1,92 @@
+package live
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"partialreduce/internal/collective"
+	"partialreduce/internal/data"
+	"partialreduce/internal/model"
+	"partialreduce/internal/optim"
+	"partialreduce/internal/tensor"
+	"partialreduce/internal/transport"
+)
+
+// RunAllReduce is the live All-Reduce baseline: every iteration all N
+// workers compute a gradient and average it with one full-world ring
+// all-reduce — the synchronous barrier P-Reduce removes. Comparing its wall
+// time against Run on the same world (with the same injected ComputeDelay
+// stragglers) demonstrates the heterogeneity tolerance live, not just in
+// simulation. Config.P is ignored.
+func RunAllReduce(cfg Config, world []transport.Transport) (*Report, error) {
+	if cfg.N < 2 || cfg.Train == nil || cfg.Test == nil || cfg.BatchSize < 1 || cfg.Iters < 1 {
+		return nil, fmt.Errorf("live: invalid all-reduce config")
+	}
+	if err := cfg.Optimizer.Validate(); err != nil {
+		return nil, err
+	}
+	if len(world) != cfg.N {
+		return nil, fmt.Errorf("live: %d transports for %d workers", len(world), cfg.N)
+	}
+
+	base := cfg.Spec.Build(cfg.Seed)
+	shards := cfg.Train.Shard(cfg.N)
+	group := make([]int, cfg.N)
+	for i := range group {
+		group[i] = i
+	}
+
+	start := time.Now()
+	models := make([]model.Model, cfg.N)
+	iters := make([]int, cfg.N)
+	runErr := make(chan error, cfg.N)
+	var wg sync.WaitGroup
+	for id := 0; id < cfg.N; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := base.Clone()
+			models[id] = m
+			opt := optim.NewSGD(cfg.Optimizer, m.NumParams())
+			sampler := data.NewSampler(shards[id], cfg.Seed*31+int64(id))
+			grad := tensor.NewVector(m.NumParams())
+			var batch *data.Batch
+			tr := world[id]
+
+			for iter := 0; iter < cfg.Iters; iter++ {
+				if cfg.ComputeDelay != nil {
+					if d := cfg.ComputeDelay(id, iter); d > 0 {
+						time.Sleep(d)
+					}
+				}
+				batch = sampler.Sample(batch, cfg.BatchSize)
+				m.Gradient(grad, batch)
+				if err := collective.AllReduceMean(tr, group, uint32(iter+1), grad); err != nil {
+					runErr <- fmt.Errorf("live: worker %d all-reduce: %w", id, err)
+					for _, t := range world {
+						t.Close()
+					}
+					return
+				}
+				opt.Update(m.Params(), grad, 1)
+				iters[id] = iter + 1
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-runErr:
+		return nil, err
+	default:
+	}
+
+	// All replicas are identical; evaluate worker 0's.
+	return &Report{
+		FinalAccuracy: model.Accuracy(models[0], cfg.Test),
+		Groups:        cfg.Iters,
+		WallTime:      time.Since(start),
+		WorkerIters:   iters,
+	}, nil
+}

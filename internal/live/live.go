@@ -1,0 +1,261 @@
+// Package live is the runtime counterpart of the simulator: real goroutine
+// workers training real model replicas, a controller service mediating
+// ready signals over channels, and P-Reduce groups executing genuine ring
+// all-reduce collectives over an in-process or TCP transport. It mirrors the
+// paper's prototype (§4): the controller carries only worker ids and
+// iteration numbers — a few bytes — while model data moves exclusively
+// through the group collectives.
+package live
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"partialreduce/internal/collective"
+	"partialreduce/internal/controller"
+	"partialreduce/internal/data"
+	"partialreduce/internal/model"
+	"partialreduce/internal/optim"
+	"partialreduce/internal/tensor"
+	"partialreduce/internal/transport"
+)
+
+// Config describes a live P-Reduce run.
+type Config struct {
+	N         int
+	P         int
+	Spec      model.Builder
+	Seed      int64
+	Train     *data.Dataset
+	Test      *data.Dataset
+	BatchSize int
+	Optimizer optim.Config
+	Weighting controller.Weighting
+	Alpha     float64
+	Approx    controller.ApproxRule
+	// Iters is the number of local iterations each worker performs.
+	Iters int
+	// ComputeDelay optionally injects artificial per-batch latency to
+	// emulate heterogeneity on real hardware (nil for full speed).
+	ComputeDelay func(worker, iter int) time.Duration
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.N < 2:
+		return fmt.Errorf("live: need N >= 2, got %d", c.N)
+	case c.P < 2 || c.P > c.N:
+		return fmt.Errorf("live: need 2 <= P <= N, got P=%d", c.P)
+	case c.Spec == nil:
+		return fmt.Errorf("live: model builder required")
+	case c.Train == nil || c.Test == nil:
+		return fmt.Errorf("live: train and test datasets required")
+	case c.BatchSize < 1:
+		return fmt.Errorf("live: batch size must be positive")
+	case c.Iters < 1:
+		return fmt.Errorf("live: need at least one iteration")
+	}
+	return c.Optimizer.Validate()
+}
+
+// Report summarizes a live run.
+type Report struct {
+	FinalAccuracy float64 // accuracy of the averaged model
+	Groups        int     // P-Reduce groups executed
+	WallTime      time.Duration
+	WorkerIters   []int // local iterations completed per worker
+}
+
+// readyMsg is a worker's signal to the controller service.
+type readyMsg struct {
+	worker int
+	iter   int
+	reply  chan *groupMsg
+}
+
+// groupMsg carries a formed group to its members; nil group means "proceed
+// without averaging" (tail release at shutdown).
+type groupMsg struct {
+	group controller.Group
+	opID  uint32
+	skip  bool
+}
+
+// Run trains with cfg over the given transport world (len(world) == N; entry
+// i is worker i's endpoint). It blocks until every worker completes its
+// iterations and returns the report.
+func Run(cfg Config, world []transport.Transport) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(world) != cfg.N {
+		return nil, fmt.Errorf("live: %d transports for %d workers", len(world), cfg.N)
+	}
+	ctrl, err := controller.New(controller.Config{
+		N: cfg.N, P: cfg.P,
+		Weighting: cfg.Weighting, Alpha: cfg.Alpha, Approx: cfg.Approx,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	base := cfg.Spec.Build(cfg.Seed)
+	init := base.Params().Clone()
+	shards := cfg.Train.Shard(cfg.N)
+
+	readyCh := make(chan readyMsg, cfg.N)
+	doneCh := make(chan int, cfg.N)
+	ctrlDone := make(chan struct{})
+
+	// Controller service: serializes Ready calls, replies to group members,
+	// and releases stranded tail workers once the remaining signals can no
+	// longer fill a group.
+	go func() {
+		defer close(ctrlDone)
+		waiting := make(map[int]chan *groupMsg, cfg.N)
+		finished := 0
+		opSeq := uint32(0)
+		release := func() {
+			// Every still-active worker is queued and the controller formed
+			// no group for them (fewer than P remain, or the group filter is
+			// deferring for a bridge signal that can no longer arrive): no
+			// progress is possible without releasing them to proceed solo.
+			if len(waiting) > 0 && len(waiting) == cfg.N-finished {
+				for id, ch := range waiting {
+					ch <- &groupMsg{skip: true}
+					delete(waiting, id)
+				}
+			}
+		}
+		for finished < cfg.N {
+			select {
+			case <-doneCh:
+				finished++
+				release()
+			case msg := <-readyCh:
+				waiting[msg.worker] = msg.reply
+				groups, err := ctrl.Ready(controller.Signal{Worker: msg.worker, Iter: msg.iter})
+				if err != nil {
+					// Protocol violation; release the sender with an error
+					// marker (skip) — tests assert this cannot happen.
+					msg.reply <- &groupMsg{skip: true}
+					delete(waiting, msg.worker)
+					continue
+				}
+				for _, g := range groups {
+					opSeq++
+					for _, member := range g.Members {
+						waiting[member] <- &groupMsg{group: g, opID: opSeq}
+						delete(waiting, member)
+					}
+				}
+				release()
+			}
+		}
+	}()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	iters := make([]int, cfg.N)
+	models := make([]model.Model, cfg.N)
+	var groupsMu sync.Mutex
+	groupsRun := 0
+
+	runErr := make(chan error, cfg.N)
+	for id := 0; id < cfg.N; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { doneCh <- id }()
+
+			m := base.Clone()
+			models[id] = m
+			opt := optim.NewSGD(cfg.Optimizer, m.NumParams())
+			sampler := data.NewSampler(shards[id], cfg.Seed*31+int64(id))
+			grad := tensor.NewVector(m.NumParams())
+			var batch *data.Batch
+			tr := world[id]
+			// The paper's loop counter: fast-forwarded to the group max after
+			// every partial reduce (§3.3.3), so stragglers skip caught-up work.
+			iter := 0
+
+			for iter < cfg.Iters {
+				if cfg.ComputeDelay != nil {
+					if d := cfg.ComputeDelay(id, iter); d > 0 {
+						time.Sleep(d)
+					}
+				}
+				batch = sampler.Sample(batch, cfg.BatchSize)
+				m.Gradient(grad, batch)
+				opt.Update(m.Params(), grad, 1)
+				iter++
+				iters[id] = iter
+
+				reply := make(chan *groupMsg, 1)
+				readyCh <- readyMsg{worker: id, iter: iter, reply: reply}
+				gm := <-reply
+				if gm.skip {
+					continue
+				}
+				g := gm.group
+				var weight float64
+				for i, member := range g.Members {
+					if member == id {
+						weight = g.Weights[i]
+						break
+					}
+				}
+				if err := collective.WeightedAverage(tr, g.Members, gm.opID, m.Params(), weight); err != nil {
+					runErr <- fmt.Errorf("live: worker %d collective: %w", id, err)
+					// Unblock peers waiting on this rank before exiting.
+					for _, t := range world {
+						t.Close()
+					}
+					return
+				}
+				if g.InitWeight > 0 {
+					m.Params().Axpy(g.InitWeight, init)
+				}
+				iter = maxInt(iter, g.Iter)
+				iters[id] = iter
+				groupsMu.Lock()
+				groupsRun++
+				groupsMu.Unlock()
+			}
+		}()
+	}
+
+	wg.Wait()
+	<-ctrlDone
+	select {
+	case err := <-runErr:
+		return nil, err
+	default:
+	}
+
+	// Average the replicas for inference (Alg. 2 line 8).
+	avg := tensor.NewVector(len(init))
+	for _, m := range models {
+		avg.Add(m.Params())
+	}
+	avg.Scale(1 / float64(cfg.N))
+	base.SetParams(avg)
+
+	// Each group op was counted once per member; normalize to group count.
+	return &Report{
+		FinalAccuracy: model.Accuracy(base, cfg.Test),
+		Groups:        groupsRun / cfg.P,
+		WallTime:      time.Since(start),
+		WorkerIters:   iters,
+	}, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

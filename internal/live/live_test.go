@@ -1,0 +1,409 @@
+package live
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"partialreduce/internal/controller"
+	"partialreduce/internal/data"
+	"partialreduce/internal/model"
+	"partialreduce/internal/optim"
+	"partialreduce/internal/transport"
+)
+
+func liveConfig(t *testing.T, seed int64) Config {
+	t.Helper()
+	ds, err := data.GaussianMixture(data.MixtureConfig{
+		Classes: 4, Dim: 12, Examples: 1600, Separation: 3.2, Noise: 1, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := ds.Split(0.8)
+	return Config{
+		N:         4,
+		P:         2,
+		Spec:      model.Spec{Inputs: 12, Hidden: []int{16}, Classes: 4},
+		Seed:      seed,
+		Train:     train,
+		Test:      test,
+		BatchSize: 16,
+		Optimizer: optim.Config{LR: 0.05, Momentum: 0.9},
+		Iters:     120,
+	}
+}
+
+func memWorld(n int) []transport.Transport {
+	eps := transport.NewMem(n)
+	world := make([]transport.Transport, n)
+	for i, e := range eps {
+		world[i] = e
+	}
+	return world
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := liveConfig(t, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.N = 1 },
+		func(c *Config) { c.P = 1 },
+		func(c *Config) { c.P = c.N + 1 },
+		func(c *Config) { c.Train = nil },
+		func(c *Config) { c.BatchSize = 0 },
+		func(c *Config) { c.Iters = 0 },
+		func(c *Config) { c.Optimizer.LR = 0 },
+	}
+	for i, mutate := range mutations {
+		cfg := liveConfig(t, 1)
+		mutate(&cfg)
+		if cfg.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestRunRejectsWorldMismatch(t *testing.T) {
+	cfg := liveConfig(t, 2)
+	if _, err := Run(cfg, memWorld(2)); err == nil {
+		t.Fatal("world size mismatch accepted")
+	}
+}
+
+func TestLiveTrainingConverges(t *testing.T) {
+	cfg := liveConfig(t, 3)
+	rep, err := Run(cfg, memWorld(cfg.N))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FinalAccuracy < 0.9 {
+		t.Fatalf("live accuracy %.3f, want >= 0.9", rep.FinalAccuracy)
+	}
+	if rep.Groups == 0 {
+		t.Fatal("no groups executed")
+	}
+	for id, it := range rep.WorkerIters {
+		if it < cfg.Iters {
+			t.Fatalf("worker %d stopped at %d/%d iterations", id, it, cfg.Iters)
+		}
+	}
+}
+
+func TestLiveDynamicWeighting(t *testing.T) {
+	cfg := liveConfig(t, 4)
+	cfg.Weighting = controller.Dynamic
+	// Make worker 0 a straggler so dynamic weights actually engage.
+	cfg.ComputeDelay = func(worker, iter int) time.Duration {
+		if worker == 0 {
+			return 2 * time.Millisecond
+		}
+		return 0
+	}
+	cfg.Iters = 60
+	rep, err := Run(cfg, memWorld(cfg.N))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FinalAccuracy < 0.85 {
+		t.Fatalf("dynamic live accuracy %.3f", rep.FinalAccuracy)
+	}
+}
+
+func TestLiveLargerGroups(t *testing.T) {
+	cfg := liveConfig(t, 5)
+	cfg.N, cfg.P = 6, 3
+	rep, err := Run(cfg, memWorld(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FinalAccuracy < 0.9 {
+		t.Fatalf("P=3 live accuracy %.3f", rep.FinalAccuracy)
+	}
+}
+
+// The full prototype over real sockets: 3 workers, TCP mesh, P=2.
+func TestLiveOverTCP(t *testing.T) {
+	cfg := liveConfig(t, 6)
+	cfg.N, cfg.P = 3, 2
+	cfg.Iters = 60
+
+	addrs := make([]string, cfg.N)
+	lns := make([]interface{ Close() error }, 0, cfg.N)
+	for i := range addrs {
+		ln, err := listenFree()
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		lns = append(lns, ln)
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+
+	world := make([]transport.Transport, cfg.N)
+	errc := make(chan error, cfg.N)
+	done := make(chan int, cfg.N)
+	for i := range world {
+		i := i
+		go func() {
+			tcp, err := transport.NewTCP(i, addrs)
+			if err != nil {
+				errc <- err
+				return
+			}
+			world[i] = tcp
+			done <- i
+		}()
+	}
+	for range world {
+		select {
+		case err := <-errc:
+			t.Fatal(err)
+		case <-done:
+		}
+	}
+	defer func() {
+		for _, w := range world {
+			w.Close()
+		}
+	}()
+
+	rep, err := Run(cfg, world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FinalAccuracy < 0.85 {
+		t.Fatalf("TCP live accuracy %.3f", rep.FinalAccuracy)
+	}
+	if rep.Groups == 0 {
+		t.Fatal("no groups over TCP")
+	}
+}
+
+func listenFree() (interface {
+	Close() error
+	Addr() net.Addr
+}, error) {
+	return net.Listen("tcp", "127.0.0.1:0")
+}
+
+func TestLiveAllReduceConverges(t *testing.T) {
+	cfg := liveConfig(t, 30)
+	cfg.Iters = 100
+	rep, err := RunAllReduce(cfg, memWorld(cfg.N))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FinalAccuracy < 0.9 {
+		t.Fatalf("live AR accuracy %.3f", rep.FinalAccuracy)
+	}
+	if rep.Groups != cfg.Iters {
+		t.Fatalf("rounds: %d want %d", rep.Groups, cfg.Iters)
+	}
+}
+
+func TestLiveAllReduceValidation(t *testing.T) {
+	cfg := liveConfig(t, 31)
+	if _, err := RunAllReduce(cfg, memWorld(2)); err == nil {
+		t.Fatal("world mismatch accepted")
+	}
+	bad := cfg
+	bad.Iters = 0
+	if _, err := RunAllReduce(bad, memWorld(cfg.N)); err == nil {
+		t.Fatal("zero iters accepted")
+	}
+}
+
+// The headline property, live: with a straggler injected, P-Reduce finishes
+// the same per-worker iteration count in less wall time than All-Reduce,
+// because only AR's barrier waits for the slow worker.
+func TestLiveStragglerTolerance(t *testing.T) {
+	delay := func(worker, iter int) time.Duration {
+		if worker == 0 {
+			return 2 * time.Millisecond
+		}
+		return time.Microsecond
+	}
+	cfg := liveConfig(t, 32)
+	cfg.Iters = 40
+	cfg.ComputeDelay = delay
+
+	arRep, err := RunAllReduce(cfg, memWorld(cfg.N))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prRep, err := Run(cfg, memWorld(cfg.N))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AR pays the straggler's delay every round (~80ms minimum); P-Reduce
+	// lets the fast workers proceed. Allow generous scheduling noise.
+	if prRep.WallTime >= arRep.WallTime {
+		t.Fatalf("P-Reduce (%v) not faster than AR (%v) with a live straggler",
+			prRep.WallTime, arRep.WallTime)
+	}
+}
+
+// Failure injection: closing every endpoint mid-run must fail collectives
+// and unblock all workers rather than deadlocking the run.
+func TestLiveTransportFailureDoesNotHang(t *testing.T) {
+	cfg := liveConfig(t, 33)
+	cfg.Iters = 5000 // long enough that the close lands mid-run
+	world := memWorld(cfg.N)
+
+	done := make(chan struct{})
+	var rep *Report
+	var runErr error
+	go func() {
+		rep, runErr = Run(cfg, world)
+		close(done)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	for _, w := range world {
+		w.Close()
+	}
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("run hung after transport failure")
+	}
+	// Either the run failed cleanly, or it had already finished.
+	if runErr == nil && rep == nil {
+		t.Fatal("no report and no error")
+	}
+}
+
+func runWorkerWorld(t *testing.T, cfg Config, world []transport.Transport) []*Report {
+	t.Helper()
+	reports := make([]*Report, cfg.N)
+	errs := make([]error, cfg.N)
+	var wg sync.WaitGroup
+	for r := 0; r < cfg.N; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reports[r], errs[r] = RunWorker(cfg, world[r], r == 0)
+		}()
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	return reports
+}
+
+// The multi-process worker protocol (controller over the transport) trains
+// to the same quality as the in-process runtime.
+func TestRunWorkerProtocol(t *testing.T) {
+	cfg := liveConfig(t, 40)
+	cfg.Iters = 100
+	reports := runWorkerWorld(t, cfg, memWorld(cfg.N))
+	if reports[0].FinalAccuracy < 0.9 {
+		t.Fatalf("multi-process accuracy %.3f", reports[0].FinalAccuracy)
+	}
+	total := 0
+	for _, rep := range reports {
+		total += rep.Groups
+	}
+	if total == 0 {
+		t.Fatal("no groups executed")
+	}
+	if total%cfg.P != 0 {
+		t.Fatalf("total member-group participations %d not divisible by P=%d", total, cfg.P)
+	}
+}
+
+func TestRunWorkerDynamicOverTCP(t *testing.T) {
+	cfg := liveConfig(t, 41)
+	cfg.N, cfg.P = 3, 2
+	cfg.Iters = 60
+	cfg.Weighting = controller.Dynamic
+	cfg.Approx = controller.ClosestIteration
+
+	addrs := make([]string, cfg.N)
+	for i := range addrs {
+		ln, err := listenFree()
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	world := make([]transport.Transport, cfg.N)
+	var wg sync.WaitGroup
+	for i := range world {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tcp, err := transport.NewTCP(i, addrs)
+			if err != nil {
+				t.Errorf("rank %d: %v", i, err)
+				return
+			}
+			world[i] = tcp
+		}()
+	}
+	wg.Wait()
+	for _, w := range world {
+		if w == nil {
+			t.Fatal("mesh incomplete")
+		}
+	}
+	defer func() {
+		for _, w := range world {
+			w.Close()
+		}
+	}()
+	reports := runWorkerWorld(t, cfg, world)
+	if reports[0].FinalAccuracy < 0.85 {
+		t.Fatalf("TCP multi-process accuracy %.3f", reports[0].FinalAccuracy)
+	}
+}
+
+func TestRunWorkerValidation(t *testing.T) {
+	cfg := liveConfig(t, 42)
+	world := memWorld(cfg.N + 1)
+	if _, err := RunWorker(cfg, world[0], true); err == nil {
+		t.Fatal("world size mismatch accepted")
+	}
+	// Controller must be hosted on rank 0.
+	w2 := memWorld(cfg.N)
+	if _, err := RunWorker(cfg, w2[1], true); err == nil {
+		t.Fatal("controller on rank 1 accepted")
+	}
+}
+
+func TestGroupCodec(t *testing.T) {
+	g := controller.Group{
+		Members:    []int{3, 1, 4},
+		Weights:    []float64{0.5, 0.25, 0.25},
+		InitWeight: 0.1,
+		Iter:       17,
+	}
+	got, opID, skip, err := decodeGroup(encodeGroup(g, 9, false))
+	if err != nil || skip || opID != 9 {
+		t.Fatalf("decode: %v %v %v", err, skip, opID)
+	}
+	if got.Iter != 17 || got.InitWeight != 0.1 || len(got.Members) != 3 || got.Members[0] != 3 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	_, _, skip, err = decodeGroup(encodeGroup(controller.Group{}, 0, true))
+	if err != nil || !skip {
+		t.Fatalf("skip reply: %v %v", err, skip)
+	}
+	if _, _, _, err := decodeGroup([]float64{1}); err == nil {
+		t.Fatal("short payload accepted")
+	}
+	if _, _, _, err := decodeGroup([]float64{0, 1, 2, 0, 2, 0}); err == nil {
+		t.Fatal("wrong length accepted")
+	}
+}

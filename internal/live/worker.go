@@ -1,0 +1,289 @@
+package live
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"partialreduce/internal/collective"
+	"partialreduce/internal/controller"
+	"partialreduce/internal/data"
+	"partialreduce/internal/model"
+	"partialreduce/internal/optim"
+	"partialreduce/internal/tensor"
+	"partialreduce/internal/transport"
+)
+
+// Multi-process deployment: each rank runs RunWorker in its own process;
+// rank 0 additionally hosts the controller. Control-plane messages travel
+// over the same transport as the collectives, in the prototype's spirit:
+// a ready signal is one float64 triple, a group reply a couple dozen — a
+// few bytes against megabytes of model traffic.
+//
+// Tag space: the high bits carried by collective operations never use the
+// ctrl prefix below, so control and data planes cannot collide.
+const (
+	ctrlReadyTag uint64 = 0xC0_000000_000000
+	ctrlReplyTag uint64 = 0xC1_000000_000000
+	gatherOpID   uint32 = 0xFFFFFF
+	barrierOpID  uint32 = 0xFFFFFE
+)
+
+func readyTag(seq int) uint64 { return ctrlReadyTag | uint64(seq) }
+func replyTag(seq int) uint64 { return ctrlReplyTag | uint64(seq) }
+
+// RunWorker runs this process's share of a live P-Reduce world: the worker
+// loop for rank tr.Rank(), plus the controller service when host is true
+// (exactly one rank — conventionally 0 — must host). It returns the final
+// report; non-host ranks get a report without the averaged-model accuracy.
+func RunWorker(cfg Config, tr transport.Transport, host bool) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if tr.Size() != cfg.N {
+		return nil, fmt.Errorf("live: transport world %d != N %d", tr.Size(), cfg.N)
+	}
+	ctrlRank := 0
+
+	ctrlErr := make(chan error, 1)
+	if host {
+		if tr.Rank() != ctrlRank {
+			return nil, fmt.Errorf("live: controller must run on rank %d", ctrlRank)
+		}
+		go func() { ctrlErr <- runControllerService(cfg, tr) }()
+	}
+
+	rep, err := runWorkerLoop(cfg, tr, ctrlRank, host)
+	if err != nil {
+		return nil, err
+	}
+	if host {
+		if cerr := <-ctrlErr; cerr != nil {
+			return nil, cerr
+		}
+	}
+	return rep, nil
+}
+
+// runControllerService hosts the controller: one receive loop per worker
+// feeds a serializing channel, exactly like the in-process service but over
+// the transport.
+func runControllerService(cfg Config, tr transport.Transport) error {
+	ctrl, err := controller.New(controller.Config{
+		N: cfg.N, P: cfg.P,
+		Weighting: cfg.Weighting, Alpha: cfg.Alpha, Approx: cfg.Approx,
+	})
+	if err != nil {
+		return err
+	}
+
+	type event struct {
+		worker int
+		iter   int // -1 = worker finished
+		seq    int
+	}
+	events := make(chan event, cfg.N)
+	for w := 0; w < cfg.N; w++ {
+		w := w
+		go func() {
+			for seq := 0; ; seq++ {
+				payload, err := tr.Recv(w, readyTag(seq))
+				if err != nil {
+					return // transport closed; service is shutting down
+				}
+				iter := int(payload[0])
+				events <- event{worker: w, iter: iter, seq: seq}
+				if iter < 0 {
+					return
+				}
+			}
+		}()
+	}
+
+	waiting := map[int]int{} // worker -> reply seq
+	finished := 0
+	opSeq := uint32(0)
+
+	release := func() error {
+		if len(waiting) > 0 && len(waiting) == cfg.N-finished {
+			for w, seq := range waiting {
+				if err := tr.Send(w, replyTag(seq), encodeGroup(controller.Group{}, 0, true)); err != nil {
+					return err
+				}
+				delete(waiting, w)
+			}
+		}
+		return nil
+	}
+
+	for finished < cfg.N {
+		ev := <-events
+		if ev.iter < 0 {
+			finished++
+			if err := release(); err != nil {
+				return err
+			}
+			continue
+		}
+		waiting[ev.worker] = ev.seq
+		groups, err := ctrl.Ready(controller.Signal{Worker: ev.worker, Iter: ev.iter})
+		if err != nil {
+			return err
+		}
+		for _, g := range groups {
+			opSeq++
+			for _, m := range g.Members {
+				seq, ok := waiting[m]
+				if !ok {
+					return fmt.Errorf("live: controller grouped worker %d with no pending signal", m)
+				}
+				if err := tr.Send(m, replyTag(seq), encodeGroup(g, opSeq, false)); err != nil {
+					return err
+				}
+				delete(waiting, m)
+			}
+		}
+		if err := release(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// encodeGroup flattens a group reply into a float64 payload:
+// [skip, opID, iter, initWeight, P, members..., weights...].
+func encodeGroup(g controller.Group, opID uint32, skip bool) []float64 {
+	p := len(g.Members)
+	out := make([]float64, 0, 5+2*p)
+	s := 0.0
+	if skip {
+		s = 1
+	}
+	out = append(out, s, float64(opID), float64(g.Iter), g.InitWeight, float64(p))
+	for _, m := range g.Members {
+		out = append(out, float64(m))
+	}
+	out = append(out, g.Weights...)
+	return out
+}
+
+func decodeGroup(payload []float64) (g controller.Group, opID uint32, skip bool, err error) {
+	if len(payload) < 5 {
+		return g, 0, false, fmt.Errorf("live: short group reply")
+	}
+	skip = payload[0] == 1
+	opID = uint32(payload[1])
+	g.Iter = int(payload[2])
+	g.InitWeight = payload[3]
+	p := int(payload[4])
+	if len(payload) != 5+2*p {
+		return g, 0, false, fmt.Errorf("live: group reply length %d for P=%d", len(payload), p)
+	}
+	g.Members = make([]int, p)
+	for i := 0; i < p; i++ {
+		v := payload[5+i]
+		if v != math.Trunc(v) || v < 0 {
+			return g, 0, false, fmt.Errorf("live: bad member id %v", v)
+		}
+		g.Members[i] = int(v)
+	}
+	g.Weights = append([]float64{}, payload[5+p:]...)
+	return g, opID, skip, nil
+}
+
+// runWorkerLoop is the per-process worker: compute, signal rank ctrlRank,
+// aggregate with the replied group, repeat; then a final full-world gather
+// lets the host evaluate the averaged model.
+func runWorkerLoop(cfg Config, tr transport.Transport, ctrlRank int, host bool) (*Report, error) {
+	id := tr.Rank()
+	base := cfg.Spec.Build(cfg.Seed)
+	init := base.Params().Clone()
+	shards := cfg.Train.Shard(cfg.N)
+
+	m := base.Clone()
+	opt := optim.NewSGD(cfg.Optimizer, m.NumParams())
+	sampler := data.NewSampler(shards[id], cfg.Seed*31+int64(id))
+	grad := tensor.NewVector(m.NumParams())
+	var batch *data.Batch
+
+	start := time.Now()
+	groups := 0
+	// iter is the paper's loop counter k: it fast-forwards to the group max
+	// after every partial reduce (§3.3.3), so stragglers skip caught-up work.
+	iter := 0
+	seq := 0
+	for iter < cfg.Iters {
+		if cfg.ComputeDelay != nil {
+			if d := cfg.ComputeDelay(id, iter); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		batch = sampler.Sample(batch, cfg.BatchSize)
+		m.Gradient(grad, batch)
+		opt.Update(m.Params(), grad, 1)
+		iter++
+
+		if err := tr.Send(ctrlRank, readyTag(seq), []float64{float64(iter)}); err != nil {
+			return nil, err
+		}
+		reply, err := tr.Recv(ctrlRank, replyTag(seq))
+		if err != nil {
+			return nil, err
+		}
+		seq++
+		g, opID, skip, err := decodeGroup(reply)
+		if err != nil {
+			return nil, err
+		}
+		if skip {
+			continue
+		}
+		var weight float64
+		for i, member := range g.Members {
+			if member == id {
+				weight = g.Weights[i]
+				break
+			}
+		}
+		if err := collective.WeightedAverage(tr, g.Members, opID, m.Params(), weight); err != nil {
+			return nil, err
+		}
+		if g.InitWeight > 0 {
+			m.Params().Axpy(g.InitWeight, init)
+		}
+		if g.Iter > iter {
+			iter = g.Iter
+		}
+		groups++
+	}
+	if err := tr.Send(ctrlRank, readyTag(seq), []float64{-1}); err != nil {
+		return nil, err
+	}
+
+	// Final gather at the host: average every replica for inference.
+	world := make([]int, cfg.N)
+	for i := range world {
+		world[i] = i
+	}
+	all, err := collective.Gather(tr, world, gatherOpID, ctrlRank, m.Params())
+	if err != nil {
+		return nil, err
+	}
+	// Hold every process until the whole world is done: a rank that exits
+	// early (iteration fast-forward can finish it first) would tear down its
+	// transport under peers still training.
+	if err := collective.Barrier(tr, world, barrierOpID); err != nil {
+		return nil, err
+	}
+	rep := &Report{Groups: groups, WallTime: time.Since(start), WorkerIters: []int{iter}}
+	if host {
+		avg := tensor.NewVector(len(init))
+		for _, p := range all {
+			avg.Add(p)
+		}
+		avg.Scale(1 / float64(cfg.N))
+		base.SetParams(avg)
+		rep.FinalAccuracy = model.Accuracy(base, cfg.Test)
+	}
+	return rep, nil
+}

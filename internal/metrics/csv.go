@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCurvesCSV exports the accuracy-vs-time curves of one or more runs as
+// CSV with columns strategy,time_s,updates,accuracy — the format the paper's
+// convergence figures (7 and 10) plot directly.
+func WriteCurvesCSV(w io.Writer, results ...*Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"strategy", "time_s", "updates", "accuracy"}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		for _, p := range r.Curve {
+			rec := []string{
+				r.Strategy,
+				strconv.FormatFloat(p.Time, 'f', 3, 64),
+				strconv.Itoa(p.Updates),
+				strconv.FormatFloat(p.Accuracy, 'f', 5, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSummaryCSV exports one row per run with the three Table 1 metrics.
+func WriteSummaryCSV(w io.Writer, results ...*Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"strategy", "workload", "converged", "run_time_s", "updates", "per_update_s", "final_accuracy"}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		rec := []string{
+			r.Strategy,
+			r.Workload,
+			fmt.Sprintf("%t", r.Converged),
+			strconv.FormatFloat(r.RunTime, 'f', 3, 64),
+			strconv.Itoa(r.Updates),
+			strconv.FormatFloat(r.PerUpdate(), 'f', 5, 64),
+			strconv.FormatFloat(r.FinalAccuracy, 'f', 5, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,119 @@
+// Package metrics defines the measurements the paper's evaluation reports:
+// total run time to a convergence threshold, number of updates until
+// convergence (statistical efficiency), average time per update (hardware
+// efficiency), and accuracy-vs-time curves for the convergence figures.
+package metrics
+
+import "fmt"
+
+// Point is one evaluation of the cluster-average model.
+type Point struct {
+	Time     float64 // virtual seconds
+	Updates  int     // updates completed when evaluated
+	Accuracy float64 // test accuracy of the averaged model
+}
+
+// Result summarizes one training run.
+type Result struct {
+	Strategy  string
+	Workload  string
+	Converged bool
+	// RunTime is the virtual seconds until the threshold was reached, or
+	// until the run was cut off (MaxTime/MaxUpdates) if it never converged.
+	RunTime float64
+	// Updates is the number of synchronization updates until convergence
+	// (or cutoff): one per All-Reduce round, per P-Reduce group operation,
+	// per PS push, per AD-PSGD pairwise average.
+	Updates int
+	// FinalAccuracy is the last evaluated accuracy.
+	FinalAccuracy float64
+	// Curve is the accuracy trajectory.
+	Curve []Point
+}
+
+// PerUpdate returns the average seconds per update, the paper's hardware
+// efficiency metric. It returns 0 before any update completes.
+func (r *Result) PerUpdate() float64 {
+	if r.Updates == 0 {
+		return 0
+	}
+	return r.RunTime / float64(r.Updates)
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	status := "converged"
+	if !r.Converged {
+		status = "N/A"
+	}
+	return fmt.Sprintf("%-18s runtime=%8.1fs updates=%6d per-update=%7.3fs acc=%.3f (%s)",
+		r.Strategy, r.RunTime, r.Updates, r.PerUpdate(), r.FinalAccuracy, status)
+}
+
+// Tracker accumulates a run's metrics. Trainers call Update after every
+// synchronization and Observe after every evaluation; Done seals the result.
+type Tracker struct {
+	res       Result
+	threshold float64
+}
+
+// NewTracker returns a tracker targeting the given test-accuracy threshold.
+func NewTracker(strategy, workload string, threshold float64) *Tracker {
+	return &Tracker{
+		res:       Result{Strategy: strategy, Workload: workload},
+		threshold: threshold,
+	}
+}
+
+// Update records one completed synchronization update at virtual time now.
+func (t *Tracker) Update(now float64) {
+	if t.res.Converged {
+		return
+	}
+	t.res.Updates++
+	t.res.RunTime = now
+}
+
+// Updates returns the updates recorded so far.
+func (t *Tracker) Updates() int { return t.res.Updates }
+
+// Observe records an evaluation and reports whether the threshold has now
+// been reached for the first time (the trainer should stop).
+func (t *Tracker) Observe(now float64, accuracy float64) bool {
+	if t.res.Converged {
+		return false
+	}
+	t.res.Curve = append(t.res.Curve, Point{Time: now, Updates: t.res.Updates, Accuracy: accuracy})
+	t.res.FinalAccuracy = accuracy
+	if accuracy >= t.threshold {
+		t.res.Converged = true
+		t.res.RunTime = now
+		return true
+	}
+	return false
+}
+
+// Converged reports whether the threshold has been reached.
+func (t *Tracker) Converged() bool { return t.res.Converged }
+
+// Cutoff marks the run as ended at now without convergence (horizon or
+// update-budget exhausted). It is a no-op after convergence.
+func (t *Tracker) Cutoff(now float64) {
+	if !t.res.Converged {
+		t.res.RunTime = now
+	}
+}
+
+// Result returns the sealed result.
+func (t *Tracker) Result() *Result {
+	r := t.res // copy
+	return &r
+}
+
+// Speedup returns base.RunTime / r.RunTime, the figure-11 metric.
+func Speedup(base, r *Result) float64 {
+	if r.RunTime == 0 {
+		return 0
+	}
+	return base.RunTime / r.RunTime
+}

@@ -1,0 +1,248 @@
+// Package model provides the trainable models for the reproduction and the
+// workload profiles that stand in for the paper's CNNs.
+//
+// Models expose their parameters as a single flat tensor.Vector so that
+// collectives (all-reduce, partial reduce, PS push/pull) operate on one
+// contiguous buffer, exactly as gradient buckets do in a real DDP stack.
+// Layer weight matrices are views into that flat vector: reading Params()
+// and writing through SetParams copy nothing structural.
+//
+// The statistical side of every experiment runs real stochastic gradient
+// descent on these models; the hardware side (per-batch seconds, bytes on
+// the wire) comes from Profile, which carries the true parameter counts of
+// the paper's CNNs (ResNet-18/34, VGG-16/19, DenseNet-121).
+package model
+
+import (
+	"fmt"
+	"math/rand"
+
+	"partialreduce/internal/data"
+	"partialreduce/internal/tensor"
+)
+
+// Model is a trainable classifier over flat parameters.
+type Model interface {
+	// Params returns the flat parameter vector. The returned slice is the
+	// live storage: mutating it mutates the model.
+	Params() tensor.Vector
+	// SetParams copies p into the model's parameters.
+	SetParams(p tensor.Vector)
+	// NumParams returns the trainable parameter count.
+	NumParams() int
+	// Gradient computes the average gradient of the cross-entropy loss over
+	// the batch into dst (len NumParams) and returns the average loss.
+	Gradient(dst tensor.Vector, b *data.Batch) float64
+	// Loss returns the average cross-entropy loss over the batch.
+	Loss(b *data.Batch) float64
+	// Predict returns the predicted class for x.
+	Predict(x tensor.Vector) int
+	// Clone returns an independent deep copy.
+	Clone() Model
+}
+
+// Accuracy returns the fraction of ds classified correctly by m.
+func Accuracy(m Model, ds *data.Dataset) float64 {
+	if ds.Len() == 0 {
+		return 0
+	}
+	correct := 0
+	for i := 0; i < ds.Len(); i++ {
+		x, y := ds.Example(i)
+		if m.Predict(x) == y {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}
+
+// Builder constructs a model from an initialization seed. Spec (MLP) and
+// ConvSpec (convolutional) both implement it; cluster and live configs
+// accept any Builder.
+type Builder interface {
+	Build(seed int64) Model
+}
+
+// Spec constructs a model; it is how experiments describe the proxy model
+// independent of its random initialization.
+type Spec struct {
+	Inputs  int   // feature dimension
+	Hidden  []int // hidden layer widths; empty means softmax regression
+	Classes int
+}
+
+// Build constructs the model with Glorot initialization from seed.
+func (s Spec) Build(seed int64) Model {
+	return NewMLP(s, seed)
+}
+
+// MLP is a fully-connected network with ReLU hidden activations and a
+// softmax cross-entropy output. Hidden may be empty, giving multinomial
+// logistic regression.
+type MLP struct {
+	spec  Spec
+	flat  tensor.Vector // all parameters, contiguous
+	ws    []*tensor.Matrix
+	bs    []tensor.Vector
+	sizes []int // layer widths including input and output
+	// scratch buffers reused across Gradient calls
+	acts   []tensor.Vector // activations per layer (post-nonlinearity)
+	deltas []tensor.Vector // backprop deltas per layer
+	probs  tensor.Vector
+}
+
+// NewMLP builds an MLP per spec with Glorot-uniform weights seeded by seed.
+func NewMLP(spec Spec, seed int64) *MLP {
+	if spec.Inputs < 1 || spec.Classes < 2 {
+		panic(fmt.Sprintf("model: invalid spec %+v", spec))
+	}
+	sizes := append([]int{spec.Inputs}, spec.Hidden...)
+	sizes = append(sizes, spec.Classes)
+
+	total := 0
+	for l := 0; l+1 < len(sizes); l++ {
+		total += sizes[l+1]*sizes[l] + sizes[l+1]
+	}
+	m := &MLP{spec: spec, flat: tensor.NewVector(total), sizes: sizes}
+	m.bindViews()
+
+	rng := rand.New(rand.NewSource(seed))
+	for l, w := range m.ws {
+		w.FillGlorot(rng, sizes[l], sizes[l+1])
+	}
+	m.initScratch()
+	return m
+}
+
+// bindViews points ws/bs at slices of flat.
+func (m *MLP) bindViews() {
+	m.ws = m.ws[:0]
+	m.bs = m.bs[:0]
+	off := 0
+	for l := 0; l+1 < len(m.sizes); l++ {
+		in, out := m.sizes[l], m.sizes[l+1]
+		m.ws = append(m.ws, tensor.MatrixFrom(out, in, m.flat[off:off+out*in]))
+		off += out * in
+		m.bs = append(m.bs, m.flat[off:off+out])
+		off += out
+	}
+}
+
+func (m *MLP) initScratch() {
+	m.acts = make([]tensor.Vector, len(m.sizes))
+	m.deltas = make([]tensor.Vector, len(m.sizes))
+	for l, sz := range m.sizes {
+		m.acts[l] = tensor.NewVector(sz)
+		m.deltas[l] = tensor.NewVector(sz)
+	}
+	m.probs = tensor.NewVector(m.spec.Classes)
+}
+
+// Params implements Model.
+func (m *MLP) Params() tensor.Vector { return m.flat }
+
+// SetParams implements Model.
+func (m *MLP) SetParams(p tensor.Vector) { m.flat.CopyFrom(p) }
+
+// NumParams implements Model.
+func (m *MLP) NumParams() int { return len(m.flat) }
+
+// Clone implements Model.
+func (m *MLP) Clone() Model {
+	c := &MLP{spec: m.spec, flat: m.flat.Clone(), sizes: m.sizes}
+	c.bindViews()
+	c.initScratch()
+	return c
+}
+
+// forward runs the network on x, leaving logits in m.acts[last] and each
+// layer's post-activation in m.acts.
+func (m *MLP) forward(x tensor.Vector) tensor.Vector {
+	m.acts[0].CopyFrom(x)
+	last := len(m.sizes) - 1
+	for l := 0; l < last; l++ {
+		out := m.acts[l+1]
+		m.ws[l].MulVec(out, m.acts[l])
+		out.Add(m.bs[l])
+		if l+1 < last { // ReLU on hidden layers only
+			for i, v := range out {
+				if v < 0 {
+					out[i] = 0
+				}
+			}
+		}
+	}
+	return m.acts[last]
+}
+
+// Predict implements Model.
+func (m *MLP) Predict(x tensor.Vector) int {
+	return m.forward(x).ArgMax()
+}
+
+// Loss implements Model.
+func (m *MLP) Loss(b *data.Batch) float64 {
+	if len(b.X) == 0 {
+		return 0
+	}
+	var total float64
+	for i, x := range b.X {
+		logits := m.forward(x)
+		total += tensor.LogSumExp(logits) - logits[b.Y[i]]
+	}
+	return total / float64(len(b.X))
+}
+
+// Gradient implements Model. dst receives the average gradient; the average
+// loss is returned.
+func (m *MLP) Gradient(dst tensor.Vector, b *data.Batch) float64 {
+	if len(dst) != len(m.flat) {
+		panic(fmt.Sprintf("model: gradient buffer %d, want %d", len(dst), len(m.flat)))
+	}
+	dst.Zero()
+	if len(b.X) == 0 {
+		return 0
+	}
+
+	// Gradient views into dst mirroring the parameter layout.
+	gws := make([]*tensor.Matrix, len(m.ws))
+	gbs := make([]tensor.Vector, len(m.bs))
+	off := 0
+	for l := range m.ws {
+		in, out := m.sizes[l], m.sizes[l+1]
+		gws[l] = tensor.MatrixFrom(out, in, dst[off:off+out*in])
+		off += out * in
+		gbs[l] = dst[off : off+out]
+		off += out
+	}
+
+	last := len(m.sizes) - 1
+	var totalLoss float64
+	for i, x := range b.X {
+		logits := m.forward(x)
+		totalLoss += tensor.LogSumExp(logits) - logits[b.Y[i]]
+
+		// Output delta: softmax(logits) - onehot(y).
+		tensor.Softmax(m.probs, logits)
+		d := m.deltas[last]
+		d.CopyFrom(m.probs)
+		d[b.Y[i]] -= 1
+
+		// Backpropagate through layers.
+		for l := last - 1; l >= 0; l-- {
+			gws[l].AddOuter(1, m.deltas[l+1], m.acts[l])
+			gbs[l].Add(m.deltas[l+1])
+			if l > 0 {
+				m.ws[l].MulVecT(m.deltas[l], m.deltas[l+1])
+				// ReLU derivative on the hidden activation.
+				for j, a := range m.acts[l] {
+					if a <= 0 {
+						m.deltas[l][j] = 0
+					}
+				}
+			}
+		}
+	}
+	dst.Scale(1 / float64(len(b.X)))
+	return totalLoss / float64(len(b.X))
+}

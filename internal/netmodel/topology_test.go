@@ -1,0 +1,111 @@
+package netmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTopologyValidate(t *testing.T) {
+	var nilTopo *Topology
+	if err := nilTopo.Validate(4); err != nil {
+		t.Fatalf("nil topology should validate: %v", err)
+	}
+	bad := []*Topology{
+		{LinkSpeed: []float64{1, 1}},       // wrong length for n=4
+		{LinkSpeed: []float64{1, 0, 1, 1}}, // non-positive speed
+		{Zone: []int{0, 1}},                // wrong length
+		{CrossLatency: -1},                 // negative
+		{CrossBandwidth: -1},               // negative
+	}
+	for i, topo := range bad {
+		if topo.Validate(4) == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	good := &Topology{
+		LinkSpeed:    []float64{1, 0.5, 1, 1},
+		Zone:         []int{0, 0, 1, 1},
+		CrossLatency: 20e-3, CrossBandwidth: 1e9,
+	}
+	if err := good.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilTopologyMatchesFlatParams(t *testing.T) {
+	p := Default()
+	var topo *Topology
+	members := []int{0, 1, 2, 3}
+	if got, want := topo.RingAllReduce(p, members, 1<<26), p.RingAllReduce(4, 1<<26); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ring: %v vs %v", got, want)
+	}
+	if got, want := topo.PSExchange(p, 2, 1<<26), p.PSExchange(1<<26); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ps: %v vs %v", got, want)
+	}
+	if got, want := topo.PairAverage(p, 0, 1, 1<<26), p.PairAverage(1<<26); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("pair: %v vs %v", got, want)
+	}
+}
+
+func TestSlowLinkBoundsRing(t *testing.T) {
+	p := Default()
+	topo := &Topology{LinkSpeed: []float64{1, 1, 0.25, 1}}
+	fast := topo.RingAllReduce(p, []int{0, 1, 3}, 1<<28)
+	slow := topo.RingAllReduce(p, []int{0, 1, 2}, 1<<28)
+	if slow <= fast {
+		t.Fatalf("slow link did not bound the ring: %v vs %v", slow, fast)
+	}
+	// Bandwidth term scales by 1/0.25 = 4x.
+	flat := p.RingAllReduce(3, 1<<28)
+	wantBW := (flat - 4*p.Latency) * 4
+	gotBW := slow - 4*p.Latency
+	if math.Abs(gotBW-wantBW) > 1e-9*wantBW {
+		t.Fatalf("bandwidth term %v, want %v", gotBW, wantBW)
+	}
+}
+
+func TestCrossZoneCosts(t *testing.T) {
+	p := Default()
+	topo := GeoDistributed(4, 20e-3, 1e9) // zones {0,0,1,1}
+	intra := topo.RingAllReduce(p, []int{0, 1}, 1<<28)
+	cross := topo.RingAllReduce(p, []int{1, 2}, 1<<28)
+	if cross <= intra {
+		t.Fatalf("cross-zone ring not slower: %v vs %v", cross, intra)
+	}
+	// Cross pair pays cross latency and capped bandwidth.
+	pairIntra := topo.PairAverage(p, 0, 1, 1<<28)
+	pairCross := topo.PairAverage(p, 0, 3, 1<<28)
+	if pairCross <= pairIntra {
+		t.Fatalf("cross-zone pair not slower: %v vs %v", pairCross, pairIntra)
+	}
+	// PS (zone 0 by convention): zone-1 workers pay more.
+	psLocal := topo.PSExchange(p, 0, 1<<28)
+	psRemote := topo.PSExchange(p, 3, 1<<28)
+	if psRemote <= psLocal {
+		t.Fatalf("remote-zone PS not slower: %v vs %v", psRemote, psLocal)
+	}
+}
+
+func TestGeoDistributedSplit(t *testing.T) {
+	topo := GeoDistributed(5, 1e-3, 1e9)
+	zones := map[int]int{}
+	for w := 0; w < 5; w++ {
+		zones[topo.ZoneOf(w)]++
+	}
+	if zones[0] != 2 || zones[1] != 3 {
+		t.Fatalf("zone split: %v", zones)
+	}
+	if !topo.spansZones([]int{1, 3}) || topo.spansZones([]int{0, 1}) {
+		t.Fatal("spansZones wrong")
+	}
+	if topo.spansZones([]int{2}) {
+		t.Fatal("singleton cannot span zones")
+	}
+}
+
+func TestZoneOfNil(t *testing.T) {
+	var topo *Topology
+	if topo.ZoneOf(3) != 0 {
+		t.Fatal("nil topology should put everyone in zone 0")
+	}
+}

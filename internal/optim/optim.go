@@ -1,0 +1,149 @@
+// Package optim implements the optimizer used throughout the paper's
+// evaluation: mini-batch SGD with Nesterov-free momentum, L2 weight decay,
+// and a step-decay learning-rate schedule (the paper trains with lr 0.1,
+// momentum 0.9, weight decay 1e-4, and for ImageNet decays the rate 10× every
+// 20 epochs). A staleness-aware scaling hook supports the PS HETE baseline,
+// which shrinks the learning rate for delayed gradients.
+package optim
+
+import (
+	"fmt"
+
+	"partialreduce/internal/tensor"
+)
+
+// Config describes an SGD optimizer.
+type Config struct {
+	LR          float64 // base learning rate
+	Momentum    float64 // in [0,1)
+	WeightDecay float64 // L2 coefficient applied to the gradient
+	// Schedule optionally maps the update index to a multiplier on LR.
+	// Nil means constant.
+	Schedule Schedule
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.LR <= 0:
+		return fmt.Errorf("optim: learning rate must be positive, got %v", c.LR)
+	case c.Momentum < 0 || c.Momentum >= 1:
+		return fmt.Errorf("optim: momentum must be in [0,1), got %v", c.Momentum)
+	case c.WeightDecay < 0:
+		return fmt.Errorf("optim: weight decay must be non-negative, got %v", c.WeightDecay)
+	}
+	return nil
+}
+
+// Paper returns the paper's SGD hyperparameters (§5.1).
+func Paper() Config {
+	return Config{LR: 0.1, Momentum: 0.9, WeightDecay: 1e-4}
+}
+
+// Schedule maps an update index to a learning-rate multiplier.
+type Schedule interface {
+	Multiplier(step int) float64
+}
+
+// StepDecay multiplies the rate by Factor every Every steps, the paper's
+// ImageNet schedule ("start from 0.1 and decay by 10 every 20 epochs").
+type StepDecay struct {
+	Every  int     // steps between decays (> 0)
+	Factor float64 // per-decay multiplier, e.g. 0.1
+}
+
+// Multiplier implements Schedule.
+func (s StepDecay) Multiplier(step int) float64 {
+	if s.Every <= 0 {
+		return 1
+	}
+	m := 1.0
+	for k := s.Every; k <= step; k += s.Every {
+		m *= s.Factor
+	}
+	return m
+}
+
+// SGD applies momentum SGD updates to one model replica. Each worker owns an
+// SGD instance; the velocity buffer is worker-local state, as in PyTorch DDP.
+type SGD struct {
+	cfg      Config
+	velocity tensor.Vector
+	step     int
+}
+
+// NewSGD returns an optimizer for a parameter vector of length n. It panics
+// if cfg is invalid.
+func NewSGD(cfg Config, n int) *SGD {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &SGD{cfg: cfg, velocity: tensor.NewVector(n)}
+}
+
+// Step returns the number of updates applied so far.
+func (o *SGD) Step() int { return o.step }
+
+// LR returns the learning rate the next update will use.
+func (o *SGD) LR() float64 {
+	lr := o.cfg.LR
+	if o.cfg.Schedule != nil {
+		lr *= o.cfg.Schedule.Multiplier(o.step)
+	}
+	return lr
+}
+
+// Update applies one SGD step: v ← μv + (g + λw); w ← w − lr·v.
+// Scale multiplies the effective learning rate for this single update; the
+// PS HETE baseline passes its staleness penalty here, all other strategies
+// pass 1.
+func (o *SGD) Update(params, grad tensor.Vector, scale float64) {
+	if len(params) != len(o.velocity) || len(grad) != len(o.velocity) {
+		panic(fmt.Sprintf("optim: size mismatch params=%d grad=%d velocity=%d",
+			len(params), len(grad), len(o.velocity)))
+	}
+	lr := o.LR() * scale
+	mu, wd := o.cfg.Momentum, o.cfg.WeightDecay
+	for i := range params {
+		g := grad[i] + wd*params[i]
+		o.velocity[i] = mu*o.velocity[i] + g
+		params[i] -= lr * o.velocity[i]
+	}
+	o.step++
+}
+
+// Reset zeroes the velocity and step counter.
+func (o *SGD) Reset() {
+	o.velocity.Zero()
+	o.step = 0
+}
+
+// Clone returns an independent copy (velocity included), used when a worker
+// replica is forked in tests.
+func (o *SGD) Clone() *SGD {
+	return &SGD{cfg: o.cfg, velocity: o.velocity.Clone(), step: o.step}
+}
+
+// State returns a copy of the optimizer's velocity buffer and its step
+// counter, for checkpointing.
+func (o *SGD) State() (velocity tensor.Vector, step int) {
+	return o.velocity.Clone(), o.step
+}
+
+// Restore replaces the optimizer's velocity and step counter from a
+// checkpoint. A nil velocity zeroes the buffer.
+func (o *SGD) Restore(velocity tensor.Vector, step int) error {
+	if step < 0 {
+		return fmt.Errorf("optim: negative step %d", step)
+	}
+	if velocity == nil {
+		o.velocity.Zero()
+	} else {
+		if len(velocity) != len(o.velocity) {
+			return fmt.Errorf("optim: velocity length %d, want %d", len(velocity), len(o.velocity))
+		}
+		o.velocity.CopyFrom(velocity)
+	}
+	o.step = step
+	return nil
+}

@@ -1,0 +1,343 @@
+package spectral
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"partialreduce/internal/tensor"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// fig4a is the paper's homogeneous example: N=3, P=2, the three pairs
+// equally likely. The paper derives ρ = 0.5.
+func fig4a() GroupDist {
+	return GroupDist{
+		N:      3,
+		Groups: [][]int{{0, 1}, {1, 2}, {0, 2}},
+		Probs:  []float64{1.0 / 3, 1.0 / 3, 1.0 / 3},
+	}
+}
+
+// fig4b is the heterogeneous example: worker 2 is two times slower, so the
+// fast pair (0,1) synchronizes twice per cycle while each pair involving the
+// slow worker synchronizes once. The paper derives ρ = 0.625.
+func fig4b() GroupDist {
+	return GroupDist{
+		N:      3,
+		Groups: [][]int{{0, 1}, {1, 2}, {0, 2}},
+		Probs:  []float64{0.5, 0.25, 0.25},
+	}
+}
+
+func TestGroupDistValidate(t *testing.T) {
+	bad := []GroupDist{
+		{N: 1, Groups: [][]int{{0}}, Probs: []float64{1}},
+		{N: 3, Groups: nil, Probs: nil},
+		{N: 3, Groups: [][]int{{0, 1}}, Probs: []float64{0.5}},
+		{N: 3, Groups: [][]int{{0, 5}}, Probs: []float64{1}},
+		{N: 3, Groups: [][]int{{0, 0}}, Probs: []float64{1}},
+		{N: 3, Groups: [][]int{{0, 1}}, Probs: []float64{-1}},
+		{N: 3, Groups: [][]int{{}}, Probs: []float64{1}},
+		{N: 3, Groups: [][]int{{0, 1}, {1, 2}}, Probs: []float64{1, 1}},
+	}
+	for i, d := range bad {
+		if d.Validate() == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	if err := fig4a().Validate(); err != nil {
+		t.Fatalf("fig4a invalid: %v", err)
+	}
+}
+
+func TestMeanWFig4a(t *testing.T) {
+	m, err := MeanW(fig4a())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Diagonal 2/3, off-diagonal 1/6.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 1.0 / 6
+			if i == j {
+				want = 2.0 / 3
+			}
+			if !almostEq(m.At(i, j), want, 1e-12) {
+				t.Fatalf("E[W](%d,%d)=%v want %v", i, j, m.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestMeanWDoublyStochastic(t *testing.T) {
+	for _, d := range []GroupDist{fig4a(), fig4b(), UniformGroups(5, 3)} {
+		m, err := MeanW(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.IsSymmetric(1e-12) {
+			t.Fatal("E[W] not symmetric")
+		}
+		for i := 0; i < m.Rows; i++ {
+			var row float64
+			for j := 0; j < m.Cols; j++ {
+				row += m.At(i, j)
+			}
+			if !almostEq(row, 1, 1e-12) {
+				t.Fatalf("row %d sums to %v", i, row)
+			}
+		}
+	}
+}
+
+// The headline Figure 4 numbers.
+func TestRhoFig4(t *testing.T) {
+	ma, err := MeanW(fig4a())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho, err := Rho(ma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(rho, 0.5, 1e-9) {
+		t.Fatalf("fig4a rho=%v want 0.5", rho)
+	}
+
+	mb, err := MeanW(fig4b())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho, err = Rho(mb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(rho, 0.625, 1e-9) {
+		t.Fatalf("fig4b rho=%v want 0.625", rho)
+	}
+}
+
+// P = N: every group is the full cluster, E[W] is the all-1/N matrix and
+// ρ = 0 — the paper's All-Reduce limit (§3.2.2).
+func TestRhoAllReduceLimit(t *testing.T) {
+	d := GroupDist{N: 4, Groups: [][]int{{0, 1, 2, 3}}, Probs: []float64{1}}
+	m, err := MeanW(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho, err := Rho(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(rho, 0, 1e-9) {
+		t.Fatalf("all-reduce rho=%v want 0", rho)
+	}
+}
+
+// Heterogeneity monotonicity: skewing the pair distribution away from
+// uniform increases ρ (shrinks the spectral gap), §3.2.2's conclusion.
+func TestRhoGrowsWithHeterogeneity(t *testing.T) {
+	var prev float64 = -1
+	for _, skew := range []float64{1.0 / 3, 0.4, 0.5, 0.6, 0.7} {
+		rest := (1 - skew) / 2
+		d := GroupDist{
+			N:      3,
+			Groups: [][]int{{0, 1}, {1, 2}, {0, 2}},
+			Probs:  []float64{skew, rest, rest},
+		}
+		m, err := MeanW(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rho, err := Rho(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rho < prev {
+			t.Fatalf("rho decreased to %v at skew %v", rho, skew)
+		}
+		prev = rho
+	}
+}
+
+func TestUniformGroupsCounts(t *testing.T) {
+	d := UniformGroups(5, 2)
+	if len(d.Groups) != 10 { // C(5,2)
+		t.Fatalf("groups: %d want 10", len(d.Groups))
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d = UniformGroups(6, 3)
+	if len(d.Groups) != 20 { // C(6,3)
+		t.Fatalf("groups: %d want 20", len(d.Groups))
+	}
+}
+
+func TestEigenvaluesKnownMatrix(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	m := tensor.MatrixFrom(2, 2, tensor.Vector{2, 1, 1, 2})
+	eigs, err := Eigenvalues(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(eigs[0], 3, 1e-10) || !almostEq(eigs[1], 1, 1e-10) {
+		t.Fatalf("eigs=%v want [3 1]", eigs)
+	}
+	// Input must not be mutated.
+	if m.At(0, 1) != 1 {
+		t.Fatal("Eigenvalues mutated its input")
+	}
+}
+
+func TestEigenvaluesRejectsBadInput(t *testing.T) {
+	if _, err := Eigenvalues(tensor.NewMatrix(2, 3)); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	ns := tensor.MatrixFrom(2, 2, tensor.Vector{1, 2, 3, 4})
+	if _, err := Eigenvalues(ns); err == nil {
+		t.Fatal("non-symmetric accepted")
+	}
+}
+
+// Property: for random symmetric matrices, Jacobi reproduces the trace and
+// Frobenius norm (sum and sum of squares of eigenvalues).
+func TestQuickEigenvalueInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(7)
+		m := tensor.NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.NormFloat64()
+				m.Set(i, j, v)
+				m.Set(j, i, v)
+			}
+		}
+		eigs, err := Eigenvalues(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var trace, frob, esum, esq float64
+		for i := 0; i < n; i++ {
+			trace += m.At(i, i)
+			for j := 0; j < n; j++ {
+				frob += m.At(i, j) * m.At(i, j)
+			}
+		}
+		for _, e := range eigs {
+			esum += e
+			esq += e * e
+		}
+		if !almostEq(trace, esum, 1e-8*(1+math.Abs(trace))) {
+			t.Fatalf("trace %v != eig sum %v", trace, esum)
+		}
+		if !almostEq(frob, esq, 1e-8*(1+frob)) {
+			t.Fatalf("frobenius² %v != eig square sum %v", frob, esq)
+		}
+		// Descending order.
+		for i := 1; i < len(eigs); i++ {
+			if eigs[i] > eigs[i-1]+1e-12 {
+				t.Fatalf("eigenvalues not sorted: %v", eigs)
+			}
+		}
+	}
+}
+
+func TestRhoBar(t *testing.T) {
+	if RhoBar(0) != 0 {
+		t.Fatalf("RhoBar(0)=%v", RhoBar(0))
+	}
+	// rho=0.25: 0.25/0.75 + 2*0.5/0.25 = 1/3 + 4
+	if !almostEq(RhoBar(0.25), 1.0/3+4, 1e-12) {
+		t.Fatalf("RhoBar(0.25)=%v", RhoBar(0.25))
+	}
+	if !math.IsInf(RhoBar(1), 1) {
+		t.Fatal("RhoBar(1) should be +Inf")
+	}
+	// Monotone increasing on [0,1).
+	prev := -1.0
+	for r := 0.0; r < 0.99; r += 0.01 {
+		if rb := RhoBar(r); rb < prev {
+			t.Fatalf("RhoBar not monotone at %v", r)
+		} else {
+			prev = rb
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative rho should panic")
+			}
+		}()
+		RhoBar(-0.1)
+	}()
+}
+
+func TestLearningRateFeasible(t *testing.T) {
+	// Tiny learning rates are always feasible; huge ones never.
+	if !LearningRateFeasible(1e-6, 1, 8, 3, 0.5) {
+		t.Fatal("tiny gamma rejected")
+	}
+	if LearningRateFeasible(1e6, 1, 8, 3, 0.5) {
+		t.Fatal("huge gamma accepted")
+	}
+	// Higher rho shrinks the feasible region: find a gamma feasible at
+	// rho=0.1 but not at rho=0.9.
+	found := false
+	for g := 1.0; g > 1e-6; g /= 2 {
+		if LearningRateFeasible(g, 1, 8, 3, 0.1) && !LearningRateFeasible(g, 1, 8, 3, 0.9) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("rho did not tighten the feasibility region")
+	}
+}
+
+func TestConvergenceBoundShape(t *testing.T) {
+	// More iterations tighten the bound; higher rho loosens it.
+	b1 := ConvergenceBound(1, 0.01, 1, 1, 8, 3, 1000, 0.3)
+	b2 := ConvergenceBound(1, 0.01, 1, 1, 8, 3, 10000, 0.3)
+	if b2 >= b1 {
+		t.Fatalf("bound did not shrink with K: %v -> %v", b1, b2)
+	}
+	b3 := ConvergenceBound(1, 0.01, 1, 1, 8, 3, 1000, 0.9)
+	if b3 <= b1 {
+		t.Fatalf("bound did not grow with rho: %v -> %v", b1, b3)
+	}
+}
+
+// The closed form must match the numerically computed rho of the uniform
+// distribution for every (n, p).
+func TestUniformRhoMatchesNumeric(t *testing.T) {
+	for n := 2; n <= 8; n++ {
+		for p := 2; p <= n; p++ {
+			m, err := MeanW(UniformGroups(n, p))
+			if err != nil {
+				t.Fatal(err)
+			}
+			numeric, err := Rho(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if closed := UniformRho(n, p); !almostEq(closed, numeric, 1e-9) {
+				t.Fatalf("n=%d p=%d: closed form %v vs numeric %v", n, p, closed, numeric)
+			}
+		}
+	}
+	if UniformRho(8, 8) != 0 {
+		t.Fatal("P=N should give rho=0")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-range UniformRho should panic")
+			}
+		}()
+		UniformRho(2, 3)
+	}()
+}

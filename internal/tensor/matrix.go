@@ -1,0 +1,152 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major matrix backed by a single contiguous slice.
+type Matrix struct {
+	Rows, Cols int
+	Data       Vector // len == Rows*Cols, row-major
+}
+
+// NewMatrix returns a zeroed Rows×Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: NewMatrix negative dims %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: NewVector(rows * cols)}
+}
+
+// MatrixFrom wraps data as a rows×cols matrix without copying. It panics if
+// len(data) != rows*cols.
+func MatrixFrom(rows, cols int, data Vector) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: MatrixFrom %dx%d needs %d elements, got %d", rows, cols, rows*cols, len(data)))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set stores v at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a vector sharing m's backing storage.
+func (m *Matrix) Row(i int) Vector { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	return &Matrix{Rows: m.Rows, Cols: m.Cols, Data: m.Data.Clone()}
+}
+
+// Zero sets every element to 0.
+func (m *Matrix) Zero() { m.Data.Zero() }
+
+// MulVec writes m·x into dst. dst must have length m.Rows and x length
+// m.Cols; dst must not alias x.
+func (m *Matrix) MulVec(dst, x Vector) {
+	checkLen(len(dst), m.Rows)
+	checkLen(len(x), m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, w := range row {
+			s += w * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// MulVecT writes mᵀ·x into dst. dst must have length m.Cols and x length
+// m.Rows; dst must not alias x.
+func (m *Matrix) MulVecT(dst, x Vector) {
+	checkLen(len(dst), m.Cols)
+	checkLen(len(x), m.Rows)
+	dst.Zero()
+	for i := 0; i < m.Rows; i++ {
+		dst.Axpy(x[i], m.Row(i))
+	}
+}
+
+// AddOuter accumulates the rank-1 update m += a · x·yᵀ where x has length
+// m.Rows and y length m.Cols.
+func (m *Matrix) AddOuter(a float64, x, y Vector) {
+	checkLen(len(x), m.Rows)
+	checkLen(len(y), m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		m.Row(i).Axpy(a*x[i], y)
+	}
+}
+
+// Mul writes a·b into dst (dst = a×b). Shapes must agree and dst must not
+// alias a or b.
+func Mul(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: Mul shape mismatch (%dx%d)·(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	dst.Zero()
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Row(i)
+		dr := dst.Row(i)
+		for k, av := range ar {
+			if av == 0 {
+				continue
+			}
+			dr.Axpy(av, b.Row(k))
+		}
+	}
+}
+
+// Transpose returns a new matrix holding mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// IsSymmetric reports whether m is square and symmetric within tol.
+func (m *Matrix) IsSymmetric(tol float64) bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			if math.Abs(m.At(i, j)-m.At(j, i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FillGlorot initializes m with Glorot/Xavier-uniform entries drawn from rng:
+// U(-l, l) with l = sqrt(6/(fanIn+fanOut)).
+func (m *Matrix) FillGlorot(rng *rand.Rand, fanIn, fanOut int) {
+	l := math.Sqrt(6 / float64(fanIn+fanOut))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * l
+	}
+}
+
+// String renders small matrices for debugging.
+func (m *Matrix) String() string {
+	s := fmt.Sprintf("Matrix %dx%d", m.Rows, m.Cols)
+	if m.Rows*m.Cols <= 64 {
+		for i := 0; i < m.Rows; i++ {
+			s += "\n "
+			for j := 0; j < m.Cols; j++ {
+				s += fmt.Sprintf("%8.4f", m.At(i, j))
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,353 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVectorBasics(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{4, 5, 6}
+
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Fatalf("Clone aliases original: v=%v", v)
+	}
+
+	v.Add(w)
+	if v[0] != 5 || v[1] != 7 || v[2] != 9 {
+		t.Fatalf("Add: got %v", v)
+	}
+	v.Sub(w)
+	if v[0] != 1 || v[2] != 3 {
+		t.Fatalf("Sub: got %v", v)
+	}
+	v.Scale(2)
+	if v[1] != 4 {
+		t.Fatalf("Scale: got %v", v)
+	}
+	v.Fill(7)
+	if v.Sum() != 21 {
+		t.Fatalf("Fill/Sum: got %v sum %v", v, v.Sum())
+	}
+	v.Zero()
+	if v.Norm2() != 0 {
+		t.Fatalf("Zero: got %v", v)
+	}
+}
+
+func TestVectorAxpyDot(t *testing.T) {
+	v := Vector{1, 1}
+	w := Vector{2, 3}
+	v.Axpy(2, w)
+	if v[0] != 5 || v[1] != 7 {
+		t.Fatalf("Axpy: got %v", v)
+	}
+	if got := w.Dot(Vector{1, -1}); got != -1 {
+		t.Fatalf("Dot: got %v", got)
+	}
+}
+
+func TestVectorNorms(t *testing.T) {
+	v := Vector{3, -4}
+	if !almostEq(v.Norm2(), 5, 1e-12) {
+		t.Fatalf("Norm2: got %v", v.Norm2())
+	}
+	if v.NormInf() != 4 {
+		t.Fatalf("NormInf: got %v", v.NormInf())
+	}
+	var empty Vector
+	if empty.NormInf() != 0 || empty.Norm2() != 0 {
+		t.Fatal("empty vector norms should be 0")
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	cases := []struct {
+		v    Vector
+		want int
+	}{
+		{Vector{}, -1},
+		{Vector{1}, 0},
+		{Vector{1, 3, 2}, 1},
+		{Vector{5, 5, 5}, 0}, // ties -> lowest index
+		{Vector{-2, -1, -3}, 1},
+	}
+	for _, c := range cases {
+		if got := c.v.ArgMax(); got != c.want {
+			t.Errorf("ArgMax(%v)=%d want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	v := Vector{1, 2, 3}
+	dst := NewVector(3)
+	Softmax(dst, v)
+	if !almostEq(dst.Sum(), 1, 1e-12) {
+		t.Fatalf("softmax sums to %v", dst.Sum())
+	}
+	if !(dst[2] > dst[1] && dst[1] > dst[0]) {
+		t.Fatalf("softmax not monotone: %v", dst)
+	}
+	// Stability: huge logits must not overflow.
+	big := Vector{1000, 1001, 1002}
+	Softmax(dst, big)
+	if math.IsNaN(dst.Sum()) || !almostEq(dst.Sum(), 1, 1e-9) {
+		t.Fatalf("softmax unstable on large inputs: %v", dst)
+	}
+	// Aliasing: dst == v is allowed.
+	Softmax(big, big)
+	if !almostEq(big.Sum(), 1, 1e-9) {
+		t.Fatalf("aliased softmax: %v", big)
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	if got := LogSumExp(Vector{0, 0}); !almostEq(got, math.Log(2), 1e-12) {
+		t.Fatalf("LogSumExp: got %v", got)
+	}
+	if got := LogSumExp(Vector{1000, 1000}); !almostEq(got, 1000+math.Log(2), 1e-9) {
+		t.Fatalf("LogSumExp overflow: got %v", got)
+	}
+	if got := LogSumExp(nil); !math.IsInf(got, -1) {
+		t.Fatalf("LogSumExp(empty): got %v", got)
+	}
+}
+
+func TestWeightedSumAndMean(t *testing.T) {
+	vs := []Vector{{1, 2}, {3, 4}, {5, 6}}
+	dst := NewVector(2)
+	WeightedSum(dst, []float64{0.5, 0.25, 0.25}, vs)
+	if !almostEq(dst[0], 2.5, 1e-12) || !almostEq(dst[1], 3.5, 1e-12) {
+		t.Fatalf("WeightedSum: got %v", dst)
+	}
+	Mean(dst, vs)
+	if !almostEq(dst[0], 3, 1e-12) || !almostEq(dst[1], 4, 1e-12) {
+		t.Fatalf("Mean: got %v", dst)
+	}
+}
+
+func TestMismatchPanics(t *testing.T) {
+	assertPanics(t, "Add", func() { Vector{1}.Add(Vector{1, 2}) })
+	assertPanics(t, "CopyFrom", func() { Vector{1}.CopyFrom(Vector{1, 2}) })
+	assertPanics(t, "Dot", func() { Vector{1}.Dot(Vector{1, 2}) })
+	assertPanics(t, "WeightedSum", func() { WeightedSum(NewVector(1), []float64{1}, nil) })
+	assertPanics(t, "Mean", func() { Mean(NewVector(1), nil) })
+	assertPanics(t, "MatrixFrom", func() { MatrixFrom(2, 2, Vector{1}) })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestMatrixMulVec(t *testing.T) {
+	m := MatrixFrom(2, 3, Vector{1, 2, 3, 4, 5, 6})
+	x := Vector{1, 0, -1}
+	dst := NewVector(2)
+	m.MulVec(dst, x)
+	if dst[0] != -2 || dst[1] != -2 {
+		t.Fatalf("MulVec: got %v", dst)
+	}
+	y := Vector{1, 1}
+	dt := NewVector(3)
+	m.MulVecT(dt, y)
+	if dt[0] != 5 || dt[1] != 7 || dt[2] != 9 {
+		t.Fatalf("MulVecT: got %v", dt)
+	}
+}
+
+func TestMatrixAddOuter(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.AddOuter(2, Vector{1, 2}, Vector{3, 4})
+	want := []float64{6, 8, 12, 16}
+	for i, w := range want {
+		if m.Data[i] != w {
+			t.Fatalf("AddOuter: got %v want %v", m.Data, want)
+		}
+	}
+}
+
+func TestMatrixMul(t *testing.T) {
+	a := MatrixFrom(2, 3, Vector{1, 2, 3, 4, 5, 6})
+	b := MatrixFrom(3, 2, Vector{7, 8, 9, 10, 11, 12})
+	dst := NewMatrix(2, 2)
+	Mul(dst, a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, w := range want {
+		if dst.Data[i] != w {
+			t.Fatalf("Mul: got %v want %v", dst.Data, want)
+		}
+	}
+}
+
+func TestTransposeSymmetric(t *testing.T) {
+	m := MatrixFrom(2, 3, Vector{1, 2, 3, 4, 5, 6})
+	tr := m.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 || tr.At(0, 1) != 4 {
+		t.Fatalf("Transpose: got %v", tr)
+	}
+	s := MatrixFrom(2, 2, Vector{1, 2, 2, 1})
+	if !s.IsSymmetric(0) {
+		t.Fatal("IsSymmetric false negative")
+	}
+	ns := MatrixFrom(2, 2, Vector{1, 2, 3, 1})
+	if ns.IsSymmetric(0.5) {
+		t.Fatal("IsSymmetric false positive")
+	}
+	if m.IsSymmetric(0) {
+		t.Fatal("non-square cannot be symmetric")
+	}
+}
+
+func TestGlorotInit(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMatrix(50, 40)
+	m.FillGlorot(rng, 40, 50)
+	limit := math.Sqrt(6.0 / 90.0)
+	for _, x := range m.Data {
+		if math.Abs(x) > limit {
+			t.Fatalf("Glorot out of range: %v > %v", x, limit)
+		}
+	}
+	if m.Data.NormInf() == 0 {
+		t.Fatal("Glorot produced all zeros")
+	}
+}
+
+// Property: axpy then inverse axpy is identity (within float tolerance).
+func TestQuickAxpyInverse(t *testing.T) {
+	f := func(xs []float64, a float64) bool {
+		if len(xs) == 0 || math.IsNaN(a) || math.IsInf(a, 0) || math.Abs(a) > 1e6 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				return true
+			}
+		}
+		v := Vector(xs).Clone()
+		w := v.Clone()
+		v.Axpy(a, w)
+		v.Axpy(-a, w)
+		for i := range v {
+			if !almostEq(v[i], w[i], 1e-6*(1+math.Abs(w[i]))*(1+math.Abs(a))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: softmax output is a probability distribution for any finite input.
+func TestQuickSoftmaxDistribution(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				xs[i] = 0
+			}
+		}
+		dst := NewVector(len(xs))
+		Softmax(dst, xs)
+		var sum float64
+		for _, p := range dst {
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				return false
+			}
+			sum += p
+		}
+		return almostEq(sum, 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Dot is symmetric and bilinear in the first argument.
+func TestQuickDotSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(20)
+		v, w := NewVector(n), NewVector(n)
+		for i := 0; i < n; i++ {
+			v[i] = rng.NormFloat64()
+			w[i] = rng.NormFloat64()
+		}
+		if !almostEq(v.Dot(w), w.Dot(v), 1e-9) {
+			t.Fatalf("Dot not symmetric")
+		}
+		v2 := v.Clone()
+		v2.Scale(2)
+		if !almostEq(v2.Dot(w), 2*v.Dot(w), 1e-8*(1+math.Abs(v.Dot(w)))) {
+			t.Fatalf("Dot not linear")
+		}
+	}
+}
+
+// Property: (A·B)ᵀ == Bᵀ·Aᵀ on random shapes.
+func TestQuickMulTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		m, k, n := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6)
+		a, b := NewMatrix(m, k), NewMatrix(k, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		ab := NewMatrix(m, n)
+		Mul(ab, a, b)
+		btat := NewMatrix(n, m)
+		Mul(btat, b.Transpose(), a.Transpose())
+		abt := ab.Transpose()
+		for i := range abt.Data {
+			if !almostEq(abt.Data[i], btat.Data[i], 1e-9) {
+				t.Fatalf("(AB)^T != B^T A^T")
+			}
+		}
+	}
+}
+
+// Property: MulVec agrees with Mul against a 1-column matrix.
+func TestQuickMulVecConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		m, k := 1+rng.Intn(8), 1+rng.Intn(8)
+		a := NewMatrix(m, k)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		x := NewVector(k)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		dst := NewVector(m)
+		a.MulVec(dst, x)
+		xm := MatrixFrom(k, 1, x.Clone())
+		prod := NewMatrix(m, 1)
+		Mul(prod, a, xm)
+		for i := 0; i < m; i++ {
+			if !almostEq(dst[i], prod.At(i, 0), 1e-9) {
+				t.Fatalf("MulVec disagrees with Mul")
+			}
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Package testutil provides the shared small workload used by strategy and
+// integration tests: an 8-worker cluster on a 4-class Gaussian mixture with
+// a compact MLP, sized so every strategy converges in well under a second of
+// host time while still exhibiting the statistical effects (staleness,
+// dilution) the experiments measure.
+package testutil
+
+import (
+	"testing"
+
+	"partialreduce/internal/cluster"
+	"partialreduce/internal/data"
+	"partialreduce/internal/hetero"
+	"partialreduce/internal/model"
+	"partialreduce/internal/netmodel"
+	"partialreduce/internal/optim"
+)
+
+// Profile is a small wire/compute profile for tests (1M params on the wire,
+// 0.1 s/batch reference compute).
+var Profile = model.Profile{Name: "test", WireParams: 1_000_000, BatchCompute: 0.1, BytesPerParam: 4}
+
+// Config returns a ready-to-run cluster config over a fresh dataset. The
+// returned config uses homogeneous compute; tests override Hetero as needed.
+func Config(t *testing.T, seed int64) cluster.Config {
+	t.Helper()
+	ds, err := data.GaussianMixture(data.MixtureConfig{
+		Classes: 4, Dim: 16, Examples: 2400, Separation: 3.2, Noise: 1, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := ds.Split(0.8)
+	return cluster.Config{
+		N:          8,
+		Spec:       model.Spec{Inputs: 16, Hidden: []int{16}, Classes: 4},
+		Seed:       seed,
+		Train:      train,
+		Test:       test,
+		BatchSize:  16,
+		Optimizer:  optim.Config{LR: 0.05, Momentum: 0.9, WeightDecay: 1e-4},
+		Profile:    Profile,
+		Hetero:     hetero.NewHomogeneous(8, Profile.BatchCompute, 0.05, seed),
+		Net:        netmodel.Default(),
+		Threshold:  0.9,
+		EvalEvery:  20,
+		MaxUpdates: 40_000,
+		MaxTime:    1e6,
+	}
+}
+
+// Run builds a cluster for cfg and executes the strategy, failing the test
+// on error.
+func Run(t *testing.T, cfg cluster.Config, s cluster.Strategy) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(cfg, s.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(c); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

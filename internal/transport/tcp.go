@@ -1,0 +1,218 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCP is a Transport over stdlib TCP sockets with a full-mesh topology:
+// rank i listens on addrs[i], dials every lower rank, and accepts
+// connections from every higher rank. Frames are length-prefixed binary:
+// 8-byte tag, 4-byte element count, then count float64s, little-endian.
+type TCP struct {
+	rank  int
+	size  int
+	box   *mailbox
+	ln    net.Listener
+	conns []*tcpConn // index by peer rank; nil at own rank
+	mu    sync.Mutex
+	done  bool
+}
+
+type tcpConn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+// NewTCP creates rank's endpoint in a world defined by addrs (one listen
+// address per rank, e.g. "127.0.0.1:9001"). It blocks until the full mesh
+// is connected, so all ranks must be starting concurrently.
+func NewTCP(rank int, addrs []string) (*TCP, error) {
+	n := len(addrs)
+	if n < 1 || rank < 0 || rank >= n {
+		return nil, fmt.Errorf("transport: rank %d invalid for world of %d", rank, n)
+	}
+	t := &TCP{rank: rank, size: n, box: newMailbox(), conns: make([]*tcpConn, n)}
+
+	ln, err := net.Listen("tcp", addrs[rank])
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addrs[rank], err)
+	}
+	t.ln = ln
+
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+
+	// Accept from higher ranks.
+	expect := n - 1 - rank
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < expect; i++ {
+			c, err := ln.Accept()
+			if err != nil {
+				errs <- err
+				return
+			}
+			var hello [4]byte
+			if _, err := io.ReadFull(c, hello[:]); err != nil {
+				errs <- err
+				return
+			}
+			peer := int(binary.LittleEndian.Uint32(hello[:]))
+			if peer <= rank || peer >= n {
+				errs <- fmt.Errorf("transport: bad hello from rank %d", peer)
+				return
+			}
+			t.attach(peer, c)
+		}
+	}()
+
+	// Dial lower ranks, retrying while peers are still binding their
+	// listeners (world members start concurrently).
+	for peer := 0; peer < rank; peer++ {
+		peer := peer
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := dialRetry(addrs[peer])
+			if err != nil {
+				errs <- fmt.Errorf("transport: dial rank %d: %w", peer, err)
+				return
+			}
+			var hello [4]byte
+			binary.LittleEndian.PutUint32(hello[:], uint32(rank))
+			if _, err := c.Write(hello[:]); err != nil {
+				errs <- err
+				return
+			}
+			t.attach(peer, c)
+		}()
+	}
+
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Close()
+		return nil, err
+	default:
+	}
+	return t, nil
+}
+
+// dialRetry dials addr, retrying for up to ~5 seconds while the peer's
+// listener comes up.
+func dialRetry(addr string) (net.Conn, error) {
+	var err error
+	for i := 0; i < 250; i++ {
+		var c net.Conn
+		c, err = net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			return c, nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return nil, err
+}
+
+func (t *TCP) attach(peer int, c net.Conn) {
+	t.mu.Lock()
+	t.conns[peer] = &tcpConn{c: c}
+	t.mu.Unlock()
+	go t.readLoop(peer, c)
+}
+
+func (t *TCP) readLoop(peer int, c net.Conn) {
+	var hdr [12]byte
+	for {
+		if _, err := io.ReadFull(c, hdr[:]); err != nil {
+			t.box.close() // fail pending receives; Close or peer loss
+			return
+		}
+		tag := binary.LittleEndian.Uint64(hdr[0:8])
+		count := binary.LittleEndian.Uint32(hdr[8:12])
+		buf := make([]byte, 8*int(count))
+		if _, err := io.ReadFull(c, buf); err != nil {
+			t.box.close()
+			return
+		}
+		payload := make([]float64, count)
+		for i := range payload {
+			payload[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+		}
+		if err := t.box.deliver(message{from: peer, tag: tag, payload: payload}); err != nil {
+			return
+		}
+	}
+}
+
+// Rank implements Transport.
+func (t *TCP) Rank() int { return t.rank }
+
+// Size implements Transport.
+func (t *TCP) Size() int { return t.size }
+
+// Send implements Transport.
+func (t *TCP) Send(to int, tag uint64, payload []float64) error {
+	if to < 0 || to >= t.size {
+		return fmt.Errorf("transport: rank %d out of range", to)
+	}
+	if to == t.rank {
+		cp := make([]float64, len(payload))
+		copy(cp, payload)
+		return t.box.deliver(message{from: t.rank, tag: tag, payload: cp})
+	}
+	t.mu.Lock()
+	tc := t.conns[to]
+	closed := t.done
+	t.mu.Unlock()
+	if closed || tc == nil {
+		return ErrClosed
+	}
+
+	buf := make([]byte, 12+8*len(payload))
+	binary.LittleEndian.PutUint64(buf[0:8], tag)
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(len(payload)))
+	for i, v := range payload {
+		binary.LittleEndian.PutUint64(buf[12+8*i:], math.Float64bits(v))
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	_, err := tc.c.Write(buf)
+	return err
+}
+
+// Recv implements Transport.
+func (t *TCP) Recv(from int, tag uint64) ([]float64, error) {
+	if from < 0 || from >= t.size {
+		return nil, fmt.Errorf("transport: rank %d out of range", from)
+	}
+	return t.box.receive(from, tag)
+}
+
+// Close implements Transport.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return nil
+	}
+	t.done = true
+	t.mu.Unlock()
+
+	if t.ln != nil {
+		t.ln.Close()
+	}
+	for _, tc := range t.conns {
+		if tc != nil {
+			tc.c.Close()
+		}
+	}
+	t.box.close()
+	return nil
+}

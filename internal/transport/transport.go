@@ -1,0 +1,171 @@
+// Package transport provides the live message-passing layer of the runtime:
+// point-to-point float64-vector messages between ranks, over either an
+// in-process channel mesh (one address space, as in the tests and examples)
+// or TCP sockets (stdlib net, length-prefixed binary frames), mirroring the
+// prototype's Gloo/TCP split (§4). Collectives in internal/collective are
+// built on this interface.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Transport is a rank's endpoint in a fixed-size communication world.
+// Sends are asynchronous (buffered); Recv blocks until a message with the
+// requested source and tag arrives. A (from, tag) pair identifies at most
+// one outstanding message at a time, which the collectives guarantee by
+// deriving tags from (operation id, phase, step).
+type Transport interface {
+	// Rank returns this endpoint's id in [0, Size).
+	Rank() int
+	// Size returns the number of ranks in the world.
+	Size() int
+	// Send delivers payload to rank to with the given tag. The payload is
+	// copied before Send returns; the caller may reuse it.
+	Send(to int, tag uint64, payload []float64) error
+	// Recv blocks until a message from rank from with the given tag arrives
+	// and returns its payload.
+	Recv(from int, tag uint64) ([]float64, error)
+	// Close releases the endpoint. Pending Recvs fail.
+	Close() error
+}
+
+// ErrClosed is returned by operations on a closed transport.
+var ErrClosed = errors.New("transport: closed")
+
+type message struct {
+	from    int
+	tag     uint64
+	payload []float64
+}
+
+type key struct {
+	from int
+	tag  uint64
+}
+
+// mailbox matches incoming messages to waiting receivers.
+type mailbox struct {
+	mu      sync.Mutex
+	pending map[key][]float64
+	waiters map[key]chan []float64
+	closed  bool
+}
+
+func newMailbox() *mailbox {
+	return &mailbox{
+		pending: make(map[key][]float64),
+		waiters: make(map[key]chan []float64),
+	}
+}
+
+func (m *mailbox) deliver(msg message) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	k := key{from: msg.from, tag: msg.tag}
+	if ch, ok := m.waiters[k]; ok {
+		delete(m.waiters, k)
+		ch <- msg.payload
+		return nil
+	}
+	if _, dup := m.pending[k]; dup {
+		return fmt.Errorf("transport: duplicate message from %d tag %d", msg.from, msg.tag)
+	}
+	m.pending[k] = msg.payload
+	return nil
+}
+
+func (m *mailbox) receive(from int, tag uint64) ([]float64, error) {
+	k := key{from: from, tag: tag}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if p, ok := m.pending[k]; ok {
+		delete(m.pending, k)
+		m.mu.Unlock()
+		return p, nil
+	}
+	ch := make(chan []float64, 1)
+	m.waiters[k] = ch
+	m.mu.Unlock()
+
+	p, ok := <-ch
+	if !ok {
+		return nil, ErrClosed
+	}
+	return p, nil
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.closed = true
+	for k, ch := range m.waiters {
+		close(ch)
+		delete(m.waiters, k)
+	}
+}
+
+// Mem is an in-process transport world: NewMem returns one endpoint per
+// rank, all sharing one delivery fabric. Endpoints are safe for concurrent
+// use by multiple goroutines.
+type Mem struct {
+	rank  int
+	world []*mailbox
+}
+
+// NewMem creates an n-rank in-process world.
+func NewMem(n int) []*Mem {
+	if n < 1 {
+		panic(fmt.Sprintf("transport: world size %d", n))
+	}
+	boxes := make([]*mailbox, n)
+	for i := range boxes {
+		boxes[i] = newMailbox()
+	}
+	eps := make([]*Mem, n)
+	for i := range eps {
+		eps[i] = &Mem{rank: i, world: boxes}
+	}
+	return eps
+}
+
+// Rank implements Transport.
+func (m *Mem) Rank() int { return m.rank }
+
+// Size implements Transport.
+func (m *Mem) Size() int { return len(m.world) }
+
+// Send implements Transport.
+func (m *Mem) Send(to int, tag uint64, payload []float64) error {
+	if to < 0 || to >= len(m.world) {
+		return fmt.Errorf("transport: rank %d out of range", to)
+	}
+	cp := make([]float64, len(payload))
+	copy(cp, payload)
+	return m.world[to].deliver(message{from: m.rank, tag: tag, payload: cp})
+}
+
+// Recv implements Transport.
+func (m *Mem) Recv(from int, tag uint64) ([]float64, error) {
+	if from < 0 || from >= len(m.world) {
+		return nil, fmt.Errorf("transport: rank %d out of range", from)
+	}
+	return m.world[m.rank].receive(from, tag)
+}
+
+// Close implements Transport. It closes only this endpoint's mailbox.
+func (m *Mem) Close() error {
+	m.world[m.rank].close()
+	return nil
+}

@@ -1,0 +1,37 @@
+package preduce
+
+import (
+	"partialreduce/internal/spectral"
+	"partialreduce/internal/tensor"
+)
+
+// Spectral analysis, re-exported from internal/spectral (§3.2 of the paper).
+type (
+	// GroupDist is a probability distribution over P-Reduce groups.
+	GroupDist = spectral.GroupDist
+	// Matrix is a dense symmetric matrix (E[W] and friends).
+	Matrix = tensor.Matrix
+)
+
+// MeanW builds the expected synchronization matrix E[W_k] of a group
+// distribution (Eq. 4).
+func MeanW(d GroupDist) (*Matrix, error) { return spectral.MeanW(d) }
+
+// Rho returns the spectral bound ρ = max(|λ₂|, |λ_N|) of E[W] (Eq. 6).
+func Rho(meanW *Matrix) (float64, error) { return spectral.Rho(meanW) }
+
+// RhoBar returns Theorem 1's network-error coefficient ρ̄.
+func RhoBar(rho float64) float64 { return spectral.RhoBar(rho) }
+
+// UniformGroups returns the homogeneous-environment distribution where every
+// P-subset of N workers is equally likely.
+func UniformGroups(n, p int) GroupDist { return spectral.UniformGroups(n, p) }
+
+// LearningRateFeasible checks Theorem 1's step-size condition (Eq. 7).
+func LearningRateFeasible(gamma, lipschitz float64, n, p int, rho float64) bool {
+	return spectral.LearningRateFeasible(gamma, lipschitz, n, p, rho)
+}
+
+// UniformRho returns the closed-form ρ = 1 − (P−1)/(N−1) of the uniform
+// group distribution.
+func UniformRho(n, p int) float64 { return spectral.UniformRho(n, p) }
