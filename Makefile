@@ -1,0 +1,35 @@
+# Tier-1 verification (see ROADMAP.md): the full build + test sweep, plus a
+# race-detector pass over the concurrency-heavy packages (transport mesh,
+# collectives, live runtime, controller, public API). `make ci` is what a
+# commit must keep green.
+
+GO ?= go
+
+# Packages whose tests exercise real goroutine concurrency and therefore run
+# under the race detector as part of tier-1.
+RACE_PKGS := ./internal/transport/ ./internal/collective/ ./internal/live/ ./internal/controller/ ./internal/core/ .
+
+.PHONY: ci vet build test race fuzz clean
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# Short fuzz pass over the wire codec (longer runs: raise FUZZTIME).
+FUZZTIME ?= 15s
+fuzz:
+	$(GO) test ./internal/transport/ -run '^$$' -fuzz FuzzFrameCodec -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/transport/ -run '^$$' -fuzz FuzzFrameRoundTrip -fuzztime $(FUZZTIME)
+
+clean:
+	$(GO) clean ./...

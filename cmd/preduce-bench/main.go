@@ -86,8 +86,9 @@ func main() {
 		"ablations": runAblations,
 		"geo":       runGeo,
 		"seeds":     runSeeds,
+		"crash":     runCrash,
 	}
-	order := []string{"fig4", "table1", "fig7a", "fig7b", "fig8", "fig9", "fig10", "fig11", "geo", "seeds", "ablations"}
+	order := []string{"fig4", "table1", "fig7a", "fig7b", "fig8", "fig9", "fig10", "fig11", "geo", "seeds", "crash", "ablations"}
 
 	var ids []string
 	if *exp == "all" {
@@ -228,6 +229,15 @@ func runGeo(opts experiments.Options) error {
 
 func runSeeds(opts experiments.Options) error {
 	res, err := experiments.Robustness(opts, 5)
+	if err != nil {
+		return err
+	}
+	res.Format(os.Stdout)
+	return nil
+}
+
+func runCrash(opts experiments.Options) error {
+	res, err := experiments.RobustnessCrash(opts, []float64{0, 0.15, 0.3, 0.45})
 	if err != nil {
 		return err
 	}

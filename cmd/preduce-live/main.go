@@ -38,6 +38,16 @@ func main() {
 	iters := flag.Int("iters", 200, "local iterations per worker")
 	seed := flag.Int64("seed", 1, "shared seed (dataset, initialization)")
 	dynamic := flag.Bool("dynamic", false, "use dynamic staleness-aware weights")
+	meshTimeout := flag.Duration("mesh-timeout", 15*time.Second,
+		"bound on TCP mesh formation; a missing rank fails the start instead of hanging")
+	heartbeat := flag.Duration("heartbeat", 0,
+		"heartbeat interval for peer liveness probing (0 disables; crashes are still caught via broken connections)")
+	heartbeatTimeout := flag.Duration("heartbeat-timeout", 0,
+		"declare a peer dead after this long without traffic (default 10x -heartbeat)")
+	crashAfter := flag.Int("crash-after", 0,
+		"fault-injection demo: this rank fail-stops after the given local iteration (survivors keep training; rank 0 cannot crash)")
+	failTimeout := flag.Duration("fail-timeout", 30*time.Second,
+		"controller-side staleness backstop used when -crash-after is set")
 	flag.Parse()
 
 	list := strings.Split(*addrs, ",")
@@ -59,7 +69,11 @@ func main() {
 	train, test := ds.Split(0.8)
 
 	fmt.Fprintf(os.Stderr, "rank %d: connecting mesh over %d ranks...\n", *rank, n)
-	tr, err := transport.NewTCP(*rank, list)
+	tr, err := transport.NewTCPOpts(*rank, list, transport.TCPOptions{
+		MeshTimeout:       *meshTimeout,
+		HeartbeatInterval: *heartbeat,
+		HeartbeatTimeout:  *heartbeatTimeout,
+	})
 	if err != nil {
 		fail(err)
 	}
@@ -78,6 +92,13 @@ func main() {
 	if *dynamic {
 		cfg.Weighting = preduce.Dynamic
 		cfg.Approx = preduce.ClosestIteration
+	}
+	if *crashAfter > 0 {
+		// Only this process knows it will crash; peers detect the death at
+		// the wire (broken connections / heartbeat loss) exactly as they
+		// would a real failure.
+		cfg.Crash = map[int]int{*rank: *crashAfter}
+		cfg.FailTimeout = *failTimeout
 	}
 
 	start := time.Now()

@@ -24,10 +24,14 @@ func NewAllReduce() *AllReduce { return &AllReduce{} }
 // Name implements cluster.Strategy.
 func (*AllReduce) Name() string { return "AR" }
 
-// Run implements cluster.Strategy.
+// Run implements cluster.Strategy. All-Reduce honors a crash schedule the
+// only way a global collective can (§4): the first fail-stop halts training
+// — every subsequent round would block forever on the dead rank — and the
+// run is recorded as not converged.
 func (*AllReduce) Run(c *cluster.Cluster) (*metrics.Result, error) {
 	n := float64(c.Cfg.N)
 	avg := tensor.NewVector(len(c.Init))
+	c.ScheduleCrashes(func(int) { c.Eng.Stop() }, nil)
 
 	var round func()
 	round = func() {

@@ -37,6 +37,11 @@ type Config struct {
 	// zones (the paper's communication heterogeneity, Case 1); nil means a
 	// flat fabric.
 	Topology *netmodel.Topology
+	// Crashes is a deterministic fail-stop schedule (§4). It takes effect
+	// only for strategies that call ScheduleCrashes (P-Reduce excludes the
+	// corpse and keeps training; All-Reduce halts, reproducing the paper's
+	// asymmetry); other baselines ignore it.
+	Crashes hetero.CrashSchedule
 
 	Threshold  float64 // stop when the averaged model reaches this accuracy
 	EvalEvery  int     // evaluate every EvalEvery updates (default 25)
@@ -69,6 +74,9 @@ func (c Config) Validate() error {
 		return err
 	}
 	if err := c.Topology.Validate(c.N); err != nil {
+		return err
+	}
+	if err := c.Crashes.Validate(c.N, 1); err != nil {
 		return err
 	}
 	return c.Net.Validate()
@@ -116,6 +124,11 @@ type Cluster struct {
 	// Eager-Reduce its reference model.
 	EvalOverride func() float64
 
+	// Dead marks fail-stopped workers. Dead replicas are excluded from
+	// EvalAverage (their parameters are frozen corpse state, not trained
+	// models). Strategies flip entries via Kill/Revive.
+	Dead []bool
+
 	evalModel model.Model   // scratch replica for evaluating averaged params
 	evalBuf   tensor.Vector // scratch average buffer
 	updates   int
@@ -140,6 +153,7 @@ func New(cfg Config, strategyName string) (*Cluster, error) {
 	c.evalModel = base.Clone()
 	c.evalBuf = tensor.NewVector(base.NumParams())
 
+	c.Dead = make([]bool, cfg.N)
 	shards := cfg.Train.Shard(cfg.N)
 	c.Workers = make([]*Worker, cfg.N)
 	for i := range c.Workers {
@@ -274,15 +288,74 @@ func (c *Cluster) eval() float64 {
 	return c.EvalAverage()
 }
 
-// EvalAverage evaluates the test accuracy of the average of all worker
-// models — the paper's inference model (Alg. 2 line 8).
+// EvalAverage evaluates the test accuracy of the average of the surviving
+// worker models — the paper's inference model (Alg. 2 line 8). Dead replicas
+// are excluded: their parameters froze at crash time.
 func (c *Cluster) EvalAverage() float64 {
 	c.evalBuf.Zero()
+	alive := 0
 	for _, w := range c.Workers {
+		if c.Dead[w.ID] {
+			continue
+		}
 		c.evalBuf.Add(w.Params())
+		alive++
 	}
-	c.evalBuf.Scale(1 / float64(len(c.Workers)))
+	if alive == 0 {
+		return 0
+	}
+	c.evalBuf.Scale(1 / float64(alive))
 	return c.EvalParams(c.evalBuf)
+}
+
+// Kill marks worker w fail-stopped. Idempotent.
+func (c *Cluster) Kill(w int) { c.Dead[w] = true }
+
+// Revive clears w's fail-stop mark after a checkpoint restart.
+func (c *Cluster) Revive(w int) { c.Dead[w] = false }
+
+// AliveCount returns the number of workers not currently dead.
+func (c *Cluster) AliveCount() int {
+	n := 0
+	for _, d := range c.Dead {
+		if !d {
+			n++
+		}
+	}
+	return n
+}
+
+// ScheduleCrashes arms the configured fail-stop schedule on the event
+// engine. For each event the worker is marked dead and onCrash fires; if the
+// event rejoins, the worker is revived at its RejoinAt and onRejoin fires
+// (the replica restarts from its crash-time parameters — the simulated
+// equivalent of restoring the checkpoint written at death). Strategies that
+// support faults call this once at the start of Run; strategies that never
+// call it simply ignore the schedule.
+func (c *Cluster) ScheduleCrashes(onCrash, onRejoin func(w int)) {
+	for _, e := range c.Cfg.Crashes {
+		e := e
+		c.Eng.At(e.At, func() {
+			if c.Dead[e.Worker] {
+				return
+			}
+			c.Kill(e.Worker)
+			if onCrash != nil {
+				onCrash(e.Worker)
+			}
+		})
+		if e.Rejoins() {
+			c.Eng.At(e.RejoinAt, func() {
+				if !c.Dead[e.Worker] {
+					return
+				}
+				c.Revive(e.Worker)
+				if onRejoin != nil {
+					onRejoin(e.Worker)
+				}
+			})
+		}
+	}
 }
 
 // EvalParams evaluates the test accuracy of an arbitrary parameter vector.

@@ -84,10 +84,13 @@ func (c Config) Validate() error {
 }
 
 // Signal is one worker's ready message. Iter is the worker's current
-// iteration number; constant weighting ignores it.
+// iteration number; constant weighting ignores it. Now optionally carries
+// the caller's clock (wall or virtual seconds) and feeds liveness tracking;
+// zero is fine when staleness detection is unused.
 type Signal struct {
 	Worker int
 	Iter   int
+	Now    float64
 }
 
 // Group is the controller's reply to the members of a formed group.
@@ -115,6 +118,9 @@ type Stats struct {
 	GroupsFormed  int
 	Interventions int // groups rewritten by frozen avoidance
 	FrozenChecks  int // times the filter inspected a full, disconnected graph
+	Failures      int // workers declared dead (ReportFailure)
+	Rejoins       int // workers re-admitted after a failure
+	GroupsAborted int // groups torn down because a member died mid-collective
 }
 
 // Controller is the P-Reduce controller. It is not safe for concurrent use;
@@ -126,6 +132,13 @@ type Controller struct {
 	queued []bool // queued[w] reports worker w has a signal in the queue
 	graph  *SyncGraph
 	stats  Stats
+
+	// Liveness: alive[w] reports worker w is believed up; beat[w] is the
+	// timestamp of its last sign of life (ready signal or heartbeat), in the
+	// caller's clock (wall seconds live, virtual seconds simulated).
+	alive  []bool
+	aliveN int
+	beat   []float64
 
 	// Group history database: co-occurrence counts sufficient to rebuild
 	// the empirical E[W_k] exactly, plus the optional full log.
@@ -150,6 +163,12 @@ func New(cfg Config) (*Controller, error) {
 		queued:  make([]bool, cfg.N),
 		graph:   NewSyncGraph(cfg.N, cfg.Window),
 		inGroup: make([]int, cfg.N),
+		alive:   make([]bool, cfg.N),
+		aliveN:  cfg.N,
+		beat:    make([]float64, cfg.N),
+	}
+	for i := range c.alive {
+		c.alive[i] = true
 	}
 	c.together = make([][]int, cfg.N)
 	for i := range c.together {
@@ -178,28 +197,50 @@ func (c *Controller) Ready(s Signal) ([]Group, error) {
 	if s.Worker < 0 || s.Worker >= c.cfg.N {
 		return nil, fmt.Errorf("controller: worker %d out of range [0,%d)", s.Worker, c.cfg.N)
 	}
+	if !c.alive[s.Worker] {
+		return nil, fmt.Errorf("controller: worker %d is marked dead (rejoin first)", s.Worker)
+	}
 	if c.queued[s.Worker] {
 		return nil, fmt.Errorf("controller: worker %d already has a queued signal", s.Worker)
 	}
+	c.beat[s.Worker] = s.Now
 	c.queue = append(c.queue, s)
 	c.queued[s.Worker] = true
+	return c.drainGroups(), nil
+}
 
+// drainGroups forms as many groups as the queue currently supports.
+func (c *Controller) drainGroups() []Group {
 	var groups []Group
-	for len(c.queue) >= c.cfg.P {
-		g, ok := c.formGroup()
+	for {
+		p := c.groupSize()
+		if p < 2 || len(c.queue) < p {
+			break
+		}
+		g, ok := c.formGroup(p)
 		if !ok {
 			break
 		}
 		groups = append(groups, g)
 	}
-	return groups, nil
+	return groups
 }
 
-// formGroup pops P signals (FIFO), applies group-frozen avoidance, records
+// groupSize returns the effective group size: the configured P, shrunk to
+// the surviving worker count so the controller keeps forming groups after
+// failures (§4: "the controller can simply exclude failed workers from
+// future groups").
+func (c *Controller) groupSize() int {
+	if c.aliveN < c.cfg.P {
+		return c.aliveN
+	}
+	return c.cfg.P
+}
+
+// formGroup pops p signals (FIFO), applies group-frozen avoidance, records
 // the group, and generates its weights. It returns ok=false when the filter
 // defers formation to wait for a bridging signal.
-func (c *Controller) formGroup() (Group, bool) {
-	p := c.cfg.P
+func (c *Controller) formGroup(p int) (Group, bool) {
 	bridged := false
 
 	// Group-frozen avoidance (§4): with a full window and a disconnected
@@ -208,8 +249,9 @@ func (c *Controller) formGroup() (Group, bool) {
 	// signal from another component; if none is waiting, it defers the group
 	// until one arrives. Deferral cannot deadlock: workers outside the
 	// candidate's component are either computing or aggregating and always
-	// send their next ready signal.
-	if !c.cfg.DisableGroupFilter && c.graph.Full() && !c.graph.Connected() {
+	// send their next ready signal. Connectivity is judged over the alive
+	// worker set only — dead workers cannot be bridged to.
+	if !c.cfg.DisableGroupFilter && c.graph.Full() && !c.graph.ConnectedAmong(c.alive) {
 		c.stats.FrozenChecks++
 		comp := c.graph.Components()
 		if sameComponent(c.queue[:p], comp) {

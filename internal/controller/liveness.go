@@ -1,0 +1,126 @@
+package controller
+
+import "fmt"
+
+// Liveness tracking and failure recovery. The paper's §4 observes that the
+// central controller is the natural place for fault tolerance: because model
+// data never flows through it, excluding a failed worker is a pure metadata
+// operation — purge its queued signal, stop grouping it, and keep the
+// sync-graph connectivity judgement to the survivors. These methods implement
+// that, plus heartbeat-staleness detection and checkpoint-rejoin re-admission.
+
+// ReportFailure declares worker dead: its queued signal (if any) is purged
+// and it is excluded from all future groups. Idempotent; reports about an
+// already-dead worker return false.
+func (c *Controller) ReportFailure(worker int) bool {
+	if worker < 0 || worker >= c.cfg.N || !c.alive[worker] {
+		return false
+	}
+	c.alive[worker] = false
+	c.aliveN--
+	c.stats.Failures++
+	c.PurgeSignal(worker)
+	return true
+}
+
+// Fail declares worker dead (as ReportFailure) and returns the groups formed
+// as an immediate consequence: shrinking the surviving-worker count shrinks
+// the effective group size, which can let an existing queue fill a group.
+func (c *Controller) Fail(worker int) []Group {
+	if !c.ReportFailure(worker) {
+		return nil
+	}
+	return c.drainGroups()
+}
+
+// PurgeSignal removes worker's queued ready signal, if any, so the worker
+// may signal again later without tripping the duplicate check. Runtimes use
+// this when releasing stranded tail workers to proceed solo: the released
+// worker recomputes and re-signals, and its stale signal must not linger in
+// the queue (a stale entry could later form a group with a worker that is no
+// longer waiting for one). Reports whether a signal was removed.
+func (c *Controller) PurgeSignal(worker int) bool {
+	if worker < 0 || worker >= c.cfg.N || !c.queued[worker] {
+		return false
+	}
+	c.queued[worker] = false
+	keep := c.queue[:0]
+	for _, s := range c.queue {
+		if s.Worker != worker {
+			keep = append(keep, s)
+		}
+	}
+	c.queue = keep
+	return true
+}
+
+// AbortGroup records that a formed group g lost member dead mid-collective:
+// the dead worker is excluded (as ReportFailure) and the abort is counted.
+// The surviving members are expected to roll back to their pre-group state
+// and re-signal ready; their signals will be accepted because group
+// formation already cleared their queued flags. It returns the groups formed
+// immediately as a consequence (the purge can unblock a deferred bridge
+// group).
+func (c *Controller) AbortGroup(g Group, dead int) []Group {
+	c.stats.GroupsAborted++
+	c.ReportFailure(dead)
+	return c.drainGroups()
+}
+
+// Rejoin re-admits worker after a checkpoint-based restart: it becomes
+// eligible for grouping again the next time it signals ready. Re-admitting
+// an alive worker is an error (it indicates a tracking bug in the caller).
+func (c *Controller) Rejoin(worker int) error {
+	if worker < 0 || worker >= c.cfg.N {
+		return fmt.Errorf("controller: worker %d out of range [0,%d)", worker, c.cfg.N)
+	}
+	if c.alive[worker] {
+		return fmt.Errorf("controller: worker %d is not dead", worker)
+	}
+	c.alive[worker] = true
+	c.aliveN++
+	c.stats.Rejoins++
+	return nil
+}
+
+// Heartbeat records a sign of life from worker at time now (same clock as
+// Signal.Now). Ready signals count as heartbeats automatically.
+func (c *Controller) Heartbeat(worker int, now float64) {
+	if worker >= 0 && worker < c.cfg.N && now > c.beat[worker] {
+		c.beat[worker] = now
+	}
+}
+
+// StaleWorkers returns the alive workers whose last sign of life is older
+// than timeout at time now — the controller-side failure detector. The
+// caller decides whether to ReportFailure them (a long mini-batch is
+// indistinguishable from a hang; choose timeout ≫ the slowest legitimate
+// iteration).
+func (c *Controller) StaleWorkers(now, timeout float64) []int {
+	var stale []int
+	for w := 0; w < c.cfg.N; w++ {
+		if c.alive[w] && now-c.beat[w] > timeout {
+			stale = append(stale, w)
+		}
+	}
+	return stale
+}
+
+// IsAlive reports whether worker is currently believed up.
+func (c *Controller) IsAlive(worker int) bool {
+	return worker >= 0 && worker < c.cfg.N && c.alive[worker]
+}
+
+// AliveCount returns the number of workers believed up.
+func (c *Controller) AliveCount() int { return c.aliveN }
+
+// Alive returns a copy of the per-worker liveness vector.
+func (c *Controller) Alive() []bool {
+	out := make([]bool, len(c.alive))
+	copy(out, c.alive)
+	return out
+}
+
+// EffectiveP exposes the current effective group size (P shrunk to the
+// surviving worker count).
+func (c *Controller) EffectiveP() int { return c.groupSize() }

@@ -101,3 +101,29 @@ func (g *SyncGraph) NumComponents() int {
 
 // Connected reports whether all workers are in one component.
 func (g *SyncGraph) Connected() bool { return g.NumComponents() == 1 }
+
+// ConnectedAmong reports whether every worker with alive[w] == true lies in
+// one component — the connectivity that matters once failed workers are
+// excluded from future groups (a dead worker is unreachable by construction
+// and must not count as a frozen sub-cluster). A nil alive slice means all
+// workers are alive.
+func (g *SyncGraph) ConnectedAmong(alive []bool) bool {
+	if alive == nil {
+		return g.Connected()
+	}
+	ids := g.Components()
+	first := -1
+	for w, a := range alive {
+		if !a {
+			continue
+		}
+		if first == -1 {
+			first = ids[w]
+			continue
+		}
+		if ids[w] != first {
+			return false
+		}
+	}
+	return true
+}

@@ -120,16 +120,38 @@ func (p *PReduce) RunDetailed(c *cluster.Cluster) (*RunInfo, error) {
 	return &RunInfo{Result: res, Stats: ctrl.Stats(), MeanW: ctrl.MeanW()}, nil
 }
 
-// runWith drives Algorithm 2 on the cluster's event engine.
+// runWith drives Algorithm 2 on the cluster's event engine. When the cell
+// carries a fail-stop schedule (§4), crashes are handled the way the paper
+// says the controller makes cheap: a dead worker's queued signal is purged,
+// a group caught mid-collective is aborted and its survivors re-signal after
+// one controller round trip, and checkpoint rejoins re-admit the worker with
+// its crash-time model.
 func (p *PReduce) runWith(c *cluster.Cluster, ctrl *controller.Controller) (*metrics.Result, error) {
 	if p.cfg.Overlap {
+		if len(c.Cfg.Crashes) > 0 {
+			return nil, fmt.Errorf("core: overlapped P-Reduce does not support crash schedules")
+		}
 		return p.runOverlapped(c, ctrl)
 	}
 	agg := tensor.NewVector(len(c.Init))
 	var readyErr error
 
+	// inflight tracks dispatched groups until they complete, so a crash can
+	// abort exactly the group the corpse was syncing with. aborted seqs make
+	// the already-scheduled completion event a no-op.
+	inflight := make(map[uint64]controller.Group)
+	aborted := make(map[uint64]bool)
+	var seq uint64
+
 	var startCompute func(w *cluster.Worker)
-	onGroupDone := func(g controller.Group) {
+	var dispatch func(groups []controller.Group)
+
+	onGroupDone := func(id uint64, g controller.Group) {
+		if aborted[id] {
+			delete(aborted, id)
+			return
+		}
+		delete(inflight, id)
 		// Weighted model average (Alg. 2 line 7; §3.3 for dynamic weights).
 		agg.Zero()
 		for i, wid := range g.Members {
@@ -149,31 +171,97 @@ func (p *PReduce) runWith(c *cluster.Cluster, ctrl *controller.Controller) (*met
 		}
 	}
 
-	onComputeDone := func(w *cluster.Worker) {
-		grad, _ := c.Gradient(w)
-		w.Opt.Update(w.Params(), grad, 1) // local update (Alg. 2 line 4)
-		w.Iter++
+	dispatch = func(groups []controller.Group) {
+		for _, g := range groups {
+			g := g
+			seq++
+			id := seq
+			inflight[id] = g
+			// One controller round trip plus a ring all-reduce sized to the
+			// group: P-Reduce preserves collective bandwidth utilization
+			// while shrinking the synchronization scope (§3.1.1).
+			dur := c.Cfg.Net.CtrlRTT + c.RingTime(g.Members)
+			c.Eng.After(dur, func() { onGroupDone(id, g) })
+		}
+	}
+
+	signalReady := func(w *cluster.Worker) {
 		groups, err := ctrl.Ready(controller.Signal{Worker: w.ID, Iter: w.Iter})
 		if err != nil {
 			readyErr = err
 			c.Eng.Stop()
 			return
 		}
-		for _, g := range groups {
-			g := g
-			// One controller round trip plus a ring all-reduce sized to the
-			// group: P-Reduce preserves collective bandwidth utilization
-			// while shrinking the synchronization scope (§3.1.1).
-			dur := c.Cfg.Net.CtrlRTT + c.RingTime(g.Members)
-			c.Eng.After(dur, func() { onGroupDone(g) })
+		dispatch(groups)
+	}
+
+	onComputeDone := func(w *cluster.Worker) {
+		if c.Dead[w.ID] {
+			return // the corpse's in-flight batch is lost with it
 		}
+		grad, _ := c.Gradient(w)
+		w.Opt.Update(w.Params(), grad, 1) // local update (Alg. 2 line 4)
+		w.Iter++
+		signalReady(w)
 	}
 
 	startCompute = func(w *cluster.Worker) {
+		if c.Dead[w.ID] {
+			return
+		}
 		c.Snapshot(w)
 		c.Eng.After(c.ComputeTime(w), func() { onComputeDone(w) })
 	}
 
+	onCrash := func(dead int) {
+		// If the corpse was mid-collective, abort that group: the survivors
+		// roll back (in the simulator the average simply never lands) and
+		// re-signal ready after one controller round trip.
+		for id, g := range inflight {
+			hit := false
+			for _, m := range g.Members {
+				if m == dead {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				continue
+			}
+			delete(inflight, id)
+			aborted[id] = true
+			dispatch(ctrl.AbortGroup(g, dead))
+			for _, m := range g.Members {
+				if m == dead || c.Dead[m] {
+					continue
+				}
+				w := c.Workers[m]
+				c.Eng.After(c.Cfg.Net.CtrlRTT, func() {
+					if !c.Dead[w.ID] {
+						signalReady(w)
+					}
+				})
+			}
+			return
+		}
+		// Otherwise the worker was computing (its batch is discarded at
+		// onComputeDone) or queued (Fail purges the signal). Shrinking the
+		// surviving count can let the existing queue fill a group.
+		dispatch(ctrl.Fail(dead))
+	}
+
+	onRejoin := func(w int) {
+		// Checkpoint restart: the replica resumes from its crash-time
+		// parameters and iteration count (the state the checkpoint froze).
+		if err := ctrl.Rejoin(w); err != nil {
+			readyErr = err
+			c.Eng.Stop()
+			return
+		}
+		startCompute(c.Workers[w])
+	}
+
+	c.ScheduleCrashes(onCrash, onRejoin)
 	for _, w := range c.Workers {
 		w := w
 		c.Eng.At(0, func() { startCompute(w) })

@@ -303,6 +303,38 @@ func TestGeoStudy(t *testing.T) {
 	}
 }
 
+// Crash-rate sweep: DYN P=3 keeps converging under fail-stops that halt
+// All-Reduce (§4's asymmetry, simulated end to end).
+func TestRobustnessCrashSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash sweep is expensive")
+	}
+	res, err := RobustnessCrash(quick, []float64{0, 0.45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashes[0] != 0 {
+		t.Fatalf("rate 0 scheduled %d crashes", res.Crashes[0])
+	}
+	if res.Crashes[1] == 0 {
+		t.Fatal("rate 0.45 scheduled no crashes; pick a different seed offset")
+	}
+	for i := range res.Rates {
+		if !res.DYNConverged[i] {
+			t.Fatalf("DYN P=3 missed the threshold at rate %v: %+v", res.Rates[i], res)
+		}
+		wantAR := res.Crashes[i] == 0
+		if res.ARConverged[i] != wantAR {
+			t.Fatalf("AR converged=%v with %d crashes", res.ARConverged[i], res.Crashes[i])
+		}
+	}
+	var buf bytes.Buffer
+	res.Format(&buf)
+	if !strings.Contains(buf.String(), "crash-rate sweep") {
+		t.Fatal("Format produced no output")
+	}
+}
+
 // The headline speedup holds across seeds, not just seed 1.
 func TestRobustnessAcrossSeeds(t *testing.T) {
 	if testing.Short() {

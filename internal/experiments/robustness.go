@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"partialreduce/internal/hetero"
 	"partialreduce/internal/metrics"
 	"partialreduce/internal/model"
 )
@@ -58,6 +59,88 @@ func Robustness(opts Options, seeds int) (*RobustnessResult, error) {
 		out.Speedups[i] = p.ar.RunTime / p.dyn.RunTime
 	}
 	return out, nil
+}
+
+// CrashSweepResult compares DYN P=3 against AR under deterministic
+// fail-stop schedules of increasing crash rate (§4's fault-tolerance claim).
+type CrashSweepResult struct {
+	Rates        []float64
+	Crashes      []int // scheduled crashes per rate
+	DYNConverged []bool
+	DYNAccuracy  []float64
+	DYNTime      []float64 // virtual seconds to threshold (0 if missed)
+	ARConverged  []bool
+}
+
+// RobustnessCrash sweeps crash rates on the headline heterogeneous cell
+// (ResNet-34/CIFAR-10, HL=3, N=8). For each rate a seeded schedule is drawn
+// once and replayed against both strategies, so the comparison is apples to
+// apples: P-Reduce excludes the corpses and keeps training, while All-Reduce
+// halts at the first fail-stop and is recorded as not converged. The whole
+// sweep is a pure function of (opts.Seed, rates).
+func RobustnessCrash(opts Options, rates []float64) (*CrashSweepResult, error) {
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("experiments: need at least one crash rate")
+	}
+	w := opts.workload(CIFAR10Workload(model.ResNet34))
+	// Crashes land inside the first ~40 batch-times. Both strategies need
+	// several times that long to reach the threshold (AR pays ~2 batch-times
+	// per round under HL=3, DYN ~100 partial reduces), so every scheduled
+	// crash fires while training is still in progress: All-Reduce halts
+	// mid-run while P-Reduce has to absorb the loss, not outrun it.
+	horizon := w.Profile.BatchCompute * 40
+
+	out := &CrashSweepResult{}
+	type pair struct{ ar, dyn *metrics.Result }
+	results := make([]pair, len(rates))
+	var jobs []job
+	for i, rate := range rates {
+		i := i
+		sched := hetero.RandomCrashes(8, rate, horizon, opts.Seed+int64(i)*101)
+		out.Rates = append(out.Rates, rate)
+		out.Crashes = append(out.Crashes, len(sched))
+		cell := Cell{Workload: w, N: 8, Env: EnvHL, HL: 3, Seed: opts.Seed, Crashes: sched}
+		jobs = append(jobs,
+			job{cell: cell, strategy: "AR", store: func(r *metrics.Result) { results[i].ar = r }},
+			job{cell: cell, strategy: "DYN P=3", store: func(r *metrics.Result) { results[i].dyn = r }},
+		)
+	}
+	if err := runAll(opts, jobs); err != nil {
+		return nil, err
+	}
+	for _, p := range results {
+		out.ARConverged = append(out.ARConverged, p.ar != nil && p.ar.Converged)
+		dynOK := p.dyn != nil && p.dyn.Converged
+		out.DYNConverged = append(out.DYNConverged, dynOK)
+		acc, t := 0.0, 0.0
+		if p.dyn != nil {
+			acc = p.dyn.FinalAccuracy
+			if dynOK {
+				t = p.dyn.RunTime
+			}
+		}
+		out.DYNAccuracy = append(out.DYNAccuracy, acc)
+		out.DYNTime = append(out.DYNTime, t)
+	}
+	return out, nil
+}
+
+// Format renders the crash sweep as a table.
+func (r *CrashSweepResult) Format(w io.Writer) {
+	fmt.Fprintf(w, "crash-rate sweep (ResNet-34/CIFAR-10, HL=3, N=8):\n")
+	fmt.Fprintf(w, "  %-6s %-8s %-12s %-10s %-10s %s\n",
+		"rate", "crashes", "DYN P=3", "acc", "time(s)", "AR")
+	for i := range r.Rates {
+		dyn, ar := "missed", "halted"
+		if r.DYNConverged[i] {
+			dyn = "converged"
+		}
+		if r.ARConverged[i] {
+			ar = "converged"
+		}
+		fmt.Fprintf(w, "  %-6.2f %-8d %-12s %-10.3f %-10.0f %s\n",
+			r.Rates[i], r.Crashes[i], dyn, r.DYNAccuracy[i], r.DYNTime[i], ar)
+	}
 }
 
 // Format renders per-seed speedups and the min/mean/max band.

@@ -128,6 +128,9 @@ type Cell struct {
 	Env      EnvKind
 	HL       int // used when Env == EnvHL
 	Seed     int64
+	// Crashes is an optional deterministic fail-stop schedule (§4); the same
+	// schedule replays identically across strategies and repeated runs.
+	Crashes hetero.CrashSchedule
 }
 
 // Build constructs the cluster config for the cell.
@@ -170,6 +173,7 @@ func (c Cell) Build() (cluster.Config, error) {
 		EvalEvery:  c.Workload.EvalEvery,
 		MaxUpdates: c.Workload.MaxUpdates,
 		MaxTime:    c.Workload.MaxTime,
+		Crashes:    c.Crashes,
 	}, nil
 }
 

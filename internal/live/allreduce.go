@@ -19,6 +19,12 @@ import (
 // time against Run on the same world (with the same injected ComputeDelay
 // stragglers) demonstrates the heterogeneity tolerance live, not just in
 // simulation. Config.P is ignored.
+//
+// Config.Crash is honored the hard way: the crashed worker simply stops
+// participating, and because every iteration requires all N workers, the
+// survivors' collectives fail and the whole run errors out. That asymmetry —
+// P-Reduce's Run recovers from the same crash schedule, RunAllReduce cannot —
+// is the fault-tolerance claim of §4 made executable.
 func RunAllReduce(cfg Config, world []transport.Transport) (*Report, error) {
 	if cfg.N < 2 || cfg.Train == nil || cfg.Test == nil || cfg.BatchSize < 1 || cfg.Iters < 1 {
 		return nil, fmt.Errorf("live: invalid all-reduce config")
@@ -55,7 +61,14 @@ func RunAllReduce(cfg Config, world []transport.Transport) (*Report, error) {
 			var batch *data.Batch
 			tr := world[id]
 
+			crashAt, hasCrash := cfg.Crash[id]
 			for iter := 0; iter < cfg.Iters; iter++ {
+				if hasCrash && iter+1 >= crashAt {
+					// Fail-stop: drop out right before this iteration's
+					// barrier; every peer will see us down inside it.
+					transport.FailPeerEverywhere(world, id)
+					return
+				}
 				if cfg.ComputeDelay != nil {
 					if d := cfg.ComputeDelay(id, iter); d > 0 {
 						time.Sleep(d)

@@ -5,13 +5,23 @@
 // paper's prototype (§4): the controller carries only worker ids and
 // iteration numbers — a few bytes — while model data moves exclusively
 // through the group collectives.
+//
+// The runtime is fault tolerant in the sense of §4: a worker crash is
+// detected by its group peers (the collective fails with a typed peer-down
+// error), the survivors roll back to their pre-group models and re-signal
+// ready, and the controller excludes the dead worker from all future groups.
+// Because no model data flows through the controller, exclusion is a pure
+// metadata operation. Crashed workers can rejoin from a checkpoint.
 package live
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"partialreduce/internal/checkpoint"
 	"partialreduce/internal/collective"
 	"partialreduce/internal/controller"
 	"partialreduce/internal/data"
@@ -39,6 +49,25 @@ type Config struct {
 	// ComputeDelay optionally injects artificial per-batch latency to
 	// emulate heterogeneity on real hardware (nil for full speed).
 	ComputeDelay func(worker, iter int) time.Duration
+
+	// Crash maps worker id -> local iteration at which the worker crashes.
+	// The crash lands at the worst possible moment for the protocol: the
+	// worker dies immediately after sending that iteration's ready signal,
+	// so the controller (not yet knowing) can form a group containing the
+	// corpse and the surviving members must detect the failure inside the
+	// collective and recover — exactly the hazard §4 describes.
+	Crash map[int]int
+	// Rejoin maps a crashed worker id -> delay after its crash at which it
+	// restarts from its last checkpoint and re-enters the cluster. Only
+	// workers present in Crash may appear here.
+	Rejoin map[int]time.Duration
+	// FailTimeout enables the controller-side staleness detector: a worker
+	// with no sign of life for this long is declared dead. It is the
+	// backstop for crashes that peers cannot observe through a collective
+	// (e.g. a worker whose queued signal can no longer fill a group).
+	// Required when Crash is non-empty; choose it well above the slowest
+	// legitimate iteration. Zero disables the detector.
+	FailTimeout time.Duration
 }
 
 // Validate reports whether the configuration is usable.
@@ -56,36 +85,97 @@ func (c Config) Validate() error {
 		return fmt.Errorf("live: batch size must be positive")
 	case c.Iters < 1:
 		return fmt.Errorf("live: need at least one iteration")
+	case c.FailTimeout < 0:
+		return fmt.Errorf("live: negative fail timeout")
+	}
+	for w, it := range c.Crash {
+		if w < 0 || w >= c.N {
+			return fmt.Errorf("live: crash worker %d out of range [0,%d)", w, c.N)
+		}
+		if it < 1 || it > c.Iters {
+			return fmt.Errorf("live: crash iteration %d for worker %d outside [1,%d]", it, w, c.Iters)
+		}
+	}
+	if len(c.Crash) > 0 && c.FailTimeout == 0 {
+		return fmt.Errorf("live: crashes configured but FailTimeout unset (the staleness backstop is required)")
+	}
+	if len(c.Crash) >= c.N-1 {
+		return fmt.Errorf("live: %d crashes leave fewer than 2 of %d workers", len(c.Crash), c.N)
+	}
+	for w, d := range c.Rejoin {
+		if _, ok := c.Crash[w]; !ok {
+			return fmt.Errorf("live: rejoin for worker %d which never crashes", w)
+		}
+		if d < 0 {
+			return fmt.Errorf("live: negative rejoin delay for worker %d", w)
+		}
 	}
 	return c.Optimizer.Validate()
 }
 
 // Report summarizes a live run.
 type Report struct {
-	FinalAccuracy float64 // accuracy of the averaged model
-	Groups        int     // P-Reduce groups executed
+	FinalAccuracy float64 // accuracy of the averaged model (completed workers)
+	Groups        int     // P-Reduce groups executed to completion
+	Aborts        int     // groups torn down because a member died mid-collective
+	Failures      int     // workers declared dead
+	Rejoins       int     // workers re-admitted from a checkpoint
 	WallTime      time.Duration
-	WorkerIters   []int // local iterations completed per worker
+	WorkerIters   []int  // local iterations completed per worker
+	Alive         []bool // final controller liveness vector
+	Completed     []bool // workers that finished all their iterations
 }
 
-// readyMsg is a worker's signal to the controller service.
-type readyMsg struct {
-	worker int
-	iter   int
-	reply  chan *groupMsg
-}
-
-// groupMsg carries a formed group to its members; nil group means "proceed
-// without averaging" (tail release at shutdown).
+// groupMsg carries a formed group to its members; skip means "proceed
+// without averaging" (tail release, or a signal the controller rejected).
 type groupMsg struct {
 	group controller.Group
 	opID  uint32
 	skip  bool
 }
 
+// svcKind enumerates messages on the controller service's inbox.
+type svcKind int
+
+const (
+	kindReady svcKind = iota // worker finished an iteration and wants a group
+	kindDone                 // worker finished all iterations
+	kindFail                 // worker observed a peer die inside a collective
+	kindRejoin               // crashed worker asks to re-enter from checkpoint
+)
+
+// svcMsg is one message to the controller service.
+type svcMsg struct {
+	kind   svcKind
+	worker int
+	iter   int
+	reply  chan *groupMsg // kindReady: where to deliver the group
+	dead   int            // kindFail: the peer observed down
+	group  controller.Group
+	opID   uint32        // kindFail: the failing collective op
+	admit  chan struct{} // kindRejoin: closed once the worker is re-admitted
+}
+
+// runtime bundles the state shared by the service, the workers, and the
+// rejoin goroutines of one Run.
+type runtime struct {
+	cfg    Config
+	world  []transport.Transport
+	base   model.Model
+	init   tensor.Vector
+	shards []*data.Dataset
+
+	svcCh  chan svcMsg
+	runErr chan error
+	wg     sync.WaitGroup
+
+	iters  []int
+	models []model.Model
+}
+
 // Run trains with cfg over the given transport world (len(world) == N; entry
-// i is worker i's endpoint). It blocks until every worker completes its
-// iterations and returns the report.
+// i is worker i's endpoint). It blocks until every surviving worker completes
+// its iterations and returns the report.
 func Run(cfg Config, world []transport.Transport) (*Report, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -102,160 +192,399 @@ func Run(cfg Config, world []transport.Transport) (*Report, error) {
 	}
 
 	base := cfg.Spec.Build(cfg.Seed)
-	init := base.Params().Clone()
-	shards := cfg.Train.Shard(cfg.N)
+	rt := &runtime{
+		cfg:    cfg,
+		world:  world,
+		base:   base,
+		init:   base.Params().Clone(),
+		shards: cfg.Train.Shard(cfg.N),
+		svcCh:  make(chan svcMsg, 4*cfg.N),
+		runErr: make(chan error, 2*cfg.N),
+		iters:  make([]int, cfg.N),
+		models: make([]model.Model, cfg.N),
+	}
 
-	readyCh := make(chan readyMsg, cfg.N)
-	doneCh := make(chan int, cfg.N)
+	completed := make([]bool, cfg.N)
+	stop := make(chan struct{})
 	ctrlDone := make(chan struct{})
-
-	// Controller service: serializes Ready calls, replies to group members,
-	// and releases stranded tail workers once the remaining signals can no
-	// longer fill a group.
-	go func() {
-		defer close(ctrlDone)
-		waiting := make(map[int]chan *groupMsg, cfg.N)
-		finished := 0
-		opSeq := uint32(0)
-		release := func() {
-			// Every still-active worker is queued and the controller formed
-			// no group for them (fewer than P remain, or the group filter is
-			// deferring for a bridge signal that can no longer arrive): no
-			// progress is possible without releasing them to proceed solo.
-			if len(waiting) > 0 && len(waiting) == cfg.N-finished {
-				for id, ch := range waiting {
-					ch <- &groupMsg{skip: true}
-					delete(waiting, id)
-				}
-			}
-		}
-		for finished < cfg.N {
-			select {
-			case <-doneCh:
-				finished++
-				release()
-			case msg := <-readyCh:
-				waiting[msg.worker] = msg.reply
-				groups, err := ctrl.Ready(controller.Signal{Worker: msg.worker, Iter: msg.iter})
-				if err != nil {
-					// Protocol violation; release the sender with an error
-					// marker (skip) — tests assert this cannot happen.
-					msg.reply <- &groupMsg{skip: true}
-					delete(waiting, msg.worker)
-					continue
-				}
-				for _, g := range groups {
-					opSeq++
-					for _, member := range g.Members {
-						waiting[member] <- &groupMsg{group: g, opID: opSeq}
-						delete(waiting, member)
-					}
-				}
-				release()
-			}
-		}
-	}()
+	go rt.service(ctrl, completed, stop, ctrlDone)
 
 	start := time.Now()
-	var wg sync.WaitGroup
-	iters := make([]int, cfg.N)
-	models := make([]model.Model, cfg.N)
-	var groupsMu sync.Mutex
-	groupsRun := 0
-
-	runErr := make(chan error, cfg.N)
 	for id := 0; id < cfg.N; id++ {
 		id := id
-		wg.Add(1)
+		rt.wg.Add(1)
 		go func() {
-			defer wg.Done()
-			defer func() { doneCh <- id }()
-
+			defer rt.wg.Done()
 			m := base.Clone()
-			models[id] = m
+			rt.models[id] = m
 			opt := optim.NewSGD(cfg.Optimizer, m.NumParams())
-			sampler := data.NewSampler(shards[id], cfg.Seed*31+int64(id))
-			grad := tensor.NewVector(m.NumParams())
-			var batch *data.Batch
-			tr := world[id]
-			// The paper's loop counter: fast-forwarded to the group max after
-			// every partial reduce (§3.3.3), so stragglers skip caught-up work.
-			iter := 0
-
-			for iter < cfg.Iters {
-				if cfg.ComputeDelay != nil {
-					if d := cfg.ComputeDelay(id, iter); d > 0 {
-						time.Sleep(d)
-					}
-				}
-				batch = sampler.Sample(batch, cfg.BatchSize)
-				m.Gradient(grad, batch)
-				opt.Update(m.Params(), grad, 1)
-				iter++
-				iters[id] = iter
-
-				reply := make(chan *groupMsg, 1)
-				readyCh <- readyMsg{worker: id, iter: iter, reply: reply}
-				gm := <-reply
-				if gm.skip {
-					continue
-				}
-				g := gm.group
-				var weight float64
-				for i, member := range g.Members {
-					if member == id {
-						weight = g.Weights[i]
-						break
-					}
-				}
-				if err := collective.WeightedAverage(tr, g.Members, gm.opID, m.Params(), weight); err != nil {
-					runErr <- fmt.Errorf("live: worker %d collective: %w", id, err)
-					// Unblock peers waiting on this rank before exiting.
-					for _, t := range world {
-						t.Close()
-					}
-					return
-				}
-				if g.InitWeight > 0 {
-					m.Params().Axpy(g.InitWeight, init)
-				}
-				iter = maxInt(iter, g.Iter)
-				iters[id] = iter
-				groupsMu.Lock()
-				groupsRun++
-				groupsMu.Unlock()
-			}
+			sampler := data.NewSampler(rt.shards[id], cfg.Seed*31+int64(id))
+			rt.worker(id, m, opt, sampler, 0, true)
 		}()
 	}
 
-	wg.Wait()
+	rt.wg.Wait()
+	close(stop)
 	<-ctrlDone
 	select {
-	case err := <-runErr:
+	case err := <-rt.runErr:
 		return nil, err
 	default:
 	}
 
-	// Average the replicas for inference (Alg. 2 line 8).
-	avg := tensor.NewVector(len(init))
-	for _, m := range models {
-		avg.Add(m.Params())
+	// Average the completed replicas for inference (Alg. 2 line 8). Workers
+	// that died and never rejoined hold stale models and are excluded.
+	avg := tensor.NewVector(len(rt.init))
+	n := 0
+	for id, m := range rt.models {
+		if completed[id] {
+			avg.Add(m.Params())
+			n++
+		}
 	}
-	avg.Scale(1 / float64(cfg.N))
+	if n == 0 {
+		return nil, fmt.Errorf("live: no worker completed its iterations")
+	}
+	avg.Scale(1 / float64(n))
 	base.SetParams(avg)
 
-	// Each group op was counted once per member; normalize to group count.
+	stats := ctrl.Stats()
 	return &Report{
 		FinalAccuracy: model.Accuracy(base, cfg.Test),
-		Groups:        groupsRun / cfg.P,
+		Groups:        stats.GroupsFormed - stats.GroupsAborted,
+		Aborts:        stats.GroupsAborted,
+		Failures:      stats.Failures,
+		Rejoins:       stats.Rejoins,
 		WallTime:      time.Since(start),
-		WorkerIters:   iters,
+		WorkerIters:   rt.iters,
+		Alive:         ctrl.Alive(),
+		Completed:     completed,
 	}, nil
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
+// service serializes all controller access. It owns liveness bookkeeping:
+// which workers are waiting for a group, which are inside a dispatched
+// collective, and when each was last heard from. It runs until stop closes
+// (after every worker goroutine has exited), so a sender can never block on
+// a vanished service.
+func (rt *runtime) service(ctrl *controller.Controller, completed []bool, stop, ctrlDone chan struct{}) {
+	defer close(ctrlDone)
+	cfg := rt.cfg
+	waiting := make(map[int]chan *groupMsg, cfg.N)
+	lastOp := make(map[int]controller.Group, cfg.N)
+	lastOpID := make(map[int]uint32, cfg.N)
+	lastHeard := make([]time.Time, cfg.N)
+	now := time.Now()
+	for i := range lastHeard {
+		lastHeard[i] = now
 	}
-	return b
+	aborted := make(map[uint32]bool)
+	active := cfg.N // workers believed alive and not yet finished
+	opSeq := uint32(0)
+
+	handleGroups := func(groups []controller.Group) {
+		for _, g := range groups {
+			opSeq++
+			for _, member := range g.Members {
+				lastOp[member] = g
+				lastOpID[member] = opSeq
+				if ch, ok := waiting[member]; ok {
+					ch <- &groupMsg{group: g, opID: opSeq}
+					delete(waiting, member)
+				}
+			}
+		}
+	}
+	release := func() {
+		// Every still-active worker is queued and the controller formed no
+		// group for them (fewer than the effective group size remain, or the
+		// filter is deferring for a bridge signal that can no longer
+		// arrive): no progress is possible without releasing them to proceed
+		// solo. Their queued signals are purged so the re-signal after the
+		// solo step is accepted cleanly.
+		if len(waiting) > 0 && len(waiting) == active {
+			for id, ch := range waiting {
+				ctrl.PurgeSignal(id)
+				ch <- &groupMsg{skip: true}
+				delete(waiting, id)
+			}
+		}
+	}
+	// markDead excludes dead from all future grouping and aborts the
+	// collective it may be blocking. g/opID describe a group op a survivor
+	// observed failing (opID 0: no such observation — the worker went dark
+	// between collectives and we abort its last op as a precaution; aborting
+	// a completed op is harmless because op ids are never reused).
+	markDead := func(dead int, g controller.Group, opID uint32) {
+		if !ctrl.IsAlive(dead) {
+			return
+		}
+		active--
+		if ch, ok := waiting[dead]; ok {
+			ch <- &groupMsg{skip: true} // wakes a falsely-accused worker
+			delete(waiting, dead)
+		}
+		var groups []controller.Group
+		if opID != 0 && !aborted[opID] {
+			aborted[opID] = true
+			groups = ctrl.AbortGroup(g, dead)
+			transport.AbortOpEverywhere(rt.world, g.Members, opID, dead)
+		} else {
+			groups = ctrl.Fail(dead)
+			if lg, ok := lastOp[dead]; ok {
+				if id := lastOpID[dead]; !aborted[id] {
+					aborted[id] = true
+					transport.AbortOpEverywhere(rt.world, lg.Members, id, dead)
+				}
+			}
+		}
+		handleGroups(groups)
+		release()
+	}
+
+	var tick <-chan time.Time
+	if cfg.FailTimeout > 0 {
+		ticker := time.NewTicker(cfg.FailTimeout / 2)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+
+	handle := func(msg svcMsg) {
+		w := msg.worker
+		lastHeard[w] = time.Now()
+		switch msg.kind {
+		case kindReady:
+			waiting[w] = msg.reply
+			groups, err := ctrl.Ready(controller.Signal{
+				Worker: w, Iter: msg.iter,
+				Now: float64(time.Now().UnixNano()) / 1e9,
+			})
+			if err != nil {
+				// Dead-marked or duplicate sender: release it to proceed
+				// solo; it is not grouped.
+				msg.reply <- &groupMsg{skip: true}
+				delete(waiting, w)
+				return
+			}
+			handleGroups(groups)
+			release()
+		case kindDone:
+			if ctrl.IsAlive(w) {
+				completed[w] = true
+				active--
+			}
+			release()
+		case kindFail:
+			markDead(msg.dead, msg.group, msg.opID)
+		case kindRejoin:
+			// The worker may have died undetected (its group never formed
+			// and the staleness timer has not fired): reconcile before
+			// re-admitting, or the controller would see a rejoin of a live
+			// worker.
+			markDead(w, controller.Group{}, 0)
+			transport.RevivePeerEverywhere(rt.world, w)
+			if err := ctrl.Rejoin(w); err != nil {
+				rt.runErr <- fmt.Errorf("live: rejoin worker %d: %w", w, err)
+			} else {
+				active++
+			}
+			close(msg.admit)
+		}
+	}
+
+	for {
+		select {
+		case <-stop:
+			// stop closes only after every worker goroutine exited, but their
+			// final messages (kindDone, mostly) may still sit in the inbox;
+			// drain them so the completed vector is accurate.
+			for {
+				select {
+				case msg := <-rt.svcCh:
+					handle(msg)
+				default:
+					return
+				}
+			}
+		case now := <-tick:
+			// The sweep covers workers blocked in collectives too: a stuck
+			// collective normally resolves through the peer-down/abort path
+			// long before the timeout, so a member still silent after
+			// FailTimeout is dead (or the timeout was chosen too tight —
+			// pick it well above an iteration plus a collective).
+			for w := 0; w < cfg.N; w++ {
+				if ctrl.IsAlive(w) && !completed[w] &&
+					now.Sub(lastHeard[w]) > cfg.FailTimeout {
+					markDead(w, controller.Group{}, 0)
+				}
+			}
+		case msg := <-rt.svcCh:
+			handle(msg)
+		}
+	}
+}
+
+// worker runs one training loop from startIter. allowCrash arms the
+// configured crash injection (disarmed for the post-rejoin incarnation).
+func (rt *runtime) worker(id int, m model.Model, opt *optim.SGD, sampler *data.Sampler, startIter int, allowCrash bool) {
+	cfg := rt.cfg
+	tr := rt.world[id]
+	grad := tensor.NewVector(m.NumParams())
+	pre := tensor.NewVector(m.NumParams())
+	var batch *data.Batch
+	// The paper's loop counter: fast-forwarded to the group max after every
+	// partial reduce (§3.3.3), so stragglers skip caught-up work.
+	iter := startIter
+	crashAt, hasCrash := cfg.Crash[id]
+
+	for iter < cfg.Iters {
+		if cfg.ComputeDelay != nil {
+			if d := cfg.ComputeDelay(id, iter); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		batch = sampler.Sample(batch, cfg.BatchSize)
+		m.Gradient(grad, batch)
+		opt.Update(m.Params(), grad, 1)
+		iter++
+		rt.iters[id] = iter
+
+		if allowCrash && hasCrash && iter >= crashAt {
+			rt.crash(id, m, opt, iter)
+			return // no done message: the cluster must detect the death
+		}
+
+		for { // signal ready; on group abort, roll back and re-signal
+			reply := make(chan *groupMsg, 1)
+			rt.svcCh <- svcMsg{kind: kindReady, worker: id, iter: iter, reply: reply}
+			gm := <-reply
+			if gm.skip {
+				break // proceed solo this iteration
+			}
+			g := gm.group
+			var weight float64
+			for i, member := range g.Members {
+				if member == id {
+					weight = g.Weights[i]
+					break
+				}
+			}
+			pre.CopyFrom(m.Params())
+			err := collective.WeightedAverage(tr, g.Members, gm.opID, m.Params(), weight)
+			if err == nil {
+				if g.InitWeight > 0 {
+					m.Params().Axpy(g.InitWeight, rt.init)
+				}
+				if g.Iter > iter {
+					iter = g.Iter
+					rt.iters[id] = iter
+				}
+				break
+			}
+			if !transport.IsFailure(err) {
+				// Hard transport error (e.g. endpoint closed): abort the
+				// whole run, unblocking peers first.
+				rt.runErr <- fmt.Errorf("live: worker %d collective: %w", id, err)
+				for _, t := range rt.world {
+					t.Close()
+				}
+				rt.svcCh <- svcMsg{kind: kindDone, worker: id}
+				return
+			}
+			// A peer died mid-collective (§4): roll back to the pre-group
+			// model, report the death, and re-signal ready for this same
+			// iteration. The controller will regroup us with survivors.
+			m.Params().CopyFrom(pre)
+			dead := deadPeer(err)
+			if dead == id {
+				return // we ourselves were declared dead; fall silent
+			}
+			if dead >= 0 {
+				rt.svcCh <- svcMsg{kind: kindFail, worker: id, dead: dead, group: g, opID: gm.opID}
+			}
+		}
+	}
+	rt.svcCh <- svcMsg{kind: kindDone, worker: id}
+}
+
+// crash simulates a fail-stop crash of worker id immediately after its ready
+// signal for iter went out: the signal is in flight, so the controller may
+// form a group containing the corpse. If a rejoin is configured, the state
+// at the crash point is checkpointed first (standing in for the periodic
+// checkpoint a real deployment would have on disk) and a restart goroutine
+// is scheduled.
+func (rt *runtime) crash(id int, m model.Model, opt *optim.SGD, iter int) {
+	delay, willRejoin := rt.cfg.Rejoin[id]
+	reply := make(chan *groupMsg, 1) // abandoned: the corpse never reads it
+	rt.svcCh <- svcMsg{kind: kindReady, worker: id, iter: iter, reply: reply}
+
+	var snap []byte
+	if willRejoin {
+		vel, step := opt.State()
+		var buf bytes.Buffer
+		err := checkpoint.Write(&buf, &checkpoint.State{
+			Params:   m.Params().Clone(),
+			Velocity: vel,
+			Iter:     int64(iter),
+			Step:     int64(step),
+		})
+		if err != nil {
+			rt.runErr <- fmt.Errorf("live: worker %d checkpoint: %w", id, err)
+			willRejoin = false
+		}
+		snap = buf.Bytes()
+	}
+
+	transport.FailPeerEverywhere(rt.world, id)
+
+	if willRejoin {
+		rt.wg.Add(1)
+		go rt.rejoin(id, snap, delay)
+	}
+}
+
+// rejoin restarts a crashed worker from its checkpoint after delay: it
+// rebuilds the model and optimizer from the snapshot, performs the
+// re-admission handshake with the controller service (which reconciles the
+// death if still undetected and lifts the transport down-marks), and resumes
+// training from the checkpointed iteration.
+func (rt *runtime) rejoin(id int, snap []byte, delay time.Duration) {
+	defer rt.wg.Done()
+	time.Sleep(delay)
+
+	st, err := checkpoint.Read(bytes.NewReader(snap))
+	if err != nil {
+		rt.runErr <- fmt.Errorf("live: worker %d restore: %w", id, err)
+		return
+	}
+	m := rt.base.Clone()
+	m.SetParams(tensor.Vector(st.Params))
+	opt := optim.NewSGD(rt.cfg.Optimizer, m.NumParams())
+	if err := opt.Restore(tensor.Vector(st.Velocity), int(st.Step)); err != nil {
+		rt.runErr <- fmt.Errorf("live: worker %d restore: %w", id, err)
+		return
+	}
+
+	admit := make(chan struct{})
+	rt.svcCh <- svcMsg{kind: kindRejoin, worker: id, admit: admit}
+	<-admit
+
+	// A fresh sampler stream: the pre-crash stream died with the old
+	// incarnation, and reusing its seed would replay the same batches.
+	sampler := data.NewSampler(rt.shards[id], rt.cfg.Seed*31+int64(id)+9973)
+	rt.models[id] = m
+	rt.worker(id, m, opt, sampler, int(st.Iter), false)
+}
+
+// deadPeer extracts the rank whose death caused a collective failure, or -1.
+func deadPeer(err error) int {
+	var pd *transport.PeerDownError
+	if errors.As(err, &pd) {
+		return pd.Peer
+	}
+	var oa *transport.OpAbortedError
+	if errors.As(err, &oa) {
+		return oa.Dead
+	}
+	return -1
 }

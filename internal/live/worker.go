@@ -3,6 +3,7 @@ package live
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"partialreduce/internal/collective"
@@ -20,22 +21,43 @@ import (
 // a ready signal is one float64 triple, a group reply a couple dozen — a
 // few bytes against megabytes of model traffic.
 //
+// Fault tolerance works as in the in-process runtime, but over the wire:
+// the host's per-worker receive loops double as failure detectors (a broken
+// connection fails the pending receive with a peer-down error), survivors
+// report peer deaths through their ready stream, and the host pushes abort
+// notifications so group members blocked behind a corpse wake up. The final
+// model average runs over a host-broadcast roster of survivors instead of
+// the full world. Checkpoint rejoin is an in-process-runtime feature only: a
+// real rejoining process needs a fresh transport mesh, which the prototype's
+// fixed mesh cannot provide.
+//
 // Tag space: the high bits carried by collective operations never use the
 // ctrl prefix below, so control and data planes cannot collide.
 const (
-	ctrlReadyTag uint64 = 0xC0_000000_000000
-	ctrlReplyTag uint64 = 0xC1_000000_000000
-	gatherOpID   uint32 = 0xFFFFFF
-	barrierOpID  uint32 = 0xFFFFFE
+	ctrlReadyTag  uint64 = 0xC0_000000_000000
+	ctrlReplyTag  uint64 = 0xC1_000000_000000
+	ctrlAbortTag  uint64 = 0xC2_000000_000000
+	ctrlRosterTag uint64 = 0xC3_000000_000000
+	gatherOpID    uint32 = 0xFFFFFF
+	barrierOpID   uint32 = 0xFFFFFE
 )
 
 func readyTag(seq int) uint64 { return ctrlReadyTag | uint64(seq) }
 func replyTag(seq int) uint64 { return ctrlReplyTag | uint64(seq) }
+func abortTag(seq int) uint64 { return ctrlAbortTag | uint64(seq) }
+
+// Ready-stream control markers (payload[0] values that are not iterations).
+const (
+	readyFinished = -1 // worker completed all iterations
+	readyFailure  = -2 // payload: [-2, deadRank, opID] — peer death report
+)
 
 // RunWorker runs this process's share of a live P-Reduce world: the worker
 // loop for rank tr.Rank(), plus the controller service when host is true
 // (exactly one rank — conventionally 0 — must host). It returns the final
 // report; non-host ranks get a report without the averaged-model accuracy.
+// A rank configured to crash returns a nil-error report marked Completed[0]
+// == false once it has "died".
 func RunWorker(cfg Config, tr transport.Transport, host bool) (*Report, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -44,6 +66,12 @@ func RunWorker(cfg Config, tr transport.Transport, host bool) (*Report, error) {
 		return nil, fmt.Errorf("live: transport world %d != N %d", tr.Size(), cfg.N)
 	}
 	ctrlRank := 0
+	if _, ok := cfg.Crash[ctrlRank]; ok {
+		return nil, fmt.Errorf("live: rank %d hosts the controller and cannot crash (run the controller on a reliable node, or replicate it)", ctrlRank)
+	}
+	if len(cfg.Rejoin) > 0 {
+		return nil, fmt.Errorf("live: checkpoint rejoin requires the in-process runtime (a rejoining process needs a fresh mesh)")
+	}
 
 	ctrlErr := make(chan error, 1)
 	if host {
@@ -67,7 +95,9 @@ func RunWorker(cfg Config, tr transport.Transport, host bool) (*Report, error) {
 
 // runControllerService hosts the controller: one receive loop per worker
 // feeds a serializing channel, exactly like the in-process service but over
-// the transport.
+// the transport. The receive loops double as failure detectors: a worker
+// whose connection breaks fails its pending receive with a peer-down error,
+// which the loop reports as a death event.
 func runControllerService(cfg Config, tr transport.Transport) error {
 	ctrl, err := controller.New(controller.Config{
 		N: cfg.N, P: cfg.P,
@@ -79,36 +109,153 @@ func runControllerService(cfg Config, tr transport.Transport) error {
 
 	type event struct {
 		worker int
-		iter   int // -1 = worker finished
+		iter   int // readyFinished / readyFailure are control markers
 		seq    int
+		dead   int    // readyFailure: the rank reported down
+		opID   uint32 // readyFailure: the collective that broke
+		lost   bool   // the receive loop itself saw the worker go down
 	}
-	events := make(chan event, cfg.N)
+	events := make(chan event, 2*cfg.N)
 	for w := 0; w < cfg.N; w++ {
 		w := w
 		go func() {
 			for seq := 0; ; seq++ {
 				payload, err := tr.Recv(w, readyTag(seq))
 				if err != nil {
-					return // transport closed; service is shutting down
+					if transport.IsFailure(err) {
+						events <- event{worker: w, lost: true}
+					}
+					return // otherwise: transport closed, service shutting down
 				}
-				iter := int(payload[0])
-				events <- event{worker: w, iter: iter, seq: seq}
-				if iter < 0 {
+				if len(payload) == 0 {
+					continue
+				}
+				switch payload[0] {
+				case readyFinished:
+					events <- event{worker: w, iter: readyFinished, seq: seq}
 					return
+				case readyFailure:
+					if len(payload) == 3 {
+						events <- event{
+							worker: w, iter: readyFailure, seq: seq,
+							dead: int(payload[1]), opID: uint32(payload[2]),
+						}
+					}
+				default:
+					events <- event{worker: w, iter: int(payload[0]), seq: seq}
 				}
 			}
 		}()
 	}
 
 	waiting := map[int]int{} // worker -> reply seq
-	finished := 0
+	opGroups := map[uint32]controller.Group{}
+	lastOpID := map[int]uint32{}
+	abortedOps := map[uint32]bool{}
+	abortSeq := make([]int, cfg.N)
+	completed := make([]bool, cfg.N)
+	active := cfg.N
 	opSeq := uint32(0)
 
-	release := func() error {
-		if len(waiting) > 0 && len(waiting) == cfg.N-finished {
-			for w, seq := range waiting {
-				if err := tr.Send(w, replyTag(seq), encodeGroup(controller.Group{}, 0, true)); err != nil {
+	// sendAbort tells worker w to abort collective op locally; returns the
+	// rank as a new death suspect if even that message cannot be delivered.
+	sendAbort := func(w int, op uint32, dead int) (suspect int) {
+		if err := tr.Send(w, abortTag(abortSeq[w]), []float64{float64(op), float64(dead)}); err != nil {
+			if transport.IsFailure(err) {
+				return w
+			}
+			return -1
+		}
+		abortSeq[w]++
+		return -1
+	}
+
+	var dispatch func(groups []controller.Group) error
+	var markDead func(dead int, opID uint32) error
+
+	// markDead excludes dead from future groups, aborts the collective it
+	// may be blocking (opID 0: none observed — its last dispatched op is
+	// aborted as a precaution), and dispatches any groups the shrunken
+	// effective group size unblocks. Abort notifications that fail expose
+	// further deaths, handled iteratively.
+	markDead = func(dead int, opID uint32) error {
+		suspects := []event{{worker: dead, opID: opID}}
+		for len(suspects) > 0 {
+			s := suspects[0]
+			suspects = suspects[1:]
+			if !ctrl.IsAlive(s.worker) {
+				continue
+			}
+			active--
+			delete(waiting, s.worker)
+			op := s.opID
+			if op == 0 {
+				op = lastOpID[s.worker]
+			}
+			var groups []controller.Group
+			if g, ok := opGroups[op]; ok && op != 0 && !abortedOps[op] {
+				abortedOps[op] = true
+				groups = ctrl.AbortGroup(g, s.worker)
+				for _, mem := range g.Members {
+					if mem == s.worker || !ctrl.IsAlive(mem) {
+						continue
+					}
+					if sus := sendAbort(mem, op, s.worker); sus >= 0 {
+						suspects = append(suspects, event{worker: sus})
+					}
+				}
+			} else {
+				groups = ctrl.Fail(s.worker)
+			}
+			if err := dispatch(groups); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	dispatch = func(groups []controller.Group) error {
+		for _, g := range groups {
+			opSeq++
+			op := opSeq
+			opGroups[op] = g
+			var suspects []int
+			for _, m := range g.Members {
+				lastOpID[m] = op
+				seq, ok := waiting[m]
+				if !ok {
+					return fmt.Errorf("live: controller grouped worker %d with no pending signal", m)
+				}
+				if err := tr.Send(m, replyTag(seq), encodeGroup(g, op, false)); err != nil {
+					if !transport.IsFailure(err) {
+						return err
+					}
+					suspects = append(suspects, m)
+				}
+				delete(waiting, m)
+			}
+			for _, s := range suspects {
+				if err := markDead(s, op); err != nil {
 					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	release := func() error {
+		if len(waiting) > 0 && len(waiting) == active {
+			for w, seq := range waiting {
+				ctrl.PurgeSignal(w)
+				if err := tr.Send(w, replyTag(seq), encodeGroup(controller.Group{}, 0, true)); err != nil {
+					if !transport.IsFailure(err) {
+						return err
+					}
+					delete(waiting, w)
+					if err := markDead(w, 0); err != nil {
+						return err
+					}
+					continue
 				}
 				delete(waiting, w)
 			}
@@ -116,35 +263,59 @@ func runControllerService(cfg Config, tr transport.Transport) error {
 		return nil
 	}
 
-	for finished < cfg.N {
+	for active > 0 {
 		ev := <-events
-		if ev.iter < 0 {
-			finished++
-			if err := release(); err != nil {
+		switch {
+		case ev.lost:
+			if err := markDead(ev.worker, 0); err != nil {
 				return err
 			}
-			continue
-		}
-		waiting[ev.worker] = ev.seq
-		groups, err := ctrl.Ready(controller.Signal{Worker: ev.worker, Iter: ev.iter})
-		if err != nil {
-			return err
-		}
-		for _, g := range groups {
-			opSeq++
-			for _, m := range g.Members {
-				seq, ok := waiting[m]
-				if !ok {
-					return fmt.Errorf("live: controller grouped worker %d with no pending signal", m)
+		case ev.iter == readyFinished:
+			if ctrl.IsAlive(ev.worker) {
+				completed[ev.worker] = true
+				active--
+			}
+		case ev.iter == readyFailure:
+			if err := markDead(ev.dead, ev.opID); err != nil {
+				return err
+			}
+		default:
+			waiting[ev.worker] = ev.seq
+			groups, err := ctrl.Ready(controller.Signal{Worker: ev.worker, Iter: ev.iter})
+			if err != nil {
+				// Dead-marked or duplicate sender: release it to proceed solo.
+				delete(waiting, ev.worker)
+				if serr := tr.Send(ev.worker, replyTag(ev.seq), encodeGroup(controller.Group{}, 0, true)); serr != nil && !transport.IsFailure(serr) {
+					return serr
 				}
-				if err := tr.Send(m, replyTag(seq), encodeGroup(g, opSeq, false)); err != nil {
-					return err
-				}
-				delete(waiting, m)
+				continue
+			}
+			if err := dispatch(groups); err != nil {
+				return err
 			}
 		}
 		if err := release(); err != nil {
 			return err
+		}
+	}
+
+	// Shutdown: stop each survivor's abort listener, then broadcast the
+	// roster of completed workers for the final gather.
+	roster := make([]float64, 0, cfg.N)
+	for w := 0; w < cfg.N; w++ {
+		if completed[w] {
+			roster = append(roster, float64(w))
+		}
+	}
+	for w := 0; w < cfg.N; w++ {
+		if !completed[w] {
+			continue
+		}
+		if sus := sendAbort(w, 0, -1); sus >= 0 {
+			return fmt.Errorf("live: worker %d lost at shutdown", w)
+		}
+		if err := tr.Send(w, ctrlRosterTag, roster); err != nil {
+			return fmt.Errorf("live: roster to worker %d: %w", w, err)
 		}
 	}
 	return nil
@@ -192,8 +363,10 @@ func decodeGroup(payload []float64) (g controller.Group, opID uint32, skip bool,
 }
 
 // runWorkerLoop is the per-process worker: compute, signal rank ctrlRank,
-// aggregate with the replied group, repeat; then a final full-world gather
-// lets the host evaluate the averaged model.
+// aggregate with the replied group, repeat; then a final roster-wide gather
+// lets the host evaluate the averaged model. An abort-listener goroutine
+// applies the host's abort notifications to the local transport, waking this
+// worker if it is blocked in a collective behind a dead peer.
 func runWorkerLoop(cfg Config, tr transport.Transport, ctrlRank int, host bool) (*Report, error) {
 	id := tr.Rank()
 	base := cfg.Spec.Build(cfg.Seed)
@@ -204,7 +377,23 @@ func runWorkerLoop(cfg Config, tr transport.Transport, ctrlRank int, host bool) 
 	opt := optim.NewSGD(cfg.Optimizer, m.NumParams())
 	sampler := data.NewSampler(shards[id], cfg.Seed*31+int64(id))
 	grad := tensor.NewVector(m.NumParams())
+	pre := tensor.NewVector(m.NumParams())
 	var batch *data.Batch
+
+	// Abort listener: the host numbers abort notifications per worker; op 0
+	// is the shutdown sentinel. Errors end the listener (the transport is
+	// closing, or we have been declared dead — either way no more aborts).
+	if oa, ok := tr.(transport.OpAborter); ok {
+		go func() {
+			for seq := 0; ; seq++ {
+				payload, err := tr.Recv(ctrlRank, abortTag(seq))
+				if err != nil || len(payload) < 1 || payload[0] <= 0 {
+					return
+				}
+				oa.AbortOp(uint32(payload[0]))
+			}
+		}()
+	}
 
 	start := time.Now()
 	groups := 0
@@ -212,6 +401,7 @@ func runWorkerLoop(cfg Config, tr transport.Transport, ctrlRank int, host bool) 
 	// after every partial reduce (§3.3.3), so stragglers skip caught-up work.
 	iter := 0
 	seq := 0
+	crashAt, hasCrash := cfg.Crash[id]
 	for iter < cfg.Iters {
 		if cfg.ComputeDelay != nil {
 			if d := cfg.ComputeDelay(id, iter); d > 0 {
@@ -223,65 +413,115 @@ func runWorkerLoop(cfg Config, tr transport.Transport, ctrlRank int, host bool) 
 		opt.Update(m.Params(), grad, 1)
 		iter++
 
-		if err := tr.Send(ctrlRank, readyTag(seq), []float64{float64(iter)}); err != nil {
-			return nil, err
+		if hasCrash && iter >= crashAt {
+			// Fail-stop with the ready signal in flight: the controller may
+			// form a group containing this corpse, and the survivors must
+			// detect and recover (§4).
+			_ = tr.Send(ctrlRank, readyTag(seq), []float64{float64(iter)})
+			if sf, ok := tr.(transport.SelfFailer); ok {
+				sf.FailSelf()
+			} else {
+				tr.Close()
+			}
+			return &Report{
+				WallTime:    time.Since(start),
+				WorkerIters: []int{iter},
+				Completed:   []bool{false},
+			}, nil
 		}
-		reply, err := tr.Recv(ctrlRank, replyTag(seq))
-		if err != nil {
-			return nil, err
-		}
-		seq++
-		g, opID, skip, err := decodeGroup(reply)
-		if err != nil {
-			return nil, err
-		}
-		if skip {
-			continue
-		}
-		var weight float64
-		for i, member := range g.Members {
-			if member == id {
-				weight = g.Weights[i]
+
+		for { // signal ready; on a group abort, roll back and re-signal
+			if err := tr.Send(ctrlRank, readyTag(seq), []float64{float64(iter)}); err != nil {
+				return nil, err
+			}
+			reply, err := tr.Recv(ctrlRank, replyTag(seq))
+			if err != nil {
+				return nil, err
+			}
+			seq++
+			g, opID, skip, err := decodeGroup(reply)
+			if err != nil {
+				return nil, err
+			}
+			if skip {
+				break // proceed solo this iteration
+			}
+			var weight float64
+			for i, member := range g.Members {
+				if member == id {
+					weight = g.Weights[i]
+					break
+				}
+			}
+			pre.CopyFrom(m.Params())
+			err = collective.WeightedAverage(tr, g.Members, opID, m.Params(), weight)
+			if err == nil {
+				if g.InitWeight > 0 {
+					m.Params().Axpy(g.InitWeight, init)
+				}
+				if g.Iter > iter {
+					iter = g.Iter
+				}
+				groups++
 				break
 			}
+			if !transport.IsFailure(err) {
+				return nil, err
+			}
+			// A peer died mid-collective (§4): roll back to the pre-group
+			// model, report the death on the ready stream, and re-signal
+			// this same iteration on the next sequence number.
+			m.Params().CopyFrom(pre)
+			dead := deadPeer(err)
+			if dead == id {
+				return nil, fmt.Errorf("live: worker %d declared dead: %w", id, err)
+			}
+			if dead >= 0 {
+				if err := tr.Send(ctrlRank, readyTag(seq), []float64{readyFailure, float64(dead), float64(opID)}); err != nil {
+					return nil, err
+				}
+				seq++
+			}
 		}
-		if err := collective.WeightedAverage(tr, g.Members, opID, m.Params(), weight); err != nil {
-			return nil, err
-		}
-		if g.InitWeight > 0 {
-			m.Params().Axpy(g.InitWeight, init)
-		}
-		if g.Iter > iter {
-			iter = g.Iter
-		}
-		groups++
 	}
-	if err := tr.Send(ctrlRank, readyTag(seq), []float64{-1}); err != nil {
+	if err := tr.Send(ctrlRank, readyTag(seq), []float64{readyFinished}); err != nil {
 		return nil, err
 	}
 
-	// Final gather at the host: average every replica for inference.
-	world := make([]int, cfg.N)
-	for i := range world {
-		world[i] = i
-	}
-	all, err := collective.Gather(tr, world, gatherOpID, ctrlRank, m.Params())
+	// The host broadcasts the survivor roster; the final average runs over
+	// it (a full-world gather would block on the dead ranks forever).
+	rosterPayload, err := tr.Recv(ctrlRank, ctrlRosterTag)
 	if err != nil {
 		return nil, err
 	}
-	// Hold every process until the whole world is done: a rank that exits
-	// early (iteration fast-forward can finish it first) would tear down its
-	// transport under peers still training.
-	if err := collective.Barrier(tr, world, barrierOpID); err != nil {
+	roster := make([]int, len(rosterPayload))
+	for i, v := range rosterPayload {
+		roster[i] = int(v)
+	}
+	sort.Ints(roster)
+
+	all, err := collective.Gather(tr, roster, gatherOpID, ctrlRank, m.Params())
+	if err != nil {
 		return nil, err
 	}
-	rep := &Report{Groups: groups, WallTime: time.Since(start), WorkerIters: []int{iter}}
+	// Hold every surviving process until the roster is done: a rank that
+	// exits early (iteration fast-forward can finish it first) would tear
+	// down its transport under peers still training.
+	if err := collective.Barrier(tr, roster, barrierOpID); err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Groups:      groups,
+		WallTime:    time.Since(start),
+		WorkerIters: []int{iter},
+		Completed:   []bool{true},
+	}
 	if host {
 		avg := tensor.NewVector(len(init))
 		for _, p := range all {
 			avg.Add(p)
 		}
-		avg.Scale(1 / float64(cfg.N))
+		avg.Scale(1 / float64(len(all)))
 		base.SetParams(avg)
 		rep.FinalAccuracy = model.Accuracy(base, cfg.Test)
 	}

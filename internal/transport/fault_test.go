@@ -1,0 +1,450 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// --- frame codec fuzzing -------------------------------------------------
+
+// FuzzFrameCodec checks the wire codec on arbitrary bytes: decoding never
+// panics, and every successfully decoded frame re-encodes to exactly the
+// input bytes (the codec has one canonical form, so decode∘encode = id).
+func FuzzFrameCodec(f *testing.F) {
+	f.Add(EncodeFrame(0, nil))
+	f.Add(EncodeFrame(42, []float64{1, -2.5, 3e300}))
+	f.Add(EncodeFrame(^uint64(0), []float64{0}))
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	// Header advertising a giant count with no body.
+	f.Add(EncodeFrame(7, nil)[:frameHeaderSize-1])
+	hostile := make([]byte, frameHeaderSize)
+	putFrameHeader(hostile, 9, ^uint32(0))
+	f.Add(hostile)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tag, payload, err := DecodeFrame(data, 0)
+		if err != nil {
+			return
+		}
+		if len(payload) > DefaultMaxFrameElems {
+			t.Fatalf("decoder accepted %d elements past the limit", len(payload))
+		}
+		if got := EncodeFrame(tag, payload); !bytes.Equal(got, data) {
+			t.Fatalf("decode/encode not canonical:\n in  %x\n out %x", data, got)
+		}
+	})
+}
+
+// FuzzFrameRoundTrip drives the codec from the value side: any (tag,
+// payload) survives an encode/decode round trip bit-exactly, including NaN
+// payloads (the codec must not canonicalize floats).
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(uint64(0), []byte{})
+	f.Add(uint64(1)<<24|uint64(2)<<16|3, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Fuzz(func(t *testing.T, tag uint64, raw []byte) {
+		// Reinterpret the fuzz bytes as float64 words (8 bytes each), so
+		// arbitrary bit patterns — NaNs, infinities, denormals — all appear.
+		payload := make([]float64, 0, len(raw)/8)
+		for len(raw) >= 8 {
+			payload = append(payload, math.Float64frombits(binary.LittleEndian.Uint64(raw)))
+			raw = raw[8:]
+		}
+		gotTag, gotPayload, err := DecodeFrame(EncodeFrame(tag, payload), 0)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if gotTag != tag || len(gotPayload) != len(payload) {
+			t.Fatalf("round trip changed shape: tag %d->%d len %d->%d",
+				tag, gotTag, len(payload), len(gotPayload))
+		}
+		enc1 := EncodeFrame(tag, payload)
+		enc2 := EncodeFrame(gotTag, gotPayload)
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatal("payload bits changed across round trip")
+		}
+	})
+}
+
+func TestDecodeFrameRejectsOversizedCount(t *testing.T) {
+	buf := make([]byte, frameHeaderSize+8)
+	putFrameHeader(buf, 5, 1)
+	if _, _, err := DecodeFrame(buf, 1); err != nil {
+		t.Fatalf("legal frame rejected: %v", err)
+	}
+	putFrameHeader(buf, 5, 2)
+	if _, _, err := DecodeFrame(buf, 1); err == nil {
+		t.Fatal("count above limit accepted")
+	}
+	putFrameHeader(buf, 5, ^uint32(0))
+	if _, _, err := DecodeFrame(buf, 0); err == nil {
+		t.Fatal("giant count accepted under default limit")
+	}
+}
+
+// --- zero-fault FaultyTransport ≡ Mem ------------------------------------
+
+// exchange runs a fixed deterministic message program over a 4-endpoint
+// world and returns every received payload in a fixed order.
+func exchange(t *testing.T, eps []Transport) [][]float64 {
+	t.Helper()
+	n := len(eps)
+	var wg sync.WaitGroup
+	out := make([][]float64, n*n)
+	for r := 0; r < n; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for to := 0; to < n; to++ {
+				payload := []float64{float64(r), float64(to), float64(r*n + to)}
+				if err := eps[r].Send(to, uint64(r*n+to), payload); err != nil {
+					t.Errorf("send %d->%d: %v", r, to, err)
+					return
+				}
+			}
+			for from := 0; from < n; from++ {
+				got, err := eps[r].Recv(from, uint64(from*n+r))
+				if err != nil {
+					t.Errorf("recv %d->%d: %v", from, r, err)
+					return
+				}
+				out[from*n+r] = got
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// TestFaultyZeroPlanTransparent pins the property all collective tests rely
+// on: with a zero FaultPlan, a Faulty world behaves exactly like the Mem
+// world it wraps — same deliveries, bit-identical payloads.
+func TestFaultyZeroPlanTransparent(t *testing.T) {
+	const n = 4
+	plain := NewMem(n)
+	plainT := make([]Transport, n)
+	for i, ep := range plain {
+		plainT[i] = ep
+	}
+	wrappedInner := NewMem(n)
+	inner := make([]Transport, n)
+	for i, ep := range wrappedInner {
+		inner[i] = ep
+	}
+	faulty, err := NewFaultyWorld(inner, FaultPlan{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := make([]Transport, n)
+	for i, ep := range faulty {
+		wrapped[i] = ep
+	}
+
+	a := exchange(t, plainT)
+	b := exchange(t, wrapped)
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("delivery %d: lengths %d vs %d", i, len(a[i]), len(b[i]))
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("delivery %d element %d: %v vs %v", i, j, a[i][j], b[i][j])
+			}
+		}
+	}
+}
+
+// --- seeded fault determinism --------------------------------------------
+
+// countingTransport records which Send calls reach it; everything else is
+// inert. It stands in for a real endpoint when only the fault layer's
+// decisions are under test.
+type countingTransport struct {
+	rank, size int
+	mu         sync.Mutex
+	delivered  []uint64 // tags that made it through
+}
+
+func (c *countingTransport) Rank() int { return c.rank }
+func (c *countingTransport) Size() int { return c.size }
+func (c *countingTransport) Send(to int, tag uint64, payload []float64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.delivered = append(c.delivered, tag)
+	return nil
+}
+func (c *countingTransport) Recv(from int, tag uint64) ([]float64, error) {
+	return nil, errors.New("not implemented")
+}
+func (c *countingTransport) Close() error { return nil }
+
+func dropPattern(t *testing.T, seed int64, msgs int) []uint64 {
+	t.Helper()
+	inner := []Transport{
+		&countingTransport{rank: 0, size: 2},
+		&countingTransport{rank: 1, size: 2},
+	}
+	eps, err := NewFaultyWorld(inner, FaultPlan{Seed: seed, DropRate: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < msgs; i++ {
+		if err := eps[0].Send(1, uint64(i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return inner[0].(*countingTransport).delivered
+}
+
+// TestFaultyDropsDeterministic: the same seed yields the same drop pattern
+// on every run; a different seed yields a different one.
+func TestFaultyDropsDeterministic(t *testing.T) {
+	const msgs = 200
+	a := dropPattern(t, 7, msgs)
+	b := dropPattern(t, 7, msgs)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different delivery counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different pattern at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	if len(a) == 0 || len(a) == msgs {
+		t.Fatalf("degenerate drop pattern: %d of %d delivered", len(a), msgs)
+	}
+	c := dropPattern(t, 8, msgs)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 200-message patterns")
+	}
+}
+
+// TestFaultyKillIsolation: killing one rank fails exactly the traffic that
+// touches it; the rest of the world keeps flowing, and Revive restores it.
+func TestFaultyKillIsolation(t *testing.T) {
+	mems := NewMem(3)
+	inner := make([]Transport, 3)
+	for i, ep := range mems {
+		inner[i] = ep
+	}
+	eps, err := NewFaultyWorld(inner, FaultPlan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps[0].Kill(2)
+
+	var pd *PeerDownError
+	if err := eps[0].Send(2, 1, []float64{1}); !errors.As(err, &pd) || pd.Peer != 2 {
+		t.Fatalf("send to dead rank: %v", err)
+	}
+	if err := eps[2].Send(0, 2, []float64{1}); !errors.As(err, &pd) {
+		t.Fatalf("send from dead rank: %v", err)
+	}
+	if _, err := eps[0].Recv(2, 3); !errors.As(err, &pd) || pd.Peer != 2 {
+		t.Fatalf("recv from dead rank: %v", err)
+	}
+	// Survivors are unaffected.
+	if err := eps[0].Send(1, 4, []float64{42}); err != nil {
+		t.Fatalf("survivor send: %v", err)
+	}
+	if got, err := eps[1].Recv(0, 4); err != nil || got[0] != 42 {
+		t.Fatalf("survivor recv: %v %v", got, err)
+	}
+
+	eps[0].Revive(2)
+	if err := eps[0].Send(2, 5, []float64{7}); err != nil {
+		t.Fatalf("send after revive: %v", err)
+	}
+	if got, err := eps[2].Recv(0, 5); err != nil || got[0] != 7 {
+		t.Fatalf("recv after revive: %v %v", got, err)
+	}
+}
+
+// TestFaultyCrashAfterSends: the scheduled crash fires on the (limit+1)-th
+// send and every endpoint observes the rank as down.
+func TestFaultyCrashAfterSends(t *testing.T) {
+	mems := NewMem(2)
+	inner := make([]Transport, 2)
+	for i, ep := range mems {
+		inner[i] = ep
+	}
+	eps, err := NewFaultyWorld(inner, FaultPlan{Seed: 1, CrashAfterSends: map[int]int{0: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := eps[0].Send(1, uint64(i), nil); err != nil {
+			t.Fatalf("send %d before crash: %v", i, err)
+		}
+	}
+	var pd *PeerDownError
+	if err := eps[0].Send(1, 3, nil); !errors.As(err, &pd) || pd.Peer != 0 {
+		t.Fatalf("crash send: %v", err)
+	}
+	if err := eps[1].Send(0, 4, nil); !errors.As(err, &pd) || pd.Peer != 0 {
+		t.Fatalf("peer view after crash: %v", err)
+	}
+}
+
+// TestFaultPlanValidate: malformed plans are rejected up front.
+func TestFaultPlanValidate(t *testing.T) {
+	bad := []FaultPlan{
+		{DropRate: -0.1},
+		{DropRate: 1.1},
+		{DelayRate: 2},
+		{Delay: -time.Second},
+		{CrashAfterSends: map[int]int{1: -1}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("bad plan %d accepted: %+v", i, p)
+		}
+	}
+	if err := (FaultPlan{DropRate: 0.5, DelayRate: 0.5, Delay: time.Millisecond}).Validate(); err != nil {
+		t.Fatalf("good plan rejected: %v", err)
+	}
+	if _, err := NewFaultyWorld(nil, FaultPlan{}); err == nil {
+		t.Fatal("empty world accepted")
+	}
+}
+
+// --- TCP failure-path tests ----------------------------------------------
+
+func startTCPWorldOpts(t *testing.T, n int, opts TCPOptions) []*TCP {
+	t.Helper()
+	addrs := freeAddrs(t, n)
+	eps := make([]*TCP, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			eps[i], errs[i] = NewTCPOpts(i, addrs, opts)
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, ep := range eps {
+			ep.Close()
+		}
+	})
+	return eps
+}
+
+// TestTCPMissingPeerTimesOut: mesh formation with an absent rank fails after
+// MeshTimeout instead of hanging forever.
+func TestTCPMissingPeerTimesOut(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	start := time.Now()
+	_, err := NewTCPOpts(0, addrs, TCPOptions{MeshTimeout: 300 * time.Millisecond})
+	if err == nil {
+		t.Fatal("mesh formed without rank 1")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+}
+
+// TestTCPOversizedFrameFailsPeer: a frame advertising more elements than
+// MaxFrameElems is treated as corruption from that peer — the receiver marks
+// the sender down rather than allocating the advertised payload.
+func TestTCPOversizedFrameFailsPeer(t *testing.T) {
+	eps := startTCPWorldOpts(t, 2, TCPOptions{MaxFrameElems: 8})
+	// Within the bound: delivered.
+	if err := eps[0].Send(1, 1, make([]float64, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := eps[1].Recv(0, 1); err != nil || len(got) != 8 {
+		t.Fatalf("legal frame: %v %v", len(got), err)
+	}
+	// Beyond the bound: the receiver fails rank 0.
+	if err := eps[0].Send(1, 2, make([]float64, 9)); err != nil {
+		t.Fatalf("oversized send errored locally: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := eps[1].Recv(0, 2)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		var pd *PeerDownError
+		if !errors.As(err, &pd) || pd.Peer != 0 {
+			t.Fatalf("oversized frame: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("receiver hung on oversized frame")
+	}
+}
+
+// TestTCPHeartbeatKeepsIdlePeersAlive: with heartbeats on, a long idle gap
+// (many multiples of the heartbeat timeout) must not false-positive the
+// failure detector.
+func TestTCPHeartbeatKeepsIdlePeersAlive(t *testing.T) {
+	eps := startTCPWorldOpts(t, 2, TCPOptions{
+		HeartbeatInterval: 20 * time.Millisecond,
+		HeartbeatTimeout:  80 * time.Millisecond,
+	})
+	time.Sleep(400 * time.Millisecond) // 5× the timeout, zero data traffic
+	if down := eps[0].DownPeers(); len(down) != 0 {
+		t.Fatalf("idle peers declared down: %v", down)
+	}
+	if err := eps[0].Send(1, 11, []float64{3.5}); err != nil {
+		t.Fatalf("send after idle: %v", err)
+	}
+	if got, err := eps[1].Recv(0, 11); err != nil || got[0] != 3.5 {
+		t.Fatalf("recv after idle: %v %v", got, err)
+	}
+}
+
+// TestTCPPeerLossIsolated: closing one endpoint fails only that peer; the
+// surviving pair keeps exchanging messages.
+func TestTCPPeerLossIsolated(t *testing.T) {
+	eps := startTCPWorldOpts(t, 3, TCPOptions{})
+	eps[2].Close()
+
+	// Rank 0 eventually sees rank 2 down on recv.
+	done := make(chan error, 1)
+	go func() {
+		_, err := eps[0].Recv(2, 21)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !IsFailure(err) {
+			t.Fatalf("recv from closed peer: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("recv from closed peer hung")
+	}
+
+	// 0 <-> 1 still works.
+	if err := eps[0].Send(1, 22, []float64{1}); err != nil {
+		t.Fatalf("survivor send: %v", err)
+	}
+	if got, err := eps[1].Recv(0, 22); err != nil || got[0] != 1 {
+		t.Fatalf("survivor recv: %v %v", got, err)
+	}
+}

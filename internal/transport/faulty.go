@@ -1,0 +1,227 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// FaultPlan is a seeded, deterministic fault schedule for a Faulty world.
+// Decisions are drawn from one RNG stream per directed (from, to) pair, so a
+// run whose per-direction message sequences are deterministic (as every
+// collective schedule is) sees identical faults on every execution with the
+// same seed.
+type FaultPlan struct {
+	// Seed drives every per-direction decision stream.
+	Seed int64
+	// DropRate is the per-message probability of silently losing a message.
+	// Dropped messages are gone — callers relying on them need abort/timeout
+	// recovery, exactly like a real lossy fabric.
+	DropRate float64
+	// DelayRate is the per-message probability of delaying a message by
+	// Delay before it is handed to the inner transport.
+	DelayRate float64
+	// Delay is the injected latency for delayed messages.
+	Delay time.Duration
+	// CrashAfterSends maps rank -> number of successful Send calls after
+	// which that rank crashes: its endpoint dies and every peer sees it as
+	// down (*PeerDownError).
+	CrashAfterSends map[int]int
+}
+
+// Validate reports whether the plan is usable.
+func (p FaultPlan) Validate() error {
+	if p.DropRate < 0 || p.DropRate > 1 || p.DelayRate < 0 || p.DelayRate > 1 {
+		return fmt.Errorf("transport: fault rates must be in [0,1]")
+	}
+	if p.Delay < 0 {
+		return fmt.Errorf("transport: negative fault delay")
+	}
+	for r, n := range p.CrashAfterSends {
+		if n < 0 {
+			return fmt.Errorf("transport: negative crash count for rank %d", r)
+		}
+	}
+	return nil
+}
+
+// faultyWorld is the state shared by all endpoints of one Faulty world.
+type faultyWorld struct {
+	mu    sync.Mutex
+	plan  FaultPlan
+	inner []Transport
+	dead  []bool
+}
+
+// Faulty wraps a Transport endpoint and injects crashes, drops, and delays
+// according to a shared FaultPlan. With a zero plan it is a transparent
+// pass-through (the property the collective tests pin down). Faulty forwards
+// PeerFailer and OpAborter to the inner endpoint.
+type Faulty struct {
+	inner Transport
+	world *faultyWorld
+	rank  int
+
+	mu      sync.Mutex
+	streams []*splitmix // decision stream per destination rank
+	sends   int
+}
+
+// NewFaultyWorld wraps every endpoint of an in-process world with fault
+// injection driven by plan. len(inner) must be the world size and entry i
+// must be rank i's endpoint.
+func NewFaultyWorld(inner []Transport, plan FaultPlan) ([]*Faulty, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(inner)
+	if n < 1 {
+		return nil, fmt.Errorf("transport: empty world")
+	}
+	w := &faultyWorld{plan: plan, inner: inner, dead: make([]bool, n)}
+	eps := make([]*Faulty, n)
+	for i := range eps {
+		streams := make([]*splitmix, n)
+		for j := range streams {
+			streams[j] = newSplitmix(plan.Seed, int64(i)*int64(n)+int64(j))
+		}
+		eps[i] = &Faulty{inner: inner[i], world: w, rank: i, streams: streams}
+	}
+	return eps, nil
+}
+
+// Kill crashes rank now: its endpoint and every peer treat it as down. Safe
+// to call from any goroutine; idempotent.
+func (f *Faulty) Kill(rank int) {
+	w := f.world
+	w.mu.Lock()
+	if rank < 0 || rank >= len(w.dead) || w.dead[rank] {
+		w.mu.Unlock()
+		return
+	}
+	w.dead[rank] = true
+	w.mu.Unlock()
+	FailPeerEverywhere(w.inner, rank)
+}
+
+// Revive re-admits rank after a checkpoint-based rejoin.
+func (f *Faulty) Revive(rank int) {
+	w := f.world
+	w.mu.Lock()
+	if rank < 0 || rank >= len(w.dead) || !w.dead[rank] {
+		w.mu.Unlock()
+		return
+	}
+	w.dead[rank] = false
+	w.mu.Unlock()
+	RevivePeerEverywhere(w.inner, rank)
+}
+
+func (f *Faulty) deadRank(rank int) bool {
+	f.world.mu.Lock()
+	defer f.world.mu.Unlock()
+	return f.world.dead[rank]
+}
+
+// Rank implements Transport.
+func (f *Faulty) Rank() int { return f.inner.Rank() }
+
+// Size implements Transport.
+func (f *Faulty) Size() int { return f.inner.Size() }
+
+// Send implements Transport, applying the fault plan before forwarding.
+func (f *Faulty) Send(to int, tag uint64, payload []float64) error {
+	if f.deadRank(f.rank) {
+		return &PeerDownError{Peer: f.rank}
+	}
+	if to >= 0 && to < f.Size() && f.deadRank(to) {
+		return &PeerDownError{Peer: to}
+	}
+	plan := f.world.plan
+
+	f.mu.Lock()
+	f.sends++
+	crashNow := false
+	if limit, ok := plan.CrashAfterSends[f.rank]; ok && f.sends > limit {
+		crashNow = true
+	}
+	var drop, delay bool
+	if !crashNow && to >= 0 && to < len(f.streams) {
+		s := f.streams[to]
+		if plan.DropRate > 0 && s.float64() < plan.DropRate {
+			drop = true
+		}
+		if plan.DelayRate > 0 && s.float64() < plan.DelayRate {
+			delay = true
+		}
+	}
+	f.mu.Unlock()
+
+	if crashNow {
+		f.Kill(f.rank)
+		return &PeerDownError{Peer: f.rank}
+	}
+	if drop {
+		return nil // lost on the wire
+	}
+	if delay && plan.Delay > 0 {
+		time.Sleep(plan.Delay)
+	}
+	return f.inner.Send(to, tag, payload)
+}
+
+// Recv implements Transport.
+func (f *Faulty) Recv(from int, tag uint64) ([]float64, error) {
+	if f.deadRank(f.rank) {
+		return nil, &PeerDownError{Peer: f.rank}
+	}
+	return f.inner.Recv(from, tag)
+}
+
+// FailPeer implements PeerFailer.
+func (f *Faulty) FailPeer(peer int) {
+	if pf, ok := f.inner.(PeerFailer); ok {
+		pf.FailPeer(peer)
+	}
+}
+
+// RevivePeer implements PeerFailer.
+func (f *Faulty) RevivePeer(peer int) {
+	if pf, ok := f.inner.(PeerFailer); ok {
+		pf.RevivePeer(peer)
+	}
+}
+
+// AbortOp implements OpAborter.
+func (f *Faulty) AbortOp(op uint32) {
+	if oa, ok := f.inner.(OpAborter); ok {
+		oa.AbortOp(op)
+	}
+}
+
+// FailSelf implements SelfFailer: the wrapped rank crashes now.
+func (f *Faulty) FailSelf() { f.Kill(f.rank) }
+
+// Close implements Transport.
+func (f *Faulty) Close() error { return f.inner.Close() }
+
+// splitmix is a tiny deterministic RNG (SplitMix64), independent per stream;
+// it avoids dragging math/rand state-sharing concerns into fault decisions.
+type splitmix struct{ state uint64 }
+
+func newSplitmix(seed, id int64) *splitmix {
+	z := uint64(seed)*0x9E3779B97F4A7C15 + uint64(id)*0xBF58476D1CE4E5B9 + 0x2545F4914F6CDD1D
+	return &splitmix{state: z}
+}
+
+func (s *splitmix) next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (s *splitmix) float64() float64 {
+	return float64(s.next()>>11) / (1 << 53)
+}

@@ -1,0 +1,86 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Wire frame layout (little-endian): 8-byte tag, 4-byte element count, then
+// count float64 payload words. A frame whose tag is hbTag and whose count is
+// zero is a heartbeat; it refreshes peer liveness and is never delivered.
+const (
+	frameHeaderSize = 12
+	// hbTag marks heartbeat frames. Collective tags are op<<24|phase<<16|step
+	// with a uint32 op, and control-plane tags use the 0xC0/0xC1 prefixes;
+	// neither can ever equal ^uint64(0).
+	hbTag = ^uint64(0)
+	// DefaultMaxFrameElems bounds the element count a decoder accepts
+	// (128 MiB of payload). The wire field is attacker/corruption-controlled:
+	// without a bound, a flipped bit in the count field makes the reader
+	// allocate up to 32 GiB.
+	DefaultMaxFrameElems = 1 << 24
+)
+
+// putFrameHeader writes tag and count into hdr (len >= frameHeaderSize).
+func putFrameHeader(hdr []byte, tag uint64, count uint32) {
+	binary.LittleEndian.PutUint64(hdr[0:8], tag)
+	binary.LittleEndian.PutUint32(hdr[8:12], count)
+}
+
+// parseFrameHeader reads tag and count back out of hdr.
+func parseFrameHeader(hdr []byte) (tag uint64, count uint32) {
+	return binary.LittleEndian.Uint64(hdr[0:8]), binary.LittleEndian.Uint32(hdr[8:12])
+}
+
+// EncodeFrame serializes one frame. Exported for the codec fuzz tests.
+func EncodeFrame(tag uint64, payload []float64) []byte {
+	buf := make([]byte, frameHeaderSize+8*len(payload))
+	putFrameHeader(buf, tag, uint32(len(payload)))
+	for i, v := range payload {
+		binary.LittleEndian.PutUint64(buf[frameHeaderSize+8*i:], math.Float64bits(v))
+	}
+	return buf
+}
+
+// DecodeFrame parses one frame produced by EncodeFrame, enforcing maxElems
+// (<=0 selects DefaultMaxFrameElems) and exact framing. Exported for the
+// codec fuzz tests.
+func DecodeFrame(buf []byte, maxElems int) (tag uint64, payload []float64, err error) {
+	if maxElems <= 0 {
+		maxElems = DefaultMaxFrameElems
+	}
+	if len(buf) < frameHeaderSize {
+		return 0, nil, fmt.Errorf("transport: short frame (%d bytes)", len(buf))
+	}
+	tag, count := parseFrameHeader(buf)
+	if err := checkFrameCount(count, maxElems); err != nil {
+		return 0, nil, err
+	}
+	body := buf[frameHeaderSize:]
+	if len(body) != 8*int(count) {
+		return 0, nil, fmt.Errorf("transport: frame body %d bytes for count %d", len(body), count)
+	}
+	payload = decodePayload(body, int(count))
+	return tag, payload, nil
+}
+
+// checkFrameCount rejects element counts that cannot be legitimate: the wire
+// field is untrusted, and a corrupt value would otherwise drive a giant
+// allocation in the read loop.
+func checkFrameCount(count uint32, maxElems int) error {
+	if int64(count) > int64(maxElems) {
+		return fmt.Errorf("transport: frame count %d exceeds limit %d (corrupt or hostile frame)",
+			count, maxElems)
+	}
+	return nil
+}
+
+// decodePayload converts count little-endian float64 words.
+func decodePayload(body []byte, count int) []float64 {
+	payload := make([]float64, count)
+	for i := range payload {
+		payload[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[8*i:]))
+	}
+	return payload
+}

@@ -4,24 +4,69 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"math"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// TCPOptions tune a TCP endpoint's failure-detection behavior. The zero
+// value selects the defaults noted per field.
+type TCPOptions struct {
+	// MeshTimeout bounds the whole mesh formation (listen + accept + dial).
+	// If some rank never starts, NewTCP fails after this long naming the
+	// missing peer(s) instead of blocking forever. Default 15s.
+	MeshTimeout time.Duration
+	// HeartbeatInterval enables liveness probing: every interval the endpoint
+	// sends a heartbeat frame to each peer. Zero disables heartbeats (peer
+	// loss is then detected only by connection errors — which still covers
+	// process crashes, whose sockets the OS closes).
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout declares a peer dead when nothing (data or heartbeat)
+	// has arrived from it for this long. Default 10×HeartbeatInterval.
+	HeartbeatTimeout time.Duration
+	// MaxFrameElems bounds the element count accepted from the wire
+	// (default DefaultMaxFrameElems). A frame advertising more is treated as
+	// peer corruption and fails that peer only.
+	MaxFrameElems int
+}
+
+func (o TCPOptions) withDefaults() TCPOptions {
+	if o.MeshTimeout <= 0 {
+		o.MeshTimeout = 15 * time.Second
+	}
+	if o.HeartbeatInterval > 0 && o.HeartbeatTimeout <= 0 {
+		o.HeartbeatTimeout = 10 * o.HeartbeatInterval
+	}
+	if o.MaxFrameElems <= 0 {
+		o.MaxFrameElems = DefaultMaxFrameElems
+	}
+	return o
+}
 
 // TCP is a Transport over stdlib TCP sockets with a full-mesh topology:
 // rank i listens on addrs[i], dials every lower rank, and accepts
 // connections from every higher rank. Frames are length-prefixed binary:
 // 8-byte tag, 4-byte element count, then count float64s, little-endian.
+//
+// Peer loss is isolated: a broken or heartbeat-stale connection fails only
+// operations involving that peer (with *PeerDownError); the rest of the mesh
+// keeps working. TCP implements PeerFailer (RevivePeer is a no-op: a real
+// rejoin needs a fresh dial, i.e. a new endpoint) and OpAborter.
 type TCP struct {
-	rank  int
-	size  int
-	box   *mailbox
-	ln    net.Listener
-	conns []*tcpConn // index by peer rank; nil at own rank
-	mu    sync.Mutex
-	done  bool
+	rank     int
+	size     int
+	box      *mailbox
+	ln       net.Listener
+	opts     TCPOptions
+	conns    []*tcpConn     // index by peer rank; nil at own rank
+	lastSeen []atomic.Int64 // unix-nano of the last frame per peer
+	mu       sync.Mutex
+	down     []bool
+	done     bool
+	stopHB   chan struct{}
+	hbWG     sync.WaitGroup
 }
 
 type tcpConn struct {
@@ -30,25 +75,43 @@ type tcpConn struct {
 }
 
 // NewTCP creates rank's endpoint in a world defined by addrs (one listen
-// address per rank, e.g. "127.0.0.1:9001"). It blocks until the full mesh
-// is connected, so all ranks must be starting concurrently.
+// address per rank, e.g. "127.0.0.1:9001") with default options. It blocks
+// until the full mesh is connected — all ranks must be starting
+// concurrently — but no longer than the default mesh timeout.
 func NewTCP(rank int, addrs []string) (*TCP, error) {
+	return NewTCPOpts(rank, addrs, TCPOptions{})
+}
+
+// NewTCPOpts is NewTCP with explicit failure-detection options.
+func NewTCPOpts(rank int, addrs []string, opts TCPOptions) (*TCP, error) {
 	n := len(addrs)
 	if n < 1 || rank < 0 || rank >= n {
 		return nil, fmt.Errorf("transport: rank %d invalid for world of %d", rank, n)
 	}
-	t := &TCP{rank: rank, size: n, box: newMailbox(), conns: make([]*tcpConn, n)}
+	opts = opts.withDefaults()
+	t := &TCP{
+		rank: rank, size: n, box: newMailbox(), opts: opts,
+		conns:    make([]*tcpConn, n),
+		lastSeen: make([]atomic.Int64, n),
+		down:     make([]bool, n),
+		stopHB:   make(chan struct{}),
+	}
 
 	ln, err := net.Listen("tcp", addrs[rank])
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addrs[rank], err)
 	}
 	t.ln = ln
+	deadline := time.Now().Add(opts.MeshTimeout)
+	if tl, ok := ln.(*net.TCPListener); ok {
+		tl.SetDeadline(deadline)
+	}
 
 	var wg sync.WaitGroup
 	errs := make(chan error, n)
 
-	// Accept from higher ranks.
+	// Accept from higher ranks, under the listener deadline: if a higher
+	// rank never starts, Accept times out instead of blocking forever.
 	expect := n - 1 - rank
 	wg.Add(1)
 	go func() {
@@ -56,17 +119,19 @@ func NewTCP(rank int, addrs []string) (*TCP, error) {
 		for i := 0; i < expect; i++ {
 			c, err := ln.Accept()
 			if err != nil {
-				errs <- err
+				errs <- fmt.Errorf("accept: %w", err)
 				return
 			}
+			c.SetReadDeadline(deadline)
 			var hello [4]byte
 			if _, err := io.ReadFull(c, hello[:]); err != nil {
-				errs <- err
+				errs <- fmt.Errorf("hello: %w", err)
 				return
 			}
+			c.SetReadDeadline(time.Time{})
 			peer := int(binary.LittleEndian.Uint32(hello[:]))
 			if peer <= rank || peer >= n {
-				errs <- fmt.Errorf("transport: bad hello from rank %d", peer)
+				errs <- fmt.Errorf("bad hello from rank %d", peer)
 				return
 			}
 			t.attach(peer, c)
@@ -74,21 +139,21 @@ func NewTCP(rank int, addrs []string) (*TCP, error) {
 	}()
 
 	// Dial lower ranks, retrying while peers are still binding their
-	// listeners (world members start concurrently).
+	// listeners (world members start concurrently), up to the deadline.
 	for peer := 0; peer < rank; peer++ {
 		peer := peer
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			c, err := dialRetry(addrs[peer])
+			c, err := dialRetry(addrs[peer], deadline)
 			if err != nil {
-				errs <- fmt.Errorf("transport: dial rank %d: %w", peer, err)
+				errs <- fmt.Errorf("dial rank %d: %w", peer, err)
 				return
 			}
 			var hello [4]byte
 			binary.LittleEndian.PutUint32(hello[:], uint32(rank))
 			if _, err := c.Write(hello[:]); err != nil {
-				errs <- err
+				errs <- fmt.Errorf("hello to rank %d: %w", peer, err)
 				return
 			}
 			t.attach(peer, c)
@@ -98,26 +163,68 @@ func NewTCP(rank int, addrs []string) (*TCP, error) {
 	wg.Wait()
 	select {
 	case err := <-errs:
+		missing := t.missingPeers()
 		t.Close()
-		return nil, err
+		if len(missing) > 0 {
+			return nil, fmt.Errorf("transport: rank %d mesh formation failed (missing peers %v after %v): %w",
+				rank, missing, opts.MeshTimeout, err)
+		}
+		return nil, fmt.Errorf("transport: rank %d mesh formation failed: %w", rank, err)
 	default:
+	}
+	// Mesh complete: clear the formation deadline so Accept (unused from here
+	// on) and established conns are unencumbered.
+	if tl, ok := ln.(*net.TCPListener); ok {
+		tl.SetDeadline(time.Time{})
+	}
+	now := time.Now().UnixNano()
+	for p := range t.lastSeen {
+		t.lastSeen[p].Store(now)
+	}
+	if opts.HeartbeatInterval > 0 {
+		t.hbWG.Add(1)
+		go t.heartbeatLoop()
 	}
 	return t, nil
 }
 
-// dialRetry dials addr, retrying for up to ~5 seconds while the peer's
-// listener comes up.
-func dialRetry(addr string) (net.Conn, error) {
+// missingPeers lists the ranks this endpoint never connected to.
+func (t *TCP) missingPeers() []int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var missing []int
+	for p := 0; p < t.size; p++ {
+		if p != t.rank && t.conns[p] == nil {
+			missing = append(missing, p)
+		}
+	}
+	sort.Ints(missing)
+	return missing
+}
+
+// dialRetry dials addr, retrying while the peer's listener comes up, until
+// deadline.
+func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
 	var err error
-	for i := 0; i < 250; i++ {
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			if err == nil {
+				err = fmt.Errorf("timed out")
+			}
+			return nil, err
+		}
+		step := time.Second
+		if remain < step {
+			step = remain
+		}
 		var c net.Conn
-		c, err = net.DialTimeout("tcp", addr, time.Second)
+		c, err = net.DialTimeout("tcp", addr, step)
 		if err == nil {
 			return c, nil
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
-	return nil, err
 }
 
 func (t *TCP) attach(peer int, c net.Conn) {
@@ -127,26 +234,90 @@ func (t *TCP) attach(peer int, c net.Conn) {
 	go t.readLoop(peer, c)
 }
 
+// readLoop decodes frames from peer. Any error — connection loss, a corrupt
+// header, an oversized count — fails that peer only: receives targeting it
+// get *PeerDownError while the rest of the mesh stays live.
 func (t *TCP) readLoop(peer int, c net.Conn) {
-	var hdr [12]byte
+	var hdr [frameHeaderSize]byte
 	for {
 		if _, err := io.ReadFull(c, hdr[:]); err != nil {
-			t.box.close() // fail pending receives; Close or peer loss
+			t.peerLost(peer)
 			return
 		}
-		tag := binary.LittleEndian.Uint64(hdr[0:8])
-		count := binary.LittleEndian.Uint32(hdr[8:12])
+		tag, count := parseFrameHeader(hdr[:])
+		t.lastSeen[peer].Store(time.Now().UnixNano())
+		if tag == hbTag && count == 0 {
+			continue // heartbeat: liveness only, nothing to deliver
+		}
+		if err := checkFrameCount(count, t.opts.MaxFrameElems); err != nil {
+			// The wire is untrusted: a corrupt count would otherwise drive a
+			// multi-GiB allocation. Treat the peer as failed.
+			t.peerLost(peer)
+			return
+		}
 		buf := make([]byte, 8*int(count))
 		if _, err := io.ReadFull(c, buf); err != nil {
-			t.box.close()
+			t.peerLost(peer)
 			return
 		}
-		payload := make([]float64, count)
-		for i := range payload {
-			payload[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
-		}
+		payload := decodePayload(buf, int(count))
 		if err := t.box.deliver(message{from: peer, tag: tag, payload: payload}); err != nil {
 			return
+		}
+	}
+}
+
+// peerLost marks peer dead unless the whole endpoint is closing (in which
+// case Close's box.close already failed everything).
+func (t *TCP) peerLost(peer int) {
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return
+	}
+	t.down[peer] = true
+	tc := t.conns[peer]
+	t.mu.Unlock()
+	if tc != nil {
+		tc.c.Close()
+	}
+	t.box.failPeer(peer)
+}
+
+// heartbeatLoop probes peers and declares the stale ones dead.
+func (t *TCP) heartbeatLoop() {
+	defer t.hbWG.Done()
+	ticker := time.NewTicker(t.opts.HeartbeatInterval)
+	defer ticker.Stop()
+	hb := make([]byte, frameHeaderSize)
+	putFrameHeader(hb, hbTag, 0)
+	for {
+		select {
+		case <-t.stopHB:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now()
+		for p := 0; p < t.size; p++ {
+			if p == t.rank {
+				continue
+			}
+			t.mu.Lock()
+			tc := t.conns[p]
+			dead := t.down[p] || t.done
+			t.mu.Unlock()
+			if dead || tc == nil {
+				continue
+			}
+			tc.mu.Lock()
+			tc.c.SetWriteDeadline(now.Add(t.opts.HeartbeatInterval))
+			_, err := tc.c.Write(hb)
+			tc.c.SetWriteDeadline(time.Time{})
+			tc.mu.Unlock()
+			stale := now.UnixNano()-t.lastSeen[p].Load() > int64(t.opts.HeartbeatTimeout)
+			if err != nil || stale {
+				t.peerLost(p)
+			}
 		}
 	}
 }
@@ -170,21 +341,24 @@ func (t *TCP) Send(to int, tag uint64, payload []float64) error {
 	t.mu.Lock()
 	tc := t.conns[to]
 	closed := t.done
+	down := t.down[to]
 	t.mu.Unlock()
 	if closed || tc == nil {
 		return ErrClosed
 	}
-
-	buf := make([]byte, 12+8*len(payload))
-	binary.LittleEndian.PutUint64(buf[0:8], tag)
-	binary.LittleEndian.PutUint32(buf[8:12], uint32(len(payload)))
-	for i, v := range payload {
-		binary.LittleEndian.PutUint64(buf[12+8*i:], math.Float64bits(v))
+	if down {
+		return &PeerDownError{Peer: to}
 	}
+
+	buf := EncodeFrame(tag, payload)
 	tc.mu.Lock()
-	defer tc.mu.Unlock()
 	_, err := tc.c.Write(buf)
-	return err
+	tc.mu.Unlock()
+	if err != nil {
+		t.peerLost(to)
+		return &PeerDownError{Peer: to}
+	}
+	return nil
 }
 
 // Recv implements Transport.
@@ -193,6 +367,57 @@ func (t *TCP) Recv(from int, tag uint64) ([]float64, error) {
 		return nil, fmt.Errorf("transport: rank %d out of range", from)
 	}
 	return t.box.receive(from, tag)
+}
+
+// FailPeer implements PeerFailer: peer is declared dead and its connection
+// torn down.
+func (t *TCP) FailPeer(peer int) {
+	if peer < 0 || peer >= t.size || peer == t.rank {
+		return
+	}
+	t.peerLost(peer)
+}
+
+// RevivePeer implements PeerFailer. Over TCP a failed connection cannot be
+// restored in place — a rejoining rank starts a fresh process and dials a new
+// mesh — so RevivePeer only clears the local mark to keep the interface
+// symmetric; data flow does not resume.
+func (t *TCP) RevivePeer(peer int) {
+	if peer < 0 || peer >= t.size {
+		return
+	}
+	t.mu.Lock()
+	t.down[peer] = false
+	t.mu.Unlock()
+	t.box.revivePeer(peer)
+}
+
+// AbortOp implements OpAborter.
+func (t *TCP) AbortOp(op uint32) { t.box.abortOp(op, -1) }
+
+// FailSelf implements SelfFailer: it severs every connection, so each peer's
+// read loop observes this rank as down — the same thing the fabric would see
+// if the process exited — and marks every peer down locally so this
+// endpoint's own pending operations fail fast.
+func (t *TCP) FailSelf() {
+	for r := 0; r < t.size; r++ {
+		if r != t.rank {
+			t.peerLost(r)
+		}
+	}
+}
+
+// DownPeers returns the ranks this endpoint currently considers dead.
+func (t *TCP) DownPeers() []int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []int
+	for p, d := range t.down {
+		if d {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // Close implements Transport.
@@ -204,6 +429,8 @@ func (t *TCP) Close() error {
 	}
 	t.done = true
 	t.mu.Unlock()
+	close(t.stopHB)
+	t.hbWG.Wait()
 
 	if t.ln != nil {
 		t.ln.Close()

@@ -4,6 +4,14 @@
 // or TCP sockets (stdlib net, length-prefixed binary frames), mirroring the
 // prototype's Gloo/TCP split (§4). Collectives in internal/collective are
 // built on this interface.
+//
+// Failure model: a peer can crash (fail-stop). Peer loss is isolated — only
+// operations involving that peer fail, with a typed *PeerDownError; traffic
+// between surviving ranks continues. Endpoints optionally implement
+// PeerFailer (declare a peer dead / revive it) and OpAborter (abort one
+// collective operation), which the live runtime's recovery path uses, and
+// the Faulty wrapper injects deterministic crashes, drops, and delays for
+// tests and experiments.
 package transport
 
 import (
@@ -32,8 +40,80 @@ type Transport interface {
 	Close() error
 }
 
+// PeerFailer is implemented by endpoints that support per-peer failure
+// isolation: FailPeer declares a peer dead (pending and future operations
+// involving it fail with *PeerDownError; everything else keeps working), and
+// RevivePeer re-admits it after a checkpoint-based rejoin.
+type PeerFailer interface {
+	FailPeer(peer int)
+	RevivePeer(peer int)
+}
+
+// OpAborter is implemented by endpoints that can abort a single collective
+// operation: pending and future Recvs whose tag belongs to op fail with
+// *OpAbortedError. The live runtime uses it to unblock every member of a
+// group whose collective lost a participant.
+type OpAborter interface {
+	AbortOp(op uint32)
+}
+
+// SelfFailer lets an endpoint simulate its own fail-stop crash without
+// tearing down the process: after FailSelf, every peer observes this rank as
+// down (exactly as if its process had exited and its connections broken),
+// and the endpoint's own pending and future operations fail with
+// *PeerDownError. Fault-injection harnesses use it to kill one rank of an
+// in-process world.
+type SelfFailer interface {
+	FailSelf()
+}
+
 // ErrClosed is returned by operations on a closed transport.
 var ErrClosed = errors.New("transport: closed")
+
+// ErrPeerDown matches (via errors.Is) any *PeerDownError.
+var ErrPeerDown = errors.New("transport: peer down")
+
+// ErrOpAborted matches (via errors.Is) any *OpAbortedError.
+var ErrOpAborted = errors.New("transport: operation aborted")
+
+// PeerDownError reports that one specific peer crashed or was declared dead.
+// Only operations involving that peer fail; the rest of the world is usable.
+type PeerDownError struct{ Peer int }
+
+// Error implements error.
+func (e *PeerDownError) Error() string {
+	return fmt.Sprintf("transport: peer %d down", e.Peer)
+}
+
+// Is reports equivalence to the ErrPeerDown sentinel.
+func (e *PeerDownError) Is(target error) bool { return target == ErrPeerDown }
+
+// OpAbortedError reports that a collective operation was aborted, typically
+// because a group member died mid-collective. Dead is the rank whose failure
+// triggered the abort (-1 when unknown).
+type OpAbortedError struct {
+	Op   uint32
+	Dead int
+}
+
+// Error implements error.
+func (e *OpAbortedError) Error() string {
+	return fmt.Sprintf("transport: op %d aborted (peer %d down)", e.Op, e.Dead)
+}
+
+// Is reports equivalence to the ErrOpAborted sentinel.
+func (e *OpAbortedError) Is(target error) bool { return target == ErrOpAborted }
+
+// IsFailure reports whether err is a recoverable group failure: a dead peer
+// or an aborted collective, as opposed to a closed transport or a protocol
+// error.
+func IsFailure(err error) bool {
+	return errors.Is(err, ErrPeerDown) || errors.Is(err, ErrOpAborted)
+}
+
+// opOf extracts the collective operation id from a tag (the layout of
+// internal/collective: op<<24 | phase<<16 | step).
+func opOf(tag uint64) uint64 { return tag >> 24 }
 
 type message struct {
 	from    int
@@ -46,18 +126,31 @@ type key struct {
 	tag  uint64
 }
 
-// mailbox matches incoming messages to waiting receivers.
+// recvResult completes a blocked receive.
+type recvResult struct {
+	payload []float64
+	err     error
+}
+
+// mailbox matches incoming messages to waiting receivers, with per-peer
+// failure isolation and per-operation aborts.
 type mailbox struct {
 	mu      sync.Mutex
 	pending map[key][]float64
-	waiters map[key]chan []float64
+	waiters map[key]chan recvResult
+	down    map[int]bool
+	aborted map[uint64]int // op id -> dead rank that caused the abort
 	closed  bool
+	dead    int // >= 0: the owning rank failed itself (fail-stop crash)
 }
 
 func newMailbox() *mailbox {
 	return &mailbox{
 		pending: make(map[key][]float64),
-		waiters: make(map[key]chan []float64),
+		waiters: make(map[key]chan recvResult),
+		down:    make(map[int]bool),
+		aborted: make(map[uint64]int),
+		dead:    -1,
 	}
 }
 
@@ -67,10 +160,19 @@ func (m *mailbox) deliver(msg message) error {
 	if m.closed {
 		return ErrClosed
 	}
+	if m.dead >= 0 {
+		// The owning rank crashed: senders see it down.
+		return &PeerDownError{Peer: m.dead}
+	}
+	if m.down[msg.from] {
+		// The receiver considers the sender dead; drop the message and tell
+		// the sender (a rejoining worker must be revived first).
+		return &PeerDownError{Peer: msg.from}
+	}
 	k := key{from: msg.from, tag: msg.tag}
 	if ch, ok := m.waiters[k]; ok {
 		delete(m.waiters, k)
-		ch <- msg.payload
+		ch <- recvResult{payload: msg.payload}
 		return nil
 	}
 	if _, dup := m.pending[k]; dup {
@@ -87,20 +189,78 @@ func (m *mailbox) receive(from int, tag uint64) ([]float64, error) {
 		m.mu.Unlock()
 		return nil, ErrClosed
 	}
+	if dead, ok := m.aborted[opOf(tag)]; ok {
+		m.mu.Unlock()
+		return nil, &OpAbortedError{Op: uint32(opOf(tag)), Dead: dead}
+	}
+	if m.down[from] {
+		m.mu.Unlock()
+		return nil, &PeerDownError{Peer: from}
+	}
 	if p, ok := m.pending[k]; ok {
 		delete(m.pending, k)
 		m.mu.Unlock()
 		return p, nil
 	}
-	ch := make(chan []float64, 1)
+	ch := make(chan recvResult, 1)
 	m.waiters[k] = ch
 	m.mu.Unlock()
 
-	p, ok := <-ch
-	if !ok {
-		return nil, ErrClosed
+	r := <-ch
+	return r.payload, r.err
+}
+
+// failPeer marks peer dead: queued messages from it are dropped and blocked
+// receives targeting it fail with *PeerDownError. Idempotent.
+func (m *mailbox) failPeer(peer int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed || m.down[peer] {
+		return
 	}
-	return p, nil
+	m.down[peer] = true
+	for k := range m.pending {
+		if k.from == peer {
+			delete(m.pending, k)
+		}
+	}
+	for k, ch := range m.waiters {
+		if k.from == peer {
+			delete(m.waiters, k)
+			ch <- recvResult{err: &PeerDownError{Peer: peer}}
+		}
+	}
+}
+
+// revivePeer clears peer's down mark after a rejoin.
+func (m *mailbox) revivePeer(peer int) {
+	m.mu.Lock()
+	delete(m.down, peer)
+	m.mu.Unlock()
+}
+
+// abortOp fails pending and future receives belonging to collective op.
+func (m *mailbox) abortOp(op uint32, dead int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	if _, done := m.aborted[uint64(op)]; done {
+		return
+	}
+	m.aborted[uint64(op)] = dead
+	for k := range m.pending {
+		if opOf(k.tag) == uint64(op) {
+			delete(m.pending, k)
+		}
+	}
+	for k, ch := range m.waiters {
+		if opOf(k.tag) == uint64(op) {
+			delete(m.waiters, k)
+			ch <- recvResult{err: &OpAbortedError{Op: op, Dead: dead}}
+		}
+	}
 }
 
 func (m *mailbox) close() {
@@ -111,8 +271,46 @@ func (m *mailbox) close() {
 	}
 	m.closed = true
 	for k, ch := range m.waiters {
-		close(ch)
 		delete(m.waiters, k)
+		ch <- recvResult{err: ErrClosed}
+	}
+}
+
+// FailPeerEverywhere declares dead crashed at every other endpoint of an
+// in-process world that supports per-peer failure isolation.
+func FailPeerEverywhere(world []Transport, dead int) {
+	for i, t := range world {
+		if i == dead || t == nil {
+			continue
+		}
+		if pf, ok := t.(PeerFailer); ok {
+			pf.FailPeer(dead)
+		}
+	}
+}
+
+// RevivePeerEverywhere re-admits peer at every other endpoint (rejoin).
+func RevivePeerEverywhere(world []Transport, peer int) {
+	for i, t := range world {
+		if i == peer || t == nil {
+			continue
+		}
+		if pf, ok := t.(PeerFailer); ok {
+			pf.RevivePeer(peer)
+		}
+	}
+}
+
+// AbortOpEverywhere aborts collective op at the endpoints of members (dead is
+// the rank whose loss triggered the abort).
+func AbortOpEverywhere(world []Transport, members []int, op uint32, dead int) {
+	for _, m := range members {
+		if m == dead || m < 0 || m >= len(world) || world[m] == nil {
+			continue
+		}
+		if oa, ok := world[m].(OpAborter); ok {
+			oa.AbortOp(op)
+		}
 	}
 }
 
@@ -162,6 +360,42 @@ func (m *Mem) Recv(from int, tag uint64) ([]float64, error) {
 		return nil, fmt.Errorf("transport: rank %d out of range", from)
 	}
 	return m.world[m.rank].receive(from, tag)
+}
+
+// FailPeer implements PeerFailer: this endpoint treats peer as crashed.
+func (m *Mem) FailPeer(peer int) {
+	if peer >= 0 && peer < len(m.world) {
+		m.world[m.rank].failPeer(peer)
+	}
+}
+
+// RevivePeer implements PeerFailer.
+func (m *Mem) RevivePeer(peer int) {
+	if peer >= 0 && peer < len(m.world) {
+		m.world[m.rank].revivePeer(peer)
+	}
+}
+
+// AbortOp implements OpAborter.
+func (m *Mem) AbortOp(op uint32) { m.world[m.rank].abortOp(op, -1) }
+
+// FailSelf implements SelfFailer: every peer sees this rank as down, and
+// this rank sees every peer as down — the in-process equivalent of the
+// process exiting and all its connections breaking.
+func (m *Mem) FailSelf() {
+	own := m.world[m.rank]
+	own.mu.Lock()
+	if own.dead < 0 {
+		own.dead = m.rank
+	}
+	own.mu.Unlock()
+	for r, box := range m.world {
+		if r == m.rank {
+			continue
+		}
+		box.failPeer(m.rank)
+		own.failPeer(r)
+	}
 }
 
 // Close implements Transport. It closes only this endpoint's mailbox.

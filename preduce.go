@@ -88,6 +88,12 @@ type (
 	HeteroModel = hetero.Model
 	// NetworkParams is the α–β communication cost model.
 	NetworkParams = netmodel.Params
+	// CrashEvent is one scheduled fail-stop (worker, time, optional rejoin)
+	// in a simulated run.
+	CrashEvent = hetero.CrashEvent
+	// CrashSchedule is a deterministic fail-stop schedule for
+	// SimConfig.Crashes; P-Reduce absorbs the losses, All-Reduce halts (§4).
+	CrashSchedule = hetero.CrashSchedule
 
 	// LiveConfig describes a live (goroutine + collective) run.
 	LiveConfig = live.Config
@@ -191,6 +197,14 @@ func ProductionTrace(n int, base float64, seed int64) HeteroModel {
 
 // DefaultNetwork returns the calibrated α–β network parameters.
 func DefaultNetwork() NetworkParams { return netmodel.Default() }
+
+// RandomCrashes draws a seeded fail-stop schedule: each worker (except rank
+// 0) independently crashes with probability rate at a time uniform in
+// (0, horizon). The draw is a pure function of its arguments, so the same
+// schedule replays on every run.
+func RandomCrashes(n int, rate, horizon float64, seed int64) CrashSchedule {
+	return hetero.RandomCrashes(n, rate, horizon, seed)
+}
 
 // GaussianMixture generates a synthetic classification dataset.
 func GaussianMixture(cfg MixtureConfig) (*Dataset, error) { return data.GaussianMixture(cfg) }
