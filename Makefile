@@ -7,11 +7,11 @@ GO ?= go
 
 # Packages whose tests exercise real goroutine concurrency and therefore run
 # under the race detector as part of tier-1.
-RACE_PKGS := ./internal/transport/ ./internal/collective/ ./internal/live/ ./internal/controller/ ./internal/core/ .
+RACE_PKGS := ./internal/transport/ ./internal/collective/ ./internal/live/ ./internal/controller/ ./internal/core/ ./internal/tensor/ ./internal/bufpool/ .
 
-.PHONY: ci vet build test race fuzz clean
+.PHONY: ci vet build test race allocgate bench fuzz clean
 
-ci: vet build test race
+ci: vet build test race allocgate
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +25,28 @@ test:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
+# Zero-allocation gate: the steady-state data plane (pool Get/Put, Mem
+# Send/RecvInto round trip, full segmented AllReduceSum, kernel dispatch)
+# must not touch the heap. The assertions skip themselves under -race (whose
+# instrumentation allocates), so ci runs them in a dedicated non-race pass.
+allocgate:
+	$(GO) test ./internal/bufpool/ -run TestSteadyStateGetPutAllocFree -count 1
+	$(GO) test ./internal/transport/ -run TestRecvIntoSteadyStateAllocFree -count 1
+	$(GO) test ./internal/collective/ -run TestAllReduceSteadyStateAllocFree -count 1
+	$(GO) test ./internal/tensor/ -run TestAddScaledDispatchAllocFree -count 1
+
+# Data-plane benchmark sweep; machine-readable results land in
+# BENCH_dataplane.json (test2json stream, one JSON object per line).
+BENCHTIME ?= 1s
+bench:
+	$(GO) test ./internal/collective/ ./internal/transport/ ./internal/tensor/ \
+		-run '^$$' -bench 'BenchmarkAllReduceSum$$|BenchmarkRingSegmented|BenchmarkEncodeFrame|BenchmarkSendRecvInto|BenchmarkAddScaled' \
+		-benchmem -benchtime $(BENCHTIME) -json > BENCH_dataplane.json
+	@grep -oE '"Output":"(Benchmark[^"]*|[^"]*ns/op[^"]*)"' BENCH_dataplane.json | \
+		sed -e 's/^"Output":"//' -e 's/"$$//' -e 's/\\t/\t/g' -e 's/\\n//' | \
+		awk '/^Benchmark/ { name=$$0; next } /ns\/op/ { print name $$0 }'
+	@echo "wrote BENCH_dataplane.json"
+
 # Short fuzz pass over the wire codec (longer runs: raise FUZZTIME).
 FUZZTIME ?= 15s
 fuzz:
@@ -33,3 +55,4 @@ fuzz:
 
 clean:
 	$(GO) clean ./...
+	rm -f BENCH_dataplane.json

@@ -25,6 +25,25 @@ import (
 // outDir, when non-empty, receives plot-ready CSV exports per experiment.
 var outDir string
 
+// showComms, when set, prints each run's modeled data-plane traffic.
+var showComms bool
+
+// reportComms prints one modeled-traffic line per result (also exported in
+// the summary CSV columns when -csv is set).
+func reportComms(results ...*metrics.Result) {
+	if !showComms {
+		return
+	}
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		fmt.Printf("comms %-18s ops=%6d sent=%.1fMB recv=%.1fMB\n",
+			r.Strategy, r.Comms.Ops,
+			float64(r.Comms.BytesSent)/1e6, float64(r.Comms.BytesRecv)/1e6)
+	}
+}
+
 // exportCurves writes a curve CSV for a figure when -csv is set.
 func exportCurves(name string, results ...*metrics.Result) {
 	if outDir == "" {
@@ -63,7 +82,9 @@ func main() {
 	quickFlag := flag.Bool("quick", false, "reduced update budgets and thresholds")
 	parallel := flag.Int("parallel", 0, "max concurrent cells (0 = GOMAXPROCS)")
 	csvDir := flag.String("csv", "", "directory to write plot-ready CSV files into (curves and summaries)")
+	comms := flag.Bool("comms", false, "print modeled data-plane traffic (ops, bytes) per run")
 	flag.Parse()
+	showComms = *comms
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -127,6 +148,7 @@ func runTable1(opts experiments.Options) error {
 		}
 	}
 	exportSummary("table1", all...)
+	reportComms(all...)
 	for _, m := range []string{"resnet34", "vgg19", "densenet121"} {
 		for _, hl := range []int{1, 2, 3} {
 			if name, best := res.Best(m, hl); best != nil {
@@ -165,6 +187,7 @@ func exportCurveSet(name string, cs *experiments.CurveSet) {
 		}
 	}
 	exportCurves(name, rs...)
+	reportComms(rs...)
 }
 
 func runFig7b(opts experiments.Options) error {

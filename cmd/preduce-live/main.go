@@ -48,6 +48,10 @@ func main() {
 		"fault-injection demo: this rank fail-stops after the given local iteration (survivors keep training; rank 0 cannot crash)")
 	failTimeout := flag.Duration("fail-timeout", 30*time.Second,
 		"controller-side staleness backstop used when -crash-after is set")
+	segmentSize := flag.Int("segment-size", 0,
+		"collective pipeline segment size in float64 elements (0: default, negative: unsegmented)")
+	commStats := flag.Bool("comm-stats", false,
+		"print this rank's data-plane statistics (bytes, segments, per-phase time) on exit")
 	flag.Parse()
 
 	list := strings.Split(*addrs, ",")
@@ -86,8 +90,9 @@ func main() {
 		Train:     train,
 		Test:      test,
 		BatchSize: 16,
-		Optimizer: optim.Config{LR: 0.03, Momentum: 0.9, WeightDecay: 1e-4},
-		Iters:     *iters,
+		Optimizer:    optim.Config{LR: 0.03, Momentum: 0.9, WeightDecay: 1e-4},
+		Iters:        *iters,
+		SegmentElems: *segmentSize,
 	}
 	if *dynamic {
 		cfg.Weighting = preduce.Dynamic
@@ -107,6 +112,9 @@ func main() {
 		fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "rank %d: done in %s\n", *rank, time.Since(start).Round(time.Millisecond))
+	if *commStats {
+		fmt.Fprintf(os.Stderr, "rank %d: comms %s\n", *rank, rep.Comms.String())
+	}
 	if *rank == 0 {
 		fmt.Printf("averaged-model accuracy: %.3f  groups: %d\n", rep.FinalAccuracy, rep.Groups)
 	}

@@ -35,6 +35,7 @@ func (*ADPSGD) Run(c *cluster.Cluster) (*metrics.Result, error) {
 		c.Eng.After(c.ComputeTime(w), func() {
 			grad, _ := c.Gradient(w) // at the snapshot, possibly stale by now
 			j := pickNeighbor(rng, c.Cfg.N, w.ID)
+			c.ChargeExchange(1)
 			c.Eng.After(c.PairTime(w.ID, j), func() {
 				neighbor := c.Workers[j]
 				// Atomic pairwise average; the neighbor is not interrupted.

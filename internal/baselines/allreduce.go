@@ -44,6 +44,7 @@ func (*AllReduce) Run(c *cluster.Cluster) (*metrics.Result, error) {
 			}
 		}
 		dur := maxDt + c.RingTimeAll()
+		c.ChargeRing(c.Cfg.N)
 		c.Eng.After(dur, func() {
 			avg.Zero()
 			for _, w := range c.Workers {

@@ -48,6 +48,7 @@ func (*DPSGD) Run(c *cluster.Cluster) (*metrics.Result, error) {
 				worst = t
 			}
 		}
+		c.ChargeExchange(n) // one bidirectional model exchange per ring link
 		c.Eng.After(maxDt+worst, func() {
 			// Gossip averaging with ring weights 1/3–1/3–1/3, then the local
 			// gradient (computed at the pre-gossip model, as in D-PSGD).

@@ -81,6 +81,7 @@ func (e *EagerReduce) Run(c *cluster.Cluster) (*metrics.Result, error) {
 			return
 		}
 		inFlight = true
+		c.ChargeRing(c.Cfg.N)
 		c.Eng.After(c.RingTimeAll(), finishRound)
 	}
 

@@ -53,6 +53,7 @@ func (*PSBSP) Run(c *cluster.Cluster) (*metrics.Result, error) {
 			}
 		}
 		dur := maxDt + c.PSTimeMax()
+		c.ChargeExchange(c.Cfg.N) // every worker pushes and pulls
 		c.Eng.After(dur, func() {
 			avg.Zero()
 			for _, w := range c.Workers {
@@ -112,6 +113,7 @@ func (p *PSAsync) Run(c *cluster.Cluster) (*metrics.Result, error) {
 		c.Snapshot(w)
 		c.Eng.After(c.ComputeTime(w), func() {
 			grad, _ := c.Gradient(w) // at the pulled snapshot
+			c.ChargeExchange(1)
 			c.Eng.After(c.PSTime(w.ID), func() {
 				scale := 1.0
 				if p.Hete {
@@ -177,6 +179,7 @@ func (p *PSBK) Run(c *cluster.Cluster) (*metrics.Result, error) {
 		}
 		sort.Slice(arrivals, func(i, j int) bool { return arrivals[i].dt < arrivals[j].dt })
 		dur := arrivals[k-1].dt + c.PSTimeMax()
+		c.ChargeExchange(c.Cfg.N) // k gradients land, everyone pulls
 		c.Eng.After(dur, func() {
 			avg.Zero()
 			for _, a := range arrivals[:k] { // stragglers' gradients dropped

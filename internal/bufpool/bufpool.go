@@ -1,0 +1,143 @@
+// Package bufpool provides size-classed buffer pools for the data plane's
+// two hot buffer types: []float64 payload vectors and []byte wire frames.
+// Buffers are recycled through sync.Pool under power-of-two size classes, so
+// a steady-state communication loop — the ring collectives stepping over the
+// in-process or TCP transport — performs zero heap allocations once the pools
+// are warm. (Slice headers are recycled alongside the backing arrays: boxing
+// a *[]T into sync.Pool's interface is pointer-shaped and allocation-free,
+// whereas Put(&local) would heap-allocate a header per call.)
+//
+// Ownership rules (see DESIGN.md "Data plane"):
+//
+//   - A buffer obtained from Get* is owned by the caller until it either
+//     passes ownership on (e.g. the transport hands a pooled payload to a
+//     plain Recv caller, after which the buffer simply becomes garbage) or
+//     returns it with Put*.
+//   - Put* must only be called with buffers no other goroutine can still
+//     reference. Double-Put is a caller bug and corrupts the pool.
+//   - Put* accepts buffers of any origin (pool or not); capacities that are
+//     not an exact size class are quietly dropped rather than poisoning one.
+package bufpool
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// maxClass bounds the pooled capacity: 1 << maxClass elements. Larger
+// requests are served by plain make and dropped on Put (a 2^26-float buffer
+// is already half a gigabyte).
+const maxClass = 26
+
+// classFor returns the smallest power-of-two class index whose capacity
+// holds n elements, or -1 when n is out of pooled range.
+func classFor(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	c := bits.Len(uint(n - 1)) // ceil(log2 n)
+	if c > maxClass {
+		return -1
+	}
+	return c
+}
+
+// capClass maps an exact power-of-two capacity to its class, or -1.
+func capClass(c int) int {
+	if c <= 0 || c&(c-1) != 0 {
+		return -1
+	}
+	k := bits.Len(uint(c)) - 1
+	if k > maxClass {
+		return -1
+	}
+	return k
+}
+
+// Miss counters: the tests and the allocs-per-step CI gate use these to pin
+// down steady-state reuse (a warm loop must stop missing).
+var (
+	f64Misses  atomic.Int64
+	byteMisses atomic.Int64
+)
+
+// Float64Misses reports how many GetFloat64 calls fell through to a fresh
+// allocation (pool miss or out-of-range size) since process start.
+func Float64Misses() int64 { return f64Misses.Load() }
+
+// BytesMisses reports how many GetBytes calls fell through to a fresh
+// allocation since process start.
+func BytesMisses() int64 { return byteMisses.Load() }
+
+var (
+	f64Pools   [maxClass + 1]sync.Pool
+	f64Headers = sync.Pool{New: func() any { return new([]float64) }}
+)
+
+// GetFloat64 returns a []float64 of length n (capacity a power of two >= n)
+// from the pool, allocating only on a miss. Contents are unspecified; callers
+// that need zeros must clear it.
+func GetFloat64(n int) []float64 {
+	c := classFor(n)
+	if c < 0 {
+		f64Misses.Add(1)
+		return make([]float64, n)
+	}
+	if v := f64Pools[c].Get(); v != nil {
+		h := v.(*[]float64)
+		buf := (*h)[:n]
+		*h = nil
+		f64Headers.Put(h)
+		return buf
+	}
+	f64Misses.Add(1)
+	return make([]float64, n, 1<<c)
+}
+
+// PutFloat64 recycles buf for a future GetFloat64. Buffers whose capacity is
+// not an exact class size are dropped; nil is a no-op.
+func PutFloat64(buf []float64) {
+	c := capClass(cap(buf))
+	if c < 0 {
+		return
+	}
+	h := f64Headers.Get().(*[]float64)
+	*h = buf[:cap(buf)]
+	f64Pools[c].Put(h)
+}
+
+var (
+	bytePools   [maxClass + 1]sync.Pool
+	byteHeaders = sync.Pool{New: func() any { return new([]byte) }}
+)
+
+// GetBytes returns a []byte of length n (capacity a power of two >= n) from
+// the pool, allocating only on a miss. Contents are unspecified.
+func GetBytes(n int) []byte {
+	c := classFor(n)
+	if c < 0 {
+		byteMisses.Add(1)
+		return make([]byte, n)
+	}
+	if v := bytePools[c].Get(); v != nil {
+		h := v.(*[]byte)
+		buf := (*h)[:n]
+		*h = nil
+		byteHeaders.Put(h)
+		return buf
+	}
+	byteMisses.Add(1)
+	return make([]byte, n, 1<<c)
+}
+
+// PutBytes recycles buf; non-class capacities are dropped, nil is a no-op.
+func PutBytes(buf []byte) {
+	c := capClass(cap(buf))
+	if c < 0 {
+		return
+	}
+	h := byteHeaders.Get().(*[]byte)
+	*h = buf[:cap(buf)]
+	bytePools[c].Put(h)
+}

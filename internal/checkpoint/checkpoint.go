@@ -156,10 +156,3 @@ func readFloats(r io.Reader, xs []float64) error {
 	}
 	return nil
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

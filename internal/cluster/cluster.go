@@ -260,6 +260,34 @@ func (c *Cluster) PairTime(a, b int) float64 {
 	return c.Cfg.Net.PairAverage(c.WireBytes())
 }
 
+// Modeled traffic accounting: strategies call these once per *executed*
+// synchronization so the simulator's summary carries the same comm columns
+// the live runtime measures. (The *Time helpers above stay pure cost
+// queries — PSTimeMax, for instance, probes every worker to find the
+// slowest, which must not count as N transfers.)
+
+// ChargeRing records the traffic of one executed ring all-reduce among g
+// members: every member ships 2(g−1)/g of the tensor in each direction, so
+// the group total is 2(g−1)·WireBytes both sent and received.
+func (c *Cluster) ChargeRing(g int) {
+	if g < 2 {
+		return
+	}
+	b := 2 * int64(g-1) * c.WireBytes()
+	c.Track.AddComms(metrics.CommStats{Ops: 1, BytesSent: b, BytesRecv: b})
+}
+
+// ChargeExchange records n executed point-to-point model exchanges (a PS
+// push/pull round trip, or one half of a pairwise average): each moves the
+// full tensor both ways.
+func (c *Cluster) ChargeExchange(n int) {
+	if n < 1 {
+		return
+	}
+	b := int64(n) * c.WireBytes()
+	c.Track.AddComms(metrics.CommStats{Ops: 1, BytesSent: b, BytesRecv: b})
+}
+
 // RecordUpdate counts one synchronization update, evaluates the averaged
 // model on schedule, and stops the engine when the run converges or exceeds
 // its budgets. Strategies must call it once per update event.

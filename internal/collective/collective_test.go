@@ -300,12 +300,6 @@ func TestQuickAllReduceMatchesSequential(t *testing.T) {
 	}
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
 
 func TestAllGather(t *testing.T) {
 	eps := transport.NewMem(4)

@@ -1,0 +1,8 @@
+//go:build race
+
+package collective
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation allocates and would fail the
+// allocation-gate assertions.
+const raceEnabled = true

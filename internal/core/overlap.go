@@ -80,6 +80,7 @@ func (p *PReduce) runOverlapped(c *cluster.Cluster, ctrl *controller.Controller)
 		for _, g := range groups {
 			g := g
 			dur := c.Cfg.Net.CtrlRTT + c.RingTime(g.Members)
+			c.ChargeRing(len(g.Members))
 			c.Eng.After(dur, func() { onGroupDone(g) })
 		}
 	}

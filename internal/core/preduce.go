@@ -181,6 +181,10 @@ func (p *PReduce) runWith(c *cluster.Cluster, ctrl *controller.Controller) (*met
 			// group: P-Reduce preserves collective bandwidth utilization
 			// while shrinking the synchronization scope (§3.1.1).
 			dur := c.Cfg.Net.CtrlRTT + c.RingTime(g.Members)
+			// Charged at dispatch: a group later aborted still moved (some
+			// of) its bytes, exactly as the live runtime counts aborted
+			// attempts' partial traffic.
+			c.ChargeRing(len(g.Members))
 			c.Eng.After(dur, func() { onGroupDone(id, g) })
 		}
 	}

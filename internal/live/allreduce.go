@@ -47,6 +47,8 @@ func RunAllReduce(cfg Config, world []transport.Transport) (*Report, error) {
 	models := make([]model.Model, cfg.N)
 	iters := make([]int, cfg.N)
 	runErr := make(chan error, cfg.N)
+	var commMu sync.Mutex
+	var comms collective.OpStats
 	var wg sync.WaitGroup
 	for id := 0; id < cfg.N; id++ {
 		id := id
@@ -60,6 +62,13 @@ func RunAllReduce(cfg Config, world []transport.Transport) (*Report, error) {
 			grad := tensor.NewVector(m.NumParams())
 			var batch *data.Batch
 			tr := world[id]
+			var local collective.OpStats
+			defer func() {
+				commMu.Lock()
+				comms.Merge(local)
+				commMu.Unlock()
+			}()
+			copts := collective.Options{SegmentElems: cfg.SegmentElems, Stats: &local}
 
 			crashAt, hasCrash := cfg.Crash[id]
 			for iter := 0; iter < cfg.Iters; iter++ {
@@ -76,7 +85,7 @@ func RunAllReduce(cfg Config, world []transport.Transport) (*Report, error) {
 				}
 				batch = sampler.Sample(batch, cfg.BatchSize)
 				m.Gradient(grad, batch)
-				if err := collective.AllReduceMean(tr, group, uint32(iter+1), grad); err != nil {
+				if err := collective.AllReduceMeanOpts(tr, group, uint32(iter+1), grad, copts); err != nil {
 					runErr <- fmt.Errorf("live: worker %d all-reduce: %w", id, err)
 					for _, t := range world {
 						t.Close()
@@ -101,5 +110,6 @@ func RunAllReduce(cfg Config, world []transport.Transport) (*Report, error) {
 		Groups:        cfg.Iters,
 		WallTime:      time.Since(start),
 		WorkerIters:   iters,
+		Comms:         comms,
 	}, nil
 }

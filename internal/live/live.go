@@ -49,6 +49,10 @@ type Config struct {
 	// ComputeDelay optionally injects artificial per-batch latency to
 	// emulate heterogeneity on real hardware (nil for full speed).
 	ComputeDelay func(worker, iter int) time.Duration
+	// SegmentElems is the collective pipeline segment size in float64
+	// elements: 0 selects collective.DefaultSegmentElems, negative disables
+	// segmentation (one message per ring step).
+	SegmentElems int
 
 	// Crash maps worker id -> local iteration at which the worker crashes.
 	// The crash lands at the worst possible moment for the protocol: the
@@ -124,6 +128,9 @@ type Report struct {
 	WorkerIters   []int  // local iterations completed per worker
 	Alive         []bool // final controller liveness vector
 	Completed     []bool // workers that finished all their iterations
+	// Comms aggregates data-plane statistics over every collective the run
+	// executed (all workers, including aborted attempts' partial traffic).
+	Comms collective.OpStats
 }
 
 // groupMsg carries a formed group to its members; skip means "proceed
@@ -171,6 +178,16 @@ type runtime struct {
 
 	iters  []int
 	models []model.Model
+
+	commMu sync.Mutex
+	comms  collective.OpStats
+}
+
+// addComms folds a worker's local data-plane stats into the run total.
+func (rt *runtime) addComms(s *collective.OpStats) {
+	rt.commMu.Lock()
+	rt.comms.Merge(*s)
+	rt.commMu.Unlock()
 }
 
 // Run trains with cfg over the given transport world (len(world) == N; entry
@@ -259,6 +276,7 @@ func Run(cfg Config, world []transport.Transport) (*Report, error) {
 		WorkerIters:   rt.iters,
 		Alive:         ctrl.Alive(),
 		Completed:     completed,
+		Comms:         rt.comms,
 	}, nil
 }
 
@@ -432,6 +450,9 @@ func (rt *runtime) worker(id int, m model.Model, opt *optim.SGD, sampler *data.S
 	grad := tensor.NewVector(m.NumParams())
 	pre := tensor.NewVector(m.NumParams())
 	var batch *data.Batch
+	var comms collective.OpStats
+	defer rt.addComms(&comms)
+	copts := collective.Options{SegmentElems: cfg.SegmentElems, Stats: &comms}
 	// The paper's loop counter: fast-forwarded to the group max after every
 	// partial reduce (§3.3.3), so stragglers skip caught-up work.
 	iter := startIter
@@ -470,7 +491,7 @@ func (rt *runtime) worker(id int, m model.Model, opt *optim.SGD, sampler *data.S
 				}
 			}
 			pre.CopyFrom(m.Params())
-			err := collective.WeightedAverage(tr, g.Members, gm.opID, m.Params(), weight)
+			err := collective.WeightedAverageOpts(tr, g.Members, gm.opID, m.Params(), weight, copts)
 			if err == nil {
 				if g.InitWeight > 0 {
 					m.Params().Axpy(g.InitWeight, rt.init)

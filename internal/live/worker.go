@@ -397,6 +397,8 @@ func runWorkerLoop(cfg Config, tr transport.Transport, ctrlRank int, host bool) 
 
 	start := time.Now()
 	groups := 0
+	var comms collective.OpStats
+	copts := collective.Options{SegmentElems: cfg.SegmentElems, Stats: &comms}
 	// iter is the paper's loop counter k: it fast-forwards to the group max
 	// after every partial reduce (§3.3.3), so stragglers skip caught-up work.
 	iter := 0
@@ -454,7 +456,7 @@ func runWorkerLoop(cfg Config, tr transport.Transport, ctrlRank int, host bool) 
 				}
 			}
 			pre.CopyFrom(m.Params())
-			err = collective.WeightedAverage(tr, g.Members, opID, m.Params(), weight)
+			err = collective.WeightedAverageOpts(tr, g.Members, opID, m.Params(), weight, copts)
 			if err == nil {
 				if g.InitWeight > 0 {
 					m.Params().Axpy(g.InitWeight, init)
@@ -515,6 +517,7 @@ func runWorkerLoop(cfg Config, tr transport.Transport, ctrlRank int, host bool) 
 		WallTime:    time.Since(start),
 		WorkerIters: []int{iter},
 		Completed:   []bool{true},
+		Comms:       comms,
 	}
 	if host {
 		avg := tensor.NewVector(len(init))

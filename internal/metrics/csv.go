@@ -38,7 +38,8 @@ func WriteCurvesCSV(w io.Writer, results ...*Result) error {
 // WriteSummaryCSV exports one row per run with the three Table 1 metrics.
 func WriteSummaryCSV(w io.Writer, results ...*Result) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"strategy", "workload", "converged", "run_time_s", "updates", "per_update_s", "final_accuracy"}); err != nil {
+	if err := cw.Write([]string{"strategy", "workload", "converged", "run_time_s", "updates", "per_update_s", "final_accuracy",
+		"coll_ops", "bytes_sent", "bytes_recv", "segments", "reduce_scatter_s", "all_gather_s"}); err != nil {
 		return err
 	}
 	for _, r := range results {
@@ -53,6 +54,12 @@ func WriteSummaryCSV(w io.Writer, results ...*Result) error {
 			strconv.Itoa(r.Updates),
 			strconv.FormatFloat(r.PerUpdate(), 'f', 5, 64),
 			strconv.FormatFloat(r.FinalAccuracy, 'f', 5, 64),
+			strconv.FormatInt(r.Comms.Ops, 10),
+			strconv.FormatInt(r.Comms.BytesSent, 10),
+			strconv.FormatInt(r.Comms.BytesRecv, 10),
+			strconv.FormatInt(r.Comms.Segments, 10),
+			strconv.FormatFloat(r.Comms.ReduceScatterS, 'f', 3, 64),
+			strconv.FormatFloat(r.Comms.AllGatherS, 'f', 3, 64),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

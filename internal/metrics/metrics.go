@@ -13,6 +13,31 @@ type Point struct {
 	Accuracy float64 // test accuracy of the averaged model
 }
 
+// CommStats aggregates a run's data-plane traffic. The live runtime measures
+// it directly from its collectives (collective.OpStats); the simulator models
+// it from the message counts of each synchronization primitive. Segment and
+// per-phase fields are only populated by measured (live) runs.
+type CommStats struct {
+	Ops       int64 // collective operations executed
+	BytesSent int64 // payload bytes sent across all workers
+	BytesRecv int64 // payload bytes received across all workers
+	Segments  int64 // pipeline segments shipped (live runtime only)
+	// ReduceScatterS and AllGatherS are cumulative wall-clock seconds spent
+	// in each ring phase across all workers (live runtime only).
+	ReduceScatterS float64
+	AllGatherS     float64
+}
+
+// Add folds o into s.
+func (s *CommStats) Add(o CommStats) {
+	s.Ops += o.Ops
+	s.BytesSent += o.BytesSent
+	s.BytesRecv += o.BytesRecv
+	s.Segments += o.Segments
+	s.ReduceScatterS += o.ReduceScatterS
+	s.AllGatherS += o.AllGatherS
+}
+
 // Result summarizes one training run.
 type Result struct {
 	Strategy  string
@@ -29,6 +54,8 @@ type Result struct {
 	FinalAccuracy float64
 	// Curve is the accuracy trajectory.
 	Curve []Point
+	// Comms is the run's aggregate data-plane traffic.
+	Comms CommStats
 }
 
 // PerUpdate returns the average seconds per update, the paper's hardware
@@ -76,6 +103,11 @@ func (t *Tracker) Update(now float64) {
 
 // Updates returns the updates recorded so far.
 func (t *Tracker) Updates() int { return t.res.Updates }
+
+// AddComms folds one synchronization primitive's traffic into the run total.
+// Unlike Update it keeps accumulating after convergence: traffic already on
+// the wire is still traffic.
+func (t *Tracker) AddComms(s CommStats) { t.res.Comms.Add(s) }
 
 // Observe records an evaluation and reports whether the threshold has now
 // been reached for the first time (the trainer should stop).

@@ -1,0 +1,131 @@
+package tensor
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestAddScaledSmall(t *testing.T) {
+	dst := []float64{1, 2, 3}
+	src := []float64{10, 20, 30}
+	AddScaled(dst, src, 0.5)
+	want := []float64{6, 12, 18}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("dst[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestAddScaledUnitFastPath(t *testing.T) {
+	dst := []float64{1, 2}
+	AddScaled(dst, []float64{3, 4}, 1)
+	if dst[0] != 4 || dst[1] != 6 {
+		t.Fatalf("dst = %v", dst)
+	}
+}
+
+func TestAddScaledLenMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	AddScaled(make([]float64, 3), make([]float64, 4), 1)
+}
+
+// TestAddScaledParallelBitIdentical pins the property the segmented
+// collectives rely on: the parallel path produces bit-identical results to
+// the serial inner loop, because every element is computed independently.
+func TestAddScaledParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{ParallelThreshold, ParallelThreshold + 1, 4*ParallelThreshold + 13} {
+		dst := make([]float64, n)
+		src := make([]float64, n)
+		for i := range dst {
+			dst[i] = rng.NormFloat64()
+			src[i] = rng.NormFloat64()
+		}
+		ref := make([]float64, n)
+		copy(ref, dst)
+		a := rng.NormFloat64()
+
+		addScaledSerial(ref, src, a) // ground truth, never parallel
+		AddScaled(dst, src, a)       // over threshold: pool path
+		for i := range dst {
+			if dst[i] != ref[i] {
+				t.Fatalf("n=%d: dst[%d] = %x, want %x (not bit-identical)", n, i, dst[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestAddScaledConcurrentCallers exercises the kernel pool from many
+// goroutines at once (run under -race in make ci): the pool serializes
+// kernel dispatches, so concurrent callers must neither race nor mix
+// operands.
+func TestAddScaledConcurrentCallers(t *testing.T) {
+	const callers = 8
+	n := ParallelThreshold + 257
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dst := make([]float64, n)
+			src := make([]float64, n)
+			for i := range src {
+				src[i] = float64(c + 1)
+			}
+			for rep := 0; rep < 10; rep++ {
+				AddScaled(dst, src, 1)
+			}
+			for i := range dst {
+				if dst[i] != 10*float64(c+1) {
+					t.Errorf("caller %d: dst[%d] = %v, want %v", c, i, dst[i], 10*float64(c+1))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestAddScaledDispatchAllocFree(t *testing.T) {
+	n := 4 * ParallelThreshold
+	dst := make([]float64, n)
+	src := make([]float64, n)
+	AddScaled(dst, src, 2) // warm the pool
+	avg := testing.AllocsPerRun(50, func() { AddScaled(dst, src, 2) })
+	if avg > 0.5 {
+		t.Errorf("parallel AddScaled allocates %.1f times per call, want 0", avg)
+	}
+}
+
+func BenchmarkAddScaled(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 16, 1 << 20} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			dst := make([]float64, n)
+			src := make([]float64, n)
+			b.SetBytes(int64(16 * n))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				AddScaled(dst, src, 0.5)
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	switch {
+	case n >= 1<<20:
+		return "1M"
+	case n >= 1<<16:
+		return "64K"
+	default:
+		return "4K"
+	}
+}

@@ -42,12 +42,8 @@ func (v Vector) CopyFrom(src Vector) {
 }
 
 // Add adds w to v element-wise, in place. It panics if lengths differ.
-func (v Vector) Add(w Vector) {
-	checkLen(len(v), len(w))
-	for i := range v {
-		v[i] += w[i]
-	}
-}
+// Large vectors run on the AddScaled kernel's worker pool.
+func (v Vector) Add(w Vector) { AddScaled(v, w, 1) }
 
 // Sub subtracts w from v element-wise, in place.
 func (v Vector) Sub(w Vector) {
@@ -65,12 +61,8 @@ func (v Vector) Scale(c float64) {
 }
 
 // Axpy computes v += a*w in place. It panics if lengths differ.
-func (v Vector) Axpy(a float64, w Vector) {
-	checkLen(len(v), len(w))
-	for i := range v {
-		v[i] += a * w[i]
-	}
-}
+// Large vectors run on the AddScaled kernel's worker pool.
+func (v Vector) Axpy(a float64, w Vector) { AddScaled(v, w, a) }
 
 // Dot returns the inner product of v and w.
 func (v Vector) Dot(w Vector) float64 {

@@ -1,0 +1,47 @@
+package transport
+
+import "testing"
+
+// BenchmarkEncodeFrame measures the pooled, append-style frame encoder on a
+// ring-segment-sized payload. The Into variant with a recycled buffer is the
+// hot path (TCP send); steady state must not allocate.
+func BenchmarkEncodeFrame(b *testing.B) {
+	payload := make([]float64, 4096)
+	for i := range payload {
+		payload[i] = float64(i)
+	}
+	b.Run("into", func(b *testing.B) {
+		buf := make([]byte, 0, FrameLen(payload))
+		b.SetBytes(int64(FrameLen(payload)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = EncodeFrameInto(buf[:0], 42, payload)
+		}
+		_ = buf
+	})
+	b.Run("alloc", func(b *testing.B) {
+		b.SetBytes(int64(FrameLen(payload)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = EncodeFrame(42, payload)
+		}
+	})
+}
+
+// BenchmarkSendRecvInto measures one pooled Send/RecvInto round trip over
+// the in-process transport.
+func BenchmarkSendRecvInto(b *testing.B) {
+	eps := NewMem(2)
+	payload := make([]float64, 4096)
+	dst := make([]float64, 4096)
+	b.SetBytes(int64(8 * len(payload)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := eps[0].Send(1, 7, payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eps[1].RecvInto(0, 7, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -182,6 +182,9 @@ func (c *countingTransport) Send(to int, tag uint64, payload []float64) error {
 func (c *countingTransport) Recv(from int, tag uint64) ([]float64, error) {
 	return nil, errors.New("not implemented")
 }
+func (c *countingTransport) RecvInto(from int, tag uint64, dst []float64) (int, error) {
+	return 0, errors.New("not implemented")
+}
 func (c *countingTransport) Close() error { return nil }
 
 func dropPattern(t *testing.T, seed int64, msgs int) []uint64 {

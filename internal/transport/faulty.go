@@ -178,6 +178,15 @@ func (f *Faulty) Recv(from int, tag uint64) ([]float64, error) {
 	return f.inner.Recv(from, tag)
 }
 
+// RecvInto implements Transport, forwarding to the inner endpoint (faults
+// are injected on the send side, so the zero-copy receive passes through).
+func (f *Faulty) RecvInto(from int, tag uint64, dst []float64) (int, error) {
+	if f.deadRank(f.rank) {
+		return 0, &PeerDownError{Peer: f.rank}
+	}
+	return f.inner.RecvInto(from, tag, dst)
+}
+
 // FailPeer implements PeerFailer.
 func (f *Faulty) FailPeer(peer int) {
 	if pf, ok := f.inner.(PeerFailer); ok {

@@ -33,14 +33,27 @@ func parseFrameHeader(hdr []byte) (tag uint64, count uint32) {
 	return binary.LittleEndian.Uint64(hdr[0:8]), binary.LittleEndian.Uint32(hdr[8:12])
 }
 
-// EncodeFrame serializes one frame. Exported for the codec fuzz tests.
-func EncodeFrame(tag uint64, payload []float64) []byte {
-	buf := make([]byte, frameHeaderSize+8*len(payload))
-	putFrameHeader(buf, tag, uint32(len(payload)))
-	for i, v := range payload {
-		binary.LittleEndian.PutUint64(buf[frameHeaderSize+8*i:], math.Float64bits(v))
+// EncodeFrameInto appends one encoded frame to dst and returns the extended
+// slice (append semantics: the result may share dst's backing array). Callers
+// on the hot path pass a pooled buffer with sufficient capacity —
+// bufpool.GetBytes(FrameLen(payload))[:0] — so no allocation occurs.
+func EncodeFrameInto(dst []byte, tag uint64, payload []float64) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, tag)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	for _, v := range payload {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
 	}
-	return buf
+	return dst
+}
+
+// FrameLen returns the encoded size of a frame carrying payload.
+func FrameLen(payload []float64) int { return frameHeaderSize + 8*len(payload) }
+
+// EncodeFrame serializes one frame into a fresh buffer. Exported for the
+// codec fuzz tests; the transport's send path uses EncodeFrameInto with a
+// pooled buffer instead.
+func EncodeFrame(tag uint64, payload []float64) []byte {
+	return EncodeFrameInto(make([]byte, 0, FrameLen(payload)), tag, payload)
 }
 
 // DecodeFrame parses one frame produced by EncodeFrame, enforcing maxElems
@@ -79,8 +92,14 @@ func checkFrameCount(count uint32, maxElems int) error {
 // decodePayload converts count little-endian float64 words.
 func decodePayload(body []byte, count int) []float64 {
 	payload := make([]float64, count)
-	for i := range payload {
-		payload[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[8*i:]))
-	}
+	decodePayloadInto(payload, body)
 	return payload
+}
+
+// decodePayloadInto fills dst (len == word count) from body without
+// allocating; the TCP read loop pairs it with a pooled destination.
+func decodePayloadInto(dst []float64, body []byte) {
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[8*i:]))
+	}
 }

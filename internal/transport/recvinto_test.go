@@ -1,0 +1,185 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// recvIntoWorld builds a 2-endpoint world of the named kind and returns the
+// generic Transport views (rank 0 and rank 1).
+func recvIntoWorld(t *testing.T, kind string) (Transport, Transport) {
+	t.Helper()
+	switch kind {
+	case "mem":
+		eps := NewMem(2)
+		return eps[0], eps[1]
+	case "tcp":
+		eps := startTCPWorld(t, 2)
+		return eps[0], eps[1]
+	case "faulty":
+		mem := NewMem(2)
+		inner := []Transport{mem[0], mem[1]}
+		eps, err := NewFaultyWorld(inner, FaultPlan{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eps[0], eps[1]
+	default:
+		t.Fatalf("unknown transport kind %q", kind)
+		return nil, nil
+	}
+}
+
+// TestRecvIntoAcrossTransports pins the RecvInto contract on every transport
+// implementation: exact-size buffers fill completely, oversized buffers
+// report the shorter payload length, undersized buffers fail with
+// ErrShortBuffer (and consume the message), and empty payloads are legal.
+func TestRecvIntoAcrossTransports(t *testing.T) {
+	for _, kind := range []string{"mem", "tcp", "faulty"} {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			a, b := recvIntoWorld(t, kind)
+
+			// Exact-size buffer.
+			if err := a.Send(1, 1, []float64{1, 2, 3}); err != nil {
+				t.Fatal(err)
+			}
+			dst := make([]float64, 3)
+			n, err := b.RecvInto(0, 1, dst)
+			if err != nil || n != 3 {
+				t.Fatalf("exact: n=%d err=%v", n, err)
+			}
+			if dst[0] != 1 || dst[1] != 2 || dst[2] != 3 {
+				t.Fatalf("exact: dst=%v", dst)
+			}
+
+			// Oversized buffer: n reports the payload length, the tail is
+			// untouched.
+			if err := a.Send(1, 2, []float64{7, 8}); err != nil {
+				t.Fatal(err)
+			}
+			long := []float64{-1, -1, -1, -1}
+			n, err = b.RecvInto(0, 2, long)
+			if err != nil || n != 2 {
+				t.Fatalf("long: n=%d err=%v", n, err)
+			}
+			if long[0] != 7 || long[1] != 8 || long[2] != -1 || long[3] != -1 {
+				t.Fatalf("long: dst=%v", long)
+			}
+
+			// Undersized buffer: typed error, message consumed (a retry with
+			// the same tag must not see it again).
+			if err := a.Send(1, 3, []float64{1, 2, 3, 4}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := b.RecvInto(0, 3, make([]float64, 2)); !errors.Is(err, ErrShortBuffer) {
+				t.Fatalf("short: err=%v, want ErrShortBuffer", err)
+			}
+			// The next message on the same tag arrives cleanly.
+			if err := a.Send(1, 3, []float64{42}); err != nil {
+				t.Fatal(err)
+			}
+			one := make([]float64, 1)
+			if n, err := b.RecvInto(0, 3, one); err != nil || n != 1 || one[0] != 42 {
+				t.Fatalf("after short: n=%d dst=%v err=%v", n, one, err)
+			}
+
+			// Empty payload into a nil buffer (the Barrier wire format).
+			if err := a.Send(1, 4, nil); err != nil {
+				t.Fatal(err)
+			}
+			if n, err := b.RecvInto(0, 4, nil); err != nil || n != 0 {
+				t.Fatalf("empty: n=%d err=%v", n, err)
+			}
+		})
+	}
+}
+
+// TestRecvIntoShortBufferBlocked covers the waiter path (receiver parked
+// before the send) for the short-buffer error, which the pending-queue path
+// above does not reach.
+func TestRecvIntoShortBufferBlocked(t *testing.T) {
+	eps := NewMem(2)
+	errc := make(chan error, 1)
+	ready := make(chan struct{})
+	go func() {
+		close(ready)
+		_, err := eps[1].RecvInto(0, 9, make([]float64, 1))
+		errc <- err
+	}()
+	<-ready
+	if err := eps[0].Send(1, 9, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("err=%v, want ErrShortBuffer", err)
+	}
+}
+
+// TestRecvIntoSteadyStateAllocFree is the data-plane allocation gate at the
+// transport layer: after warmup, a Send/RecvInto round trip over Mem touches
+// only pooled memory.
+func TestRecvIntoSteadyStateAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates")
+	}
+	eps := NewMem(2)
+	payload := make([]float64, 4096)
+	dst := make([]float64, 4096)
+	step := func() {
+		if err := eps[0].Send(1, 7, payload); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eps[1].RecvInto(0, 7, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 16; i++ {
+		step() // warm the pools
+	}
+	if allocs := testing.AllocsPerRun(100, step); allocs > 0 {
+		t.Fatalf("steady-state Send/RecvInto allocates %.1f times per round trip", allocs)
+	}
+}
+
+// TestRecvIntoConcurrent exercises the direct-delivery fast path under -race:
+// many goroutine pairs stream segments through one endpoint pair.
+func TestRecvIntoConcurrent(t *testing.T) {
+	eps := NewMem(2)
+	const pairs, rounds = 8, 50
+	var wg sync.WaitGroup
+	for p := 0; p < pairs; p++ {
+		p := p
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			buf := make([]float64, 64)
+			for r := 0; r < rounds; r++ {
+				for i := range buf {
+					buf[i] = float64(p*rounds + r)
+				}
+				if err := eps[0].Send(1, uint64(p*rounds+r), buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			dst := make([]float64, 64)
+			for r := 0; r < rounds; r++ {
+				n, err := eps[1].RecvInto(0, uint64(p*rounds+r), dst)
+				if err != nil || n != 64 {
+					t.Errorf("pair %d round %d: n=%d err=%v", p, r, n, err)
+					return
+				}
+				if dst[0] != float64(p*rounds+r) {
+					t.Errorf("pair %d round %d: got %v", p, r, dst[0])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"partialreduce/internal/bufpool"
 )
 
 // TCPOptions tune a TCP endpoint's failure-detection behavior. The zero
@@ -255,13 +257,20 @@ func (t *TCP) readLoop(peer int, c net.Conn) {
 			t.peerLost(peer)
 			return
 		}
-		buf := make([]byte, 8*int(count))
+		// Both the wire buffer and the decoded payload come from the pool;
+		// the wire buffer is recycled immediately, the payload when an
+		// into-receive consumes it.
+		buf := bufpool.GetBytes(8 * int(count))
 		if _, err := io.ReadFull(c, buf); err != nil {
+			bufpool.PutBytes(buf)
 			t.peerLost(peer)
 			return
 		}
-		payload := decodePayload(buf, int(count))
+		payload := bufpool.GetFloat64(int(count))
+		decodePayloadInto(payload, buf)
+		bufpool.PutBytes(buf)
 		if err := t.box.deliver(message{from: peer, tag: tag, payload: payload}); err != nil {
+			bufpool.PutFloat64(payload)
 			return
 		}
 	}
@@ -334,9 +343,13 @@ func (t *TCP) Send(to int, tag uint64, payload []float64) error {
 		return fmt.Errorf("transport: rank %d out of range", to)
 	}
 	if to == t.rank {
-		cp := make([]float64, len(payload))
+		cp := bufpool.GetFloat64(len(payload))
 		copy(cp, payload)
-		return t.box.deliver(message{from: t.rank, tag: tag, payload: cp})
+		if err := t.box.deliver(message{from: t.rank, tag: tag, payload: cp}); err != nil {
+			bufpool.PutFloat64(cp)
+			return err
+		}
+		return nil
 	}
 	t.mu.Lock()
 	tc := t.conns[to]
@@ -350,10 +363,14 @@ func (t *TCP) Send(to int, tag uint64, payload []float64) error {
 		return &PeerDownError{Peer: to}
 	}
 
-	buf := EncodeFrame(tag, payload)
+	// Encode into a pooled frame buffer sized up front, so the append
+	// variant never grows it and the whole send path stays allocation-free.
+	fb := bufpool.GetBytes(FrameLen(payload))
+	buf := EncodeFrameInto(fb[:0], tag, payload)
 	tc.mu.Lock()
 	_, err := tc.c.Write(buf)
 	tc.mu.Unlock()
+	bufpool.PutBytes(fb)
 	if err != nil {
 		t.peerLost(to)
 		return &PeerDownError{Peer: to}
@@ -367,6 +384,14 @@ func (t *TCP) Recv(from int, tag uint64) ([]float64, error) {
 		return nil, fmt.Errorf("transport: rank %d out of range", from)
 	}
 	return t.box.receive(from, tag)
+}
+
+// RecvInto implements Transport.
+func (t *TCP) RecvInto(from int, tag uint64, dst []float64) (int, error) {
+	if from < 0 || from >= t.size {
+		return 0, fmt.Errorf("transport: rank %d out of range", from)
+	}
+	return t.box.receiveInto(from, tag, dst)
 }
 
 // FailPeer implements PeerFailer: peer is declared dead and its connection

@@ -18,6 +18,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"partialreduce/internal/bufpool"
 )
 
 // Transport is a rank's endpoint in a fixed-size communication world.
@@ -34,8 +36,16 @@ type Transport interface {
 	// copied before Send returns; the caller may reuse it.
 	Send(to int, tag uint64, payload []float64) error
 	// Recv blocks until a message from rank from with the given tag arrives
-	// and returns its payload.
+	// and returns its payload. The returned slice is owned by the caller.
 	Recv(from int, tag uint64) ([]float64, error)
+	// RecvInto blocks like Recv but copies the payload into dst, returning
+	// the element count. It is the zero-allocation receive: the transport's
+	// internal buffer is recycled instead of escaping to the caller. If the
+	// payload is longer than dst, RecvInto fails with an error matching
+	// ErrShortBuffer (the message is consumed — a length mismatch is a
+	// protocol bug, not a retryable condition). n may be smaller than
+	// len(dst); dst[n:] is untouched.
+	RecvInto(from int, tag uint64, dst []float64) (int, error)
 	// Close releases the endpoint. Pending Recvs fail.
 	Close() error
 }
@@ -75,6 +85,10 @@ var ErrPeerDown = errors.New("transport: peer down")
 
 // ErrOpAborted matches (via errors.Is) any *OpAbortedError.
 var ErrOpAborted = errors.New("transport: operation aborted")
+
+// ErrShortBuffer is returned (wrapped) by RecvInto when the incoming payload
+// does not fit the destination buffer.
+var ErrShortBuffer = errors.New("transport: short receive buffer")
 
 // PeerDownError reports that one specific peer crashed or was declared dead.
 // Only operations involving that peer fail; the rest of the world is usable.
@@ -126,18 +140,35 @@ type key struct {
 	tag  uint64
 }
 
-// recvResult completes a blocked receive.
+// recvResult completes a blocked receive: n elements copied (into mode) or
+// the payload handed off (plain mode), or an error.
 type recvResult struct {
 	payload []float64
+	n       int
 	err     error
 }
 
+// waiter is one blocked receive. In into mode (dst non-nil or into set), the
+// delivering goroutine copies the payload into dst and recycles the internal
+// buffer; in plain mode the buffer is handed off to the receiver. Waiters are
+// pooled: a ring step's receive must not allocate.
+type waiter struct {
+	dst  []float64
+	into bool
+	ch   chan recvResult
+}
+
+var waiterPool = sync.Pool{New: func() any { return &waiter{ch: make(chan recvResult, 1)} }}
+
 // mailbox matches incoming messages to waiting receivers, with per-peer
-// failure isolation and per-operation aborts.
+// failure isolation and per-operation aborts. Pending payload buffers are
+// pool-owned (bufpool); they are recycled when consumed by an into-receive or
+// dropped by failure paths, and handed off (leaving the pool's custody) when
+// consumed by a plain receive.
 type mailbox struct {
 	mu      sync.Mutex
 	pending map[key][]float64
-	waiters map[key]chan recvResult
+	waiters map[key]*waiter
 	down    map[int]bool
 	aborted map[uint64]int // op id -> dead rank that caused the abort
 	closed  bool
@@ -147,13 +178,75 @@ type mailbox struct {
 func newMailbox() *mailbox {
 	return &mailbox{
 		pending: make(map[key][]float64),
-		waiters: make(map[key]chan recvResult),
+		waiters: make(map[key]*waiter),
 		down:    make(map[int]bool),
 		aborted: make(map[uint64]int),
 		dead:    -1,
 	}
 }
 
+// complete resolves waiter w with msg's payload, copying in into mode (and
+// recycling the buffer) or handing the buffer off in plain mode.
+func (w *waiter) complete(payload []float64) {
+	if !w.into {
+		w.ch <- recvResult{payload: payload}
+		return
+	}
+	if len(payload) > len(w.dst) {
+		bufpool.PutFloat64(payload)
+		w.ch <- recvResult{err: fmt.Errorf("%w: payload %d into %d", ErrShortBuffer, len(payload), len(w.dst))}
+		return
+	}
+	n := copy(w.dst, payload)
+	bufpool.PutFloat64(payload)
+	w.ch <- recvResult{n: n}
+}
+
+// deliverDirect attempts to complete a blocked into-mode receive straight
+// from the sender's payload, skipping the intermediate pooled copy — the
+// common case on a pipelined ring, where the receiver is already parked in
+// RecvInto by the time the matching Send runs. It returns handled=true when
+// the message was consumed (or terminally rejected); handled=false means no
+// into-waiter was parked and the caller must fall back to deliver.
+//
+// The copy into w.dst happens after m.mu is released: removing w from
+// m.waiters under the lock makes this goroutine the only one that can
+// complete it, and the receiver cannot touch dst until the channel send
+// publishes the result.
+func (m *mailbox) deliverDirect(from int, tag uint64, payload []float64) (bool, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return true, ErrClosed
+	}
+	if m.dead >= 0 {
+		m.mu.Unlock()
+		return true, &PeerDownError{Peer: m.dead}
+	}
+	if m.down[from] {
+		m.mu.Unlock()
+		return true, &PeerDownError{Peer: from}
+	}
+	k := key{from: from, tag: tag}
+	w, ok := m.waiters[k]
+	if !ok || !w.into {
+		m.mu.Unlock()
+		return false, nil
+	}
+	delete(m.waiters, k)
+	m.mu.Unlock()
+
+	if len(payload) > len(w.dst) {
+		w.ch <- recvResult{err: fmt.Errorf("%w: payload %d into %d", ErrShortBuffer, len(payload), len(w.dst))}
+		return true, nil
+	}
+	n := copy(w.dst, payload)
+	w.ch <- recvResult{n: n}
+	return true, nil
+}
+
+// deliver takes ownership of msg.payload (a pooled buffer) unless it returns
+// an error, in which case the caller keeps it.
 func (m *mailbox) deliver(msg message) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -170,9 +263,9 @@ func (m *mailbox) deliver(msg message) error {
 		return &PeerDownError{Peer: msg.from}
 	}
 	k := key{from: msg.from, tag: msg.tag}
-	if ch, ok := m.waiters[k]; ok {
+	if w, ok := m.waiters[k]; ok {
 		delete(m.waiters, k)
-		ch <- recvResult{payload: msg.payload}
+		w.complete(msg.payload)
 		return nil
 	}
 	if _, dup := m.pending[k]; dup {
@@ -182,32 +275,71 @@ func (m *mailbox) deliver(msg message) error {
 	return nil
 }
 
+// receiveWait registers a pooled waiter for (from, tag) in into or plain
+// mode, blocks for the result, and recycles the waiter.
+func (m *mailbox) receiveWait(k key, dst []float64, into bool) recvResult {
+	w := waiterPool.Get().(*waiter)
+	w.dst, w.into = dst, into
+	m.waiters[k] = w
+	m.mu.Unlock()
+
+	r := <-w.ch
+	w.dst = nil
+	waiterPool.Put(w)
+	return r
+}
+
+// checkReceivable reports (under m.mu) whether a receive from (from, tag)
+// can proceed, failing fast on closed/aborted/down states.
+func (m *mailbox) checkReceivable(from int, tag uint64) error {
+	if m.closed {
+		return ErrClosed
+	}
+	if dead, ok := m.aborted[opOf(tag)]; ok {
+		return &OpAbortedError{Op: uint32(opOf(tag)), Dead: dead}
+	}
+	if m.down[from] {
+		return &PeerDownError{Peer: from}
+	}
+	return nil
+}
+
 func (m *mailbox) receive(from int, tag uint64) ([]float64, error) {
 	k := key{from: from, tag: tag}
 	m.mu.Lock()
-	if m.closed {
+	if err := m.checkReceivable(from, tag); err != nil {
 		m.mu.Unlock()
-		return nil, ErrClosed
-	}
-	if dead, ok := m.aborted[opOf(tag)]; ok {
-		m.mu.Unlock()
-		return nil, &OpAbortedError{Op: uint32(opOf(tag)), Dead: dead}
-	}
-	if m.down[from] {
-		m.mu.Unlock()
-		return nil, &PeerDownError{Peer: from}
+		return nil, err
 	}
 	if p, ok := m.pending[k]; ok {
 		delete(m.pending, k)
 		m.mu.Unlock()
-		return p, nil
+		return p, nil // buffer ownership passes to the caller
 	}
-	ch := make(chan recvResult, 1)
-	m.waiters[k] = ch
-	m.mu.Unlock()
-
-	r := <-ch
+	r := m.receiveWait(k, nil, false) // unlocks m.mu
 	return r.payload, r.err
+}
+
+func (m *mailbox) receiveInto(from int, tag uint64, dst []float64) (int, error) {
+	k := key{from: from, tag: tag}
+	m.mu.Lock()
+	if err := m.checkReceivable(from, tag); err != nil {
+		m.mu.Unlock()
+		return 0, err
+	}
+	if p, ok := m.pending[k]; ok {
+		delete(m.pending, k)
+		m.mu.Unlock()
+		if len(p) > len(dst) {
+			bufpool.PutFloat64(p)
+			return 0, fmt.Errorf("%w: payload %d into %d", ErrShortBuffer, len(p), len(dst))
+		}
+		n := copy(dst, p)
+		bufpool.PutFloat64(p)
+		return n, nil
+	}
+	r := m.receiveWait(k, dst, true) // unlocks m.mu
+	return r.n, r.err
 }
 
 // failPeer marks peer dead: queued messages from it are dropped and blocked
@@ -219,15 +351,16 @@ func (m *mailbox) failPeer(peer int) {
 		return
 	}
 	m.down[peer] = true
-	for k := range m.pending {
+	for k, p := range m.pending {
 		if k.from == peer {
 			delete(m.pending, k)
+			bufpool.PutFloat64(p)
 		}
 	}
-	for k, ch := range m.waiters {
+	for k, w := range m.waiters {
 		if k.from == peer {
 			delete(m.waiters, k)
-			ch <- recvResult{err: &PeerDownError{Peer: peer}}
+			w.ch <- recvResult{err: &PeerDownError{Peer: peer}}
 		}
 	}
 }
@@ -250,15 +383,16 @@ func (m *mailbox) abortOp(op uint32, dead int) {
 		return
 	}
 	m.aborted[uint64(op)] = dead
-	for k := range m.pending {
+	for k, p := range m.pending {
 		if opOf(k.tag) == uint64(op) {
 			delete(m.pending, k)
+			bufpool.PutFloat64(p)
 		}
 	}
-	for k, ch := range m.waiters {
+	for k, w := range m.waiters {
 		if opOf(k.tag) == uint64(op) {
 			delete(m.waiters, k)
-			ch <- recvResult{err: &OpAbortedError{Op: op, Dead: dead}}
+			w.ch <- recvResult{err: &OpAbortedError{Op: op, Dead: dead}}
 		}
 	}
 }
@@ -270,9 +404,13 @@ func (m *mailbox) close() {
 		return
 	}
 	m.closed = true
-	for k, ch := range m.waiters {
+	for k, w := range m.waiters {
 		delete(m.waiters, k)
-		ch <- recvResult{err: ErrClosed}
+		w.ch <- recvResult{err: ErrClosed}
+	}
+	for k, p := range m.pending {
+		delete(m.pending, k)
+		bufpool.PutFloat64(p)
 	}
 }
 
@@ -344,22 +482,41 @@ func (m *Mem) Rank() int { return m.rank }
 // Size implements Transport.
 func (m *Mem) Size() int { return len(m.world) }
 
-// Send implements Transport.
+// Send implements Transport. The payload is copied into a pooled buffer, so
+// steady-state traffic allocates nothing.
 func (m *Mem) Send(to int, tag uint64, payload []float64) error {
 	if to < 0 || to >= len(m.world) {
 		return fmt.Errorf("transport: rank %d out of range", to)
 	}
-	cp := make([]float64, len(payload))
+	box := m.world[to]
+	if handled, err := box.deliverDirect(m.rank, tag, payload); handled {
+		return err
+	}
+	cp := bufpool.GetFloat64(len(payload))
 	copy(cp, payload)
-	return m.world[to].deliver(message{from: m.rank, tag: tag, payload: cp})
+	if err := box.deliver(message{from: m.rank, tag: tag, payload: cp}); err != nil {
+		bufpool.PutFloat64(cp)
+		return err
+	}
+	return nil
 }
 
-// Recv implements Transport.
+// Recv implements Transport. The returned buffer leaves the pool's custody
+// (the caller owns it); prefer RecvInto on hot paths.
 func (m *Mem) Recv(from int, tag uint64) ([]float64, error) {
 	if from < 0 || from >= len(m.world) {
 		return nil, fmt.Errorf("transport: rank %d out of range", from)
 	}
 	return m.world[m.rank].receive(from, tag)
+}
+
+// RecvInto implements Transport: the payload is copied into dst and the
+// internal buffer recycled — the zero-allocation receive.
+func (m *Mem) RecvInto(from int, tag uint64, dst []float64) (int, error) {
+	if from < 0 || from >= len(m.world) {
+		return 0, fmt.Errorf("transport: rank %d out of range", from)
+	}
+	return m.world[m.rank].receiveInto(from, tag, dst)
 }
 
 // FailPeer implements PeerFailer: this endpoint treats peer as crashed.
