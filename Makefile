@@ -9,9 +9,9 @@ GO ?= go
 # under the race detector as part of tier-1.
 RACE_PKGS := ./internal/transport/ ./internal/collective/ ./internal/live/ ./internal/controller/ ./internal/core/ ./internal/tensor/ ./internal/bufpool/ .
 
-.PHONY: ci vet build test race allocgate bench fuzz clean
+.PHONY: ci vet build test race allocgate chaos bench fuzz clean
 
-ci: vet build test race allocgate
+ci: vet build test race allocgate chaos
 
 vet:
 	$(GO) vet ./...
@@ -34,6 +34,14 @@ allocgate:
 	$(GO) test ./internal/transport/ -run TestRecvIntoSteadyStateAllocFree -count 1
 	$(GO) test ./internal/collective/ -run TestAllReduceSteadyStateAllocFree -count 1
 	$(GO) test ./internal/tensor/ -run TestAddScaledDispatchAllocFree -count 1
+
+# Seeded chaos soak: worker fail-stop + controller crash (warm and cold) +
+# timed network partition composed in one run, swept across seeds under the
+# race detector. ci runs the default sweep; raise CHAOS_SEEDS for a longer
+# soak. Any failure reproduces from the logged seed.
+CHAOS_SEEDS ?= 4
+chaos:
+	PREDUCE_CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race ./internal/live/ -run TestChaosSoak -count 1
 
 # Data-plane benchmark sweep; machine-readable results land in
 # BENCH_dataplane.json (test2json stream, one JSON object per line).

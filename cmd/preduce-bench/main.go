@@ -38,9 +38,10 @@ func reportComms(results ...*metrics.Result) {
 		if r == nil {
 			continue
 		}
-		fmt.Printf("comms %-18s ops=%6d sent=%.1fMB recv=%.1fMB\n",
+		fmt.Printf("comms %-18s ops=%6d sent=%.1fMB recv=%.1fMB retries=%d timeouts=%d aborts=%d\n",
 			r.Strategy, r.Comms.Ops,
-			float64(r.Comms.BytesSent)/1e6, float64(r.Comms.BytesRecv)/1e6)
+			float64(r.Comms.BytesSent)/1e6, float64(r.Comms.BytesRecv)/1e6,
+			r.Comms.Retries, r.Comms.Timeouts, r.Comms.Aborts)
 	}
 }
 
@@ -77,7 +78,7 @@ func exportSummary(name string, results ...*metrics.Result) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: table1|fig4|fig7a|fig7b|fig8|fig9|fig10|fig11|geo|seeds|ablations|all")
+	exp := flag.String("exp", "all", "experiment id: table1|fig4|fig7a|fig7b|fig8|fig9|fig10|fig11|geo|seeds|crash|partition|ablations|all")
 	seed := flag.Int64("seed", 1, "master seed for datasets, initialization and timing draws")
 	quickFlag := flag.Bool("quick", false, "reduced update budgets and thresholds")
 	parallel := flag.Int("parallel", 0, "max concurrent cells (0 = GOMAXPROCS)")
@@ -108,8 +109,9 @@ func main() {
 		"geo":       runGeo,
 		"seeds":     runSeeds,
 		"crash":     runCrash,
+		"partition": runPartition,
 	}
-	order := []string{"fig4", "table1", "fig7a", "fig7b", "fig8", "fig9", "fig10", "fig11", "geo", "seeds", "crash", "ablations"}
+	order := []string{"fig4", "table1", "fig7a", "fig7b", "fig8", "fig9", "fig10", "fig11", "geo", "seeds", "crash", "partition", "ablations"}
 
 	var ids []string
 	if *exp == "all" {
@@ -265,6 +267,17 @@ func runCrash(opts experiments.Options) error {
 		return err
 	}
 	res.Format(os.Stdout)
+	return nil
+}
+
+func runPartition(opts experiments.Options) error {
+	res, err := experiments.RobustnessPartition(opts, []float64{0, 4, 12})
+	if err != nil {
+		return err
+	}
+	res.Format(os.Stdout)
+	exportSummary("partition", res.Results...)
+	reportComms(res.Results...)
 	return nil
 }
 

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	preduce "partialreduce"
+	"partialreduce/internal/collective"
 	"partialreduce/internal/data"
 	"partialreduce/internal/live"
 	"partialreduce/internal/model"
@@ -52,6 +53,20 @@ func main() {
 		"collective pipeline segment size in float64 elements (0: default, negative: unsegmented)")
 	commStats := flag.Bool("comm-stats", false,
 		"print this rank's data-plane statistics (bytes, segments, per-phase time) on exit")
+	ctrlCrashAfter := flag.Int("ctrl-crash-after", 0,
+		"failover demo: destroy the controller object after this many dispatched groups (needs -ctrl-timeout and -collective-timeout; warm snapshot restart unless -ctrl-cold)")
+	ctrlCold := flag.Bool("ctrl-cold", false,
+		"with -ctrl-crash-after: rebuild the controller cold from re-sent ready signals instead of restoring its snapshot")
+	ctrlTimeout := flag.Duration("ctrl-timeout", 0,
+		"bound a worker's wait for a group reply; on expiry the ready signal is re-sent (0: wait forever)")
+	collTimeout := flag.Duration("collective-timeout", 0,
+		"bound every receive inside group collectives so severed links surface as timeouts (0: wait forever)")
+	retryMax := flag.Int("retry-max", 0,
+		"collective attempts after a receive timeout before aborting the group (0 or 1: no retry)")
+	retryBase := flag.Duration("retry-base", 50*time.Millisecond,
+		"base backoff before a collective retry; doubles per attempt with seeded jitter")
+	partition := flag.String("partition", "",
+		"timed data-plane partition, e.g. '1,2@3s:8s': cut ranks {1,2} off from the rest between 3s and 8s after start (omit ':8s' to never heal)")
 	flag.Parse()
 
 	list := strings.Split(*addrs, ",")
@@ -73,7 +88,7 @@ func main() {
 	train, test := ds.Split(0.8)
 
 	fmt.Fprintf(os.Stderr, "rank %d: connecting mesh over %d ranks...\n", *rank, n)
-	tr, err := transport.NewTCPOpts(*rank, list, transport.TCPOptions{
+	tcp, err := transport.NewTCPOpts(*rank, list, transport.TCPOptions{
 		MeshTimeout:       *meshTimeout,
 		HeartbeatInterval: *heartbeat,
 		HeartbeatTimeout:  *heartbeatTimeout,
@@ -81,18 +96,47 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	defer tr.Close()
+	defer tcp.Close()
+
+	var tr transport.Transport = tcp
+	if *partition != "" {
+		part, err := parsePartition(*partition, n)
+		if err != nil {
+			fail(err)
+		}
+		ftr, err := transport.NewFaultyEndpoint(tcp, transport.FaultPlan{
+			Seed:       *seed,
+			Partitions: []transport.Partition{part},
+		})
+		if err != nil {
+			fail(err)
+		}
+		tr = ftr
+	}
 
 	cfg := live.Config{
 		N: n, P: *p,
-		Spec:      model.Spec{Inputs: 32, Hidden: []int{24}, Classes: 10},
-		Seed:      *seed,
-		Train:     train,
-		Test:      test,
-		BatchSize: 16,
+		Spec:         model.Spec{Inputs: 32, Hidden: []int{24}, Classes: 10},
+		Seed:         *seed,
+		Train:        train,
+		Test:         test,
+		BatchSize:    16,
 		Optimizer:    optim.Config{LR: 0.03, Momentum: 0.9, WeightDecay: 1e-4},
 		Iters:        *iters,
 		SegmentElems: *segmentSize,
+
+		CtrlCrashAfter:    *ctrlCrashAfter,
+		CtrlCold:          *ctrlCold,
+		CtrlTimeout:       *ctrlTimeout,
+		CollectiveTimeout: *collTimeout,
+	}
+	if *retryMax > 1 {
+		cfg.Retry = collective.RetryPolicy{
+			MaxAttempts: *retryMax,
+			BaseDelay:   *retryBase,
+			Multiplier:  2,
+			Jitter:      0.2,
+		}
 	}
 	if *dynamic {
 		cfg.Weighting = preduce.Dynamic
@@ -118,6 +162,42 @@ func main() {
 	if *rank == 0 {
 		fmt.Printf("averaged-model accuracy: %.3f  groups: %d\n", rep.FinalAccuracy, rep.Groups)
 	}
+}
+
+// parsePartition parses "r1,r2,...@from[:until]" into a timed transport
+// partition: the listed ranks are cut off from the rest of the world between
+// the two offsets (relative to transport creation); omitting ":until" means
+// the partition never heals.
+func parsePartition(s string, n int) (transport.Partition, error) {
+	var p transport.Partition
+	ranksSpec, window, ok := strings.Cut(s, "@")
+	if !ok {
+		return p, fmt.Errorf("partition %q: want ranks@from[:until]", s)
+	}
+	for _, f := range strings.Split(ranksSpec, ",") {
+		var r int
+		if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &r); err != nil {
+			return p, fmt.Errorf("partition rank %q: %v", f, err)
+		}
+		if r < 0 || r >= n {
+			return p, fmt.Errorf("partition rank %d outside [0,%d)", r, n)
+		}
+		p.Ranks = append(p.Ranks, r)
+	}
+	fromSpec, untilSpec, hasUntil := strings.Cut(window, ":")
+	from, err := time.ParseDuration(fromSpec)
+	if err != nil {
+		return p, fmt.Errorf("partition start %q: %v", fromSpec, err)
+	}
+	p.From = from
+	if hasUntil {
+		until, err := time.ParseDuration(untilSpec)
+		if err != nil {
+			return p, fmt.Errorf("partition end %q: %v", untilSpec, err)
+		}
+		p.Until = until
+	}
+	return p, nil
 }
 
 func fail(err error) {

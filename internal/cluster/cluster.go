@@ -42,6 +42,16 @@ type Config struct {
 	// corpse and keeps training; All-Reduce halts, reproducing the paper's
 	// asymmetry); other baselines ignore it.
 	Crashes hetero.CrashSchedule
+	// Partitions is a deterministic timed network-partition schedule: a group
+	// collective whose members straddle an active partition cannot complete.
+	// Strategies that model bounded-wait recovery (P-Reduce) retry per the
+	// Retry model and abort when the budget is exhausted; strategies that
+	// ignore it hang conceptually, which the MaxTime cutoff records as
+	// non-convergence.
+	Partitions hetero.PartitionSchedule
+	// Retry models the live runtime's collective retry policy in virtual
+	// seconds. The zero value gives one attempt with a one-batch timeout.
+	Retry RetryModel
 
 	Threshold  float64 // stop when the averaged model reaches this accuracy
 	EvalEvery  int     // evaluate every EvalEvery updates (default 25)
@@ -79,7 +89,88 @@ func (c Config) Validate() error {
 	if err := c.Crashes.Validate(c.N, 1); err != nil {
 		return err
 	}
+	if err := c.Partitions.Validate(c.N); err != nil {
+		return err
+	}
+	if err := c.Retry.Validate(); err != nil {
+		return err
+	}
 	return c.Net.Validate()
+}
+
+// RetryModel is the simulator's mirror of collective.RetryPolicy, in virtual
+// seconds and without jitter (the event engine is already deterministic, so a
+// jitterless model keeps the fault trace byte-reproducible).
+type RetryModel struct {
+	// MaxAttempts bounds total attempts per collective (0 or 1: no retry).
+	MaxAttempts int
+	// Timeout is the virtual time a failing attempt blocks its members before
+	// the deadline fires (0: one batch-compute, set at run time by the
+	// strategy via TimeoutOr).
+	Timeout float64
+	// BaseDelay is the backoff before the second attempt; each further
+	// attempt multiplies it by Multiplier (<= 0: 1), capped at MaxDelay
+	// (0: uncapped).
+	BaseDelay  float64
+	MaxDelay   float64
+	Multiplier float64
+}
+
+// Validate reports whether the model is usable.
+func (r RetryModel) Validate() error {
+	switch {
+	case r.MaxAttempts < 0:
+		return fmt.Errorf("cluster: negative retry attempts")
+	case r.Timeout < 0 || r.BaseDelay < 0 || r.MaxDelay < 0:
+		return fmt.Errorf("cluster: negative retry duration")
+	case r.Multiplier < 0:
+		return fmt.Errorf("cluster: negative retry multiplier")
+	}
+	return nil
+}
+
+// Attempts returns the effective attempt budget (at least 1).
+func (r RetryModel) Attempts() int {
+	if r.MaxAttempts < 1 {
+		return 1
+	}
+	return r.MaxAttempts
+}
+
+// TimeoutOr returns the effective attempt timeout, falling back to def.
+func (r RetryModel) TimeoutOr(def float64) float64 {
+	if r.Timeout > 0 {
+		return r.Timeout
+	}
+	return def
+}
+
+// Backoff returns the delay before attempt k+1 (k >= 1 completed attempts).
+func (r RetryModel) Backoff(k int) float64 {
+	if r.BaseDelay <= 0 {
+		return 0
+	}
+	m := r.Multiplier
+	if m <= 0 {
+		m = 1
+	}
+	d := r.BaseDelay
+	for i := 1; i < k; i++ {
+		d *= m
+		if r.MaxDelay > 0 && d >= r.MaxDelay {
+			return r.MaxDelay
+		}
+	}
+	if r.MaxDelay > 0 && d > r.MaxDelay {
+		return r.MaxDelay
+	}
+	return d
+}
+
+// PartitionSplits reports whether an active partition separates members at
+// virtual time t.
+func (c *Cluster) PartitionSplits(members []int, t float64) bool {
+	return c.Cfg.Partitions.SplitsAt(members, t)
 }
 
 func (c *Config) applyDefaults() {

@@ -33,13 +33,25 @@ import (
 const DefaultSegmentElems = 4 * 1024
 
 // Tag layout: callers supply an operation id unique per collective instance
-// (e.g. the P-Reduce group sequence number); phase occupies bits 16–23 and
-// the low 16 bits carry the virtual step — ring step × segments-per-step +
-// segment index. segsPerStep is clamped so the virtual step never overflows
-// 16 bits.
+// (e.g. the P-Reduce group sequence number); bits 16–23 carry the retry
+// epoch (bits 19–23) and phase (bits 16–18), and the low 16 bits carry the
+// virtual step — ring step × segments-per-step + segment index. segsPerStep
+// is clamped so the virtual step never overflows 16 bits. Epoch 0 tags are
+// identical to the pre-retry layout, so the zero-policy path is unchanged on
+// the wire.
 func tag(opID uint32, phase, step int) uint64 {
 	return uint64(opID)<<24 | uint64(phase)<<16 | uint64(step)
 }
+
+// epochPhase folds a retry epoch into the 8-bit phase byte: epoch<<3 | phase.
+// Phases fit 3 bits (1–6), leaving 5 bits ≡ MaxEpochs retry epochs. A retry
+// attempt uses fresh tags everywhere, so stale frames from the failed attempt
+// can never alias the new one.
+func epochPhase(epoch, phase int) int { return epoch<<3 | phase }
+
+// MaxEpochs is the number of distinguishable retry epochs per operation; a
+// RetryPolicy's attempts are clamped to it.
+const MaxEpochs = 32
 
 const (
 	phaseReduceScatter = 1
@@ -70,6 +82,13 @@ type OpStats struct {
 	// phases. Broadcast/gather/barrier time is not phase-attributed.
 	ReduceScatter time.Duration
 	AllGather     time.Duration
+	// Retries counts retried attempts after a receive deadline expired,
+	// Timeouts counts deadline expiries observed, and Aborts counts
+	// operations abandoned after exhausting their retry budget (or aborted
+	// by the runtime's recovery path when counted there).
+	Retries  int64
+	Timeouts int64
+	Aborts   int64
 }
 
 // Merge adds o into s.
@@ -80,13 +99,109 @@ func (s *OpStats) Merge(o OpStats) {
 	s.Segments += o.Segments
 	s.ReduceScatter += o.ReduceScatter
 	s.AllGather += o.AllGather
+	s.Retries += o.Retries
+	s.Timeouts += o.Timeouts
+	s.Aborts += o.Aborts
 }
 
 // String renders a one-line summary.
 func (s OpStats) String() string {
-	return fmt.Sprintf("ops=%d sent=%.1fMB recv=%.1fMB segments=%d rs=%s ag=%s",
+	return fmt.Sprintf("ops=%d sent=%.1fMB recv=%.1fMB segments=%d rs=%s ag=%s retries=%d timeouts=%d aborts=%d",
 		s.Ops, float64(s.BytesSent)/1e6, float64(s.BytesRecv)/1e6, s.Segments,
-		s.ReduceScatter.Round(time.Microsecond), s.AllGather.Round(time.Microsecond))
+		s.ReduceScatter.Round(time.Microsecond), s.AllGather.Round(time.Microsecond),
+		s.Retries, s.Timeouts, s.Aborts)
+}
+
+// RetryPolicy bounds and paces collective retry after receive timeouts.
+// The zero value means "one attempt, no retry" — today's behavior. Backoff
+// is exponential with seeded jitter: attempt k (0-based) sleeps
+// min(MaxDelay, BaseDelay·Multiplier^k) scaled by a deterministic factor in
+// [1−Jitter, 1+Jitter] drawn from a stream seeded by (Seed, opID), so a run
+// with the same seed reproduces the identical retry trace.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt budget (clamped to [1, MaxEpochs]);
+	// 0 means 1.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (0: no sleep).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (0: uncapped).
+	MaxDelay time.Duration
+	// Multiplier grows the backoff per retry (<= 0 treated as 1: constant
+	// backoff).
+	Multiplier float64
+	// Jitter in [0, 1] spreads the backoff deterministically per seed.
+	Jitter float64
+	// Seed drives the jitter stream.
+	Seed int64
+}
+
+// attempts returns the clamped attempt budget.
+func (p RetryPolicy) attempts() int {
+	a := p.MaxAttempts
+	if a <= 0 {
+		a = 1
+	}
+	if a > MaxEpochs {
+		a = MaxEpochs
+	}
+	return a
+}
+
+// Validate reports whether the policy is usable.
+func (p RetryPolicy) Validate() error {
+	if p.MaxAttempts < 0 {
+		return fmt.Errorf("collective: negative MaxAttempts")
+	}
+	if p.BaseDelay < 0 || p.MaxDelay < 0 {
+		return fmt.Errorf("collective: negative retry delay")
+	}
+	if p.Multiplier < 0 {
+		return fmt.Errorf("collective: negative retry multiplier")
+	}
+	if p.Jitter < 0 || p.Jitter > 1 {
+		return fmt.Errorf("collective: retry jitter must be in [0,1]")
+	}
+	return nil
+}
+
+// backoff returns the pause before retry number k (0-based), jittered by the
+// op-specific stream rng.
+func (p RetryPolicy) backoff(k int, rng *jitterRNG) time.Duration {
+	d := float64(p.BaseDelay)
+	m := p.Multiplier
+	if m <= 0 {
+		m = 1
+	}
+	for i := 0; i < k; i++ {
+		d *= m
+		if p.MaxDelay > 0 && d > float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if p.MaxDelay > 0 && d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.Jitter > 0 {
+		d *= 1 - p.Jitter + 2*p.Jitter*rng.float64()
+	}
+	return time.Duration(d)
+}
+
+// jitterRNG is a tiny deterministic SplitMix64 stream for backoff jitter.
+type jitterRNG struct{ state uint64 }
+
+func newJitterRNG(seed int64, opID uint32) *jitterRNG {
+	z := uint64(seed)*0x9E3779B97F4A7C15 + uint64(opID)*0xBF58476D1CE4E5B9 + 0xD1B54A32D192ED03
+	return &jitterRNG{state: z}
+}
+
+func (r *jitterRNG) float64() float64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return float64((z^(z>>31))>>11) / (1 << 53)
 }
 
 // Options tune a collective call. The zero value selects the defaults.
@@ -97,6 +212,14 @@ type Options struct {
 	SegmentElems int
 	// Stats, when non-nil, accumulates the operation's data-plane counters.
 	Stats *OpStats
+	// Timeout bounds every receive in the operation: when the transport
+	// supports deadlines, a receive that exceeds it fails with
+	// transport.ErrTimeout instead of parking forever. 0 means unbounded.
+	Timeout time.Duration
+	// Retry governs what a ring collective does after a timeout: purge the
+	// failed attempt's frames, back off, and retry under a fresh tag epoch.
+	// The zero value disables retry (a timeout fails the op immediately).
+	Retry RetryPolicy
 }
 
 func (o Options) segElems() int {
@@ -152,6 +275,8 @@ func segCount(n, seg int) int {
 type ring struct {
 	t          transport.Transport
 	opID       uint32
+	epoch      int           // retry epoch folded into every tag
+	deadline   time.Duration // per-receive bound (0: unbounded)
 	next, prev int
 	seg        int // segment size in elements; 0 = unsegmented
 	segsPer    int // tag stride: max segments of any ring step
@@ -204,10 +329,11 @@ func (r *ring) step(phase, s int, data []float64, sendLo, sendHi, recvLo, recvHi
 	rm := segCount(recvHi-recvLo, r.seg)
 	base := s * r.segsPer
 
+	ph := epochPhase(r.epoch, phase)
 	sent := 0
 	send := func() error {
 		lo, hi := segLen(sendLo, sendHi, sent)
-		if err := r.t.Send(r.next, tag(r.opID, phase, base+sent), data[lo:hi]); err != nil {
+		if err := r.t.Send(r.next, tag(r.opID, ph, base+sent), data[lo:hi]); err != nil {
 			return err
 		}
 		if r.stats != nil {
@@ -237,7 +363,7 @@ func (r *ring) step(phase, s int, data []float64, sendLo, sendHi, recvLo, recvHi
 		if reduce {
 			dst = r.buf[:want]
 		}
-		n, err := r.t.RecvInto(r.prev, tag(r.opID, phase, base+k), dst)
+		n, err := transport.RecvIntoDeadline(r.t, r.prev, tag(r.opID, ph, base+k), dst, r.deadline)
 		if err != nil {
 			return err
 		}
@@ -264,6 +390,15 @@ func AllReduceSum(t transport.Transport, group []int, opID uint32, data []float6
 // AllReduceSumOpts is AllReduceSum with explicit data-plane options. The
 // segmented path is bit-identical to the unsegmented one: segmentation only
 // changes message boundaries, never the per-element order of operations.
+//
+// With Options.Timeout set, every receive is deadline-bounded; with a
+// non-zero Options.Retry, a timed-out attempt is abandoned (its buffered
+// frames purged), the input restored from a snapshot, and the operation
+// retried under a fresh tag epoch after a seeded-jitter exponential backoff.
+// Non-timeout failures (peer down, op aborted) are never retried — they have
+// their own recovery path in the runtime. When the attempt budget is
+// exhausted the op is aborted locally so straggler frames are dropped on
+// arrival, and the last timeout error is returned.
 func AllReduceSumOpts(t transport.Transport, group []int, opID uint32, data []float64, opt Options) error {
 	g := len(group)
 	if g <= 1 {
@@ -275,7 +410,77 @@ func AllReduceSumOpts(t transport.Transport, group []int, opID uint32, data []fl
 	}
 	stats := opt.Stats
 	n := len(data)
+	attempts := opt.Retry.attempts()
+	if opt.Timeout <= 0 {
+		attempts = 1 // without deadlines there is nothing to retry from
+	}
+
+	var snapshot []float64
+	var rng *jitterRNG
+	if attempts > 1 {
+		snapshot = bufpool.GetFloat64(n)
+		copy(snapshot, data)
+		defer bufpool.PutFloat64(snapshot)
+		rng = newJitterRNG(opt.Retry.Seed, opID)
+	}
+
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			// Discard the failed attempt: restore the input, drop its
+			// buffered frames, and pace the retry.
+			copy(data, snapshot)
+			transport.PurgeOpAt(t, opID)
+			if d := opt.Retry.backoff(a-1, rng); d > 0 {
+				time.Sleep(d)
+			}
+			if stats != nil {
+				stats.Retries++
+			}
+		}
+		err := allReduceAttempt(t, group, pos, opID, a, data, opt, stats)
+		if err == nil {
+			if a > 0 {
+				// Stale frames from failed epochs may still trickle in;
+				// marking the op aborted makes the mailbox drop them on
+				// arrival instead of parking them forever. The op is
+				// complete, so no future receive of it can be poisoned.
+				if oa, ok := t.(transport.OpAborter); ok {
+					oa.AbortOp(opID)
+				}
+			}
+			if stats != nil {
+				stats.Ops++
+			}
+			return nil
+		}
+		if !transport.IsTimeout(err) {
+			return err
+		}
+		if stats != nil {
+			stats.Timeouts++
+		}
+		lastErr = err
+	}
+	// Retry budget exhausted: abort locally so frames of any epoch are
+	// flushed and future stragglers dropped, then surface the timeout.
+	if oa, ok := t.(transport.OpAborter); ok {
+		oa.AbortOp(opID)
+	}
+	if stats != nil {
+		stats.Aborts++
+	}
+	return lastErr
+}
+
+// allReduceAttempt runs one reduce-scatter + all-gather pass under the given
+// retry epoch's tags.
+func allReduceAttempt(t transport.Transport, group []int, pos int, opID uint32, epoch int, data []float64, opt Options, stats *OpStats) error {
+	g := len(group)
+	n := len(data)
 	r := newRing(t, group, pos, opID, n, opt, stats)
+	r.epoch = epoch
+	r.deadline = opt.Timeout
 	maxSeg := r.seg
 	if maxSeg <= 0 || maxSeg > n/g+1 {
 		maxSeg = n/g + 1
@@ -312,7 +517,6 @@ func AllReduceSumOpts(t transport.Transport, group []int, opID uint32, data []fl
 	}
 	if stats != nil {
 		stats.AllGather += time.Since(mid)
-		stats.Ops++
 	}
 	return nil
 }
@@ -393,7 +597,7 @@ func BroadcastOpts(t transport.Transport, group []int, opID uint32, root int, da
 		if !received && rel < 2*d {
 			src := rel - d
 			from := group[(src+rootPos)%g]
-			n, err := t.RecvInto(from, tag(opID, phaseBroadcast, d), data)
+			n, err := transport.RecvIntoDeadline(t, from, tag(opID, phaseBroadcast, d), data, opt.Timeout)
 			if err != nil {
 				return err
 			}
@@ -416,6 +620,13 @@ func BroadcastOpts(t transport.Transport, group []int, opID uint32, root int, da
 // Non-root members receive nil. All members must pass equal-length data;
 // a member whose payload length disagrees fails the gather at the root.
 func Gather(t transport.Transport, group []int, opID uint32, root int, data []float64) ([][]float64, error) {
+	return GatherOpts(t, group, opID, root, data, Options{})
+}
+
+// GatherOpts is Gather with explicit options; Options.Timeout bounds every
+// root-side receive, so a member behind a severed link fails the gather with
+// transport.ErrTimeout instead of hanging the root.
+func GatherOpts(t transport.Transport, group []int, opID uint32, root int, data []float64, opt Options) ([][]float64, error) {
 	pos, err := position(t, group)
 	if err != nil {
 		return nil, err
@@ -431,12 +642,13 @@ func Gather(t transport.Transport, group []int, opID uint32, root int, data []fl
 			out[i] = cp
 			continue
 		}
-		in, err := t.Recv(r, tag(opID, phaseGather, i))
+		in := make([]float64, len(data))
+		n, err := transport.RecvIntoDeadline(t, r, tag(opID, phaseGather, i), in, opt.Timeout)
 		if err != nil {
 			return nil, err
 		}
-		if len(in) != len(data) {
-			return nil, fmt.Errorf("collective: gather size mismatch from rank %d: %d != %d", r, len(in), len(data))
+		if n != len(data) {
+			return nil, fmt.Errorf("collective: gather size mismatch from rank %d: %d != %d", r, n, len(data))
 		}
 		out[i] = in
 	}
@@ -486,6 +698,12 @@ func AllGather(t transport.Transport, group []int, opID uint32, data []float64) 
 // chain through every member. Frames carry empty payloads, so the barrier
 // moves no data and allocates nothing.
 func Barrier(t transport.Transport, group []int, opID uint32) error {
+	return BarrierOpts(t, group, opID, Options{})
+}
+
+// BarrierOpts is Barrier with explicit options; Options.Timeout bounds each
+// ring receive so a member lost behind a partition surfaces as ErrTimeout.
+func BarrierOpts(t transport.Transport, group []int, opID uint32, opt Options) error {
 	g := len(group)
 	if g <= 1 {
 		return nil
@@ -500,7 +718,7 @@ func Barrier(t transport.Transport, group []int, opID uint32) error {
 		if err := t.Send(next, tag(opID, phaseBarrier, s), nil); err != nil {
 			return err
 		}
-		if _, err := t.RecvInto(prev, tag(opID, phaseBarrier, s), nil); err != nil {
+		if _, err := transport.RecvIntoDeadline(t, prev, tag(opID, phaseBarrier, s), nil, opt.Timeout); err != nil {
 			return err
 		}
 	}

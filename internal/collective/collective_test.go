@@ -300,7 +300,6 @@ func TestQuickAllReduceMatchesSequential(t *testing.T) {
 	}
 }
 
-
 func TestAllGather(t *testing.T) {
 	eps := transport.NewMem(4)
 	group := []int{0, 1, 2, 3}

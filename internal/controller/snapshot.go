@@ -1,0 +1,387 @@
+package controller
+
+// Controller snapshot/restore: the control plane's own fault tolerance. The
+// paper's controller is deliberately lightweight — a queue of a few-byte
+// signals, a window of recent groups, liveness bits — so its full state
+// serializes in microseconds and a restarted controller process can resume
+// exactly where the old one stopped (warm failover). When even the snapshot
+// is lost, Rebuild reconstructs an equivalent controller purely from the
+// workers re-sending their pending ready signals (cold failover): the queue
+// order may differ from the lost original, but every invariant the algorithm
+// relies on (one signal per worker, FIFO service, sync-graph warm-up) holds
+// again, and liveness re-converges through the staleness detector.
+//
+// The encoding is versioned, deterministic (no map iteration), little-endian,
+// and integrity-checked with CRC-64/ECMA, following internal/checkpoint.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"math"
+)
+
+// snapshotMagic identifies a controller snapshot ("PRCS").
+const snapshotMagic uint32 = 0x50524353
+
+// snapshotVersion is the current encoding version.
+const snapshotVersion uint32 = 1
+
+var snapshotTable = crc64.MakeTable(crc64.ECMA)
+
+type snapEncoder struct{ buf []byte }
+
+func (e *snapEncoder) u32(v uint32) {
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, v)
+}
+func (e *snapEncoder) u64(v uint64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
+}
+func (e *snapEncoder) i64(v int)     { e.u64(uint64(int64(v))) }
+func (e *snapEncoder) f64(v float64) { e.u64(math.Float64bits(v)) }
+func (e *snapEncoder) boolean(v bool) {
+	if v {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+func (e *snapEncoder) ints(v []int) {
+	e.i64(len(v))
+	for _, x := range v {
+		e.i64(x)
+	}
+}
+func (e *snapEncoder) bools(v []bool) {
+	e.i64(len(v))
+	for _, x := range v {
+		e.boolean(x)
+	}
+}
+func (e *snapEncoder) floats(v []float64) {
+	e.i64(len(v))
+	for _, x := range v {
+		e.f64(x)
+	}
+}
+
+type snapDecoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *snapDecoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("controller: snapshot: "+format, args...)
+	}
+}
+func (d *snapDecoder) u32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+4 > len(d.buf) {
+		d.fail("truncated")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+func (d *snapDecoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.buf) {
+		d.fail("truncated")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+func (d *snapDecoder) i64() int     { return int(int64(d.u64())) }
+func (d *snapDecoder) f64() float64 { return math.Float64frombits(d.u64()) }
+func (d *snapDecoder) boolean() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off+1 > len(d.buf) {
+		d.fail("truncated")
+		return false
+	}
+	v := d.buf[d.off] != 0
+	d.off++
+	return v
+}
+func (d *snapDecoder) count(max int) int {
+	n := d.i64()
+	if d.err != nil {
+		return 0
+	}
+	if n < 0 || n > max {
+		d.fail("implausible length %d", n)
+		return 0
+	}
+	return n
+}
+func (d *snapDecoder) ints(max int) []int {
+	n := d.count(max)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = d.i64()
+	}
+	return out
+}
+func (d *snapDecoder) bools(max int) []bool {
+	n := d.count(max)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = d.boolean()
+	}
+	return out
+}
+func (d *snapDecoder) floats(max int) []float64 {
+	n := d.count(max)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.f64()
+	}
+	return out
+}
+
+// maxSnapshotLen bounds decoded slice lengths against corrupt headers.
+const maxSnapshotLen = 1 << 24
+
+// Snapshot serializes the controller's complete state: effective config,
+// signal queue (in FIFO order), sync-graph window (ring storage, cursor,
+// fill state), activity counters, liveness vector and heartbeat clocks, and
+// the group-history database. Two controllers with equal state produce
+// byte-identical snapshots, so Snapshot→Restore→Snapshot is the round-trip
+// equality check.
+func (c *Controller) Snapshot() []byte {
+	e := &snapEncoder{buf: make([]byte, 0, 256)}
+	e.u32(snapshotMagic)
+	e.u32(snapshotVersion)
+
+	// Effective config.
+	e.i64(c.cfg.N)
+	e.i64(c.cfg.P)
+	e.i64(c.cfg.Window)
+	e.i64(int(c.cfg.Weighting))
+	e.f64(c.cfg.Alpha)
+	e.i64(int(c.cfg.Approx))
+	e.boolean(c.cfg.DisableGroupFilter)
+	e.boolean(c.cfg.RecordGroups)
+	e.boolean(c.cfg.ZoneAffinity)
+	e.ints(c.cfg.Zones)
+
+	// Signal queue (FIFO order).
+	e.i64(len(c.queue))
+	for _, s := range c.queue {
+		e.i64(s.Worker)
+		e.i64(s.Iter)
+		e.f64(s.Now)
+	}
+
+	// Sync-graph window: ring storage order plus cursor and fill state.
+	e.i64(c.graph.next)
+	e.boolean(c.graph.filled)
+	e.i64(len(c.graph.groups))
+	for _, g := range c.graph.groups {
+		e.ints(g)
+	}
+
+	// Activity counters.
+	e.i64(c.stats.GroupsFormed)
+	e.i64(c.stats.Interventions)
+	e.i64(c.stats.FrozenChecks)
+	e.i64(c.stats.Failures)
+	e.i64(c.stats.Rejoins)
+	e.i64(c.stats.GroupsAborted)
+
+	// Liveness.
+	e.bools(c.alive)
+	e.floats(c.beat)
+
+	// Group-history database.
+	e.ints(c.inGroup)
+	for _, row := range c.together {
+		e.ints(row)
+	}
+	e.i64(len(c.log))
+	for _, g := range c.log {
+		e.ints(g)
+	}
+
+	e.u64(crc64.Checksum(e.buf, snapshotTable))
+	return e.buf
+}
+
+// Restore reconstructs a controller from a Snapshot. The restored controller
+// is behaviorally identical to the snapshotted one: same queue, window,
+// liveness, counters, and history, so the next Ready/Fail/Drain sequence
+// produces the same groups the lost controller would have produced.
+func Restore(data []byte) (*Controller, error) {
+	if len(data) < 16 {
+		return nil, fmt.Errorf("controller: snapshot too short (%d bytes)", len(data))
+	}
+	body, sum := data[:len(data)-8], binary.LittleEndian.Uint64(data[len(data)-8:])
+	if crc64.Checksum(body, snapshotTable) != sum {
+		return nil, fmt.Errorf("controller: snapshot checksum mismatch")
+	}
+	d := &snapDecoder{buf: body}
+	if m := d.u32(); m != snapshotMagic {
+		return nil, fmt.Errorf("controller: bad snapshot magic %#x", m)
+	}
+	if v := d.u32(); v != snapshotVersion {
+		return nil, fmt.Errorf("controller: unsupported snapshot version %d", v)
+	}
+
+	var cfg Config
+	cfg.N = d.i64()
+	cfg.P = d.i64()
+	cfg.Window = d.i64()
+	cfg.Weighting = Weighting(d.i64())
+	cfg.Alpha = d.f64()
+	cfg.Approx = ApproxRule(d.i64())
+	cfg.DisableGroupFilter = d.boolean()
+	cfg.RecordGroups = d.boolean()
+	cfg.ZoneAffinity = d.boolean()
+	cfg.Zones = d.ints(maxSnapshotLen)
+	if d.err != nil {
+		return nil, d.err
+	}
+	c, err := New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("controller: snapshot config: %w", err)
+	}
+
+	qn := d.count(maxSnapshotLen)
+	for i := 0; i < qn && d.err == nil; i++ {
+		s := Signal{Worker: d.i64(), Iter: d.i64(), Now: d.f64()}
+		if s.Worker < 0 || s.Worker >= cfg.N {
+			d.fail("queued worker %d out of range", s.Worker)
+			break
+		}
+		if c.queued[s.Worker] {
+			d.fail("worker %d queued twice", s.Worker)
+			break
+		}
+		c.queue = append(c.queue, s)
+		c.queued[s.Worker] = true
+	}
+
+	c.graph.next = d.i64()
+	c.graph.filled = d.boolean()
+	gn := d.count(maxSnapshotLen)
+	c.graph.groups = c.graph.groups[:0]
+	for i := 0; i < gn && d.err == nil; i++ {
+		c.graph.groups = append(c.graph.groups, d.ints(maxSnapshotLen))
+	}
+	if d.err == nil {
+		if gn > c.graph.window || c.graph.next < 0 || (gn > 0 && c.graph.next >= c.graph.window) {
+			d.fail("sync-graph window state out of range")
+		}
+	}
+
+	c.stats.GroupsFormed = d.i64()
+	c.stats.Interventions = d.i64()
+	c.stats.FrozenChecks = d.i64()
+	c.stats.Failures = d.i64()
+	c.stats.Rejoins = d.i64()
+	c.stats.GroupsAborted = d.i64()
+
+	alive := d.bools(maxSnapshotLen)
+	beat := d.floats(maxSnapshotLen)
+	inGroup := d.ints(maxSnapshotLen)
+	if d.err == nil && (len(alive) != cfg.N || len(beat) != cfg.N || len(inGroup) != cfg.N) {
+		d.fail("liveness/history length mismatch")
+	}
+	if d.err == nil {
+		copy(c.alive, alive)
+		copy(c.beat, beat)
+		copy(c.inGroup, inGroup)
+		c.aliveN = 0
+		for _, a := range c.alive {
+			if a {
+				c.aliveN++
+			}
+		}
+	}
+	for i := 0; i < cfg.N && d.err == nil; i++ {
+		row := d.ints(maxSnapshotLen)
+		if len(row) != cfg.N {
+			d.fail("together row %d length %d", i, len(row))
+			break
+		}
+		copy(c.together[i], row)
+	}
+	ln := d.count(maxSnapshotLen)
+	for i := 0; i < ln && d.err == nil; i++ {
+		c.log = append(c.log, d.ints(maxSnapshotLen))
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(body) {
+		return nil, fmt.Errorf("controller: snapshot has %d trailing bytes", len(body)-d.off)
+	}
+	return c, nil
+}
+
+// Drain forms as many groups as the current queue supports — the public
+// entry the failover path uses after a Restore or Rebuild to flush groups
+// the lost controller might have been about to dispatch.
+func (c *Controller) Drain() []Group { return c.drainGroups() }
+
+// IsQueued reports whether worker currently has a ready signal in the queue.
+// The failover path uses it to recognize a retransmitted ready signal (the
+// worker re-sent because its reply never came) as distinct from a duplicate.
+func (c *Controller) IsQueued(worker int) bool {
+	return worker >= 0 && worker < c.cfg.N && c.queued[worker]
+}
+
+// Rebuild is the cold-failover path: it reconstructs a controller for cfg
+// purely from the ready signals workers re-send after noticing the old
+// controller died, and returns it with any groups formed while replaying
+// them. Duplicate signals from the same worker are tolerated (the first
+// wins), since a worker that re-sends twice during the recovery window is
+// expected. The rebuilt controller has a fresh sync-graph and empty history:
+// frozen-avoidance warms up again, which is safe (the window must fill
+// before the filter activates). Dead workers the lost controller knew about
+// are re-detected by the staleness detector — a worker that never re-signals
+// never lands in a group.
+func Rebuild(cfg Config, signals []Signal) (*Controller, []Group, error) {
+	c, err := New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	var groups []Group
+	seen := make([]bool, c.cfg.N)
+	for _, s := range signals {
+		// "First wins" must survive group formation: once a worker's signal
+		// lands in a group it is no longer queued, so the queued flag alone
+		// would mistake a late retransmission for a fresh signal and group
+		// the worker twice while it waits on a single reply.
+		if s.Worker < 0 || s.Worker >= c.cfg.N || seen[s.Worker] || c.queued[s.Worker] {
+			continue
+		}
+		seen[s.Worker] = true
+		gs, err := c.Ready(s)
+		if err != nil {
+			return nil, nil, err
+		}
+		groups = append(groups, gs...)
+	}
+	return c, groups, nil
+}

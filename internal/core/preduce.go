@@ -171,25 +171,79 @@ func (p *PReduce) runWith(c *cluster.Cluster, ctrl *controller.Controller) (*met
 		}
 	}
 
+	var signalReady func(w *cluster.Worker)
+
+	// attempt models collective attempt k of group id starting now. An
+	// attempt whose members straddle an active partition blocks until the
+	// collective timeout fires, then retries after a deterministic backoff —
+	// the live runtime's RetryPolicy in virtual time. When the budget is
+	// exhausted the controller aborts the op with nobody condemned and every
+	// member re-signals after a controller round trip: the same stuck-op
+	// path the live service takes for severed links.
+	var attempt func(id uint64, g controller.Group, k int)
+	attempt = func(id uint64, g controller.Group, k int) {
+		if aborted[id] {
+			// A crash abort dissolved the group while this attempt was
+			// pending; the members have already re-signaled.
+			delete(aborted, id)
+			return
+		}
+		// Charged per attempt: an attempt that times out still moved (some
+		// of) its bytes, exactly as the live runtime counts aborted
+		// attempts' partial traffic.
+		c.ChargeRing(len(g.Members))
+		ring := c.RingTime(g.Members)
+		if !c.PartitionSplits(g.Members, c.Eng.Now()) {
+			// One controller round trip plus a ring all-reduce sized to the
+			// group: P-Reduce preserves collective bandwidth utilization
+			// while shrinking the synchronization scope (§3.1.1).
+			c.Eng.After(c.Cfg.Net.CtrlRTT+ring, func() { onGroupDone(id, g) })
+			return
+		}
+		rm := c.Cfg.Retry
+		timeout := rm.TimeoutOr(c.Cfg.Profile.BatchCompute + ring)
+		c.Track.AddComms(metrics.CommStats{Timeouts: 1})
+		if k < rm.Attempts() {
+			c.Track.AddComms(metrics.CommStats{Retries: 1})
+			c.Eng.After(timeout+rm.Backoff(k), func() { attempt(id, g, k+1) })
+			return
+		}
+		// Budget exhausted: the members sit through the final timeout, then
+		// the group is aborted (dead = -1: nobody is condemned) and the
+		// survivors re-signal for the same iteration.
+		c.Track.AddComms(metrics.CommStats{Aborts: 1})
+		c.Eng.After(timeout, func() {
+			if aborted[id] {
+				delete(aborted, id)
+				return
+			}
+			delete(inflight, id)
+			dispatch(ctrl.AbortGroup(g, -1))
+			for _, m := range g.Members {
+				if c.Dead[m] {
+					continue
+				}
+				w := c.Workers[m]
+				c.Eng.After(c.Cfg.Net.CtrlRTT, func() {
+					if !c.Dead[w.ID] {
+						signalReady(w)
+					}
+				})
+			}
+		})
+	}
+
 	dispatch = func(groups []controller.Group) {
 		for _, g := range groups {
 			g := g
 			seq++
 			id := seq
 			inflight[id] = g
-			// One controller round trip plus a ring all-reduce sized to the
-			// group: P-Reduce preserves collective bandwidth utilization
-			// while shrinking the synchronization scope (§3.1.1).
-			dur := c.Cfg.Net.CtrlRTT + c.RingTime(g.Members)
-			// Charged at dispatch: a group later aborted still moved (some
-			// of) its bytes, exactly as the live runtime counts aborted
-			// attempts' partial traffic.
-			c.ChargeRing(len(g.Members))
-			c.Eng.After(dur, func() { onGroupDone(id, g) })
+			attempt(id, g, 1)
 		}
 	}
 
-	signalReady := func(w *cluster.Worker) {
+	signalReady = func(w *cluster.Worker) {
 		groups, err := ctrl.Ready(controller.Signal{Worker: w.ID, Iter: w.Iter})
 		if err != nil {
 			readyErr = err

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"partialreduce/internal/cluster"
+	"partialreduce/internal/hetero"
+	"partialreduce/internal/metrics"
+	"partialreduce/internal/model"
+)
+
+// PartitionSweepResult reports DYN P=3 under timed two-rank network
+// partitions of increasing length, against the same cell with no partition.
+// Because the simulator, the schedule, and the jitterless retry model are all
+// deterministic, the whole sweep — including the retry/timeout/abort trace in
+// Comms — is a pure function of (opts.Seed, durations): running it twice
+// yields byte-identical summary CSVs.
+type PartitionSweepResult struct {
+	Durations []float64 // partition length in batch-compute multiples
+	Converged []bool
+	Accuracy  []float64
+	Time      []float64 // virtual seconds to threshold (0 if missed)
+	Retries   []int64
+	Timeouts  []int64
+	Aborts    []int64
+	Results   []*metrics.Result // aligned with Durations, for CSV export
+}
+
+// RobustnessPartition sweeps partition lengths on the headline heterogeneous
+// cell (ResNet-34/CIFAR-10, HL=3, N=8): ranks {6,7} are cut off from the rest
+// of the cluster for a window starting a few batches into the run. Groups
+// that straddle the cut time out, back off, retry, and finally abort with
+// nobody condemned — the controller's bounded-wait recovery path — while
+// same-side groups keep training; after the heal the cluster reconverges.
+func RobustnessPartition(opts Options, durations []float64) (*PartitionSweepResult, error) {
+	if len(durations) == 0 {
+		return nil, fmt.Errorf("experiments: need at least one partition duration")
+	}
+	w := opts.workload(CIFAR10Workload(model.ResNet34))
+	batch := w.Profile.BatchCompute
+
+	out := &PartitionSweepResult{Results: make([]*metrics.Result, len(durations))}
+	var jobs []job
+	for i, dur := range durations {
+		i := i
+		out.Durations = append(out.Durations, dur)
+		cell := Cell{Workload: w, N: 8, Env: EnvHL, HL: 3, Seed: opts.Seed}
+		if dur > 0 {
+			cell.Partitions = hetero.PartitionSchedule{{
+				Ranks: []int{6, 7},
+				From:  5 * batch,
+				Until: (5 + dur) * batch,
+			}}
+			// The live defaults scaled to virtual time: generous per-attempt
+			// timeout, exponential backoff, three attempts before the abort.
+			cell.Retry = cluster.RetryModel{
+				MaxAttempts: 3,
+				Timeout:     2 * batch,
+				BaseDelay:   0.25 * batch,
+				MaxDelay:    batch,
+				Multiplier:  2,
+			}
+		}
+		jobs = append(jobs, job{cell: cell, strategy: "DYN P=3",
+			store: func(r *metrics.Result) { out.Results[i] = r }})
+	}
+	if err := runAll(opts, jobs); err != nil {
+		return nil, err
+	}
+	for _, r := range out.Results {
+		ok := r != nil && r.Converged
+		out.Converged = append(out.Converged, ok)
+		acc, t := 0.0, 0.0
+		var re, to, ab int64
+		if r != nil {
+			acc = r.FinalAccuracy
+			re, to, ab = r.Comms.Retries, r.Comms.Timeouts, r.Comms.Aborts
+			if ok {
+				t = r.RunTime
+			}
+		}
+		out.Accuracy = append(out.Accuracy, acc)
+		out.Time = append(out.Time, t)
+		out.Retries = append(out.Retries, re)
+		out.Timeouts = append(out.Timeouts, to)
+		out.Aborts = append(out.Aborts, ab)
+	}
+	return out, nil
+}
+
+// Format renders the partition sweep as a table.
+func (r *PartitionSweepResult) Format(w io.Writer) {
+	fmt.Fprintf(w, "partition sweep (ranks {6,7} cut, ResNet-34/CIFAR-10, HL=3, N=8):\n")
+	fmt.Fprintf(w, "  %-10s %-12s %-8s %-10s %-8s %-9s %s\n",
+		"len(batch)", "DYN P=3", "acc", "time(s)", "retries", "timeouts", "aborts")
+	for i := range r.Durations {
+		state := "missed"
+		if r.Converged[i] {
+			state = "converged"
+		}
+		fmt.Fprintf(w, "  %-10.1f %-12s %-8.3f %-10.0f %-8d %-9d %d\n",
+			r.Durations[i], state, r.Accuracy[i], r.Time[i],
+			r.Retries[i], r.Timeouts[i], r.Aborts[i])
+	}
+}

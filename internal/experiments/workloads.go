@@ -131,6 +131,11 @@ type Cell struct {
 	// Crashes is an optional deterministic fail-stop schedule (§4); the same
 	// schedule replays identically across strategies and repeated runs.
 	Crashes hetero.CrashSchedule
+	// Partitions is an optional deterministic timed network-partition
+	// schedule; Retry models the bounded-wait recovery policy applied when a
+	// group straddles an active partition (zero value: single attempt).
+	Partitions hetero.PartitionSchedule
+	Retry      cluster.RetryModel
 }
 
 // Build constructs the cluster config for the cell.
@@ -174,6 +179,8 @@ func (c Cell) Build() (cluster.Config, error) {
 		MaxUpdates: c.Workload.MaxUpdates,
 		MaxTime:    c.Workload.MaxTime,
 		Crashes:    c.Crashes,
+		Partitions: c.Partitions,
+		Retry:      c.Retry,
 	}, nil
 }
 

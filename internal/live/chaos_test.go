@@ -1,0 +1,94 @@
+package live
+
+import (
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"partialreduce/internal/collective"
+	"partialreduce/internal/transport"
+)
+
+// chaosSeeds returns how many seeds the soak sweeps. The default keeps
+// `make ci` quick; `make chaos` (or PREDUCE_CHAOS_SEEDS=n) widens the sweep.
+func chaosSeeds(t *testing.T) int {
+	t.Helper()
+	if s := os.Getenv("PREDUCE_CHAOS_SEEDS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			t.Fatalf("PREDUCE_CHAOS_SEEDS=%q is not a positive integer", s)
+		}
+		return n
+	}
+	return 2
+}
+
+// TestChaosSoak throws every fault in the repertoire at the same run:
+// a fail-stop worker, a controller crash (warm on even seeds, cold on odd),
+// and a timed two-rank network partition, all on one seeded Faulty world.
+// The invariants are the ones each fault guarantees alone — exactly the
+// injected death is condemned, the controller restarts exactly once, the
+// survivors complete every iteration, and nothing hangs — and the soak
+// asserts they still compose. Each seed is fully deterministic, so a failure
+// reproduces with PREDUCE_CHAOS_SEEDS and the logged seed.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak is a timed sweep")
+	}
+	seeds := chaosSeeds(t)
+	for s := 0; s < seeds; s++ {
+		seed := int64(70 + s)
+		cold := s%2 == 1
+		t.Run("seed="+strconv.FormatInt(seed, 10), func(t *testing.T) {
+			cfg := liveConfig(t, seed)
+			cfg.CtrlCrashAfter = 4
+			cfg.CtrlCold = cold
+			cfg.CtrlTimeout = 100 * time.Millisecond
+			cfg.CollectiveTimeout = 150 * time.Millisecond
+			cfg.Retry = collective.RetryPolicy{
+				MaxAttempts: 4, BaseDelay: 20 * time.Millisecond,
+				MaxDelay: 100 * time.Millisecond, Multiplier: 2, Jitter: 0.2, Seed: seed,
+			}
+			// Rank 1 fail-stops mid-run; it is outside the partitioned pair so
+			// its death is detectable while the links are cut. FailTimeout
+			// comfortably exceeds the partition, so a cut-off worker is never
+			// mistaken for a dead one.
+			cfg.Crash = map[int]int{1: 20 + 3*int(seed%5)}
+			cfg.FailTimeout = 3 * time.Second
+			cfg.ComputeDelay = func(worker, iter int) time.Duration { return 2 * time.Millisecond }
+
+			world, _ := faultyWorld(t, cfg.N, transport.FaultPlan{
+				Seed: seed,
+				Partitions: []transport.Partition{{
+					Ranks: []int{2, 3},
+					From:  40 * time.Millisecond,
+					Until: 300 * time.Millisecond,
+				}},
+			})
+
+			rep := runBounded(t, cfg, world)
+			if rep.CtrlRestarts != 1 {
+				t.Fatalf("controller restarts = %d, want 1", rep.CtrlRestarts)
+			}
+			if rep.Failures != 1 {
+				t.Fatalf("failures = %d, want exactly the injected fail-stop", rep.Failures)
+			}
+			for _, id := range []int{0, 2, 3} {
+				if !rep.Completed[id] {
+					t.Fatalf("survivor %d did not complete (iters %d/%d)",
+						id, rep.WorkerIters[id], cfg.Iters)
+				}
+				if rep.WorkerIters[id] < cfg.Iters {
+					t.Fatalf("survivor %d stopped at %d/%d", id, rep.WorkerIters[id], cfg.Iters)
+				}
+			}
+			if rep.Completed[1] {
+				t.Fatal("the fail-stopped worker reported completion")
+			}
+			if rep.FinalAccuracy < 0.80 {
+				t.Fatalf("accuracy %.3f after crash + failover + partition", rep.FinalAccuracy)
+			}
+		})
+	}
+}

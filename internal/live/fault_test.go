@@ -156,12 +156,12 @@ func TestLiveCrashDynamicWeighting(t *testing.T) {
 // Config validation of the fault-injection knobs.
 func TestFaultConfigValidate(t *testing.T) {
 	mutations := []func(*Config){
-		func(c *Config) { c.Crash = map[int]int{9: 5} },                             // out of range
-		func(c *Config) { c.Crash = map[int]int{1: 0} },                            // iter < 1
-		func(c *Config) { c.Crash = map[int]int{1: c.Iters + 1} },                  // iter > Iters
-		func(c *Config) { c.Crash = map[int]int{1: 5} },                            // no FailTimeout
-		func(c *Config) { c.Rejoin = map[int]time.Duration{1: time.Millisecond} },  // rejoin w/o crash
-		func(c *Config) { c.FailTimeout = -time.Second },                           // negative timeout
+		func(c *Config) { c.Crash = map[int]int{9: 5} },                                          // out of range
+		func(c *Config) { c.Crash = map[int]int{1: 0} },                                          // iter < 1
+		func(c *Config) { c.Crash = map[int]int{1: c.Iters + 1} },                                // iter > Iters
+		func(c *Config) { c.Crash = map[int]int{1: 5} },                                          // no FailTimeout
+		func(c *Config) { c.Rejoin = map[int]time.Duration{1: time.Millisecond} },                // rejoin w/o crash
+		func(c *Config) { c.FailTimeout = -time.Second },                                         // negative timeout
 		func(c *Config) { c.Crash = map[int]int{0: 1, 1: 1, 2: 1}; c.FailTimeout = time.Second }, // too many
 		func(c *Config) { // negative rejoin delay
 			c.Crash = map[int]int{1: 5}

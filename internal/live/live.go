@@ -72,6 +72,31 @@ type Config struct {
 	// Required when Crash is non-empty; choose it well above the slowest
 	// legitimate iteration. Zero disables the detector.
 	FailTimeout time.Duration
+
+	// CtrlCrashAfter crashes the controller after that many groups have been
+	// dispatched (0: never). The in-flight group replies are lost with it;
+	// workers recover by re-sending their ready signals after CtrlTimeout.
+	// Restart is warm (Snapshot/Restore) unless CtrlCold is set, in which
+	// case the replacement controller is rebuilt purely from the re-sent
+	// signals (plus the service-side failure detector re-reporting known
+	// deaths as they go stale again).
+	CtrlCrashAfter int
+	// CtrlCold selects the cold-rebuild failover path.
+	CtrlCold bool
+	// CtrlTimeout bounds a worker's wait for a group reply: on expiry the
+	// worker re-sends its ready signal (idempotent — the service recognizes
+	// retransmissions). Required when CtrlCrashAfter > 0; zero means wait
+	// forever (safe only when the controller cannot crash).
+	CtrlTimeout time.Duration
+
+	// CollectiveTimeout bounds every receive inside group collectives, so a
+	// severed link or partition surfaces as a timeout instead of a hang.
+	// Zero disables deadlines (and with them, retry).
+	CollectiveTimeout time.Duration
+	// Retry governs collective retry after timeouts (see
+	// collective.RetryPolicy). Zero value: one attempt. A zero Retry.Seed is
+	// replaced by Seed so the retry trace is reproducible per run seed.
+	Retry collective.RetryPolicy
 }
 
 // Validate reports whether the configuration is usable.
@@ -106,6 +131,21 @@ func (c Config) Validate() error {
 	if len(c.Crash) >= c.N-1 {
 		return fmt.Errorf("live: %d crashes leave fewer than 2 of %d workers", len(c.Crash), c.N)
 	}
+	if c.CtrlCrashAfter < 0 {
+		return fmt.Errorf("live: negative CtrlCrashAfter")
+	}
+	if c.CtrlTimeout < 0 || c.CollectiveTimeout < 0 {
+		return fmt.Errorf("live: negative timeout")
+	}
+	if c.CtrlCrashAfter > 0 && c.CtrlTimeout == 0 {
+		return fmt.Errorf("live: CtrlCrashAfter needs CtrlTimeout (workers must re-send lost signals)")
+	}
+	if c.CtrlCrashAfter > 0 && c.CollectiveTimeout == 0 {
+		return fmt.Errorf("live: CtrlCrashAfter needs CollectiveTimeout (a crash can strand a dispatched group; bounded collectives are the recovery path)")
+	}
+	if err := c.Retry.Validate(); err != nil {
+		return err
+	}
 	for w, d := range c.Rejoin {
 		if _, ok := c.Crash[w]; !ok {
 			return fmt.Errorf("live: rejoin for worker %d which never crashes", w)
@@ -124,6 +164,7 @@ type Report struct {
 	Aborts        int     // groups torn down because a member died mid-collective
 	Failures      int     // workers declared dead
 	Rejoins       int     // workers re-admitted from a checkpoint
+	CtrlRestarts  int     // controller crash/restart cycles survived
 	WallTime      time.Duration
 	WorkerIters   []int  // local iterations completed per worker
 	Alive         []bool // final controller liveness vector
@@ -145,10 +186,11 @@ type groupMsg struct {
 type svcKind int
 
 const (
-	kindReady svcKind = iota // worker finished an iteration and wants a group
-	kindDone                 // worker finished all iterations
-	kindFail                 // worker observed a peer die inside a collective
-	kindRejoin               // crashed worker asks to re-enter from checkpoint
+	kindReady  svcKind = iota // worker finished an iteration and wants a group
+	kindDone                  // worker finished all iterations
+	kindFail                  // worker observed a peer die inside a collective
+	kindRejoin                // crashed worker asks to re-enter from checkpoint
+	kindStuck                 // worker's collective timed out with no peer death
 )
 
 // svcMsg is one message to the controller service.
@@ -156,10 +198,11 @@ type svcMsg struct {
 	kind   svcKind
 	worker int
 	iter   int
+	seq    uint64         // kindReady: per-worker signal sequence number
 	reply  chan *groupMsg // kindReady: where to deliver the group
 	dead   int            // kindFail: the peer observed down
 	group  controller.Group
-	opID   uint32        // kindFail: the failing collective op
+	opID   uint32        // kindFail/kindStuck: the failing collective op
 	admit  chan struct{} // kindRejoin: closed once the worker is re-admitted
 }
 
@@ -179,8 +222,19 @@ type runtime struct {
 	iters  []int
 	models []model.Model
 
+	// readySeq[i] is worker i's last issued ready-signal sequence number.
+	// Each index is touched only by the worker's current incarnation (crash →
+	// rejoin hand-off is ordered by goroutine creation), so no lock is needed.
+	readySeq []uint64
+
 	commMu sync.Mutex
 	comms  collective.OpStats
+
+	// Written by the service goroutine before ctrlDone closes; read by Run
+	// afterwards (the channel close is the happens-before edge).
+	finalStats   controller.Stats
+	finalAlive   []bool
+	ctrlRestarts int
 }
 
 // addComms folds a worker's local data-plane stats into the run total.
@@ -219,6 +273,8 @@ func Run(cfg Config, world []transport.Transport) (*Report, error) {
 		runErr: make(chan error, 2*cfg.N),
 		iters:  make([]int, cfg.N),
 		models: make([]model.Model, cfg.N),
+
+		readySeq: make([]uint64, cfg.N),
 	}
 
 	completed := make([]bool, cfg.N)
@@ -265,16 +321,17 @@ func Run(cfg Config, world []transport.Transport) (*Report, error) {
 	avg.Scale(1 / float64(n))
 	base.SetParams(avg)
 
-	stats := ctrl.Stats()
+	stats := rt.finalStats
 	return &Report{
 		FinalAccuracy: model.Accuracy(base, cfg.Test),
 		Groups:        stats.GroupsFormed - stats.GroupsAborted,
 		Aborts:        stats.GroupsAborted,
 		Failures:      stats.Failures,
 		Rejoins:       stats.Rejoins,
+		CtrlRestarts:  rt.ctrlRestarts,
 		WallTime:      time.Since(start),
 		WorkerIters:   rt.iters,
-		Alive:         ctrl.Alive(),
+		Alive:         rt.finalAlive,
 		Completed:     completed,
 		Comms:         rt.comms,
 	}, nil
@@ -285,10 +342,35 @@ func Run(cfg Config, world []transport.Transport) (*Report, error) {
 // collective, and when each was last heard from. It runs until stop closes
 // (after every worker goroutine has exited), so a sender can never block on
 // a vanished service.
+//
+// The service also hosts the controller-failover harness: with
+// Config.CtrlCrashAfter set, the controller object is destroyed after that
+// many dispatched groups and replaced — warm from a crash-point Snapshot, or
+// cold from scratch, to be repopulated by the ready signals workers re-send
+// when their bounded reply waits expire. Service-side bookkeeping (who is
+// dead, who completed, transport-level abort marks) survives the crash, as a
+// real deployment's failure detector and fabric state would: only the
+// controller's queue/graph/weights state is lost and recovered.
 func (rt *runtime) service(ctrl *controller.Controller, completed []bool, stop, ctrlDone chan struct{}) {
-	defer close(ctrlDone)
 	cfg := rt.cfg
+	carry := controller.Stats{} // stats of pre-crash controller incarnations
+	defer func() {
+		st := ctrl.Stats()
+		fin := carry
+		fin.GroupsFormed += st.GroupsFormed
+		fin.Interventions += st.Interventions
+		fin.FrozenChecks += st.FrozenChecks
+		fin.Failures += st.Failures
+		fin.Rejoins += st.Rejoins
+		fin.GroupsAborted += st.GroupsAborted
+		rt.finalStats = fin
+		rt.finalAlive = ctrl.Alive()
+		close(ctrlDone)
+	}()
+
 	waiting := make(map[int]chan *groupMsg, cfg.N)
+	waitSeq := make(map[int]uint64, cfg.N) // seq of the signal awaiting reply
+	answered := make([]uint64, cfg.N)      // last seq answered per worker
 	lastOp := make(map[int]controller.Group, cfg.N)
 	lastOpID := make(map[int]uint32, cfg.N)
 	lastHeard := make([]time.Time, cfg.N)
@@ -297,19 +379,28 @@ func (rt *runtime) service(ctrl *controller.Controller, completed []bool, stop, 
 		lastHeard[i] = now
 	}
 	aborted := make(map[uint32]bool)
-	active := cfg.N // workers believed alive and not yet finished
+	deadSet := make(map[int]bool) // service-side memory of detected deaths
+	active := cfg.N               // workers believed alive and not yet finished
 	opSeq := uint32(0)
+	ctrlGroups := 0 // groups dispatched, for the crash trigger
+	crashed := false
 
+	answer := func(w int, gm *groupMsg) {
+		if ch, ok := waiting[w]; ok {
+			ch <- gm
+			answered[w] = waitSeq[w]
+			delete(waiting, w)
+			delete(waitSeq, w)
+		}
+	}
 	handleGroups := func(groups []controller.Group) {
 		for _, g := range groups {
 			opSeq++
+			ctrlGroups++
 			for _, member := range g.Members {
 				lastOp[member] = g
 				lastOpID[member] = opSeq
-				if ch, ok := waiting[member]; ok {
-					ch <- &groupMsg{group: g, opID: opSeq}
-					delete(waiting, member)
-				}
+				answer(member, &groupMsg{group: g, opID: opSeq})
 			}
 		}
 	}
@@ -321,10 +412,9 @@ func (rt *runtime) service(ctrl *controller.Controller, completed []bool, stop, 
 		// solo. Their queued signals are purged so the re-signal after the
 		// solo step is accepted cleanly.
 		if len(waiting) > 0 && len(waiting) == active {
-			for id, ch := range waiting {
+			for id := range waiting {
 				ctrl.PurgeSignal(id)
-				ch <- &groupMsg{skip: true}
-				delete(waiting, id)
+				answer(id, &groupMsg{skip: true})
 			}
 		}
 	}
@@ -332,15 +422,19 @@ func (rt *runtime) service(ctrl *controller.Controller, completed []bool, stop, 
 	// collective it may be blocking. g/opID describe a group op a survivor
 	// observed failing (opID 0: no such observation — the worker went dark
 	// between collectives and we abort its last op as a precaution; aborting
-	// a completed op is harmless because op ids are never reused).
+	// a completed op is harmless because op ids are never reused). After a
+	// cold controller restart, the replacement controller believes everyone
+	// is alive again; deadSet keeps the service-side accounting (active,
+	// reply wakeups) idempotent while the death is re-reported to it.
 	markDead := func(dead int, g controller.Group, opID uint32) {
-		if !ctrl.IsAlive(dead) {
+		first := !deadSet[dead]
+		if !first && !ctrl.IsAlive(dead) {
 			return
 		}
-		active--
-		if ch, ok := waiting[dead]; ok {
-			ch <- &groupMsg{skip: true} // wakes a falsely-accused worker
-			delete(waiting, dead)
+		if first {
+			deadSet[dead] = true
+			active--
+			answer(dead, &groupMsg{skip: true}) // wakes a falsely-accused worker
 		}
 		var groups []controller.Group
 		if opID != 0 && !aborted[opID] {
@@ -359,6 +453,46 @@ func (rt *runtime) service(ctrl *controller.Controller, completed []bool, stop, 
 		handleGroups(groups)
 		release()
 	}
+	// maybeCrash is the failover harness: destroy and replace the controller
+	// between two message handlings. Replies in flight at the crash point are
+	// lost (waiting is dropped) and recovered by worker retransmission.
+	maybeCrash := func() {
+		if crashed || cfg.CtrlCrashAfter <= 0 || ctrlGroups < cfg.CtrlCrashAfter {
+			return
+		}
+		crashed = true
+		if cfg.CtrlCold {
+			// Cold: only the effective config survives; queue, sync-graph,
+			// liveness, and counters are rebuilt from worker re-signals and
+			// the staleness detector.
+			st := ctrl.Stats()
+			carry.GroupsFormed += st.GroupsFormed
+			carry.Interventions += st.Interventions
+			carry.FrozenChecks += st.FrozenChecks
+			carry.Failures += st.Failures
+			carry.Rejoins += st.Rejoins
+			carry.GroupsAborted += st.GroupsAborted
+			next, _, err := controller.Rebuild(ctrl.Config(), nil)
+			if err != nil {
+				rt.runErr <- fmt.Errorf("live: controller cold rebuild: %w", err)
+				return
+			}
+			ctrl = next
+		} else {
+			// Warm: restore from the crash-point snapshot.
+			next, err := controller.Restore(ctrl.Snapshot())
+			if err != nil {
+				rt.runErr <- fmt.Errorf("live: controller restore: %w", err)
+				return
+			}
+			ctrl = next
+		}
+		for w := range waiting {
+			delete(waiting, w)
+			delete(waitSeq, w)
+		}
+		rt.ctrlRestarts++
+	}
 
 	var tick <-chan time.Time
 	if cfg.FailTimeout > 0 {
@@ -372,28 +506,59 @@ func (rt *runtime) service(ctrl *controller.Controller, completed []bool, stop, 
 		lastHeard[w] = time.Now()
 		switch msg.kind {
 		case kindReady:
+			if msg.seq <= answered[w] {
+				// Stale retransmission: the answer raced the worker's timeout
+				// and already sits in its (buffered) reply channel.
+				return
+			}
+			if deadSet[w] || !ctrl.IsAlive(w) {
+				// Dead-marked sender: release it to proceed solo.
+				msg.reply <- &groupMsg{skip: true}
+				answered[w] = msg.seq
+				return
+			}
 			waiting[w] = msg.reply
+			waitSeq[w] = msg.seq
+			if ctrl.IsQueued(w) {
+				// Retransmission of a signal the controller still holds (the
+				// original reply died with a crashed controller incarnation):
+				// re-attach the reply channel, don't re-queue.
+				handleGroups(ctrl.Drain())
+				release()
+				return
+			}
 			groups, err := ctrl.Ready(controller.Signal{
 				Worker: w, Iter: msg.iter,
 				Now: float64(time.Now().UnixNano()) / 1e9,
 			})
 			if err != nil {
-				// Dead-marked or duplicate sender: release it to proceed
+				// Rejected sender (tracking mismatch): release it to proceed
 				// solo; it is not grouped.
-				msg.reply <- &groupMsg{skip: true}
-				delete(waiting, w)
+				answer(w, &groupMsg{skip: true})
 				return
 			}
 			handleGroups(groups)
 			release()
 		case kindDone:
-			if ctrl.IsAlive(w) {
+			if !deadSet[w] && !completed[w] {
 				completed[w] = true
 				active--
 			}
 			release()
 		case kindFail:
 			markDead(msg.dead, msg.group, msg.opID)
+		case kindStuck:
+			// A collective timed out with no dead peer in sight (severed
+			// link, partition, delay spike beyond the retry budget). Abort
+			// the op for every member so the stuck ones roll back and
+			// re-signal; nobody is declared dead — if a worker really is
+			// gone, the staleness sweep will say so.
+			if !aborted[msg.opID] {
+				aborted[msg.opID] = true
+				carry.GroupsAborted++
+				transport.AbortOpEverywhere(rt.world, msg.group.Members, msg.opID, -1)
+			}
+			release()
 		case kindRejoin:
 			// The worker may have died undetected (its group never formed
 			// and the staleness timer has not fired): reconcile before
@@ -404,6 +569,7 @@ func (rt *runtime) service(ctrl *controller.Controller, completed []bool, stop, 
 			if err := ctrl.Rejoin(w); err != nil {
 				rt.runErr <- fmt.Errorf("live: rejoin worker %d: %w", w, err)
 			} else {
+				delete(deadSet, w)
 				active++
 			}
 			close(msg.admit)
@@ -429,15 +595,20 @@ func (rt *runtime) service(ctrl *controller.Controller, completed []bool, stop, 
 			// collective normally resolves through the peer-down/abort path
 			// long before the timeout, so a member still silent after
 			// FailTimeout is dead (or the timeout was chosen too tight —
-			// pick it well above an iteration plus a collective).
+			// pick it well above an iteration plus a collective). After a
+			// cold controller restart the sweep also re-reports known deaths
+			// to the replacement controller (deadSet workers with a live
+			// ctrl mark fall through markDead's idempotence guard).
 			for w := 0; w < cfg.N; w++ {
 				if ctrl.IsAlive(w) && !completed[w] &&
 					now.Sub(lastHeard[w]) > cfg.FailTimeout {
 					markDead(w, controller.Group{}, 0)
 				}
 			}
+			maybeCrash()
 		case msg := <-rt.svcCh:
 			handle(msg)
+			maybeCrash()
 		}
 	}
 }
@@ -452,7 +623,16 @@ func (rt *runtime) worker(id int, m model.Model, opt *optim.SGD, sampler *data.S
 	var batch *data.Batch
 	var comms collective.OpStats
 	defer rt.addComms(&comms)
-	copts := collective.Options{SegmentElems: cfg.SegmentElems, Stats: &comms}
+	pol := cfg.Retry
+	if pol.Seed == 0 {
+		pol.Seed = cfg.Seed
+	}
+	copts := collective.Options{
+		SegmentElems: cfg.SegmentElems,
+		Stats:        &comms,
+		Timeout:      cfg.CollectiveTimeout,
+		Retry:        pol,
+	}
 	// The paper's loop counter: fast-forwarded to the group max after every
 	// partial reduce (§3.3.3), so stragglers skip caught-up work.
 	iter := startIter
@@ -476,9 +656,7 @@ func (rt *runtime) worker(id int, m model.Model, opt *optim.SGD, sampler *data.S
 		}
 
 		for { // signal ready; on group abort, roll back and re-signal
-			reply := make(chan *groupMsg, 1)
-			rt.svcCh <- svcMsg{kind: kindReady, worker: id, iter: iter, reply: reply}
-			gm := <-reply
+			gm := rt.signalReady(id, iter)
 			if gm.skip {
 				break // proceed solo this iteration
 			}
@@ -522,10 +700,49 @@ func (rt *runtime) worker(id int, m model.Model, opt *optim.SGD, sampler *data.S
 			}
 			if dead >= 0 {
 				rt.svcCh <- svcMsg{kind: kindFail, worker: id, dead: dead, group: g, opID: gm.opID}
+			} else if transport.IsTimeout(err) {
+				// The collective timed out (after exhausting any retry budget)
+				// with no peer known dead: a severed link or partition. Ask the
+				// service to abort the op for the whole group so every stuck
+				// member rolls back and re-signals; nobody is condemned.
+				rt.svcCh <- svcMsg{kind: kindStuck, worker: id, group: g, opID: gm.opID}
 			}
 		}
 	}
 	rt.svcCh <- svcMsg{kind: kindDone, worker: id}
+}
+
+// signalReady sends worker id's ready signal for iter and waits for the group
+// reply. With CtrlTimeout set the wait is bounded: on expiry the same signal
+// (same sequence number) is re-sent, so a controller crash that swallowed the
+// in-flight reply cannot strand the worker, while a reply that merely raced
+// the timer is recognized by the service as already answered and consumed from
+// the buffered channel here.
+func (rt *runtime) signalReady(id, iter int) *groupMsg {
+	rt.readySeq[id]++
+	reply := make(chan *groupMsg, 1)
+	msg := svcMsg{kind: kindReady, worker: id, iter: iter, seq: rt.readySeq[id], reply: reply}
+	rt.svcCh <- msg
+	if rt.cfg.CtrlTimeout <= 0 {
+		return <-reply
+	}
+	timer := time.NewTimer(rt.cfg.CtrlTimeout)
+	defer timer.Stop()
+	for {
+		select {
+		case gm := <-reply:
+			return gm
+		case <-timer.C:
+			// The answer may have raced the timer into the buffer.
+			select {
+			case gm := <-reply:
+				return gm
+			default:
+			}
+			rt.svcCh <- msg // idempotent retransmission: same seq, same reply
+			timer.Reset(rt.cfg.CtrlTimeout)
+		}
+	}
 }
 
 // crash simulates a fail-stop crash of worker id immediately after its ready
@@ -536,8 +753,9 @@ func (rt *runtime) worker(id int, m model.Model, opt *optim.SGD, sampler *data.S
 // is scheduled.
 func (rt *runtime) crash(id int, m model.Model, opt *optim.SGD, iter int) {
 	delay, willRejoin := rt.cfg.Rejoin[id]
+	rt.readySeq[id]++
 	reply := make(chan *groupMsg, 1) // abandoned: the corpse never reads it
-	rt.svcCh <- svcMsg{kind: kindReady, worker: id, iter: iter, reply: reply}
+	rt.svcCh <- svcMsg{kind: kindReady, worker: id, iter: iter, seq: rt.readySeq[id], reply: reply}
 
 	var snap []byte
 	if willRejoin {

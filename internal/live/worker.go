@@ -42,6 +42,11 @@ const (
 	barrierOpID   uint32 = 0xFFFFFE
 )
 
+// ctrlResendLimit bounds how many times a worker re-sends a ready signal whose
+// reply timed out (CtrlTimeout) before concluding the controller is
+// unreachable and withdrawing from the cluster.
+const ctrlResendLimit = 8
+
 func readyTag(seq int) uint64 { return ctrlReadyTag | uint64(seq) }
 func replyTag(seq int) uint64 { return ctrlReplyTag | uint64(seq) }
 func abortTag(seq int) uint64 { return ctrlAbortTag | uint64(seq) }
@@ -152,10 +157,13 @@ func runControllerService(cfg Config, tr transport.Transport) error {
 	opGroups := map[uint32]controller.Group{}
 	lastOpID := map[int]uint32{}
 	abortedOps := map[uint32]bool{}
+	deadSet := map[int]bool{} // host-side memory of deaths (survives ctrl crashes)
 	abortSeq := make([]int, cfg.N)
 	completed := make([]bool, cfg.N)
 	active := cfg.N
 	opSeq := uint32(0)
+	ctrlGroups := 0 // groups dispatched, for the failover-harness trigger
+	crashed := false
 
 	// sendAbort tells worker w to abort collective op locally; returns the
 	// rank as a new death suspect if even that message cannot be delivered.
@@ -183,11 +191,15 @@ func runControllerService(cfg Config, tr transport.Transport) error {
 		for len(suspects) > 0 {
 			s := suspects[0]
 			suspects = suspects[1:]
-			if !ctrl.IsAlive(s.worker) {
+			first := !deadSet[s.worker]
+			if !first && !ctrl.IsAlive(s.worker) {
 				continue
 			}
-			active--
-			delete(waiting, s.worker)
+			if first {
+				deadSet[s.worker] = true
+				active--
+				delete(waiting, s.worker)
+			}
 			op := s.opID
 			if op == 0 {
 				op = lastOpID[s.worker]
@@ -217,6 +229,7 @@ func runControllerService(cfg Config, tr transport.Transport) error {
 	dispatch = func(groups []controller.Group) error {
 		for _, g := range groups {
 			opSeq++
+			ctrlGroups++
 			op := opSeq
 			opGroups[op] = g
 			var suspects []int
@@ -224,6 +237,14 @@ func runControllerService(cfg Config, tr transport.Transport) error {
 				lastOpID[m] = op
 				seq, ok := waiting[m]
 				if !ok {
+					if cfg.CtrlCrashAfter > 0 {
+						// The member's reply bookkeeping died in a controller
+						// crash and it has not retransmitted yet: it cannot
+						// join this op. The present members' collectives time
+						// out and the stuck-abort path dissolves the group;
+						// everyone re-signals.
+						continue
+					}
 					return fmt.Errorf("live: controller grouped worker %d with no pending signal", m)
 				}
 				if err := tr.Send(m, replyTag(seq), encodeGroup(g, op, false)); err != nil {
@@ -239,6 +260,40 @@ func runControllerService(cfg Config, tr transport.Transport) error {
 					return err
 				}
 			}
+		}
+		return nil
+	}
+
+	// maybeCrash is the controller-failover harness: after CtrlCrashAfter
+	// dispatched groups the controller object is destroyed and replaced —
+	// warm from a crash-point snapshot, or cold from the bare config. The
+	// reply bookkeeping (waiting) dies with the incarnation; workers whose
+	// replies were lost re-send their signals after CtrlTimeout and the
+	// retransmissions re-attach (warm) or re-queue (cold). Host-side failure
+	// memory (deadSet) survives and is re-taught to a cold controller.
+	maybeCrash := func() error {
+		if crashed || cfg.CtrlCrashAfter <= 0 || ctrlGroups < cfg.CtrlCrashAfter {
+			return nil
+		}
+		crashed = true
+		if cfg.CtrlCold {
+			next, _, err := controller.Rebuild(ctrl.Config(), nil)
+			if err != nil {
+				return fmt.Errorf("live: controller cold rebuild: %w", err)
+			}
+			ctrl = next
+			for w := range deadSet {
+				ctrl.Fail(w) // the fresh controller believes everyone is alive
+			}
+		} else {
+			next, err := controller.Restore(ctrl.Snapshot())
+			if err != nil {
+				return fmt.Errorf("live: controller restore: %w", err)
+			}
+			ctrl = next
+		}
+		for w := range waiting {
+			delete(waiting, w)
 		}
 		return nil
 	}
@@ -271,9 +326,30 @@ func runControllerService(cfg Config, tr transport.Transport) error {
 				return err
 			}
 		case ev.iter == readyFinished:
-			if ctrl.IsAlive(ev.worker) {
+			if !deadSet[ev.worker] && !completed[ev.worker] {
 				completed[ev.worker] = true
 				active--
+			}
+		case ev.iter == readyFailure && ev.dead < 0:
+			// Stuck collective (timeout with no peer known dead — severed link,
+			// partition, delay spike beyond the retry budget): abort the op for
+			// every member so the stuck ones roll back and re-signal. Nobody is
+			// condemned; a worker that really is gone breaks its connection and
+			// the receive loops report it.
+			if op := ev.opID; op != 0 && !abortedOps[op] {
+				abortedOps[op] = true
+				if g, ok := opGroups[op]; ok {
+					for _, mem := range g.Members {
+						if deadSet[mem] {
+							continue
+						}
+						if sus := sendAbort(mem, op, -1); sus >= 0 {
+							if err := markDead(sus, 0); err != nil {
+								return err
+							}
+						}
+					}
+				}
 			}
 		case ev.iter == readyFailure:
 			if err := markDead(ev.dead, ev.opID); err != nil {
@@ -281,6 +357,15 @@ func runControllerService(cfg Config, tr transport.Transport) error {
 			}
 		default:
 			waiting[ev.worker] = ev.seq
+			if ctrl.IsQueued(ev.worker) {
+				// Retransmission of a signal the controller still holds (the
+				// reply bookkeeping died with a crashed controller
+				// incarnation): re-attach the reply seq, don't re-queue.
+				if err := dispatch(ctrl.Drain()); err != nil {
+					return err
+				}
+				break
+			}
 			groups, err := ctrl.Ready(controller.Signal{Worker: ev.worker, Iter: ev.iter})
 			if err != nil {
 				// Dead-marked or duplicate sender: release it to proceed solo.
@@ -295,6 +380,9 @@ func runControllerService(cfg Config, tr transport.Transport) error {
 			}
 		}
 		if err := release(); err != nil {
+			return err
+		}
+		if err := maybeCrash(); err != nil {
 			return err
 		}
 	}
@@ -398,7 +486,17 @@ func runWorkerLoop(cfg Config, tr transport.Transport, ctrlRank int, host bool) 
 	start := time.Now()
 	groups := 0
 	var comms collective.OpStats
-	copts := collective.Options{SegmentElems: cfg.SegmentElems, Stats: &comms}
+	pol := cfg.Retry
+	if pol.Seed == 0 {
+		pol.Seed = cfg.Seed
+	}
+	copts := collective.Options{
+		SegmentElems: cfg.SegmentElems,
+		Stats:        &comms,
+		Timeout:      cfg.CollectiveTimeout,
+		Retry:        pol,
+	}
+	replyBuf := make([]float64, 5+2*cfg.N)
 	// iter is the paper's loop counter k: it fast-forwards to the group max
 	// after every partial reduce (§3.3.3), so stragglers skip caught-up work.
 	iter := 0
@@ -436,9 +534,36 @@ func runWorkerLoop(cfg Config, tr transport.Transport, ctrlRank int, host bool) 
 			if err := tr.Send(ctrlRank, readyTag(seq), []float64{float64(iter)}); err != nil {
 				return nil, err
 			}
-			reply, err := tr.Recv(ctrlRank, replyTag(seq))
-			if err != nil {
-				return nil, err
+			var reply []float64
+			for resends := 0; ; {
+				n, err := transport.RecvIntoDeadline(tr, ctrlRank, replyTag(seq), replyBuf, cfg.CtrlTimeout)
+				if err == nil {
+					reply = replyBuf[:n]
+					break
+				}
+				if !transport.IsTimeout(err) {
+					return nil, err
+				}
+				// The reply was lost with a crashed controller incarnation (or
+				// is merely late): re-send the signal on the next sequence
+				// number — the host recognizes retransmissions — and wait
+				// there. After ctrlResendLimit misses the controller is
+				// unreachable (severed link, dead host): withdraw from the
+				// cluster so peers and the host detect the departure through
+				// the transport instead of everyone hanging.
+				resends++
+				if resends > ctrlResendLimit {
+					if sf, ok := tr.(transport.SelfFailer); ok {
+						sf.FailSelf()
+					} else {
+						tr.Close()
+					}
+					return nil, fmt.Errorf("live: worker %d: controller unreachable after %d signals: %w", id, resends, err)
+				}
+				seq++
+				if err := tr.Send(ctrlRank, readyTag(seq), []float64{float64(iter)}); err != nil {
+					return nil, err
+				}
 			}
 			seq++
 			g, opID, skip, err := decodeGroup(reply)
@@ -483,6 +608,14 @@ func runWorkerLoop(cfg Config, tr transport.Transport, ctrlRank int, host bool) 
 					return nil, err
 				}
 				seq++
+			} else if transport.IsTimeout(err) {
+				// The collective timed out (retry budget exhausted) with no
+				// peer known dead: report the stuck op so the host aborts it
+				// for the whole group, then re-signal this iteration.
+				if err := tr.Send(ctrlRank, readyTag(seq), []float64{readyFailure, -1, float64(opID)}); err != nil {
+					return nil, err
+				}
+				seq++
 			}
 		}
 	}
@@ -502,14 +635,14 @@ func runWorkerLoop(cfg Config, tr transport.Transport, ctrlRank int, host bool) 
 	}
 	sort.Ints(roster)
 
-	all, err := collective.Gather(tr, roster, gatherOpID, ctrlRank, m.Params())
+	all, err := collective.GatherOpts(tr, roster, gatherOpID, ctrlRank, m.Params(), copts)
 	if err != nil {
 		return nil, err
 	}
 	// Hold every surviving process until the roster is done: a rank that
 	// exits early (iteration fast-forward can finish it first) would tear
 	// down its transport under peers still training.
-	if err := collective.Barrier(tr, roster, barrierOpID); err != nil {
+	if err := collective.BarrierOpts(tr, roster, barrierOpID, copts); err != nil {
 		return nil, err
 	}
 	rep := &Report{

@@ -39,7 +39,7 @@ func WriteCurvesCSV(w io.Writer, results ...*Result) error {
 func WriteSummaryCSV(w io.Writer, results ...*Result) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"strategy", "workload", "converged", "run_time_s", "updates", "per_update_s", "final_accuracy",
-		"coll_ops", "bytes_sent", "bytes_recv", "segments", "reduce_scatter_s", "all_gather_s"}); err != nil {
+		"coll_ops", "bytes_sent", "bytes_recv", "segments", "retries", "timeouts", "aborts", "reduce_scatter_s", "all_gather_s"}); err != nil {
 		return err
 	}
 	for _, r := range results {
@@ -58,6 +58,9 @@ func WriteSummaryCSV(w io.Writer, results ...*Result) error {
 			strconv.FormatInt(r.Comms.BytesSent, 10),
 			strconv.FormatInt(r.Comms.BytesRecv, 10),
 			strconv.FormatInt(r.Comms.Segments, 10),
+			strconv.FormatInt(r.Comms.Retries, 10),
+			strconv.FormatInt(r.Comms.Timeouts, 10),
+			strconv.FormatInt(r.Comms.Aborts, 10),
 			strconv.FormatFloat(r.Comms.ReduceScatterS, 'f', 3, 64),
 			strconv.FormatFloat(r.Comms.AllGatherS, 'f', 3, 64),
 		}

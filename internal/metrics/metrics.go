@@ -22,6 +22,14 @@ type CommStats struct {
 	BytesSent int64 // payload bytes sent across all workers
 	BytesRecv int64 // payload bytes received across all workers
 	Segments  int64 // pipeline segments shipped (live runtime only)
+	// Retries, Timeouts, and Aborts count the robustness events of the run's
+	// collectives: attempts re-run after a receive deadline expired, receive
+	// deadlines that fired, and collectives abandoned after exhausting their
+	// retry budget. The live runtime measures them; the simulator models them
+	// from its partition schedule.
+	Retries  int64
+	Timeouts int64
+	Aborts   int64
 	// ReduceScatterS and AllGatherS are cumulative wall-clock seconds spent
 	// in each ring phase across all workers (live runtime only).
 	ReduceScatterS float64
@@ -34,6 +42,9 @@ func (s *CommStats) Add(o CommStats) {
 	s.BytesSent += o.BytesSent
 	s.BytesRecv += o.BytesRecv
 	s.Segments += o.Segments
+	s.Retries += o.Retries
+	s.Timeouts += o.Timeouts
+	s.Aborts += o.Aborts
 	s.ReduceScatterS += o.ReduceScatterS
 	s.AllGatherS += o.AllGatherS
 }

@@ -3,8 +3,58 @@ package transport
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// LinkFault is a fault spec for one directed link (from, to). It models the
+// partial failures real heterogeneous clusters mostly suffer: one-directional
+// loss, delay spikes, and severed links that stall a collective forever
+// rather than killing an endpoint.
+type LinkFault struct {
+	// Drop is the per-message drop probability on this link.
+	Drop float64
+	// DropFirst deterministically drops the first K messages on this link
+	// (after that, probabilistic faults apply). Deterministic loss is what
+	// retry tests pin down.
+	DropFirst int
+	// DelayRate is the per-message probability of delaying by Delay.
+	DelayRate float64
+	// Delay is the injected latency for delayed messages on this link.
+	Delay time.Duration
+	// Sever silently loses every message on this link until healed — the
+	// one-directional cable cut. Receivers need deadlines, not luck.
+	Sever bool
+}
+
+// Partition cuts a set of ranks off from the rest of the world for a wall
+// clock window measured from world creation: messages crossing the partition
+// boundary (exactly one endpoint in Ranks) are silently dropped while the
+// window is active. Until == 0 means "until Heal".
+type Partition struct {
+	Ranks []int
+	From  time.Duration
+	Until time.Duration
+}
+
+// active reports whether the partition is in force at elapsed time now.
+func (p Partition) active(now time.Duration) bool {
+	return now >= p.From && (p.Until == 0 || now < p.Until)
+}
+
+// splits reports whether a message from -> to crosses the partition boundary.
+func (p Partition) splits(from, to int) bool {
+	inFrom, inTo := false, false
+	for _, r := range p.Ranks {
+		if r == from {
+			inFrom = true
+		}
+		if r == to {
+			inTo = true
+		}
+	}
+	return inFrom != inTo
+}
 
 // FaultPlan is a seeded, deterministic fault schedule for a Faulty world.
 // Decisions are drawn from one RNG stream per directed (from, to) pair, so a
@@ -27,6 +77,12 @@ type FaultPlan struct {
 	// which that rank crashes: its endpoint dies and every peer sees it as
 	// down (*PeerDownError).
 	CrashAfterSends map[int]int
+	// LinkFaults maps a directed (from, to) pair to a link-level fault spec,
+	// layered on top of the global rates. Healable via Heal/HealLink.
+	LinkFaults map[[2]int]LinkFault
+	// Partitions are timed network partitions (windows relative to world
+	// creation). Healable via Heal.
+	Partitions []Partition
 }
 
 // Validate reports whether the plan is usable.
@@ -42,7 +98,74 @@ func (p FaultPlan) Validate() error {
 			return fmt.Errorf("transport: negative crash count for rank %d", r)
 		}
 	}
+	for link, lf := range p.LinkFaults {
+		if link[0] < 0 || link[1] < 0 {
+			return fmt.Errorf("transport: link fault (%d,%d) has negative rank", link[0], link[1])
+		}
+		if link[0] == link[1] {
+			return fmt.Errorf("transport: link fault (%d,%d) is a self-link", link[0], link[1])
+		}
+		if lf.Drop < 0 || lf.Drop > 1 || lf.DelayRate < 0 || lf.DelayRate > 1 {
+			return fmt.Errorf("transport: link (%d,%d) fault rates must be in [0,1]", link[0], link[1])
+		}
+		if lf.Delay < 0 || lf.DropFirst < 0 {
+			return fmt.Errorf("transport: link (%d,%d) has negative delay or drop count", link[0], link[1])
+		}
+	}
+	for i, part := range p.Partitions {
+		if len(part.Ranks) == 0 {
+			return fmt.Errorf("transport: partition %d has no ranks", i)
+		}
+		seen := make(map[int]bool, len(part.Ranks))
+		for _, r := range part.Ranks {
+			if r < 0 {
+				return fmt.Errorf("transport: partition %d has negative rank %d", i, r)
+			}
+			if seen[r] {
+				return fmt.Errorf("transport: partition %d lists rank %d twice", i, r)
+			}
+			seen[r] = true
+		}
+		if part.From < 0 {
+			return fmt.Errorf("transport: partition %d starts before time zero", i)
+		}
+		if part.Until != 0 && part.Until <= part.From {
+			return fmt.Errorf("transport: partition %d window [%s,%s) is empty", i, part.From, part.Until)
+		}
+	}
 	return nil
+}
+
+// checkRanks verifies every rank the plan names fits a world of n endpoints.
+// Validate cannot do this (a plan is built before the world exists), so the
+// constructors call it once the size is known.
+func (p FaultPlan) checkRanks(n int) error {
+	for r := range p.CrashAfterSends {
+		if r < 0 || r >= n {
+			return fmt.Errorf("transport: crash rank %d outside world of %d", r, n)
+		}
+	}
+	for link := range p.LinkFaults {
+		if link[0] >= n || link[1] >= n {
+			return fmt.Errorf("transport: link fault (%d,%d) outside world of %d", link[0], link[1], n)
+		}
+	}
+	for i, part := range p.Partitions {
+		for _, r := range part.Ranks {
+			if r >= n {
+				return fmt.Errorf("transport: partition %d rank %d outside world of %d", i, r, n)
+			}
+		}
+	}
+	return nil
+}
+
+// linkState is the mutable per-directed-link fault state: the spec, the sent
+// counter (for DropFirst), and the link's own decision stream.
+type linkState struct {
+	fault LinkFault
+	sent  int
+	rng   *splitmix
 }
 
 // faultyWorld is the state shared by all endpoints of one Faulty world.
@@ -51,6 +174,47 @@ type faultyWorld struct {
 	plan  FaultPlan
 	inner []Transport
 	dead  []bool
+	start time.Time
+	links map[[2]int]*linkState
+	parts []Partition
+	// faulted is true while any link faults or partitions are configured; a
+	// zero plan never takes the link-decision lock (pass-through property).
+	faulted atomic.Bool
+}
+
+// refreshFaulted recomputes the fast-path flag. Callers hold w.mu.
+func (w *faultyWorld) refreshFaulted() {
+	w.faulted.Store(len(w.links) > 0 || len(w.parts) > 0)
+}
+
+// linkDecision applies partition and link-level faults for one message on the
+// directed link from -> to at elapsed time now.
+func (w *faultyWorld) linkDecision(from, to int, now time.Duration) (drop bool, delay time.Duration) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, part := range w.parts {
+		if part.active(now) && part.splits(from, to) {
+			return true, 0
+		}
+	}
+	ls, ok := w.links[[2]int{from, to}]
+	if !ok {
+		return false, 0
+	}
+	ls.sent++
+	if ls.fault.Sever {
+		return true, 0
+	}
+	if ls.sent <= ls.fault.DropFirst {
+		return true, 0
+	}
+	if ls.fault.Drop > 0 && ls.rng.float64() < ls.fault.Drop {
+		return true, 0
+	}
+	if ls.fault.DelayRate > 0 && ls.rng.float64() < ls.fault.DelayRate {
+		return false, ls.fault.Delay
+	}
+	return false, 0
 }
 
 // Faulty wraps a Transport endpoint and injects crashes, drops, and delays
@@ -67,9 +231,30 @@ type Faulty struct {
 	sends   int
 }
 
+// newFaultyWorld builds the shared world state for n ranks, copying the
+// plan's link and partition specs into mutable (healable) state.
+func newFaultyWorld(inner []Transport, plan FaultPlan, n int) *faultyWorld {
+	w := &faultyWorld{
+		plan:  plan,
+		inner: inner,
+		dead:  make([]bool, n),
+		start: time.Now(),
+		links: make(map[[2]int]*linkState, len(plan.LinkFaults)),
+	}
+	for link, lf := range plan.LinkFaults {
+		w.links[link] = &linkState{
+			fault: lf,
+			rng:   newSplitmix(plan.Seed, 0x11CC+int64(link[0])*int64(n+1)+int64(link[1])),
+		}
+	}
+	w.parts = append(w.parts, plan.Partitions...)
+	w.refreshFaulted()
+	return w
+}
+
 // NewFaultyWorld wraps every endpoint of an in-process world with fault
 // injection driven by plan. len(inner) must be the world size and entry i
-// must be rank i's endpoint.
+// must be rank i's endpoint. Invalid plans are rejected at construction.
 func NewFaultyWorld(inner []Transport, plan FaultPlan) ([]*Faulty, error) {
 	if err := plan.Validate(); err != nil {
 		return nil, err
@@ -78,7 +263,10 @@ func NewFaultyWorld(inner []Transport, plan FaultPlan) ([]*Faulty, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("transport: empty world")
 	}
-	w := &faultyWorld{plan: plan, inner: inner, dead: make([]bool, n)}
+	if err := plan.checkRanks(n); err != nil {
+		return nil, err
+	}
+	w := newFaultyWorld(inner, plan, n)
 	eps := make([]*Faulty, n)
 	for i := range eps {
 		streams := make([]*splitmix, n)
@@ -88,6 +276,30 @@ func NewFaultyWorld(inner []Transport, plan FaultPlan) ([]*Faulty, error) {
 		eps[i] = &Faulty{inner: inner[i], world: w, rank: i, streams: streams}
 	}
 	return eps, nil
+}
+
+// NewFaultyEndpoint wraps a single endpoint (typically one process's TCP
+// transport) with send-side fault injection driven by plan. When every
+// process of a deployment wraps its endpoint with the same plan, partitions
+// behave symmetrically: each side drops its own outbound crossings. Ranks in
+// the plan refer to world ranks; only faults whose source is this endpoint's
+// rank ever apply.
+func NewFaultyEndpoint(inner Transport, plan FaultPlan) (*Faulty, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	n := inner.Size()
+	if err := plan.checkRanks(n); err != nil {
+		return nil, err
+	}
+	world := make([]Transport, n)
+	world[inner.Rank()] = inner
+	w := newFaultyWorld(world, plan, n)
+	streams := make([]*splitmix, n)
+	for j := range streams {
+		streams[j] = newSplitmix(plan.Seed, int64(inner.Rank())*int64(n)+int64(j))
+	}
+	return &Faulty{inner: inner, world: w, rank: inner.Rank(), streams: streams}, nil
 }
 
 // Kill crashes rank now: its endpoint and every peer treat it as down. Safe
@@ -164,10 +376,54 @@ func (f *Faulty) Send(to int, tag uint64, payload []float64) error {
 	if drop {
 		return nil // lost on the wire
 	}
+	if f.world.faulted.Load() {
+		linkDrop, linkDelay := f.world.linkDecision(f.rank, to, time.Since(f.world.start))
+		if linkDrop {
+			return nil // lost on the wire (sever, partition, or link drop)
+		}
+		if linkDelay > 0 {
+			time.Sleep(linkDelay)
+		}
+	}
 	if delay && plan.Delay > 0 {
 		time.Sleep(plan.Delay)
 	}
 	return f.inner.Send(to, tag, payload)
+}
+
+// SeverLink cuts the directed link from -> to: every message on it is lost
+// until HealLink or Heal. Safe to call from any goroutine mid-run.
+func (f *Faulty) SeverLink(from, to int) {
+	w := f.world
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ls, ok := w.links[[2]int{from, to}]
+	if !ok {
+		ls = &linkState{rng: newSplitmix(w.plan.Seed, 0x11CC+int64(from)*int64(len(w.dead)+1)+int64(to))}
+		w.links[[2]int{from, to}] = ls
+	}
+	ls.fault.Sever = true
+	w.refreshFaulted()
+}
+
+// HealLink clears the fault spec of the directed link from -> to.
+func (f *Faulty) HealLink(from, to int) {
+	w := f.world
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	delete(w.links, [2]int{from, to})
+	w.refreshFaulted()
+}
+
+// Heal clears every link fault and partition in the world. Messages flow
+// normally afterwards (global drop/delay rates and crash schedules remain).
+func (f *Faulty) Heal() {
+	w := f.world
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.links = make(map[[2]int]*linkState)
+	w.parts = nil
+	w.refreshFaulted()
 }
 
 // Recv implements Transport.
@@ -186,6 +442,18 @@ func (f *Faulty) RecvInto(from int, tag uint64, dst []float64) (int, error) {
 	}
 	return f.inner.RecvInto(from, tag, dst)
 }
+
+// RecvIntoTimeout implements DeadlineRecver when the inner endpoint does;
+// otherwise it degrades to an unbounded RecvInto.
+func (f *Faulty) RecvIntoTimeout(from int, tag uint64, dst []float64, timeout time.Duration) (int, error) {
+	if f.deadRank(f.rank) {
+		return 0, &PeerDownError{Peer: f.rank}
+	}
+	return RecvIntoDeadline(f.inner, from, tag, dst, timeout)
+}
+
+// PurgeOp implements OpPurger, forwarding to the inner endpoint.
+func (f *Faulty) PurgeOp(op uint32) { PurgeOpAt(f.inner, op) }
 
 // FailPeer implements PeerFailer.
 func (f *Faulty) FailPeer(peer int) {

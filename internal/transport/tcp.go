@@ -394,6 +394,20 @@ func (t *TCP) RecvInto(from int, tag uint64, dst []float64) (int, error) {
 	return t.box.receiveInto(from, tag, dst)
 }
 
+// RecvIntoTimeout implements DeadlineRecver.
+func (t *TCP) RecvIntoTimeout(from int, tag uint64, dst []float64, timeout time.Duration) (int, error) {
+	if from < 0 || from >= t.size {
+		return 0, fmt.Errorf("transport: rank %d out of range", from)
+	}
+	if timeout <= 0 {
+		return t.box.receiveInto(from, tag, dst)
+	}
+	return t.box.receiveIntoDeadline(from, tag, dst, timeout)
+}
+
+// PurgeOp implements OpPurger.
+func (t *TCP) PurgeOp(op uint32) { t.box.purgeOp(op) }
+
 // FailPeer implements PeerFailer: peer is declared dead and its connection
 // torn down.
 func (t *TCP) FailPeer(peer int) {

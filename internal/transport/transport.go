@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"partialreduce/internal/bufpool"
 )
@@ -67,6 +68,47 @@ type OpAborter interface {
 	AbortOp(op uint32)
 }
 
+// DeadlineRecver is implemented by endpoints whose receives can be bounded
+// by a deadline: RecvIntoTimeout behaves like RecvInto but fails with a
+// *TimeoutError (matching ErrTimeout) if no message arrives within timeout.
+// A timeout consumes nothing — the message, should it arrive later, stays
+// deliverable. timeout <= 0 means no deadline (identical to RecvInto).
+//
+// Deadlines are what turn a severed link or a partition from an eternal hang
+// into a recoverable error: every blocking wait in the runtime is bounded by
+// one, and the retry/abort machinery above decides what to do next.
+type DeadlineRecver interface {
+	RecvIntoTimeout(from int, tag uint64, dst []float64, timeout time.Duration) (int, error)
+}
+
+// OpPurger is implemented by endpoints that can discard buffered frames of a
+// collective operation without poisoning future receives (unlike OpAborter).
+// The retry machinery uses it between attempts: frames from a timed-out
+// attempt's stale tag epoch are dropped so they cannot alias a later one.
+type OpPurger interface {
+	PurgeOp(op uint32)
+}
+
+// RecvIntoDeadline is the package-level deadline receive: it uses
+// DeadlineRecver when the endpoint supports it and timeout > 0, and falls
+// back to a plain (unbounded) RecvInto otherwise.
+func RecvIntoDeadline(t Transport, from int, tag uint64, dst []float64, timeout time.Duration) (int, error) {
+	if timeout > 0 {
+		if dr, ok := t.(DeadlineRecver); ok {
+			return dr.RecvIntoTimeout(from, tag, dst, timeout)
+		}
+	}
+	return t.RecvInto(from, tag, dst)
+}
+
+// PurgeOpAt discards op's buffered frames at t when supported (no-op
+// otherwise).
+func PurgeOpAt(t Transport, op uint32) {
+	if op2, ok := t.(OpPurger); ok {
+		op2.PurgeOp(op)
+	}
+}
+
 // SelfFailer lets an endpoint simulate its own fail-stop crash without
 // tearing down the process: after FailSelf, every peer observes this rank as
 // down (exactly as if its process had exited and its connections broken),
@@ -89,6 +131,26 @@ var ErrOpAborted = errors.New("transport: operation aborted")
 // ErrShortBuffer is returned (wrapped) by RecvInto when the incoming payload
 // does not fit the destination buffer.
 var ErrShortBuffer = errors.New("transport: short receive buffer")
+
+// ErrTimeout matches (via errors.Is) any *TimeoutError.
+var ErrTimeout = errors.New("transport: receive timed out")
+
+// TimeoutError reports that a deadline-bounded receive expired before the
+// message arrived — the symptom of a severed link, a partition, or a peer
+// stalled past the deadline. Nothing was consumed; the receive may be retried.
+type TimeoutError struct {
+	Peer    int
+	Tag     uint64
+	Timeout time.Duration
+}
+
+// Error implements error.
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("transport: receive from %d tag %#x timed out after %s", e.Peer, e.Tag, e.Timeout)
+}
+
+// Is reports equivalence to the ErrTimeout sentinel.
+func (e *TimeoutError) Is(target error) bool { return target == ErrTimeout }
 
 // PeerDownError reports that one specific peer crashed or was declared dead.
 // Only operations involving that peer fail; the rest of the world is usable.
@@ -118,12 +180,15 @@ func (e *OpAbortedError) Error() string {
 // Is reports equivalence to the ErrOpAborted sentinel.
 func (e *OpAbortedError) Is(target error) bool { return target == ErrOpAborted }
 
-// IsFailure reports whether err is a recoverable group failure: a dead peer
-// or an aborted collective, as opposed to a closed transport or a protocol
-// error.
+// IsFailure reports whether err is a recoverable group failure: a dead peer,
+// an aborted collective, or a timed-out receive, as opposed to a closed
+// transport or a protocol error.
 func IsFailure(err error) bool {
-	return errors.Is(err, ErrPeerDown) || errors.Is(err, ErrOpAborted)
+	return errors.Is(err, ErrPeerDown) || errors.Is(err, ErrOpAborted) || errors.Is(err, ErrTimeout)
 }
+
+// IsTimeout reports whether err is (or wraps) a receive timeout.
+func IsTimeout(err error) bool { return errors.Is(err, ErrTimeout) }
 
 // opOf extracts the collective operation id from a tag (the layout of
 // internal/collective: op<<24 | phase<<16 | step).
@@ -262,6 +327,12 @@ func (m *mailbox) deliver(msg message) error {
 		// the sender (a rejoining worker must be revived first).
 		return &PeerDownError{Peer: msg.from}
 	}
+	if _, gone := m.aborted[opOf(msg.tag)]; gone {
+		// The frame belongs to an aborted collective: a straggler from a
+		// failed attempt. Drop it instead of parking it in pending forever.
+		bufpool.PutFloat64(msg.payload)
+		return nil
+	}
 	k := key{from: msg.from, tag: msg.tag}
 	if w, ok := m.waiters[k]; ok {
 		delete(m.waiters, k)
@@ -342,6 +413,58 @@ func (m *mailbox) receiveInto(from int, tag uint64, dst []float64) (int, error) 
 	return r.n, r.err
 }
 
+// receiveIntoDeadline is receiveInto bounded by timeout. On expiry the waiter
+// is withdrawn under the lock; if a deliverer got to it first, the delivery
+// wins and the receive completes normally. A timeout consumes nothing.
+func (m *mailbox) receiveIntoDeadline(from int, tag uint64, dst []float64, timeout time.Duration) (int, error) {
+	k := key{from: from, tag: tag}
+	m.mu.Lock()
+	if err := m.checkReceivable(from, tag); err != nil {
+		m.mu.Unlock()
+		return 0, err
+	}
+	if p, ok := m.pending[k]; ok {
+		delete(m.pending, k)
+		m.mu.Unlock()
+		if len(p) > len(dst) {
+			bufpool.PutFloat64(p)
+			return 0, fmt.Errorf("%w: payload %d into %d", ErrShortBuffer, len(p), len(dst))
+		}
+		n := copy(dst, p)
+		bufpool.PutFloat64(p)
+		return n, nil
+	}
+
+	w := waiterPool.Get().(*waiter)
+	w.dst, w.into = dst, true
+	m.waiters[k] = w
+	m.mu.Unlock()
+
+	timer := time.NewTimer(timeout)
+	var r recvResult
+	select {
+	case r = <-w.ch:
+		timer.Stop()
+	case <-timer.C:
+		m.mu.Lock()
+		if cur, ok := m.waiters[k]; ok && cur == w {
+			// Still parked: withdraw it. We own the waiter again.
+			delete(m.waiters, k)
+			m.mu.Unlock()
+			w.dst = nil
+			waiterPool.Put(w)
+			return 0, &TimeoutError{Peer: from, Tag: tag, Timeout: timeout}
+		}
+		// A deliverer (or failure path) already claimed the waiter; its
+		// result is in flight on w.ch. Accept it — the message was consumed.
+		m.mu.Unlock()
+		r = <-w.ch
+	}
+	w.dst = nil
+	waiterPool.Put(w)
+	return r.n, r.err
+}
+
 // failPeer marks peer dead: queued messages from it are dropped and blocked
 // receives targeting it fail with *PeerDownError. Idempotent.
 func (m *mailbox) failPeer(peer int) {
@@ -393,6 +516,23 @@ func (m *mailbox) abortOp(op uint32, dead int) {
 		if opOf(k.tag) == uint64(op) {
 			delete(m.waiters, k)
 			w.ch <- recvResult{err: &OpAbortedError{Op: op, Dead: dead}}
+		}
+	}
+}
+
+// purgeOp drops buffered frames belonging to collective op without marking
+// the op aborted: future receives still work. Used between retry attempts to
+// clear stale-epoch stragglers.
+func (m *mailbox) purgeOp(op uint32) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	for k, p := range m.pending {
+		if opOf(k.tag) == uint64(op) {
+			delete(m.pending, k)
+			bufpool.PutFloat64(p)
 		}
 	}
 }
@@ -518,6 +658,20 @@ func (m *Mem) RecvInto(from int, tag uint64, dst []float64) (int, error) {
 	}
 	return m.world[m.rank].receiveInto(from, tag, dst)
 }
+
+// RecvIntoTimeout implements DeadlineRecver.
+func (m *Mem) RecvIntoTimeout(from int, tag uint64, dst []float64, timeout time.Duration) (int, error) {
+	if from < 0 || from >= len(m.world) {
+		return 0, fmt.Errorf("transport: rank %d out of range", from)
+	}
+	if timeout <= 0 {
+		return m.world[m.rank].receiveInto(from, tag, dst)
+	}
+	return m.world[m.rank].receiveIntoDeadline(from, tag, dst, timeout)
+}
+
+// PurgeOp implements OpPurger.
+func (m *Mem) PurgeOp(op uint32) { m.world[m.rank].purgeOp(op) }
 
 // FailPeer implements PeerFailer: this endpoint treats peer as crashed.
 func (m *Mem) FailPeer(peer int) {
