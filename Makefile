@@ -9,9 +9,9 @@ GO ?= go
 # under the race detector as part of tier-1.
 RACE_PKGS := ./internal/transport/ ./internal/collective/ ./internal/live/ ./internal/controller/ ./internal/core/ ./internal/tensor/ ./internal/bufpool/ .
 
-.PHONY: ci vet build test race allocgate chaos bench fuzz clean
+.PHONY: ci vet build test race allocgate chaos trace-smoke bench fuzz clean
 
-ci: vet build test race allocgate chaos
+ci: vet build test race allocgate chaos trace-smoke
 
 vet:
 	$(GO) vet ./...
@@ -43,16 +43,25 @@ CHAOS_SEEDS ?= 4
 chaos:
 	PREDUCE_CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race ./internal/live/ -run TestChaosSoak -count 1
 
+# End-to-end observability smoke: a seeded simulator trace export, a seeded
+# three-rank live run serving /metrics+pprof (scraped mid-run), and a Chrome
+# trace-event schema check over every exported trace.
+trace-smoke:
+	sh scripts/trace_smoke.sh
+
 # Data-plane benchmark sweep; machine-readable results land in
-# BENCH_dataplane.json (test2json stream, one JSON object per line).
+# BENCH_dataplane.json (test2json stream, one JSON object per line). The
+# traced all-reduce benchmark is recorded alongside the untraced one, and
+# the trace-overhead gate bounds the traced/untraced regression at <3%.
 BENCHTIME ?= 1s
 bench:
 	$(GO) test ./internal/collective/ ./internal/transport/ ./internal/tensor/ \
-		-run '^$$' -bench 'BenchmarkAllReduceSum$$|BenchmarkRingSegmented|BenchmarkEncodeFrame|BenchmarkSendRecvInto|BenchmarkAddScaled' \
+		-run '^$$' -bench 'BenchmarkAllReduceSum$$|BenchmarkAllReduceSumTraced$$|BenchmarkRingSegmented|BenchmarkEncodeFrame|BenchmarkSendRecvInto|BenchmarkAddScaled' \
 		-benchmem -benchtime $(BENCHTIME) -json > BENCH_dataplane.json
 	@grep -oE '"Output":"(Benchmark[^"]*|[^"]*ns/op[^"]*)"' BENCH_dataplane.json | \
 		sed -e 's/^"Output":"//' -e 's/"$$//' -e 's/\\t/\t/g' -e 's/\\n//' | \
 		awk '/^Benchmark/ { name=$$0; next } /ns\/op/ { print name $$0 }'
+	PREDUCE_TRACEGATE=1 $(GO) test ./internal/collective/ -run TestTraceOverheadGate -count 1 -v
 	@echo "wrote BENCH_dataplane.json"
 
 # Short fuzz pass over the wire codec (longer runs: raise FUZZTIME).

@@ -16,10 +16,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"partialreduce/internal/experiments"
 	"partialreduce/internal/metrics"
+	"partialreduce/internal/trace"
 )
 
 // outDir, when non-empty, receives plot-ready CSV exports per experiment.
@@ -84,6 +86,10 @@ func main() {
 	parallel := flag.Int("parallel", 0, "max concurrent cells (0 = GOMAXPROCS)")
 	csvDir := flag.String("csv", "", "directory to write plot-ready CSV files into (curves and summaries)")
 	comms := flag.Bool("comms", false, "print modeled data-plane traffic (ops, bytes) per run")
+	tracePath := flag.String("trace", "",
+		"instead of -exp, run one traced P-Reduce simulation (ResNet-34/CIFAR-10, production trace, CON P=4) and write its virtual-clock trace here (.json: Chrome trace-event, loadable in Perfetto; .jsonl: streaming event log)")
+	traceBuf := flag.Int("trace-buf", 0,
+		"trace event-ring capacity (0: default 65536; oldest events drop when full)")
 	flag.Parse()
 	showComms = *comms
 	if *csvDir != "" {
@@ -95,6 +101,14 @@ func main() {
 	outDir = *csvDir
 
 	opts := experiments.Options{Seed: *seed, Quick: *quickFlag, Parallelism: *parallel}
+
+	if *tracePath != "" {
+		if err := runTraced(*tracePath, *traceBuf, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	runners := map[string]func(experiments.Options) error{
 		"table1":    runTable1,
@@ -278,6 +292,38 @@ func runPartition(opts experiments.Options) error {
 	res.Format(os.Stdout)
 	exportSummary("partition", res.Results...)
 	reportComms(res.Results...)
+	return nil
+}
+
+// runTraced executes one traced P-Reduce simulation and exports its
+// virtual-clock trace: Chrome trace-event JSON by default, streaming JSONL
+// when the path ends in ".jsonl". Same-seed replays write identical bytes.
+func runTraced(path string, buf int, opts experiments.Options) error {
+	start := time.Now()
+	res, c, err := experiments.TracedRun(opts, buf)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events := c.Tracer.Events()
+	if strings.HasSuffix(path, ".jsonl") {
+		err = trace.WriteJSONL(f, events)
+	} else {
+		err = trace.WriteChrome(f, events)
+	}
+	if err != nil {
+		return err
+	}
+	snap := c.Ins.Snapshot()
+	fmt.Printf("traced run: %s acc=%.3f events=%d dropped=%d staleness p50=%d p95=%d max=%d (%s)\n",
+		res.Strategy, res.FinalAccuracy, len(events), c.Tracer.Dropped(),
+		snap.Staleness.Quantile(0.5), snap.Staleness.Quantile(0.95), snap.Staleness.Max(),
+		time.Since(start).Round(time.Millisecond))
+	fmt.Printf("trace written to %s\n", path)
 	return nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -27,8 +28,11 @@ import (
 	"partialreduce/internal/collective"
 	"partialreduce/internal/data"
 	"partialreduce/internal/live"
+	"partialreduce/internal/metrics"
 	"partialreduce/internal/model"
 	"partialreduce/internal/optim"
+	"partialreduce/internal/telemetry"
+	"partialreduce/internal/trace"
 	"partialreduce/internal/transport"
 )
 
@@ -67,6 +71,12 @@ func main() {
 		"base backoff before a collective retry; doubles per attempt with seeded jitter")
 	partition := flag.String("partition", "",
 		"timed data-plane partition, e.g. '1,2@3s:8s': cut ranks {1,2} off from the rest between 3s and 8s after start (omit ':8s' to never heal)")
+	tracePath := flag.String("trace", "",
+		"write this rank's wall-clock trace here on exit; '.r<rank>' is inserted before the extension so every rank can share the flag (.json: Chrome trace-event for Perfetto; .jsonl: streaming event log)")
+	traceBuf := flag.Int("trace-buf", 0,
+		"trace event-ring capacity (0: default 65536; oldest events drop when full)")
+	telemetryAddr := flag.String("telemetry-addr", "",
+		"serve Prometheus-text /metrics (staleness histogram, queue depth, barrier-wait, comm counters) and /debug/pprof/ on this address for the run's duration (e.g. 127.0.0.1:9090, or :0 for an ephemeral port)")
 	flag.Parse()
 
 	list := strings.Split(*addrs, ",")
@@ -86,6 +96,18 @@ func main() {
 		fail(err)
 	}
 	train, test := ds.Split(0.8)
+
+	// Observability: a wall-clock tracer when -trace is set, instruments when
+	// either -trace or -telemetry-addr is. Both are nil-safe: a disabled
+	// tracer costs one nil check on the hot path.
+	var tr2 *trace.Tracer
+	var ins *metrics.Instruments
+	if *tracePath != "" {
+		tr2 = trace.New(trace.NewWallClock(), *traceBuf)
+	}
+	if *tracePath != "" || *telemetryAddr != "" {
+		ins = metrics.NewInstruments(n)
+	}
 
 	fmt.Fprintf(os.Stderr, "rank %d: connecting mesh over %d ranks...\n", *rank, n)
 	tcp, err := transport.NewTCPOpts(*rank, list, transport.TCPOptions{
@@ -111,6 +133,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		ftr.SetTracer(tr2) // fault-plane events (drops, partition windows) share the timeline
 		tr = ftr
 	}
 
@@ -129,6 +152,9 @@ func main() {
 		CtrlCold:          *ctrlCold,
 		CtrlTimeout:       *ctrlTimeout,
 		CollectiveTimeout: *collTimeout,
+
+		Tracer:      tr2,
+		Instruments: ins,
 	}
 	if *retryMax > 1 {
 		cfg.Retry = collective.RetryPolicy{
@@ -150,18 +176,57 @@ func main() {
 		cfg.FailTimeout = *failTimeout
 	}
 
+	if *telemetryAddr != "" {
+		ep, err := telemetry.Serve(*telemetryAddr, cfg.Instruments)
+		if err != nil {
+			fail(err)
+		}
+		defer ep.Close()
+		fmt.Fprintf(os.Stderr, "rank %d: telemetry on http://%s/metrics (pprof under /debug/pprof/)\n", *rank, ep.Addr)
+	}
+
 	start := time.Now()
 	rep, err := live.RunWorker(cfg, tr, *rank == 0)
 	if err != nil {
 		fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "rank %d: done in %s\n", *rank, time.Since(start).Round(time.Millisecond))
+	if tr2 != nil {
+		path := rankPath(*tracePath, *rank)
+		if err := writeTrace(path, tr2); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "rank %d: trace (%d events, %d dropped) written to %s\n",
+			*rank, tr2.Len(), tr2.Dropped(), path)
+	}
 	if *commStats {
 		fmt.Fprintf(os.Stderr, "rank %d: comms %s\n", *rank, rep.Comms.String())
 	}
 	if *rank == 0 {
 		fmt.Printf("averaged-model accuracy: %.3f  groups: %d\n", rep.FinalAccuracy, rep.Groups)
 	}
+}
+
+// rankPath inserts ".r<rank>" before the path's extension ("out.json" →
+// "out.r0.json"), so all ranks can share one -trace value without
+// clobbering each other's file.
+func rankPath(path string, rank int) string {
+	ext := filepath.Ext(path)
+	return fmt.Sprintf("%s.r%d%s", strings.TrimSuffix(path, ext), rank, ext)
+}
+
+// writeTrace exports the tracer: Chrome trace-event JSON by default,
+// streaming JSONL when the path ends in ".jsonl".
+func writeTrace(path string, tr *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".jsonl") {
+		return trace.WriteJSONL(f, tr.Events())
+	}
+	return trace.WriteChrome(f, tr.Events())
 }
 
 // parsePartition parses "r1,r2,...@from[:until]" into a timed transport

@@ -1,0 +1,45 @@
+// Command preduce-tracecheck validates an exported Chrome trace-event
+// JSON file against the schema the repo's exporters guarantee (see
+// trace.ValidateChrome): a {"traceEvents": […]} document whose events
+// carry a name, a known phase, integer pid/tid, and non-negative
+// timestamps/durations. It prints the event count on success and exits
+// non-zero on any violation — `make trace-smoke` runs it over both the
+// simulator and live traces.
+//
+// Usage:
+//
+//	preduce-tracecheck trace.json [more.json ...]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"partialreduce/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: preduce-tracecheck <trace.json> [...]")
+		os.Exit(2)
+	}
+	bad := false
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			bad = true
+			continue
+		}
+		n, err := trace.ValidateChrome(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: INVALID: %v\n", path, err)
+			bad = true
+			continue
+		}
+		fmt.Printf("%s: ok (%d events)\n", path, n)
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

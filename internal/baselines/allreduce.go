@@ -43,8 +43,9 @@ func (*AllReduce) Run(c *cluster.Cluster) (*metrics.Result, error) {
 				maxDt = dt
 			}
 		}
-		dur := maxDt + c.RingTimeAll()
-		c.ChargeRing(c.Cfg.N)
+		ring := c.RingTimeAll()
+		dur := maxDt + ring
+		c.ChargeRing(c.Cfg.N, ring)
 		c.Eng.After(dur, func() {
 			avg.Zero()
 			for _, w := range c.Workers {

@@ -81,8 +81,9 @@ func (e *EagerReduce) Run(c *cluster.Cluster) (*metrics.Result, error) {
 			return
 		}
 		inFlight = true
-		c.ChargeRing(c.Cfg.N)
-		c.Eng.After(c.RingTimeAll(), finishRound)
+		ring := c.RingTimeAll()
+		c.ChargeRing(c.Cfg.N, ring)
+		c.Eng.After(ring, finishRound)
 	}
 
 	start = func(w *cluster.Worker) {

@@ -19,6 +19,7 @@ import (
 	"partialreduce/internal/optim"
 	"partialreduce/internal/sim"
 	"partialreduce/internal/tensor"
+	"partialreduce/internal/trace"
 )
 
 // Config describes one training run.
@@ -52,6 +53,13 @@ type Config struct {
 	// Retry models the live runtime's collective retry policy in virtual
 	// seconds. The zero value gives one attempt with a one-batch timeout.
 	Retry RetryModel
+
+	// TraceCap enables virtual-clock tracing: 0 disables it (the default —
+	// parameter sweeps stay untraced), negative selects
+	// trace.DefaultCapacity, positive sets the event-ring size. The tracer
+	// reads the engine's virtual clock, so a same-seed replay records a
+	// byte-identical trace.
+	TraceCap int
 
 	Threshold  float64 // stop when the averaged model reaches this accuracy
 	EvalEvery  int     // evaluate every EvalEvery updates (default 25)
@@ -209,6 +217,13 @@ type Cluster struct {
 	Workers []*Worker
 	Init    tensor.Vector // the shared initial model x₁ (for dynamic P-Reduce)
 	Track   *metrics.Tracker
+	// Tracer records virtual-clock trace events when Config.TraceCap enables
+	// it; nil otherwise (every recording site is nil-safe).
+	Tracer *trace.Tracer
+	// Ins aggregates the run's observability instruments (staleness
+	// histogram, queue depth, sync-graph gauges) when tracing is enabled;
+	// nil otherwise. Strategies that use the controller attach it there.
+	Ins *metrics.Instruments
 
 	// EvalOverride, when set, replaces the averaged-replica evaluation:
 	// parameter-server strategies evaluate the server's global model, and
@@ -238,6 +253,13 @@ func New(cfg Config, strategyName string) (*Cluster, error) {
 		Cfg:   cfg,
 		Eng:   &sim.Engine{},
 		Track: metrics.NewTracker(strategyName, cfg.Profile.Name, cfg.Threshold),
+	}
+	if cfg.TraceCap != 0 {
+		// The tracer shares the engine's virtual clock: a same-seed replay
+		// schedules identical events at identical virtual times, so the
+		// recorded trace is byte-identical across replays.
+		c.Tracer = trace.New(trace.FuncClock(c.Eng.Now), cfg.TraceCap)
+		c.Ins = metrics.NewInstruments(cfg.N)
 	}
 	base := cfg.Spec.Build(cfg.Seed)
 	c.Init = base.Params().Clone()
@@ -359,13 +381,22 @@ func (c *Cluster) PairTime(a, b int) float64 {
 
 // ChargeRing records the traffic of one executed ring all-reduce among g
 // members: every member ships 2(g−1)/g of the tensor in each direction, so
-// the group total is 2(g−1)·WireBytes both sent and received.
-func (c *Cluster) ChargeRing(g int) {
+// the group total is 2(g−1)·WireBytes both sent and received. ring is the
+// modeled duration of the collective (the same value the caller charges the
+// event engine); each of the g members spends it split evenly between the
+// two symmetric ring phases, so the run's ReduceScatterS/AllGatherS columns
+// accumulate g·ring/2 cumulative seconds per phase — the modeled counterpart
+// of the live runtime's measured phase wall time.
+func (c *Cluster) ChargeRing(g int, ring float64) {
 	if g < 2 {
 		return
 	}
 	b := 2 * int64(g-1) * c.WireBytes()
-	c.Track.AddComms(metrics.CommStats{Ops: 1, BytesSent: b, BytesRecv: b})
+	half := float64(g) * ring / 2
+	c.Track.AddComms(metrics.CommStats{
+		Ops: 1, BytesSent: b, BytesRecv: b,
+		ReduceScatterS: half, AllGatherS: half,
+	})
 }
 
 // ChargeExchange records n executed point-to-point model exchanges (a PS
@@ -459,6 +490,7 @@ func (c *Cluster) ScheduleCrashes(onCrash, onRejoin func(w int)) {
 				return
 			}
 			c.Kill(e.Worker)
+			c.Tracer.Instant(trace.KCrash, int32(e.Worker), int32(c.Workers[e.Worker].Iter), 0, 0)
 			if onCrash != nil {
 				onCrash(e.Worker)
 			}

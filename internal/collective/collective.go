@@ -21,6 +21,7 @@ import (
 
 	"partialreduce/internal/bufpool"
 	"partialreduce/internal/tensor"
+	"partialreduce/internal/trace"
 	"partialreduce/internal/transport"
 )
 
@@ -220,6 +221,17 @@ type Options struct {
 	// failed attempt's frames, back off, and retry under a fresh tag epoch.
 	// The zero value disables retry (a timeout fails the op immediately).
 	Retry RetryPolicy
+	// Tracer, when non-nil, records the collective's timeline: the whole
+	// operation as a KCollective span, the two ring phases as
+	// KReduceScatter/KAllGather sub-spans, retry backoff pauses as
+	// KRetryBackoff spans, and KRetry/KTimeout/KAbort instants for the
+	// robustness events. A nil tracer costs one nil check per site and
+	// allocates nothing (the data plane's allocgate keeps holding).
+	Tracer *trace.Tracer
+	// TraceTrack is the track trace events are recorded on (the caller's
+	// worker rank) and TraceIter their iteration context (-1 when unknown).
+	TraceTrack int32
+	TraceIter  int32
 }
 
 func (o Options) segElems() int {
@@ -424,6 +436,7 @@ func AllReduceSumOpts(t transport.Transport, group []int, opID uint32, data []fl
 		rng = newJitterRNG(opt.Retry.Seed, opID)
 	}
 
+	opStart := opt.Tracer.Now()
 	var lastErr error
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
@@ -432,11 +445,14 @@ func AllReduceSumOpts(t transport.Transport, group []int, opID uint32, data []fl
 			copy(data, snapshot)
 			transport.PurgeOpAt(t, opID)
 			if d := opt.Retry.backoff(a-1, rng); d > 0 {
+				pause := opt.Tracer.Now()
 				time.Sleep(d)
+				opt.Tracer.Span(trace.KRetryBackoff, opt.TraceTrack, opt.TraceIter, pause, int64(opID), int64(a))
 			}
 			if stats != nil {
 				stats.Retries++
 			}
+			opt.Tracer.Instant(trace.KRetry, opt.TraceTrack, opt.TraceIter, int64(opID), int64(a))
 		}
 		err := allReduceAttempt(t, group, pos, opID, a, data, opt, stats)
 		if err == nil {
@@ -452,6 +468,7 @@ func AllReduceSumOpts(t transport.Transport, group []int, opID uint32, data []fl
 			if stats != nil {
 				stats.Ops++
 			}
+			opt.Tracer.Span(trace.KCollective, opt.TraceTrack, opt.TraceIter, opStart, int64(opID), int64(g))
 			return nil
 		}
 		if !transport.IsTimeout(err) {
@@ -460,6 +477,7 @@ func AllReduceSumOpts(t transport.Transport, group []int, opID uint32, data []fl
 		if stats != nil {
 			stats.Timeouts++
 		}
+		opt.Tracer.Instant(trace.KTimeout, opt.TraceTrack, opt.TraceIter, int64(opID), int64(a))
 		lastErr = err
 	}
 	// Retry budget exhausted: abort locally so frames of any epoch are
@@ -470,6 +488,7 @@ func AllReduceSumOpts(t transport.Transport, group []int, opID uint32, data []fl
 	if stats != nil {
 		stats.Aborts++
 	}
+	opt.Tracer.Instant(trace.KAbort, opt.TraceTrack, opt.TraceIter, int64(opID), 0)
 	return lastErr
 }
 
@@ -491,6 +510,7 @@ func allReduceAttempt(t transport.Transport, group []int, pos int, opID uint32, 
 	// Reduce-scatter: after g−1 steps, chunk (pos+1) mod g is fully reduced
 	// here.
 	start := time.Now()
+	trStart := opt.Tracer.Now()
 	for s := 0; s < g-1; s++ {
 		sendChunk := ((pos-s)%g + g) % g
 		recvChunk := ((pos-s-1)%g + g) % g
@@ -504,8 +524,10 @@ func allReduceAttempt(t transport.Transport, group []int, pos int, opID uint32, 
 	if stats != nil {
 		stats.ReduceScatter += mid.Sub(start)
 	}
+	opt.Tracer.Span(trace.KReduceScatter, opt.TraceTrack, opt.TraceIter, trStart, int64(opID), 0)
 
 	// All-gather: circulate the reduced chunks.
+	trMid := opt.Tracer.Now()
 	for s := 0; s < g-1; s++ {
 		sendChunk := ((pos+1-s)%g + g) % g
 		recvChunk := ((pos-s)%g + g) % g
@@ -518,6 +540,7 @@ func allReduceAttempt(t transport.Transport, group []int, pos int, opID uint32, 
 	if stats != nil {
 		stats.AllGather += time.Since(mid)
 	}
+	opt.Tracer.Span(trace.KAllGather, opt.TraceTrack, opt.TraceIter, trMid, int64(opID), 0)
 	return nil
 }
 

@@ -11,7 +11,9 @@ package controller
 import (
 	"fmt"
 
+	"partialreduce/internal/metrics"
 	"partialreduce/internal/tensor"
+	"partialreduce/internal/trace"
 )
 
 // Config describes a controller.
@@ -145,6 +147,19 @@ type Controller struct {
 	together [][]int // together[i][j] = groups containing both i and j, i≠j
 	inGroup  []int   // inGroup[i] = groups containing i
 	log      [][]int // full group log when RecordGroups
+
+	// Telemetry (not part of the snapshot — a restored controller starts
+	// its observability state cold). lastIter[w] is worker w's latest
+	// known iteration (ready signals and group fast-forwards), maxIter
+	// the maximum across workers: StalenessOf is their difference.
+	// lastTog[i][j] is the group sequence number at which i and j last
+	// synced together (-1: never), the iterations-since-last-contact
+	// matrix group-frozen avoidance bounds.
+	lastIter []int
+	maxIter  int
+	lastTog  [][]int
+	tracer   *trace.Tracer
+	ins      *metrics.Instruments
 }
 
 // New returns a controller for cfg. Zero Window and Alpha select defaults.
@@ -174,8 +189,30 @@ func New(cfg Config) (*Controller, error) {
 	for i := range c.together {
 		c.together[i] = make([]int, cfg.N)
 	}
+	c.lastIter = make([]int, cfg.N)
+	c.lastTog = make([][]int, cfg.N)
+	for i := range c.lastTog {
+		c.lastTog[i] = make([]int, cfg.N)
+		for j := range c.lastTog[i] {
+			c.lastTog[i][j] = -1
+		}
+	}
 	return c, nil
 }
+
+// SetTracer attaches a trace recorder for controller decision events
+// (ready signals with queue depth, group formation with per-member
+// staleness, frozen-avoidance triggers, liveness transitions). A nil
+// tracer disables recording. The tracer is runtime wiring, not state:
+// it does not survive Snapshot/Restore — re-attach after failover.
+func (c *Controller) SetTracer(t *trace.Tracer) { c.tracer = t }
+
+// SetInstruments attaches live instruments (staleness histogram,
+// queue-depth series, sync-graph gauges). Like the tracer, instruments
+// are wiring, not snapshotted state. Attaching instruments enables the
+// per-group connectivity gauge computation (O(N²)), so leave them nil
+// in tight parameter sweeps.
+func (c *Controller) SetInstruments(in *metrics.Instruments) { c.ins = in }
 
 // Config returns the effective configuration (defaults resolved).
 func (c *Controller) Config() Config { return c.cfg }
@@ -206,6 +243,20 @@ func (c *Controller) Ready(s Signal) ([]Group, error) {
 	c.beat[s.Worker] = s.Now
 	c.queue = append(c.queue, s)
 	c.queued[s.Worker] = true
+	if s.Iter > c.lastIter[s.Worker] {
+		c.lastIter[s.Worker] = s.Iter
+		if s.Iter > c.maxIter {
+			c.maxIter = s.Iter
+		}
+	}
+	c.tracer.Instant(trace.KReady, int32(s.Worker), int32(s.Iter), int64(len(c.queue)), 0)
+	if c.ins != nil {
+		now := s.Now
+		if c.tracer != nil {
+			now = c.tracer.Now()
+		}
+		c.ins.RecordQueueDepth(now, len(c.queue))
+	}
 	return c.drainGroups(), nil
 }
 
@@ -264,6 +315,8 @@ func (c *Controller) formGroup(p int) (Group, bool) {
 				}
 			}
 			if bridgeAt < 0 {
+				c.tracer.Instant(trace.KDeferred, trace.ControllerTrack, -1, int64(len(c.queue)), 0)
+				c.ins.CountDeferral()
 				return Group{}, false // defer until a bridging signal arrives
 			}
 			c.queue[p-1], c.queue[bridgeAt] = c.queue[bridgeAt], c.queue[p-1]
@@ -300,6 +353,7 @@ func (c *Controller) formGroup(p int) (Group, bool) {
 	// History database update.
 	c.graph.Add(members)
 	c.stats.GroupsFormed++
+	groupSeq := c.stats.GroupsFormed
 	for _, w := range members {
 		c.inGroup[w]++
 	}
@@ -307,7 +361,38 @@ func (c *Controller) formGroup(p int) (Group, bool) {
 		for j := i + 1; j < p; j++ {
 			c.together[members[i]][members[j]]++
 			c.together[members[j]][members[i]]++
+			c.lastTog[members[i]][members[j]] = groupSeq
+			c.lastTog[members[j]][members[i]] = groupSeq
 		}
+	}
+
+	// Telemetry: per-member staleness at formation (the group maximum
+	// minus the member's reported iteration — the quantity the dynamic
+	// weights discount), fast-forwarded iteration tracking, and the
+	// connectivity gauges frozen avoidance bounds.
+	if c.tracer != nil || c.ins != nil {
+		c.tracer.Instant(trace.KGroupFormed, trace.ControllerTrack, int32(maxIter), int64(groupSeq), int64(p))
+		for i := 0; i < p; i++ {
+			st := maxIter - iters[i]
+			c.tracer.Instant(trace.KStaleness, int32(members[i]), int32(iters[i]), int64(st), int64(groupSeq))
+			c.ins.ObserveStaleness(int64(st))
+		}
+		if bridged {
+			c.tracer.Instant(trace.KBridged, trace.ControllerTrack, int32(maxIter), int64(groupSeq), 0)
+		}
+		c.ins.CountGroup(bridged)
+		if c.ins != nil {
+			c.ins.SetSyncGauges(c.MaxContactAge(), c.graph.NumComponents())
+		}
+	}
+	for _, w := range members {
+		// §3.3.3: members fast-forward to the group maximum.
+		if maxIter > c.lastIter[w] {
+			c.lastIter[w] = maxIter
+		}
+	}
+	if maxIter > c.maxIter {
+		c.maxIter = maxIter
 	}
 	if c.cfg.RecordGroups {
 		logged := make([]int, p)

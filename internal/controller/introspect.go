@@ -1,0 +1,86 @@
+package controller
+
+// Read-only introspection accessors. The tracer and the telemetry
+// endpoint (and tests) read controller state through these instead of
+// reaching into fields; none of them mutate the controller, and all are
+// O(1) except the contact-age scans, which are O(N²) and intended for
+// sampling, not hot paths.
+
+// QueueDepth returns the number of waiting ready signals — the quantity
+// the controller's KReady trace events and queue-depth time series
+// report. It is an alias of QueueLen under the telemetry-facing name.
+func (c *Controller) QueueDepth() int { return len(c.queue) }
+
+// StalenessOf returns worker rank's current staleness: the cluster
+// maximum iteration minus the worker's latest known iteration (ready
+// signals and group fast-forwards both advance it). Out-of-range ranks
+// return -1. Staleness is 0 when the worker is (tied for) the most
+// advanced.
+func (c *Controller) StalenessOf(rank int) int {
+	if rank < 0 || rank >= c.cfg.N {
+		return -1
+	}
+	return c.maxIter - c.lastIter[rank]
+}
+
+// MaxIter returns the maximum iteration the controller has observed
+// across all workers (0 before any signal).
+func (c *Controller) MaxIter() int { return c.maxIter }
+
+// ContactAge returns the iterations-since-last-contact matrix in group
+// sequence numbers: age[i][j] is the number of groups formed since i
+// and j last synchronized together, -1 if they never have. Diagonal
+// entries are 0. The matrix is freshly allocated; callers may keep it.
+func (c *Controller) ContactAge() [][]int {
+	n := c.cfg.N
+	seq := c.stats.GroupsFormed
+	age := make([][]int, n)
+	for i := range age {
+		age[i] = make([]int, n)
+		for j := range age[i] {
+			if i == j {
+				continue
+			}
+			if last := c.lastTog[i][j]; last < 0 {
+				age[i][j] = -1
+			} else {
+				age[i][j] = seq - last
+			}
+		}
+	}
+	return age
+}
+
+// MaxContactAge returns the contact age of the most estranged alive
+// pair: the maximum over alive pairs (i,j) of groups formed since i and
+// j last synced. It returns -1 when some alive pair has never met (the
+// cold-start state, and the state after a partition outlives the
+// window), and 0 when fewer than two workers are alive. This is the
+// scalar the sync-graph connectivity gauge exports: the paper's
+// group-frozen avoidance exists precisely to bound it.
+func (c *Controller) MaxContactAge() int {
+	seq := c.stats.GroupsFormed
+	maxAge := 0
+	for i := 0; i < c.cfg.N; i++ {
+		if !c.alive[i] {
+			continue
+		}
+		for j := i + 1; j < c.cfg.N; j++ {
+			if !c.alive[j] {
+				continue
+			}
+			last := c.lastTog[i][j]
+			if last < 0 {
+				return -1
+			}
+			if age := seq - last; age > maxAge {
+				maxAge = age
+			}
+		}
+	}
+	return maxAge
+}
+
+// SyncComponents returns the number of connected components of the
+// windowed sync-graph (1 when healthy).
+func (c *Controller) SyncComponents() int { return c.graph.NumComponents() }

@@ -1,0 +1,164 @@
+package controller
+
+import "testing"
+
+func TestQueueDepth(t *testing.T) {
+	c := mustNew(t, Config{N: 4, P: 3})
+	if got := c.QueueDepth(); got != 0 {
+		t.Fatalf("fresh QueueDepth = %d, want 0", got)
+	}
+	ready(t, c, 0, 1)
+	if got := c.QueueDepth(); got != 1 {
+		t.Fatalf("QueueDepth after one signal = %d, want 1", got)
+	}
+	ready(t, c, 1, 1)
+	if got := c.QueueDepth(); got != 2 {
+		t.Fatalf("QueueDepth after two signals = %d, want 2", got)
+	}
+	gs := ready(t, c, 2, 1) // completes the P=3 group
+	if len(gs) != 1 {
+		t.Fatalf("expected a group, got %v", gs)
+	}
+	if got := c.QueueDepth(); got != 0 {
+		t.Fatalf("QueueDepth after group formed = %d, want 0", got)
+	}
+}
+
+func TestStalenessOf(t *testing.T) {
+	c := mustNew(t, Config{N: 4, P: 4})
+	if got := c.StalenessOf(-1); got != -1 {
+		t.Fatalf("StalenessOf(-1) = %d, want -1", got)
+	}
+	if got := c.StalenessOf(4); got != -1 {
+		t.Fatalf("StalenessOf(4) = %d, want -1", got)
+	}
+	if got := c.StalenessOf(0); got != 0 {
+		t.Fatalf("fresh StalenessOf(0) = %d, want 0", got)
+	}
+
+	ready(t, c, 0, 5)
+	if got := c.MaxIter(); got != 5 {
+		t.Fatalf("MaxIter = %d, want 5", got)
+	}
+	if got := c.StalenessOf(0); got != 0 {
+		t.Fatalf("StalenessOf(leader) = %d, want 0", got)
+	}
+	if got := c.StalenessOf(1); got != 5 {
+		t.Fatalf("StalenessOf(silent worker) = %d, want 5", got)
+	}
+
+	ready(t, c, 1, 3)
+	if got := c.StalenessOf(1); got != 2 {
+		t.Fatalf("StalenessOf(1) = %d, want 2", got)
+	}
+
+	// Completing the group fast-forwards every member to the group max.
+	ready(t, c, 2, 1)
+	gs := ready(t, c, 3, 2)
+	if len(gs) != 1 {
+		t.Fatalf("expected a P=4 group, got %v", gs)
+	}
+	for w := 0; w < 4; w++ {
+		if got := c.StalenessOf(w); got != 0 {
+			t.Fatalf("post-group StalenessOf(%d) = %d, want 0", w, got)
+		}
+	}
+}
+
+func TestContactAge(t *testing.T) {
+	c := mustNew(t, Config{N: 4, P: 2, Window: 3})
+
+	// Cold start: nobody has met anybody.
+	if got := c.MaxContactAge(); got != -1 {
+		t.Fatalf("cold MaxContactAge = %d, want -1", got)
+	}
+	age := c.ContactAge()
+	if age[0][0] != 0 || age[0][1] != -1 {
+		t.Fatalf("cold ContactAge row: %v", age[0])
+	}
+
+	// Group {0,1}, then {2,3}, then {0,2}, {1,3}: all pairs meet within a
+	// few groups in FIFO order.
+	pairs := [][2]int{{0, 1}, {2, 3}, {0, 2}, {1, 3}, {0, 3}, {1, 2}}
+	iter := 0
+	for _, p := range pairs {
+		iter++
+		ready(t, c, p[0], iter)
+		gs := ready(t, c, p[1], iter)
+		if len(gs) != 1 {
+			t.Fatalf("pair %v did not form a group (got %v)", p, gs)
+		}
+	}
+	// Every pair has now met: the age matrix is dense and the max age
+	// equals groups-formed since the earliest pair.
+	if got := c.MaxContactAge(); got < 0 {
+		t.Fatalf("MaxContactAge = %d after all pairs met", got)
+	}
+	age = c.ContactAge()
+	if age[0][1] != 5 { // {0,1} was the first of 6 groups
+		t.Fatalf("ContactAge[0][1] = %d, want 5", age[0][1])
+	}
+	if age[1][2] != 0 { // {1,2} was the last group
+		t.Fatalf("ContactAge[1][2] = %d, want 0", age[1][2])
+	}
+	if age[0][1] != age[1][0] {
+		t.Fatalf("ContactAge not symmetric: %d vs %d", age[0][1], age[1][0])
+	}
+	if got := c.MaxContactAge(); got != 5 {
+		t.Fatalf("MaxContactAge = %d, want 5", got)
+	}
+}
+
+func TestSyncComponentsAccessor(t *testing.T) {
+	c := mustNew(t, Config{N: 4, P: 2, Window: 3})
+	// Before any group the windowed graph has no edges: 4 components.
+	if got := c.SyncComponents(); got != 4 {
+		t.Fatalf("cold SyncComponents = %d, want 4", got)
+	}
+	ready(t, c, 0, 1)
+	ready(t, c, 1, 1)
+	if got := c.SyncComponents(); got != 3 {
+		t.Fatalf("after {0,1}: SyncComponents = %d, want 3", got)
+	}
+}
+
+// TestAccessorsDoNotMutate pins the read-only contract: interleaving
+// accessor calls with signals must not change grouping decisions.
+func TestAccessorsDoNotMutate(t *testing.T) {
+	run := func(introspect bool) []Group {
+		c := mustNew(t, Config{N: 4, P: 2})
+		var got []Group
+		for i := 1; i <= 8; i++ {
+			for w := 0; w < 4; w++ {
+				if introspect {
+					_ = c.QueueDepth()
+					_ = c.StalenessOf(w)
+					_ = c.MaxIter()
+					_ = c.ContactAge()
+					_ = c.MaxContactAge()
+					_ = c.SyncComponents()
+				}
+				gs, err := c.Ready(Signal{Worker: w, Iter: i})
+				if err != nil {
+					t.Fatalf("Ready: %v", err)
+				}
+				got = append(got, gs...)
+			}
+		}
+		return got
+	}
+	plain, probed := run(false), run(true)
+	if len(plain) != len(probed) {
+		t.Fatalf("group counts differ: %d vs %d", len(plain), len(probed))
+	}
+	for i := range plain {
+		if len(plain[i].Members) != len(probed[i].Members) {
+			t.Fatalf("group %d differs", i)
+		}
+		for j := range plain[i].Members {
+			if plain[i].Members[j] != probed[i].Members[j] {
+				t.Fatalf("group %d member %d differs: %v vs %v", i, j, plain[i], probed[i])
+			}
+		}
+	}
+}

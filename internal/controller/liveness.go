@@ -1,6 +1,10 @@
 package controller
 
-import "fmt"
+import (
+	"fmt"
+
+	"partialreduce/internal/trace"
+)
 
 // Liveness tracking and failure recovery. The paper's §4 observes that the
 // central controller is the natural place for fault tolerance: because model
@@ -20,6 +24,7 @@ func (c *Controller) ReportFailure(worker int) bool {
 	c.aliveN--
 	c.stats.Failures++
 	c.PurgeSignal(worker)
+	c.tracer.Instant(trace.KWorkerDead, int32(worker), -1, 0, 0)
 	return true
 }
 
@@ -63,6 +68,7 @@ func (c *Controller) PurgeSignal(worker int) bool {
 // group).
 func (c *Controller) AbortGroup(g Group, dead int) []Group {
 	c.stats.GroupsAborted++
+	c.tracer.Instant(trace.KGroupAborted, trace.ControllerTrack, int32(g.Iter), int64(c.stats.GroupsFormed), int64(dead))
 	c.ReportFailure(dead)
 	return c.drainGroups()
 }
@@ -80,6 +86,7 @@ func (c *Controller) Rejoin(worker int) error {
 	c.alive[worker] = true
 	c.aliveN++
 	c.stats.Rejoins++
+	c.tracer.Instant(trace.KWorkerRejoin, int32(worker), -1, 0, 0)
 	return nil
 }
 

@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"hash/crc64"
 	"math"
+
+	"partialreduce/internal/trace"
 )
 
 // snapshotMagic identifies a controller snapshot ("PRCS").
@@ -224,6 +226,7 @@ func (c *Controller) Snapshot() []byte {
 	}
 
 	e.u64(crc64.Checksum(e.buf, snapshotTable))
+	c.tracer.Instant(trace.KCtrlSnapshot, trace.ControllerTrack, -1, int64(len(e.buf)), 0)
 	return e.buf
 }
 

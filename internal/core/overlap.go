@@ -79,8 +79,9 @@ func (p *PReduce) runOverlapped(c *cluster.Cluster, ctrl *controller.Controller)
 		startCompute(w)
 		for _, g := range groups {
 			g := g
-			dur := c.Cfg.Net.CtrlRTT + c.RingTime(g.Members)
-			c.ChargeRing(len(g.Members))
+			ring := c.RingTime(g.Members)
+			dur := c.Cfg.Net.CtrlRTT + ring
+			c.ChargeRing(len(g.Members), ring)
 			c.Eng.After(dur, func() { onGroupDone(g) })
 		}
 	}

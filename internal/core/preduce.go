@@ -15,6 +15,7 @@ import (
 	"partialreduce/internal/controller"
 	"partialreduce/internal/metrics"
 	"partialreduce/internal/tensor"
+	"partialreduce/internal/trace"
 )
 
 // PReduceConfig configures the strategy.
@@ -127,6 +128,11 @@ func (p *PReduce) RunDetailed(c *cluster.Cluster) (*RunInfo, error) {
 // one controller round trip, and checkpoint rejoins re-admit the worker with
 // its crash-time model.
 func (p *PReduce) runWith(c *cluster.Cluster, ctrl *controller.Controller) (*metrics.Result, error) {
+	// The controller shares the cluster's virtual-clock tracer (nil when
+	// tracing is off), so its ready/group-formed/staleness decisions land on
+	// the same timeline as the worker spans.
+	ctrl.SetTracer(c.Tracer)
+	ctrl.SetInstruments(c.Ins)
 	if p.cfg.Overlap {
 		if len(c.Cfg.Crashes) > 0 {
 			return nil, fmt.Errorf("core: overlapped P-Reduce does not support crash schedules")
@@ -142,6 +148,10 @@ func (p *PReduce) runWith(c *cluster.Cluster, ctrl *controller.Controller) (*met
 	inflight := make(map[uint64]controller.Group)
 	aborted := make(map[uint64]bool)
 	var seq uint64
+
+	// readyAt[w] is the virtual time of w's outstanding ready signal, the
+	// start of its KSignalWait span (closed when its group dispatches).
+	readyAt := make([]float64, c.Cfg.N)
 
 	var startCompute func(w *cluster.Worker)
 	var dispatch func(groups []controller.Group)
@@ -191,20 +201,36 @@ func (p *PReduce) runWith(c *cluster.Cluster, ctrl *controller.Controller) (*met
 		// Charged per attempt: an attempt that times out still moved (some
 		// of) its bytes, exactly as the live runtime counts aborted
 		// attempts' partial traffic.
-		c.ChargeRing(len(g.Members))
 		ring := c.RingTime(g.Members)
+		c.ChargeRing(len(g.Members), ring)
 		if !c.PartitionSplits(g.Members, c.Eng.Now()) {
 			// One controller round trip plus a ring all-reduce sized to the
 			// group: P-Reduce preserves collective bandwidth utilization
 			// while shrinking the synchronization scope (§3.1.1).
+			if c.Tracer != nil {
+				// The modeled collective: a group-wait span covering the RTT
+				// plus the ring, with the two symmetric ring phases ((g−1)
+				// steps each) as sub-spans — the sim counterpart of the live
+				// runtime's measured KReduceScatter/KAllGather.
+				now := c.Eng.Now()
+				rtt := c.Cfg.Net.CtrlRTT
+				gs := int64(len(g.Members))
+				for _, m := range g.Members {
+					c.Tracer.SpanAt(trace.KGroupWait, int32(m), int32(g.Iter), now, rtt+ring, int64(id), gs)
+					c.Tracer.SpanAt(trace.KReduceScatter, int32(m), int32(g.Iter), now+rtt, ring/2, int64(id), 0)
+					c.Tracer.SpanAt(trace.KAllGather, int32(m), int32(g.Iter), now+rtt+ring/2, ring/2, int64(id), 0)
+				}
+			}
 			c.Eng.After(c.Cfg.Net.CtrlRTT+ring, func() { onGroupDone(id, g) })
 			return
 		}
 		rm := c.Cfg.Retry
 		timeout := rm.TimeoutOr(c.Cfg.Profile.BatchCompute + ring)
 		c.Track.AddComms(metrics.CommStats{Timeouts: 1})
+		c.Tracer.InstantAt(trace.KTimeout, trace.ControllerTrack, int32(g.Iter), c.Eng.Now()+timeout, int64(id), int64(k))
 		if k < rm.Attempts() {
 			c.Track.AddComms(metrics.CommStats{Retries: 1})
+			c.Tracer.InstantAt(trace.KRetry, trace.ControllerTrack, int32(g.Iter), c.Eng.Now()+timeout+rm.Backoff(k), int64(id), int64(k+1))
 			c.Eng.After(timeout+rm.Backoff(k), func() { attempt(id, g, k+1) })
 			return
 		}
@@ -212,6 +238,7 @@ func (p *PReduce) runWith(c *cluster.Cluster, ctrl *controller.Controller) (*met
 		// the group is aborted (dead = -1: nobody is condemned) and the
 		// survivors re-signal for the same iteration.
 		c.Track.AddComms(metrics.CommStats{Aborts: 1})
+		c.Tracer.InstantAt(trace.KAbort, trace.ControllerTrack, int32(g.Iter), c.Eng.Now()+timeout, int64(id), 0)
 		c.Eng.After(timeout, func() {
 			if aborted[id] {
 				delete(aborted, id)
@@ -239,11 +266,20 @@ func (p *PReduce) runWith(c *cluster.Cluster, ctrl *controller.Controller) (*met
 			seq++
 			id := seq
 			inflight[id] = g
+			if c.Tracer != nil {
+				// Close each member's signal-wait span: it waited from its
+				// ready signal until this dispatch.
+				now := c.Eng.Now()
+				for i, m := range g.Members {
+					c.Tracer.SpanAt(trace.KSignalWait, int32(m), int32(g.Iters[i]), readyAt[m], now-readyAt[m], 0, 0)
+				}
+			}
 			attempt(id, g, 1)
 		}
 	}
 
 	signalReady = func(w *cluster.Worker) {
+		readyAt[w.ID] = c.Eng.Now()
 		groups, err := ctrl.Ready(controller.Signal{Worker: w.ID, Iter: w.Iter})
 		if err != nil {
 			readyErr = err
@@ -268,7 +304,9 @@ func (p *PReduce) runWith(c *cluster.Cluster, ctrl *controller.Controller) (*met
 			return
 		}
 		c.Snapshot(w)
-		c.Eng.After(c.ComputeTime(w), func() { onComputeDone(w) })
+		dt := c.ComputeTime(w)
+		c.Tracer.SpanAt(trace.KCompute, int32(w.ID), int32(w.Iter), c.Eng.Now(), dt, 0, 0)
+		c.Eng.After(dt, func() { onComputeDone(w) })
 	}
 
 	onCrash := func(dead int) {

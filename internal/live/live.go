@@ -25,9 +25,11 @@ import (
 	"partialreduce/internal/collective"
 	"partialreduce/internal/controller"
 	"partialreduce/internal/data"
+	"partialreduce/internal/metrics"
 	"partialreduce/internal/model"
 	"partialreduce/internal/optim"
 	"partialreduce/internal/tensor"
+	"partialreduce/internal/trace"
 	"partialreduce/internal/transport"
 )
 
@@ -88,6 +90,17 @@ type Config struct {
 	// retransmissions). Required when CtrlCrashAfter > 0; zero means wait
 	// forever (safe only when the controller cannot crash).
 	CtrlTimeout time.Duration
+
+	// Tracer, when non-nil, records the run's timeline: worker iteration
+	// spans (compute, signal-wait, collectives with their ring phases),
+	// controller decisions, and failover events, all on one shared wall
+	// clock (trace.NewWallClock). Nil disables tracing at zero cost.
+	Tracer *trace.Tracer
+	// Instruments, when non-nil, maintains the live queryable instruments
+	// (staleness histogram, queue-depth series, per-worker barrier-wait
+	// totals, sync-graph gauges, running CommStats) the telemetry endpoint
+	// serves. Nil disables them at zero cost.
+	Instruments *metrics.Instruments
 
 	// CollectiveTimeout bounds every receive inside group collectives, so a
 	// severed link or partition surfaces as a timeout instead of a hang.
@@ -261,6 +274,8 @@ func Run(cfg Config, world []transport.Transport) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	ctrl.SetTracer(cfg.Tracer)
+	ctrl.SetInstruments(cfg.Instruments)
 
 	base := cfg.Spec.Build(cfg.Seed)
 	rt := &runtime{
@@ -478,6 +493,7 @@ func (rt *runtime) service(ctrl *controller.Controller, completed []bool, stop, 
 				return
 			}
 			ctrl = next
+			cfg.Tracer.Instant(trace.KCtrlRebuild, trace.ControllerTrack, -1, 0, 0)
 		} else {
 			// Warm: restore from the crash-point snapshot.
 			next, err := controller.Restore(ctrl.Snapshot())
@@ -486,7 +502,13 @@ func (rt *runtime) service(ctrl *controller.Controller, completed []bool, stop, 
 				return
 			}
 			ctrl = next
+			cfg.Tracer.Instant(trace.KCtrlRestore, trace.ControllerTrack, -1, 0, 0)
 		}
+		// Telemetry is wiring, not snapshotted state: re-attach it to the
+		// replacement incarnation (as a restarted controller process would
+		// re-open its trace sink).
+		ctrl.SetTracer(cfg.Tracer)
+		ctrl.SetInstruments(cfg.Instruments)
 		for w := range waiting {
 			delete(waiting, w)
 			delete(waitSeq, w)
@@ -632,13 +654,20 @@ func (rt *runtime) worker(id int, m model.Model, opt *optim.SGD, sampler *data.S
 		Stats:        &comms,
 		Timeout:      cfg.CollectiveTimeout,
 		Retry:        pol,
+		Tracer:       cfg.Tracer,
+		TraceTrack:   int32(id),
+		TraceIter:    -1,
 	}
+	tracer := cfg.Tracer
+	ins := cfg.Instruments
+	var prevComms collective.OpStats // last OpStats folded into instruments
 	// The paper's loop counter: fast-forwarded to the group max after every
 	// partial reduce (§3.3.3), so stragglers skip caught-up work.
 	iter := startIter
 	crashAt, hasCrash := cfg.Crash[id]
 
 	for iter < cfg.Iters {
+		computeStart := tracer.Now()
 		if cfg.ComputeDelay != nil {
 			if d := cfg.ComputeDelay(id, iter); d > 0 {
 				time.Sleep(d)
@@ -649,6 +678,7 @@ func (rt *runtime) worker(id int, m model.Model, opt *optim.SGD, sampler *data.S
 		opt.Update(m.Params(), grad, 1)
 		iter++
 		rt.iters[id] = iter
+		tracer.Span(trace.KCompute, int32(id), int32(iter), computeStart, 0, 0)
 
 		if allowCrash && hasCrash && iter >= crashAt {
 			rt.crash(id, m, opt, iter)
@@ -656,7 +686,20 @@ func (rt *runtime) worker(id int, m model.Model, opt *optim.SGD, sampler *data.S
 		}
 
 		for { // signal ready; on group abort, roll back and re-signal
+			waitStart := tracer.Now()
+			var waitWall time.Time
+			if ins != nil {
+				waitWall = time.Now()
+			}
 			gm := rt.signalReady(id, iter)
+			if ins != nil {
+				ins.AddBarrierWait(id, time.Since(waitWall).Seconds())
+			}
+			solo := int64(0)
+			if gm.skip {
+				solo = 1
+			}
+			tracer.Span(trace.KSignalWait, int32(id), int32(iter), waitStart, solo, 0)
 			if gm.skip {
 				break // proceed solo this iteration
 			}
@@ -669,7 +712,15 @@ func (rt *runtime) worker(id int, m model.Model, opt *optim.SGD, sampler *data.S
 				}
 			}
 			pre.CopyFrom(m.Params())
+			copts.TraceIter = int32(iter)
 			err := collective.WeightedAverageOpts(tr, g.Members, gm.opID, m.Params(), weight, copts)
+			if ins != nil {
+				// Fold this collective's data-plane delta into the live
+				// instruments so /metrics is fresh mid-run (the run total
+				// still merges once at worker exit).
+				ins.AddComms(commsDelta(comms, prevComms))
+				prevComms = comms
+			}
 			if err == nil {
 				if g.InitWeight > 0 {
 					m.Params().Axpy(g.InitWeight, rt.init)
@@ -752,6 +803,7 @@ func (rt *runtime) signalReady(id, iter int) *groupMsg {
 // checkpoint a real deployment would have on disk) and a restart goroutine
 // is scheduled.
 func (rt *runtime) crash(id int, m model.Model, opt *optim.SGD, iter int) {
+	rt.cfg.Tracer.Instant(trace.KCrash, int32(id), int32(iter), 0, 0)
 	delay, willRejoin := rt.cfg.Rejoin[id]
 	rt.readySeq[id]++
 	reply := make(chan *groupMsg, 1) // abandoned: the corpse never reads it
@@ -813,6 +865,22 @@ func (rt *runtime) rejoin(id int, snap []byte, delay time.Duration) {
 	sampler := data.NewSampler(rt.shards[id], rt.cfg.Seed*31+int64(id)+9973)
 	rt.models[id] = m
 	rt.worker(id, m, opt, sampler, int(st.Iter), false)
+}
+
+// commsDelta converts the difference cur−prev of two cumulative OpStats
+// readings into the metrics.CommStats shape the live instruments accumulate.
+func commsDelta(cur, prev collective.OpStats) metrics.CommStats {
+	return metrics.CommStats{
+		Ops:            cur.Ops - prev.Ops,
+		BytesSent:      cur.BytesSent - prev.BytesSent,
+		BytesRecv:      cur.BytesRecv - prev.BytesRecv,
+		Segments:       cur.Segments - prev.Segments,
+		Retries:        cur.Retries - prev.Retries,
+		Timeouts:       cur.Timeouts - prev.Timeouts,
+		Aborts:         cur.Aborts - prev.Aborts,
+		ReduceScatterS: (cur.ReduceScatter - prev.ReduceScatter).Seconds(),
+		AllGatherS:     (cur.AllGather - prev.AllGather).Seconds(),
+	}
 }
 
 // deadPeer extracts the rank whose death caused a collective failure, or -1.

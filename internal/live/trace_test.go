@@ -1,0 +1,132 @@
+package live
+
+import (
+	"bytes"
+	"testing"
+
+	"partialreduce/internal/metrics"
+	"partialreduce/internal/trace"
+)
+
+// TestRunTraced is the in-process trace smoke test: a short live run with
+// tracing and instruments enabled must produce a schema-valid Chrome
+// trace carrying worker spans and controller decisions, and populated
+// instruments (staleness histogram, barrier-wait totals, comm counters).
+func TestRunTraced(t *testing.T) {
+	cfg := liveConfig(t, 11)
+	tr := trace.New(trace.NewWallClock(), 1<<14)
+	ins := metrics.NewInstruments(cfg.N)
+	cfg.Tracer = tr
+	cfg.Instruments = ins
+
+	rep, err := Run(cfg, memWorld(cfg.N))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Groups == 0 {
+		t.Fatal("no groups executed")
+	}
+
+	events := tr.Events()
+	if len(events) == 0 {
+		t.Fatal("traced live run recorded no events")
+	}
+	kinds := map[trace.Kind]int{}
+	ctrlEvents := 0
+	for _, ev := range events {
+		kinds[ev.Kind]++
+		if ev.Track == trace.ControllerTrack {
+			ctrlEvents++
+		}
+	}
+	for _, k := range []trace.Kind{
+		trace.KCompute, trace.KSignalWait, trace.KCollective,
+		trace.KReduceScatter, trace.KAllGather,
+		trace.KReady, trace.KGroupFormed, trace.KStaleness,
+	} {
+		if kinds[k] == 0 {
+			t.Errorf("no %v events in the live trace", k)
+		}
+	}
+	if ctrlEvents == 0 {
+		t.Error("no controller-track events")
+	}
+
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	n, err := trace.ValidateChrome(buf.Bytes())
+	if err != nil {
+		t.Fatalf("live trace fails the schema check: %v", err)
+	}
+	if n != len(events) {
+		t.Fatalf("schema check counted %d events, tracer recorded %d", n, len(events))
+	}
+
+	snap := ins.Snapshot()
+	if snap.GroupsFormed == 0 || snap.Staleness.Count() == 0 {
+		t.Fatalf("live instruments empty: groups=%d staleness=%d",
+			snap.GroupsFormed, snap.Staleness.Count())
+	}
+	if snap.Comms.Ops == 0 || snap.Comms.BytesSent == 0 {
+		t.Fatalf("live comm instruments empty: %+v", snap.Comms)
+	}
+	var waited float64
+	for _, s := range snap.BarrierWait {
+		waited += s
+	}
+	if waited <= 0 {
+		t.Fatal("no barrier-wait time recorded")
+	}
+}
+
+// TestRunTracedMultiProcessPath drives the RunWorker (wire control-plane)
+// path with tracing enabled, covering the per-process worker loop and the
+// hosted controller service.
+func TestRunTracedMultiProcessPath(t *testing.T) {
+	cfg := liveConfig(t, 13)
+	cfg.Iters = 60
+	tr := trace.New(trace.NewWallClock(), 1<<14)
+	ins := metrics.NewInstruments(cfg.N)
+	cfg.Tracer = tr
+	cfg.Instruments = ins
+
+	world := memWorld(cfg.N)
+	type out struct {
+		rep *Report
+		err error
+	}
+	outs := make(chan out, cfg.N)
+	for r := 0; r < cfg.N; r++ {
+		r := r
+		go func() {
+			rep, err := RunWorker(cfg, world[r], r == 0)
+			outs <- out{rep, err}
+		}()
+	}
+	for i := 0; i < cfg.N; i++ {
+		o := <-outs
+		if o.err != nil {
+			t.Fatal(o.err)
+		}
+	}
+
+	kinds := map[trace.Kind]int{}
+	for _, ev := range tr.Events() {
+		kinds[ev.Kind]++
+	}
+	for _, k := range []trace.Kind{
+		trace.KCompute, trace.KSignalWait, trace.KCollective,
+		trace.KReady, trace.KGroupFormed,
+	} {
+		if kinds[k] == 0 {
+			t.Errorf("no %v events on the RunWorker path", k)
+		}
+	}
+	snap := ins.Snapshot()
+	if snap.GroupsFormed == 0 || snap.Comms.Ops == 0 {
+		t.Fatalf("RunWorker instruments empty: groups=%d comms=%+v",
+			snap.GroupsFormed, snap.Comms)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"partialreduce/internal/model"
 	"partialreduce/internal/optim"
 	"partialreduce/internal/tensor"
+	"partialreduce/internal/trace"
 	"partialreduce/internal/transport"
 )
 
@@ -111,6 +112,8 @@ func runControllerService(cfg Config, tr transport.Transport) error {
 	if err != nil {
 		return err
 	}
+	ctrl.SetTracer(cfg.Tracer)
+	ctrl.SetInstruments(cfg.Instruments)
 
 	type event struct {
 		worker int
@@ -285,13 +288,19 @@ func runControllerService(cfg Config, tr transport.Transport) error {
 			for w := range deadSet {
 				ctrl.Fail(w) // the fresh controller believes everyone is alive
 			}
+			cfg.Tracer.Instant(trace.KCtrlRebuild, trace.ControllerTrack, -1, 0, 0)
 		} else {
 			next, err := controller.Restore(ctrl.Snapshot())
 			if err != nil {
 				return fmt.Errorf("live: controller restore: %w", err)
 			}
 			ctrl = next
+			cfg.Tracer.Instant(trace.KCtrlRestore, trace.ControllerTrack, -1, 0, 0)
 		}
+		// Telemetry is wiring, not snapshotted state: re-attach it to the
+		// replacement incarnation.
+		ctrl.SetTracer(cfg.Tracer)
+		ctrl.SetInstruments(cfg.Instruments)
 		for w := range waiting {
 			delete(waiting, w)
 		}
@@ -495,7 +504,13 @@ func runWorkerLoop(cfg Config, tr transport.Transport, ctrlRank int, host bool) 
 		Stats:        &comms,
 		Timeout:      cfg.CollectiveTimeout,
 		Retry:        pol,
+		Tracer:       cfg.Tracer,
+		TraceTrack:   int32(id),
+		TraceIter:    -1,
 	}
+	tracer := cfg.Tracer
+	ins := cfg.Instruments
+	var prevComms collective.OpStats // last OpStats folded into instruments
 	replyBuf := make([]float64, 5+2*cfg.N)
 	// iter is the paper's loop counter k: it fast-forwards to the group max
 	// after every partial reduce (§3.3.3), so stragglers skip caught-up work.
@@ -503,6 +518,7 @@ func runWorkerLoop(cfg Config, tr transport.Transport, ctrlRank int, host bool) 
 	seq := 0
 	crashAt, hasCrash := cfg.Crash[id]
 	for iter < cfg.Iters {
+		computeStart := tracer.Now()
 		if cfg.ComputeDelay != nil {
 			if d := cfg.ComputeDelay(id, iter); d > 0 {
 				time.Sleep(d)
@@ -512,11 +528,13 @@ func runWorkerLoop(cfg Config, tr transport.Transport, ctrlRank int, host bool) 
 		m.Gradient(grad, batch)
 		opt.Update(m.Params(), grad, 1)
 		iter++
+		tracer.Span(trace.KCompute, int32(id), int32(iter), computeStart, 0, 0)
 
 		if hasCrash && iter >= crashAt {
 			// Fail-stop with the ready signal in flight: the controller may
 			// form a group containing this corpse, and the survivors must
 			// detect and recover (§4).
+			tracer.Instant(trace.KCrash, int32(id), int32(iter), 0, 0)
 			_ = tr.Send(ctrlRank, readyTag(seq), []float64{float64(iter)})
 			if sf, ok := tr.(transport.SelfFailer); ok {
 				sf.FailSelf()
@@ -531,6 +549,11 @@ func runWorkerLoop(cfg Config, tr transport.Transport, ctrlRank int, host bool) 
 		}
 
 		for { // signal ready; on a group abort, roll back and re-signal
+			waitStart := tracer.Now()
+			var waitWall time.Time
+			if ins != nil {
+				waitWall = time.Now()
+			}
 			if err := tr.Send(ctrlRank, readyTag(seq), []float64{float64(iter)}); err != nil {
 				return nil, err
 			}
@@ -570,6 +593,14 @@ func runWorkerLoop(cfg Config, tr transport.Transport, ctrlRank int, host bool) 
 			if err != nil {
 				return nil, err
 			}
+			if ins != nil {
+				ins.AddBarrierWait(id, time.Since(waitWall).Seconds())
+			}
+			solo := int64(0)
+			if skip {
+				solo = 1
+			}
+			tracer.Span(trace.KSignalWait, int32(id), int32(iter), waitStart, solo, 0)
 			if skip {
 				break // proceed solo this iteration
 			}
@@ -581,7 +612,14 @@ func runWorkerLoop(cfg Config, tr transport.Transport, ctrlRank int, host bool) 
 				}
 			}
 			pre.CopyFrom(m.Params())
+			copts.TraceIter = int32(iter)
 			err = collective.WeightedAverageOpts(tr, g.Members, opID, m.Params(), weight, copts)
+			if ins != nil {
+				// Fold this collective's data-plane delta into the live
+				// instruments so /metrics is fresh mid-run.
+				ins.AddComms(commsDelta(comms, prevComms))
+				prevComms = comms
+			}
 			if err == nil {
 				if g.InitWeight > 0 {
 					m.Params().Axpy(g.InitWeight, init)

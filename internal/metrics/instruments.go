@@ -1,0 +1,339 @@
+package metrics
+
+// Live instruments: the first-class, queryable counterparts of the trace
+// events. Where Result/CommStats summarize a finished run, Instruments
+// are sampled while the run is in flight — the telemetry endpoint
+// renders them as Prometheus text, and the controller/runtime update
+// them as decisions happen. All methods on Instruments are safe for
+// concurrent use; Histogram and Series on their own are not (wrap them
+// or confine them to one goroutine).
+
+import (
+	"math"
+	"sync"
+)
+
+// Histogram counts small non-negative integer observations exactly:
+// values in [0, span) land in per-value buckets, larger ones in one
+// overflow bucket. Staleness values are small by construction (the
+// group filter bounds them), so exact counting beats log buckets.
+type Histogram struct {
+	counts   []int64
+	overflow int64
+	count    int64
+	sum      int64
+	max      int64
+}
+
+// NewHistogram returns a histogram with per-value buckets for [0, span).
+// span <= 0 selects 64.
+func NewHistogram(span int) *Histogram {
+	if span <= 0 {
+		span = 64
+	}
+	return &Histogram{counts: make([]int64, span)}
+}
+
+// Observe records v (negative values clamp to 0).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if int(v) < len(h.counts) {
+		h.counts[v]++
+	} else {
+		h.overflow++
+	}
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Max returns the largest observation (0 before any).
+func (h *Histogram) Max() int64 { return h.max }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Mean returns the average observation (0 before any).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns the smallest value v such that at least q of the
+// observations are <= v. Overflow observations resolve to Max. q is
+// clamped to [0, 1].
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	q = math.Min(math.Max(q, 0), 1)
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for v, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			return int64(v)
+		}
+	}
+	return h.max
+}
+
+// Buckets returns a copy of the per-value counts plus the overflow count.
+func (h *Histogram) Buckets() (counts []int64, overflow int64) {
+	out := make([]int64, len(h.counts))
+	copy(out, h.counts)
+	return out, h.overflow
+}
+
+// clone deep-copies the histogram.
+func (h *Histogram) clone() *Histogram {
+	if h == nil {
+		return nil
+	}
+	counts, _ := h.Buckets()
+	return &Histogram{counts: counts, overflow: h.overflow, count: h.count, sum: h.sum, max: h.max}
+}
+
+// Series is a capped time series: it retains the most recent cap points
+// in a ring, counting how many older points were evicted.
+type Series struct {
+	t, v    []float64
+	next    int
+	wrapped bool
+	evicted int64
+}
+
+// DefaultSeriesCap bounds a series created with cap <= 0.
+const DefaultSeriesCap = 4096
+
+// NewSeries returns a series retaining the most recent cap points.
+func NewSeries(cap int) *Series {
+	if cap <= 0 {
+		cap = DefaultSeriesCap
+	}
+	return &Series{t: make([]float64, cap), v: make([]float64, cap)}
+}
+
+// Append records point (t, v), evicting the oldest when full.
+func (s *Series) Append(t, v float64) {
+	if s.wrapped {
+		s.evicted++
+	}
+	s.t[s.next] = t
+	s.v[s.next] = v
+	s.next++
+	if s.next == len(s.t) {
+		s.next = 0
+		s.wrapped = true
+	}
+}
+
+// Len returns the number of retained points.
+func (s *Series) Len() int {
+	if s.wrapped {
+		return len(s.t)
+	}
+	return s.next
+}
+
+// Evicted returns the number of points dropped after the ring filled.
+func (s *Series) Evicted() int64 { return s.evicted }
+
+// Last returns the most recent point, or ok=false on an empty series.
+func (s *Series) Last() (t, v float64, ok bool) {
+	if s.next == 0 && !s.wrapped {
+		return 0, 0, false
+	}
+	i := s.next - 1
+	if i < 0 {
+		i = len(s.t) - 1
+	}
+	return s.t[i], s.v[i], true
+}
+
+// Points returns copies of the retained (t, v) pairs, oldest first.
+func (s *Series) Points() (ts, vs []float64) {
+	n := s.Len()
+	ts = make([]float64, 0, n)
+	vs = make([]float64, 0, n)
+	if s.wrapped {
+		ts = append(ts, s.t[s.next:]...)
+		vs = append(vs, s.v[s.next:]...)
+	}
+	ts = append(ts, s.t[:s.next]...)
+	vs = append(vs, s.v[:s.next]...)
+	return ts, vs
+}
+
+// Instruments is the thread-safe bundle of live instruments one run
+// maintains: the staleness histogram (per group member, at formation),
+// per-worker barrier-wait totals (time spent waiting for the controller
+// and for group peers instead of computing), the ready-queue-depth time
+// series, the sync-graph connectivity gauges (the quantity group-frozen
+// avoidance bounds), and a running CommStats total.
+type Instruments struct {
+	mu sync.Mutex
+
+	staleness   *Histogram
+	queueDepth  *Series
+	barrierWait []float64 // per-worker cumulative seconds
+
+	maxContactAge  int64 // groups since the most-estranged alive pair last met (-1: some pair never met)
+	syncComponents int64 // connected components of the windowed sync-graph
+
+	groupsFormed  int64
+	interventions int64
+	deferrals     int64
+
+	comms CommStats
+}
+
+// NewInstruments returns instruments for an n-worker run.
+func NewInstruments(n int) *Instruments {
+	return &Instruments{
+		staleness:   NewHistogram(64),
+		queueDepth:  NewSeries(0),
+		barrierWait: make([]float64, n),
+	}
+}
+
+// ObserveStaleness records one member's staleness at group formation.
+// Nil-safe.
+func (in *Instruments) ObserveStaleness(v int64) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.staleness.Observe(v)
+	in.mu.Unlock()
+}
+
+// RecordQueueDepth appends a ready-queue-depth sample at clock time now.
+// Nil-safe.
+func (in *Instruments) RecordQueueDepth(now float64, depth int) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.queueDepth.Append(now, float64(depth))
+	in.mu.Unlock()
+}
+
+// AddBarrierWait adds sec seconds to worker w's barrier-wait total.
+// Nil-safe; out-of-range workers are ignored.
+func (in *Instruments) AddBarrierWait(w int, sec float64) {
+	if in == nil || sec <= 0 {
+		return
+	}
+	in.mu.Lock()
+	if w >= 0 && w < len(in.barrierWait) {
+		in.barrierWait[w] += sec
+	}
+	in.mu.Unlock()
+}
+
+// SetSyncGauges updates the sync-graph connectivity gauges: maxAge is
+// the groups-since-last-contact of the most estranged alive pair (-1
+// when some pair has never met), components the number of connected
+// components of the windowed graph. Nil-safe.
+func (in *Instruments) SetSyncGauges(maxAge, components int) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.maxContactAge = int64(maxAge)
+	in.syncComponents = int64(components)
+	in.mu.Unlock()
+}
+
+// CountGroup counts one formed group, with its intervention flag.
+// Nil-safe.
+func (in *Instruments) CountGroup(bridged bool) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.groupsFormed++
+	if bridged {
+		in.interventions++
+	}
+	in.mu.Unlock()
+}
+
+// CountDeferral counts one frozen-avoidance deferral. Nil-safe.
+func (in *Instruments) CountDeferral() {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.deferrals++
+	in.mu.Unlock()
+}
+
+// AddComms folds a data-plane delta into the running total. Nil-safe.
+func (in *Instruments) AddComms(s CommStats) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.comms.Add(s)
+	in.mu.Unlock()
+}
+
+// InstrumentsSnapshot is a consistent copy of every instrument, safe to
+// render without holding the run's locks.
+type InstrumentsSnapshot struct {
+	Staleness        *Histogram
+	QueueDepthTS     []float64
+	QueueDepthV      []float64
+	BarrierWait      []float64
+	MaxContactAge    int64
+	SyncComponents   int64
+	GroupsFormed     int64
+	Interventions    int64
+	Deferrals        int64
+	Comms            CommStats
+	QueueDepthNow    float64
+	QueueDepthSample float64
+}
+
+// Snapshot returns a deep copy of the current instrument state. Nil-safe
+// (returns an empty snapshot).
+func (in *Instruments) Snapshot() *InstrumentsSnapshot {
+	if in == nil {
+		return &InstrumentsSnapshot{Staleness: NewHistogram(1)}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	ts, vs := in.queueDepth.Points()
+	bw := make([]float64, len(in.barrierWait))
+	copy(bw, in.barrierWait)
+	snap := &InstrumentsSnapshot{
+		Staleness:      in.staleness.clone(),
+		QueueDepthTS:   ts,
+		QueueDepthV:    vs,
+		BarrierWait:    bw,
+		MaxContactAge:  in.maxContactAge,
+		SyncComponents: in.syncComponents,
+		GroupsFormed:   in.groupsFormed,
+		Interventions:  in.interventions,
+		Deferrals:      in.deferrals,
+		Comms:          in.comms,
+	}
+	if t, v, ok := in.queueDepth.Last(); ok {
+		snap.QueueDepthNow, snap.QueueDepthSample = t, v
+	}
+	return snap
+}

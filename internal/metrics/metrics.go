@@ -30,8 +30,12 @@ type CommStats struct {
 	Retries  int64
 	Timeouts int64
 	Aborts   int64
-	// ReduceScatterS and AllGatherS are cumulative wall-clock seconds spent
-	// in each ring phase across all workers (live runtime only).
+	// ReduceScatterS and AllGatherS are cumulative seconds spent in each
+	// ring phase across all workers. The live runtime measures them from
+	// its collectives (wall clock); the simulator models them from the
+	// α–β ring cost: each executed ring among g members charges
+	// g·ring/2 virtual seconds per phase (the two phases are symmetric —
+	// (g−1) steps each), so live-vs-sim phase-time comparison works.
 	ReduceScatterS float64
 	AllGatherS     float64
 }

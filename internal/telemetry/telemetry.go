@@ -1,0 +1,178 @@
+// Package telemetry serves a live run's instruments over HTTP: a
+// Prometheus-text /metrics endpoint rendering the metrics.Instruments
+// snapshot (staleness histogram with p50/p95/max, ready-queue depth,
+// per-worker barrier-wait totals, sync-graph connectivity gauges, and the
+// running CommStats counters), plus the standard net/http/pprof profiling
+// handlers under /debug/pprof/. Everything is hand-rolled stdlib: the
+// exposition format is plain text, so no client library is needed.
+//
+// The endpoint runs on its own mux — nothing is registered on
+// http.DefaultServeMux — so embedding it never leaks handlers into the
+// host process.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"partialreduce/internal/metrics"
+)
+
+// WriteMetrics renders a snapshot in the Prometheus text exposition format
+// (version 0.0.4). The output is deterministic for a fixed snapshot: fixed
+// metric order, workers ascending, buckets ascending.
+func WriteMetrics(w io.Writer, snap *metrics.InstrumentsSnapshot) error {
+	ew := &errw{w: w}
+
+	// Staleness histogram: exact per-value buckets rendered cumulatively.
+	ew.str("# HELP preduce_staleness Per-member staleness (group max iteration minus member iteration) observed at group formation.\n")
+	ew.str("# TYPE preduce_staleness histogram\n")
+	h := snap.Staleness
+	counts, _ := h.Buckets() // overflow is folded into +Inf via Count
+	last := -1
+	for v, c := range counts {
+		if c != 0 {
+			last = v
+		}
+	}
+	var cum int64
+	for v := 0; v <= last; v++ {
+		cum += counts[v]
+		ew.str("preduce_staleness_bucket{le=\"")
+		ew.str(strconv.Itoa(v))
+		ew.str("\"} ")
+		ew.i64(cum)
+		ew.str("\n")
+	}
+	ew.str("preduce_staleness_bucket{le=\"+Inf\"} ")
+	ew.i64(h.Count())
+	ew.str("\npreduce_staleness_sum ")
+	ew.i64(h.Sum())
+	ew.str("\npreduce_staleness_count ")
+	ew.i64(h.Count())
+	ew.str("\n")
+
+	gauge := func(name, help string, v float64) {
+		ew.str("# HELP ")
+		ew.str(name)
+		ew.str(" ")
+		ew.str(help)
+		ew.str("\n# TYPE ")
+		ew.str(name)
+		ew.str(" gauge\n")
+		ew.str(name)
+		ew.str(" ")
+		ew.f64(v)
+		ew.str("\n")
+	}
+	counter := func(name, help string, v float64) {
+		ew.str("# HELP ")
+		ew.str(name)
+		ew.str(" ")
+		ew.str(help)
+		ew.str("\n# TYPE ")
+		ew.str(name)
+		ew.str(" counter\n")
+		ew.str(name)
+		ew.str(" ")
+		ew.f64(v)
+		ew.str("\n")
+	}
+
+	gauge("preduce_staleness_p50", "Median observed staleness.", float64(h.Quantile(0.5)))
+	gauge("preduce_staleness_p95", "95th-percentile observed staleness.", float64(h.Quantile(0.95)))
+	gauge("preduce_staleness_max", "Maximum observed staleness.", float64(h.Max()))
+
+	gauge("preduce_queue_depth", "Ready-queue depth at the latest sample.", snap.QueueDepthSample)
+	gauge("preduce_queue_depth_samples", "Ready-queue depth samples retained.", float64(len(snap.QueueDepthV)))
+
+	ew.str("# HELP preduce_barrier_wait_seconds_total Cumulative seconds each worker spent waiting for a group instead of computing.\n")
+	ew.str("# TYPE preduce_barrier_wait_seconds_total counter\n")
+	for i, s := range snap.BarrierWait {
+		ew.str("preduce_barrier_wait_seconds_total{worker=\"")
+		ew.str(strconv.Itoa(i))
+		ew.str("\"} ")
+		ew.f64(s)
+		ew.str("\n")
+	}
+
+	gauge("preduce_sync_max_contact_age", "Groups since the most estranged alive worker pair last synchronized (-1: some pair never met).", float64(snap.MaxContactAge))
+	gauge("preduce_sync_components", "Connected components of the windowed sync-graph (1 = healthy).", float64(snap.SyncComponents))
+
+	counter("preduce_groups_formed_total", "P-Reduce groups formed.", float64(snap.GroupsFormed))
+	counter("preduce_group_interventions_total", "Groups rewritten by frozen avoidance.", float64(snap.Interventions))
+	counter("preduce_group_deferrals_total", "Group formations deferred awaiting a bridging signal.", float64(snap.Deferrals))
+
+	cs := snap.Comms
+	counter("preduce_comm_ops_total", "Collective operations executed.", float64(cs.Ops))
+	counter("preduce_comm_sent_bytes_total", "Payload bytes sent across all workers.", float64(cs.BytesSent))
+	counter("preduce_comm_recv_bytes_total", "Payload bytes received across all workers.", float64(cs.BytesRecv))
+	counter("preduce_comm_segments_total", "Pipeline segments shipped.", float64(cs.Segments))
+	counter("preduce_comm_retries_total", "Collective attempts re-run after a timeout.", float64(cs.Retries))
+	counter("preduce_comm_timeouts_total", "Receive deadlines fired inside collectives.", float64(cs.Timeouts))
+	counter("preduce_comm_aborts_total", "Collectives abandoned after exhausting the retry budget.", float64(cs.Aborts))
+	counter("preduce_comm_reduce_scatter_seconds_total", "Cumulative seconds in the reduce-scatter phase across workers.", cs.ReduceScatterS)
+	counter("preduce_comm_all_gather_seconds_total", "Cumulative seconds in the all-gather phase across workers.", cs.AllGatherS)
+
+	return ew.err
+}
+
+// Handler returns the telemetry mux: /metrics renders ins (nil-safe — a nil
+// Instruments serves an all-zero snapshot) and /debug/pprof/ serves the
+// standard profiling endpoints.
+func Handler(ins *metrics.Instruments) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WriteMetrics(w, ins.Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Endpoint is a running telemetry server.
+type Endpoint struct {
+	// Addr is the bound listen address (useful with ":0").
+	Addr string
+	srv  *http.Server
+}
+
+// Serve binds addr (e.g. "127.0.0.1:9090", or ":0" for an ephemeral port)
+// and serves Handler(ins) in a background goroutine until Close.
+func Serve(addr string, ins *metrics.Instruments) (*Endpoint, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(ins)}
+	go func() { _ = srv.Serve(ln) }()
+	return &Endpoint{Addr: ln.Addr().String(), srv: srv}, nil
+}
+
+// Close shuts the endpoint down immediately.
+func (e *Endpoint) Close() error { return e.srv.Close() }
+
+// errw is a sticky-error writer with small formatting helpers.
+type errw struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errw) str(s string) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = io.WriteString(e.w, s)
+}
+
+func (e *errw) i64(v int64) { e.str(strconv.FormatInt(v, 10)) }
+
+func (e *errw) f64(v float64) { e.str(strconv.FormatFloat(v, 'g', -1, 64)) }

@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"partialreduce/internal/metrics"
+)
+
+func sampleInstruments() *metrics.Instruments {
+	in := metrics.NewInstruments(3)
+	in.ObserveStaleness(0)
+	in.ObserveStaleness(0)
+	in.ObserveStaleness(1)
+	in.ObserveStaleness(3)
+	in.RecordQueueDepth(1.0, 2)
+	in.RecordQueueDepth(2.0, 5)
+	in.AddBarrierWait(0, 0.5)
+	in.AddBarrierWait(2, 1.25)
+	in.SetSyncGauges(4, 1)
+	in.CountGroup(false)
+	in.CountGroup(true)
+	in.CountDeferral()
+	in.AddComms(metrics.CommStats{
+		Ops: 7, BytesSent: 1000, BytesRecv: 900, Segments: 14,
+		Retries: 1, Timeouts: 2, Aborts: 0,
+		ReduceScatterS: 0.75, AllGatherS: 0.5,
+	})
+	return in
+}
+
+func TestWriteMetricsRendersEverything(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf, sampleInstruments().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE preduce_staleness histogram",
+		`preduce_staleness_bucket{le="0"} 2`,
+		`preduce_staleness_bucket{le="1"} 3`,
+		`preduce_staleness_bucket{le="3"} 4`,
+		`preduce_staleness_bucket{le="+Inf"} 4`,
+		"preduce_staleness_sum 4",
+		"preduce_staleness_count 4",
+		"preduce_staleness_p50 0",
+		"preduce_staleness_p95 3",
+		"preduce_staleness_max 3",
+		"preduce_queue_depth 5",
+		`preduce_barrier_wait_seconds_total{worker="0"} 0.5`,
+		`preduce_barrier_wait_seconds_total{worker="1"} 0`,
+		`preduce_barrier_wait_seconds_total{worker="2"} 1.25`,
+		"preduce_sync_max_contact_age 4",
+		"preduce_sync_components 1",
+		"preduce_groups_formed_total 2",
+		"preduce_group_interventions_total 1",
+		"preduce_group_deferrals_total 1",
+		"preduce_comm_ops_total 7",
+		"preduce_comm_sent_bytes_total 1000",
+		"preduce_comm_recv_bytes_total 900",
+		"preduce_comm_segments_total 14",
+		"preduce_comm_retries_total 1",
+		"preduce_comm_timeouts_total 2",
+		"preduce_comm_aborts_total 0",
+		"preduce_comm_reduce_scatter_seconds_total 0.75",
+		"preduce_comm_all_gather_seconds_total 0.5",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing line %q in:\n%s", want, out)
+		}
+	}
+	// No bucket is rendered past the maximum observed value.
+	if strings.Contains(out, `preduce_staleness_bucket{le="4"}`) {
+		t.Error("histogram rendered buckets past the max observation")
+	}
+}
+
+func TestWriteMetricsDeterministic(t *testing.T) {
+	in := sampleInstruments()
+	var a, b bytes.Buffer
+	if err := WriteMetrics(&a, in.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMetrics(&b, in.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("metrics rendering is not deterministic for a fixed snapshot")
+	}
+}
+
+func TestWriteMetricsStopsOnWriteError(t *testing.T) {
+	if err := WriteMetrics(failWriter{}, sampleInstruments().Snapshot()); err == nil {
+		t.Fatal("write error swallowed")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, fmt.Errorf("sink full") }
+
+func TestServeEndpoint(t *testing.T) {
+	ep, err := Serve("127.0.0.1:0", sampleInstruments())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+
+	resp, err := http.Get("http://" + ep.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	if !strings.Contains(string(body), "preduce_groups_formed_total 2") {
+		t.Fatalf("/metrics body missing counters:\n%s", body)
+	}
+
+	resp, err = http.Get("http://" + ep.Addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", resp.StatusCode)
+	}
+
+	if err := ep.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestHandlerNilInstruments: the endpoint stays serveable before the run
+// wires instruments in — a nil *Instruments renders an all-zero snapshot.
+func TestHandlerNilInstruments(t *testing.T) {
+	ep, err := Serve("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	resp, err := http.Get("http://" + ep.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "preduce_staleness_count 0") {
+		t.Fatalf("nil-instrument metrics unexpected:\n%s", body)
+	}
+}

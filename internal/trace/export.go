@@ -1,0 +1,217 @@
+package trace
+
+// Exporters. Both formats are written with a hand-rolled serializer in a
+// fixed key order with fixed float formatting, so a deterministic event
+// stream (same-seed simulator replay) produces byte-identical files —
+// the property the seed-replay trace tests pin.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// usec converts clock seconds to the microsecond unit of the Chrome
+// trace-event format, formatted with fixed nanosecond precision.
+func usec(sec float64) string {
+	return strconv.FormatFloat(sec*1e6, 'f', 3, 64)
+}
+
+// WriteChrome renders events as Chrome trace-event JSON (the
+// chrome://tracing / Perfetto "JSON object format"): spans become "X"
+// complete events, instants "i" events, and thread-name metadata gives
+// one named track per worker plus one for the controller. Controller
+// events render on tid 0, worker w on tid w+1, so the controller track
+// sorts on top.
+func WriteChrome(w io.Writer, events []Event) error {
+	bw := &errWriter{w: w}
+	bw.str(`{"traceEvents":[`)
+
+	// Thread-name metadata for every track present.
+	maxTrack := int32(-1)
+	hasCtrl := false
+	for _, ev := range events {
+		if ev.Track == ControllerTrack {
+			hasCtrl = true
+		} else if ev.Track > maxTrack {
+			maxTrack = ev.Track
+		}
+	}
+	first := true
+	meta := func(tid int, name string) {
+		if !first {
+			bw.str(",")
+		}
+		first = false
+		bw.str(`{"ph":"M","pid":0,"tid":`)
+		bw.str(strconv.Itoa(tid))
+		bw.str(`,"name":"thread_name","args":{"name":"`)
+		bw.str(name)
+		bw.str(`"}}`)
+	}
+	if hasCtrl {
+		meta(0, "controller")
+	}
+	for t := int32(0); t <= maxTrack; t++ {
+		meta(int(t)+1, fmt.Sprintf("worker %d", t))
+	}
+
+	for _, ev := range events {
+		if !first {
+			bw.str(",")
+		}
+		first = false
+		tid := int(ev.Track) + 1
+		if ev.Track == ControllerTrack {
+			tid = 0
+		}
+		bw.str(`{"name":"`)
+		bw.str(ev.Kind.String())
+		if ev.Dur > 0 || isSpanKind(ev.Kind) {
+			bw.str(`","ph":"X","pid":0,"tid":`)
+			bw.str(strconv.Itoa(tid))
+			bw.str(`,"ts":`)
+			bw.str(usec(ev.TS))
+			bw.str(`,"dur":`)
+			bw.str(usec(ev.Dur))
+		} else {
+			bw.str(`","ph":"i","s":"t","pid":0,"tid":`)
+			bw.str(strconv.Itoa(tid))
+			bw.str(`,"ts":`)
+			bw.str(usec(ev.TS))
+		}
+		bw.str(`,"args":{"iter":`)
+		bw.str(strconv.FormatInt(int64(ev.Iter), 10))
+		bw.str(`,"a":`)
+		bw.str(strconv.FormatInt(ev.A, 10))
+		bw.str(`,"b":`)
+		bw.str(strconv.FormatInt(ev.B, 10))
+		bw.str(`}}`)
+	}
+	bw.str("]}\n")
+	return bw.err
+}
+
+// isSpanKind reports whether k is a span kind (rendered as a complete
+// event even at zero duration, so instantaneous spans keep their track
+// semantics).
+func isSpanKind(k Kind) bool {
+	switch k {
+	case KCompute, KSignalWait, KGroupWait, KCollective, KReduceScatter, KAllGather, KRetryBackoff:
+		return true
+	}
+	return false
+}
+
+// WriteJSONL renders one JSON object per line per event:
+// {"ts":…,"dur":…,"kind":"…","track":…,"iter":…,"a":…,"b":…}.
+// Timestamps are clock seconds. The format is fixed-order and
+// deterministic, suitable for jq/awk streaming analysis.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := &errWriter{w: w}
+	for _, ev := range events {
+		bw.str(`{"ts":`)
+		bw.str(strconv.FormatFloat(ev.TS, 'f', 9, 64))
+		bw.str(`,"dur":`)
+		bw.str(strconv.FormatFloat(ev.Dur, 'f', 9, 64))
+		bw.str(`,"kind":"`)
+		bw.str(ev.Kind.String())
+		bw.str(`","track":`)
+		bw.str(strconv.FormatInt(int64(ev.Track), 10))
+		bw.str(`,"iter":`)
+		bw.str(strconv.FormatInt(int64(ev.Iter), 10))
+		bw.str(`,"a":`)
+		bw.str(strconv.FormatInt(ev.A, 10))
+		bw.str(`,"b":`)
+		bw.str(strconv.FormatInt(ev.B, 10))
+		bw.str("}\n")
+	}
+	return bw.err
+}
+
+// errWriter sticks on the first write error.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) str(s string) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = io.WriteString(e.w, s)
+}
+
+// ValidateChrome is the tiny schema check `make trace-smoke` and the
+// trace tests run over an exported Chrome trace: the document must be a
+// {"traceEvents": […]} object whose every event has a name, a known
+// phase ("M", "X", or "i"), integer pid/tid, a non-negative ts (and a
+// non-negative dur for "X" events). It returns the number of non-metadata
+// events.
+func ValidateChrome(data []byte) (int, error) {
+	var doc struct {
+		TraceEvents []map[string]json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return 0, fmt.Errorf("trace: invalid JSON: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return 0, fmt.Errorf("trace: missing traceEvents array")
+	}
+	n := 0
+	for i, ev := range doc.TraceEvents {
+		var ph, name string
+		if err := unmarshalField(ev, "ph", &ph); err != nil {
+			return 0, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		if err := unmarshalField(ev, "name", &name); err != nil {
+			return 0, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		if name == "" {
+			return 0, fmt.Errorf("trace: event %d: empty name", i)
+		}
+		var pid, tid float64
+		if err := unmarshalField(ev, "pid", &pid); err != nil {
+			return 0, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		if err := unmarshalField(ev, "tid", &tid); err != nil {
+			return 0, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		switch ph {
+		case "M":
+			continue
+		case "X":
+			var dur float64
+			if err := unmarshalField(ev, "dur", &dur); err != nil {
+				return 0, fmt.Errorf("trace: event %d: %w", i, err)
+			}
+			if dur < 0 {
+				return 0, fmt.Errorf("trace: event %d: negative dur %v", i, dur)
+			}
+		case "i":
+		default:
+			return 0, fmt.Errorf("trace: event %d: unknown phase %q", i, ph)
+		}
+		var ts float64
+		if err := unmarshalField(ev, "ts", &ts); err != nil {
+			return 0, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		if ts < 0 {
+			return 0, fmt.Errorf("trace: event %d: negative ts %v", i, ts)
+		}
+		n++
+	}
+	return n, nil
+}
+
+func unmarshalField(ev map[string]json.RawMessage, key string, dst any) error {
+	raw, ok := ev[key]
+	if !ok {
+		return fmt.Errorf("missing %q", key)
+	}
+	if err := json.Unmarshal(raw, dst); err != nil {
+		return fmt.Errorf("bad %q: %w", key, err)
+	}
+	return nil
+}

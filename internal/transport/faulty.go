@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"partialreduce/internal/trace"
 )
 
 // LinkFault is a fault spec for one directed link (from, to). It models the
@@ -177,6 +179,14 @@ type faultyWorld struct {
 	start time.Time
 	links map[[2]int]*linkState
 	parts []Partition
+	// partFired tracks which timed partitions have had their open (1) and
+	// close (2) trace instants emitted; the windows are evaluated lazily,
+	// so the events fire on the first message decision that observes the
+	// transition.
+	partFired []uint8
+	// tracer, when non-nil, records the fault plane: KLinkSever/KLinkHeal,
+	// KLinkDrop per lost frame, KPartition/KPartitionHeal windows, KCrash.
+	tracer *trace.Tracer
 	// faulted is true while any link faults or partitions are configured; a
 	// zero plan never takes the link-decision lock (pass-through property).
 	faulted atomic.Bool
@@ -192,8 +202,22 @@ func (w *faultyWorld) refreshFaulted() {
 func (w *faultyWorld) linkDecision(from, to int, now time.Duration) (drop bool, delay time.Duration) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	for _, part := range w.parts {
-		if part.active(now) && part.splits(from, to) {
+	for i := range w.parts {
+		part := w.parts[i]
+		active := part.active(now)
+		if i < len(w.partFired) {
+			// Lazily emit the window transitions the first time a message
+			// decision observes them.
+			if active && w.partFired[i] == 0 {
+				w.partFired[i] = 1
+				w.tracer.Instant(trace.KPartition, trace.ControllerTrack, -1, int64(part.Ranks[0]), int64(len(part.Ranks)))
+			} else if !active && w.partFired[i] == 1 && now >= part.From {
+				w.partFired[i] = 2
+				w.tracer.Instant(trace.KPartitionHeal, trace.ControllerTrack, -1, int64(part.Ranks[0]), int64(len(part.Ranks)))
+			}
+		}
+		if active && part.splits(from, to) {
+			w.tracer.Instant(trace.KLinkDrop, int32(from), -1, int64(from), int64(to))
 			return true, 0
 		}
 	}
@@ -202,13 +226,9 @@ func (w *faultyWorld) linkDecision(from, to int, now time.Duration) (drop bool, 
 		return false, 0
 	}
 	ls.sent++
-	if ls.fault.Sever {
-		return true, 0
-	}
-	if ls.sent <= ls.fault.DropFirst {
-		return true, 0
-	}
-	if ls.fault.Drop > 0 && ls.rng.float64() < ls.fault.Drop {
+	if ls.fault.Sever || ls.sent <= ls.fault.DropFirst ||
+		(ls.fault.Drop > 0 && ls.rng.float64() < ls.fault.Drop) {
+		w.tracer.Instant(trace.KLinkDrop, int32(from), -1, int64(from), int64(to))
 		return true, 0
 	}
 	if ls.fault.DelayRate > 0 && ls.rng.float64() < ls.fault.DelayRate {
@@ -248,6 +268,7 @@ func newFaultyWorld(inner []Transport, plan FaultPlan, n int) *faultyWorld {
 		}
 	}
 	w.parts = append(w.parts, plan.Partitions...)
+	w.partFired = make([]uint8, len(w.parts))
 	w.refreshFaulted()
 	return w
 }
@@ -302,6 +323,15 @@ func NewFaultyEndpoint(inner Transport, plan FaultPlan) (*Faulty, error) {
 	return &Faulty{inner: inner, world: w, rank: inner.Rank(), streams: streams}, nil
 }
 
+// SetTracer attaches a trace recorder to the whole Faulty world (shared by
+// every endpoint): link sever/heal, per-frame drops, partition windows, and
+// crashes become trace instants. A nil tracer disables recording.
+func (f *Faulty) SetTracer(t *trace.Tracer) {
+	f.world.mu.Lock()
+	f.world.tracer = t
+	f.world.mu.Unlock()
+}
+
 // Kill crashes rank now: its endpoint and every peer treat it as down. Safe
 // to call from any goroutine; idempotent.
 func (f *Faulty) Kill(rank int) {
@@ -312,7 +342,9 @@ func (f *Faulty) Kill(rank int) {
 		return
 	}
 	w.dead[rank] = true
+	tr := w.tracer
 	w.mu.Unlock()
+	tr.Instant(trace.KCrash, int32(rank), -1, 0, 0)
 	FailPeerEverywhere(w.inner, rank)
 }
 
@@ -403,6 +435,7 @@ func (f *Faulty) SeverLink(from, to int) {
 		w.links[[2]int{from, to}] = ls
 	}
 	ls.fault.Sever = true
+	w.tracer.Instant(trace.KLinkSever, trace.ControllerTrack, -1, int64(from), int64(to))
 	w.refreshFaulted()
 }
 
@@ -412,6 +445,7 @@ func (f *Faulty) HealLink(from, to int) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	delete(w.links, [2]int{from, to})
+	w.tracer.Instant(trace.KLinkHeal, trace.ControllerTrack, -1, int64(from), int64(to))
 	w.refreshFaulted()
 }
 
@@ -423,6 +457,8 @@ func (f *Faulty) Heal() {
 	defer w.mu.Unlock()
 	w.links = make(map[[2]int]*linkState)
 	w.parts = nil
+	w.partFired = nil
+	w.tracer.Instant(trace.KLinkHeal, trace.ControllerTrack, -1, -1, -1)
 	w.refreshFaulted()
 }
 

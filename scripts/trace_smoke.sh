@@ -1,0 +1,70 @@
+#!/bin/sh
+# trace-smoke: end-to-end check of the observability stack (make trace-smoke).
+#
+# 1. A seeded simulator run exports a virtual-clock Chrome trace.
+# 2. A seeded three-rank live run exports wall-clock traces while serving
+#    the telemetry endpoint; /metrics is scraped mid-run.
+# 3. preduce-tracecheck validates every exported trace against the Chrome
+#    trace-event schema, and the scraped metrics are grepped for the
+#    instruments the endpoint must expose.
+#
+# Everything is stdlib + curl; the run takes a few seconds.
+set -eu
+
+GO=${GO:-go}
+PORT=${TRACE_SMOKE_PORT:-19471}
+BASE=${TRACE_SMOKE_BASE:-19461}
+DIR=$(mktemp -d "${TMPDIR:-/tmp}/trace-smoke.XXXXXX")
+trap 'rm -rf "$DIR"' EXIT
+
+echo "trace-smoke: building binaries"
+$GO build -o "$DIR/preduce-bench" ./cmd/preduce-bench
+$GO build -o "$DIR/preduce-live" ./cmd/preduce-live
+$GO build -o "$DIR/preduce-tracecheck" ./cmd/preduce-tracecheck
+
+echo "trace-smoke: simulator trace"
+"$DIR/preduce-bench" -trace "$DIR/sim.json" -trace-buf 32768 -quick -seed 1 > "$DIR/sim.out"
+cat "$DIR/sim.out"
+
+echo "trace-smoke: live run with telemetry on 127.0.0.1:$PORT"
+ADDRS="127.0.0.1:$BASE,127.0.0.1:$((BASE+1)),127.0.0.1:$((BASE+2))"
+"$DIR/preduce-live" -rank 1 -addrs "$ADDRS" -iters 8000 -seed 1 -trace "$DIR/live.json" 2> "$DIR/r1.log" &
+R1=$!
+"$DIR/preduce-live" -rank 2 -addrs "$ADDRS" -iters 8000 -seed 1 -trace "$DIR/live.json" 2> "$DIR/r2.log" &
+R2=$!
+"$DIR/preduce-live" -rank 0 -addrs "$ADDRS" -iters 8000 -seed 1 \
+    -trace "$DIR/live.json" -telemetry-addr "127.0.0.1:$PORT" 2> "$DIR/r0.log" &
+R0=$!
+
+# Scrape /metrics while the run is in flight (retry while the mesh forms).
+METRICS="$DIR/metrics.txt"
+ok=0
+for i in $(seq 1 50); do
+    if curl -sf "http://127.0.0.1:$PORT/metrics" > "$METRICS" 2>/dev/null \
+       && grep -q "preduce_groups_formed_total" "$METRICS"; then
+        ok=1
+        break
+    fi
+    sleep 0.1
+done
+curl -sf -o /dev/null "http://127.0.0.1:$PORT/debug/pprof/" || pprof_down=1
+
+wait $R0 $R1 $R2
+cat "$DIR/r0.log"
+
+[ "$ok" = 1 ] || { echo "trace-smoke: FAILED to scrape /metrics mid-run"; exit 1; }
+[ "${pprof_down:-0}" = 0 ] || { echo "trace-smoke: FAILED: /debug/pprof/ unreachable"; exit 1; }
+
+echo "trace-smoke: /metrics instruments"
+for metric in preduce_staleness_count preduce_queue_depth \
+              preduce_barrier_wait_seconds_total preduce_sync_components \
+              preduce_comm_ops_total; do
+    grep -q "$metric" "$METRICS" || { echo "trace-smoke: FAILED: $metric missing from /metrics"; exit 1; }
+    grep -m1 "^$metric" "$METRICS" || true
+done
+
+echo "trace-smoke: validating traces"
+"$DIR/preduce-tracecheck" "$DIR/sim.json" \
+    "$DIR/live.r0.json" "$DIR/live.r1.json" "$DIR/live.r2.json"
+
+echo "trace-smoke: OK"
