@@ -7,14 +7,17 @@ GO ?= go
 
 # Packages whose tests exercise real goroutine concurrency and therefore run
 # under the race detector as part of tier-1.
-RACE_PKGS := ./internal/transport/ ./internal/collective/ ./internal/live/ ./internal/controller/ ./internal/core/ ./internal/tensor/ ./internal/bufpool/ .
+RACE_PKGS := ./internal/transport/ ./internal/collective/ ./internal/live/ ./internal/controller/ ./internal/policy/ ./internal/core/ ./internal/tensor/ ./internal/bufpool/ .
 
 .PHONY: ci vet build test race allocgate chaos trace-smoke bench fuzz clean
 
 ci: vet build test race allocgate chaos trace-smoke
 
+# staticcheck is optional tooling: run it when the binary is on PATH, skip
+# quietly otherwise so ci stays green on minimal containers.
 vet:
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; else echo "staticcheck not installed; skipping"; fi
 
 build:
 	$(GO) build ./...
@@ -42,6 +45,7 @@ allocgate:
 CHAOS_SEEDS ?= 4
 chaos:
 	PREDUCE_CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race ./internal/live/ -run TestChaosSoak -count 1
+	$(GO) test -race ./internal/policy/ -count 1
 
 # End-to-end observability smoke: a seeded simulator trace export, a seeded
 # three-rank live run serving /metrics+pprof (scraped mid-run), and a Chrome
@@ -62,6 +66,8 @@ bench:
 		sed -e 's/^"Output":"//' -e 's/"$$//' -e 's/\\t/\t/g' -e 's/\\n//' | \
 		awk '/^Benchmark/ { name=$$0; next } /ns\/op/ { print name $$0 }'
 	PREDUCE_TRACEGATE=1 $(GO) test ./internal/collective/ -run TestTraceOverheadGate -count 1 -v
+	$(GO) test ./internal/policy/ -run '^$$' -bench BenchmarkPolicyDecide -benchmem -benchtime $(BENCHTIME)
+	PREDUCE_POLICYGATE=1 $(GO) test ./internal/policy/ -run TestPolicyDecideGate -count 1 -v
 	@echo "wrote BENCH_dataplane.json"
 
 # Short fuzz pass over the wire codec (longer runs: raise FUZZTIME).
@@ -69,6 +75,7 @@ FUZZTIME ?= 15s
 fuzz:
 	$(GO) test ./internal/transport/ -run '^$$' -fuzz FuzzFrameCodec -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/transport/ -run '^$$' -fuzz FuzzFrameRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/policy/ -run '^$$' -fuzz FuzzPolicyStateCodec -fuzztime $(FUZZTIME)
 
 clean:
 	$(GO) clean ./...

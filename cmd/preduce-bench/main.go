@@ -21,6 +21,7 @@ import (
 
 	"partialreduce/internal/experiments"
 	"partialreduce/internal/metrics"
+	"partialreduce/internal/policy"
 	"partialreduce/internal/trace"
 )
 
@@ -80,7 +81,7 @@ func exportSummary(name string, results ...*metrics.Result) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: table1|fig4|fig7a|fig7b|fig8|fig9|fig10|fig11|geo|seeds|crash|partition|ablations|all")
+	exp := flag.String("exp", "all", "experiment id: table1|fig4|fig7a|fig7b|fig8|fig9|fig10|fig11|geo|seeds|crash|partition|adaptive|ablations|all")
 	seed := flag.Int64("seed", 1, "master seed for datasets, initialization and timing draws")
 	quickFlag := flag.Bool("quick", false, "reduced update budgets and thresholds")
 	parallel := flag.Int("parallel", 0, "max concurrent cells (0 = GOMAXPROCS)")
@@ -90,6 +91,11 @@ func main() {
 		"instead of -exp, run one traced P-Reduce simulation (ResNet-34/CIFAR-10, production trace, CON P=4) and write its virtual-clock trace here (.json: Chrome trace-event, loadable in Perfetto; .jsonl: streaming event log)")
 	traceBuf := flag.Int("trace-buf", 0,
 		"trace event-ring capacity (0: default 65536; oldest events drop when full)")
+	policyName := flag.String("policy", "",
+		"group-formation policy retrofitted onto every P-Reduce run: static|adaptive-p|straggler-bias (empty: controller default)")
+	pMin := flag.Int("p-min", 0, "adaptive-p lower group-size bound (0: default 2)")
+	pMax := flag.Int("p-max", 0, "adaptive-p upper group-size bound (0: the strategy's configured P)")
+	policyWindow := flag.Int("policy-window", 0, "formations between adaptive-p decisions (0: default 8)")
 	flag.Parse()
 	showComms = *comms
 	if *csvDir != "" {
@@ -100,7 +106,10 @@ func main() {
 	}
 	outDir = *csvDir
 
-	opts := experiments.Options{Seed: *seed, Quick: *quickFlag, Parallelism: *parallel}
+	opts := experiments.Options{
+		Seed: *seed, Quick: *quickFlag, Parallelism: *parallel,
+		Policy: policy.Spec{Name: *policyName, PMin: *pMin, PMax: *pMax, Window: *policyWindow},
+	}
 
 	if *tracePath != "" {
 		if err := runTraced(*tracePath, *traceBuf, opts); err != nil {
@@ -124,8 +133,9 @@ func main() {
 		"seeds":     runSeeds,
 		"crash":     runCrash,
 		"partition": runPartition,
+		"adaptive":  runAdaptive,
 	}
-	order := []string{"fig4", "table1", "fig7a", "fig7b", "fig8", "fig9", "fig10", "fig11", "geo", "seeds", "crash", "partition", "ablations"}
+	order := []string{"fig4", "table1", "fig7a", "fig7b", "fig8", "fig9", "fig10", "fig11", "geo", "seeds", "crash", "partition", "adaptive", "ablations"}
 
 	var ids []string
 	if *exp == "all" {
@@ -281,6 +291,17 @@ func runCrash(opts experiments.Options) error {
 		return err
 	}
 	res.Format(os.Stdout)
+	return nil
+}
+
+func runAdaptive(opts experiments.Options) error {
+	res, err := experiments.RobustnessAdaptive(opts, 6)
+	if err != nil {
+		return err
+	}
+	res.Format(os.Stdout)
+	exportSummary("adaptive", res.Results...)
+	reportComms(res.Results...)
 	return nil
 }
 

@@ -31,6 +31,7 @@ import (
 	"partialreduce/internal/metrics"
 	"partialreduce/internal/model"
 	"partialreduce/internal/optim"
+	"partialreduce/internal/policy"
 	"partialreduce/internal/telemetry"
 	"partialreduce/internal/trace"
 	"partialreduce/internal/transport"
@@ -77,6 +78,11 @@ func main() {
 		"trace event-ring capacity (0: default 65536; oldest events drop when full)")
 	telemetryAddr := flag.String("telemetry-addr", "",
 		"serve Prometheus-text /metrics (staleness histogram, queue depth, barrier-wait, comm counters) and /debug/pprof/ on this address for the run's duration (e.g. 127.0.0.1:9090, or :0 for an ephemeral port)")
+	policyName := flag.String("policy", "",
+		"group-formation policy: static|adaptive-p|straggler-bias (empty: controller default)")
+	pMin := flag.Int("p-min", 0, "adaptive-p lower group-size bound (0: default 2)")
+	pMax := flag.Int("p-max", 0, "adaptive-p upper group-size bound (0: -p)")
+	policyWindow := flag.Int("policy-window", 0, "formations between adaptive-p decisions (0: default 8)")
 	flag.Parse()
 
 	list := strings.Split(*addrs, ",")
@@ -86,6 +92,15 @@ func main() {
 	}
 	if *rank < 0 || *rank >= n {
 		fail(fmt.Errorf("need -rank in [0,%d)", n))
+	}
+	if *policyName != "" {
+		// Fail fast: the controller re-validates the spec, but only after
+		// the whole mesh has formed — a typo'd -policy should not cost a
+		// mesh timeout on every rank.
+		spec := policy.Spec{Name: *policyName, PMin: *pMin, PMax: *pMax, Window: *policyWindow}
+		if err := spec.Validate(n, *p); err != nil {
+			fail(err)
+		}
 	}
 
 	// Deterministic shared dataset: every process builds the same one.
@@ -167,6 +182,9 @@ func main() {
 	if *dynamic {
 		cfg.Weighting = preduce.Dynamic
 		cfg.Approx = preduce.ClosestIteration
+	}
+	if *policyName != "" {
+		cfg.Policy = policy.Spec{Name: *policyName, PMin: *pMin, PMax: *pMax, Window: *policyWindow}
 	}
 	if *crashAfter > 0 {
 		// Only this process knows it will crash; peers detect the death at

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"partialreduce/internal/metrics"
+	"partialreduce/internal/policy"
 	"partialreduce/internal/tensor"
 	"partialreduce/internal/trace"
 )
@@ -148,18 +149,34 @@ type Controller struct {
 	inGroup  []int   // inGroup[i] = groups containing i
 	log      [][]int // full group log when RecordGroups
 
-	// Telemetry (not part of the snapshot — a restored controller starts
-	// its observability state cold). lastIter[w] is worker w's latest
-	// known iteration (ready signals and group fast-forwards), maxIter
-	// the maximum across workers: StalenessOf is their difference.
-	// lastTog[i][j] is the group sequence number at which i and j last
-	// synced together (-1: never), the iterations-since-last-contact
-	// matrix group-frozen avoidance bounds.
+	// Iteration tracking (snapshotted since v2 — formation policies read
+	// it, so warm failover must carry it). lastIter[w] is worker w's
+	// latest known iteration (ready signals and group fast-forwards),
+	// maxIter the maximum across alive workers: StalenessOf is their
+	// difference. lastTog[i][j] is the group sequence number at which i
+	// and j last synced together (-1: never), the
+	// iterations-since-last-contact matrix group-frozen avoidance bounds.
+	// lastNow is the latest Signal.Now accepted.
 	lastIter []int
 	maxIter  int
 	lastTog  [][]int
-	tracer   *trace.Tracer
-	ins      *metrics.Instruments
+	lastNow  float64
+
+	// Formation policy (optional). pol is wiring like the tracer — it is
+	// re-attached after failover via SetPolicy — but its *state* rides
+	// the snapshot: Snapshot embeds pol.Snapshot(), Restore parks the
+	// blob in polBlob, and SetPolicy feeds it to the new incarnation's
+	// policy. The pol* slices are Decide-call scratch, reused so the
+	// policy path stays allocation-free.
+	pol      policy.Policy
+	polBlob  []byte
+	polQueue []policy.QueuedSignal
+	polSeen  []bool
+	polSig   []Signal
+
+	// Tracer and instruments are pure wiring, never snapshotted.
+	tracer *trace.Tracer
+	ins    *metrics.Instruments
 }
 
 // New returns a controller for cfg. Zero Window and Alpha select defaults.
@@ -214,6 +231,38 @@ func (c *Controller) SetTracer(t *trace.Tracer) { c.tracer = t }
 // in tight parameter sweeps.
 func (c *Controller) SetInstruments(in *metrics.Instruments) { c.ins = in }
 
+// SetPolicy attaches a group-formation policy (internal/policy),
+// consulted once per formation attempt for the next group's size,
+// membership bias, and dynamic-weight decay. Like the tracer, the policy
+// object is wiring and must be re-attached after failover — but its
+// state is snapshotted: if this controller was built by Restore from a
+// snapshot that carried policy state, SetPolicy restores that state into
+// p before attaching it, so the new incarnation decides exactly as the
+// old one would have. A nil p detaches (built-in behavior). Safe to call
+// on a live controller between formation events.
+func (c *Controller) SetPolicy(p policy.Policy) error {
+	if p == nil {
+		c.pol = nil
+		return nil
+	}
+	if len(c.polBlob) > 0 {
+		if err := p.Restore(c.polBlob); err != nil {
+			return fmt.Errorf("controller: restoring policy state: %w", err)
+		}
+		c.polBlob = nil
+	}
+	if c.polQueue == nil {
+		c.polQueue = make([]policy.QueuedSignal, 0, c.cfg.N)
+		c.polSeen = make([]bool, c.cfg.N)
+		c.polSig = make([]Signal, 0, c.cfg.N)
+	}
+	c.pol = p
+	return nil
+}
+
+// Policy returns the attached formation policy (nil when detached).
+func (c *Controller) Policy() policy.Policy { return c.pol }
+
 // Config returns the effective configuration (defaults resolved).
 func (c *Controller) Config() Config { return c.cfg }
 
@@ -241,6 +290,12 @@ func (c *Controller) Ready(s Signal) ([]Group, error) {
 		return nil, fmt.Errorf("controller: worker %d already has a queued signal", s.Worker)
 	}
 	c.beat[s.Worker] = s.Now
+	if s.Now > c.lastNow {
+		c.lastNow = s.Now
+	}
+	if c.pol != nil {
+		c.pol.OnSignal(s.Worker, s.Iter, s.Now)
+	}
 	c.queue = append(c.queue, s)
 	c.queued[s.Worker] = true
 	if s.Iter > c.lastIter[s.Worker] {
@@ -265,16 +320,114 @@ func (c *Controller) drainGroups() []Group {
 	var groups []Group
 	for {
 		p := c.groupSize()
+		alpha := 0.0
+		if c.pol != nil {
+			p, alpha = c.consultPolicy(p)
+		}
 		if p < 2 || len(c.queue) < p {
 			break
 		}
-		g, ok := c.formGroup(p)
+		g, ok := c.formGroup(p, alpha)
 		if !ok {
 			break
 		}
 		groups = append(groups, g)
 	}
 	return groups
+}
+
+// consultPolicy asks the attached policy for the next formation decision
+// and applies it: the group size (clamped to the live worker count), an
+// optional dynamic-weight decay override (0 keeps the configured decay),
+// and an optional queue reorder (membership bias). A decision that
+// deviates from the default — what the controller would do with no
+// policy attached: def workers, FIFO order, configured decay — is
+// recorded as a KPolicyDecision trace instant; the static policy never
+// deviates, which keeps its runs bit-identical to the policy-free
+// controller.
+func (c *Controller) consultPolicy(def int) (int, float64) {
+	q := c.polQueue[:0]
+	for _, s := range c.queue {
+		q = append(q, policy.QueuedSignal{
+			Worker:    s.Worker,
+			Iter:      s.Iter,
+			Staleness: c.maxIter - s.Iter,
+			Wait:      c.lastNow - s.Now,
+		})
+	}
+	c.polQueue = q
+	d := c.pol.Decide(policy.Inputs{
+		Now:          c.lastNow,
+		ConfigP:      c.cfg.P,
+		ConfigAlpha:  c.cfg.Alpha,
+		Alive:        c.aliveN,
+		AliveMask:    c.alive,
+		GroupsFormed: c.stats.GroupsFormed,
+		Queue:        q,
+	})
+	p := d.P
+	if p > c.aliveN {
+		p = c.aliveN
+	}
+	alpha := d.Alpha
+	if alpha <= 0 || alpha >= 1 || alpha == c.cfg.Alpha {
+		alpha = 0 // out-of-range or no-op override: keep the configured decay
+	}
+	biased := c.applyBias(d.Bias, p)
+	deviated := p != def || alpha != 0 || biased
+	if deviated {
+		c.tracer.Instant(trace.KPolicyDecision, trace.ControllerTrack, -1, int64(p), int64(def))
+	}
+	effAlpha := alpha
+	if effAlpha == 0 {
+		effAlpha = c.cfg.Alpha
+	}
+	c.ins.RecordPolicyDecision(p, effAlpha, deviated)
+	return p, alpha
+}
+
+// applyBias reorders the signal queue so its first p entries follow the
+// policy's preferred order: order must be a permutation of the current
+// queue indices (invalid orders are ignored), the selected signals keep
+// the policy's order, and the rest keep FIFO order. It reports whether
+// the popped prefix actually changed.
+func (c *Controller) applyBias(order []int, p int) bool {
+	if order == nil || len(order) != len(c.queue) || p > len(c.queue) {
+		return false
+	}
+	seen := c.polSeen
+	for i := range seen {
+		seen[i] = false
+	}
+	changed := false
+	for i, idx := range order {
+		if idx < 0 || idx >= len(c.queue) || seen[idx] {
+			return false // not a permutation: ignore the bias
+		}
+		seen[idx] = true
+		if i < p && idx != i {
+			changed = true
+		}
+	}
+	if !changed {
+		return false
+	}
+	next := c.polSig[:0]
+	for i := range seen {
+		seen[i] = false
+	}
+	for _, idx := range order[:p] {
+		next = append(next, c.queue[idx])
+		seen[idx] = true // popped prefix: excluded from the FIFO tail below
+	}
+	for i, s := range c.queue {
+		if !seen[i] {
+			next = append(next, s)
+		}
+	}
+	c.polSig = next
+	c.queue = append(c.queue[:0], next...)
+	return true
 }
 
 // groupSize returns the effective group size: the configured P, shrunk to
@@ -289,9 +442,11 @@ func (c *Controller) groupSize() int {
 }
 
 // formGroup pops p signals (FIFO), applies group-frozen avoidance, records
-// the group, and generates its weights. It returns ok=false when the filter
-// defers formation to wait for a bridging signal.
-func (c *Controller) formGroup(p int) (Group, bool) {
+// the group, and generates its weights. alpha, when in (0,1), overrides
+// the configured dynamic-weight decay for this one group (a policy
+// decision); 0 keeps the configured decay. It returns ok=false when the
+// filter defers formation to wait for a bridging signal.
+func (c *Controller) formGroup(p int, alpha float64) (Group, bool) {
 	bridged := false
 
 	// Group-frozen avoidance (§4): with a full window and a disconnected
@@ -403,7 +558,11 @@ func (c *Controller) formGroup(p int) (Group, bool) {
 	g := Group{Members: members, Iters: iters, Iter: maxIter, Bridged: bridged}
 	switch c.cfg.Weighting {
 	case Dynamic:
-		g.Weights, g.InitWeight = DynamicWeights(iters, c.cfg.Alpha, c.cfg.Approx)
+		a := c.cfg.Alpha
+		if alpha > 0 {
+			a = alpha
+		}
+		g.Weights, g.InitWeight = DynamicWeights(iters, a, c.cfg.Approx)
 	default:
 		g.Weights = ConstantWeights(p)
 	}

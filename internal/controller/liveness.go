@@ -24,6 +24,7 @@ func (c *Controller) ReportFailure(worker int) bool {
 	c.aliveN--
 	c.stats.Failures++
 	c.PurgeSignal(worker)
+	c.refreshMaxIter()
 	c.tracer.Instant(trace.KWorkerDead, int32(worker), -1, 0, 0)
 	return true
 }
@@ -86,6 +87,7 @@ func (c *Controller) Rejoin(worker int) error {
 	c.alive[worker] = true
 	c.aliveN++
 	c.stats.Rejoins++
+	c.refreshMaxIter()
 	c.tracer.Instant(trace.KWorkerRejoin, int32(worker), -1, 0, 0)
 	return nil
 }

@@ -1,0 +1,345 @@
+package controller
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"partialreduce/internal/policy"
+	"partialreduce/internal/trace"
+)
+
+// replayScript is a seeded random controller workload: ready signals with
+// advancing iterations and clocks, interleaved failures and rejoins. The
+// same seed always produces the same op sequence, so two controllers fed
+// the same script are comparable event for event.
+type replayOp struct {
+	kind   int // 0: ready, 1: fail, 2: rejoin
+	worker int
+	iter   int
+	now    float64
+}
+
+func replayScript(seed int64, n, steps int) []replayOp {
+	rng := rand.New(rand.NewSource(seed))
+	iters := make([]int, n)
+	dead := make([]bool, n)
+	deadN := 0
+	now := 0.0
+	var ops []replayOp
+	for len(ops) < steps {
+		now += 0.05 + rng.Float64()
+		switch r := rng.Intn(20); {
+		case r == 0 && deadN < n-2:
+			w := rng.Intn(n)
+			if !dead[w] {
+				dead[w] = true
+				deadN++
+				ops = append(ops, replayOp{kind: 1, worker: w, now: now})
+				continue
+			}
+		case r == 1 && deadN > 0:
+			w := rng.Intn(n)
+			if dead[w] {
+				dead[w] = false
+				deadN--
+				ops = append(ops, replayOp{kind: 2, worker: w, now: now})
+				continue
+			}
+		}
+		w := rng.Intn(n)
+		if dead[w] {
+			continue
+		}
+		iters[w]++
+		ops = append(ops, replayOp{kind: 0, worker: w, iter: iters[w], now: now})
+	}
+	return ops
+}
+
+// runScript replays ops against c, tolerating rejected signals (duplicate
+// queue entries arise naturally from the random script), and returns
+// every group formed.
+func runScript(c *Controller, ops []replayOp) []Group {
+	var out []Group
+	for _, op := range ops {
+		switch op.kind {
+		case 0:
+			if gs, err := c.Ready(Signal{Worker: op.worker, Iter: op.iter, Now: op.now}); err == nil {
+				out = append(out, gs...)
+			}
+		case 1:
+			out = append(out, c.Fail(op.worker)...)
+		case 2:
+			_ = c.Rejoin(op.worker)
+		}
+	}
+	return out
+}
+
+// TestStaticPolicyBitIdentical is the metamorphic golden test: a
+// controller with the static policy attached must produce exactly the
+// groups AND exactly the trace events of a controller with no policy at
+// all, across seeded replay scripts with failures and rejoins. This pins
+// the whole policy code path — consultPolicy, deviation detection, bias
+// plumbing — as a no-op for the static policy.
+func TestStaticPolicyBitIdentical(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		cfg := Config{N: 6, P: 3, Weighting: Dynamic, Alpha: 0.5, RecordGroups: true}
+		ops := replayScript(seed, cfg.N, 400)
+
+		clock := 0.0
+		newTraced := func() (*Controller, *trace.Tracer) {
+			c := mustNew(t, cfg)
+			tr := trace.New(trace.FuncClock(func() float64 { return clock }), 1<<14)
+			c.SetTracer(tr)
+			return c, tr
+		}
+
+		base, baseTr := newTraced()
+		baseGroups := runScript(base, ops)
+
+		pol, err := policy.New(policy.Spec{Name: policy.NameStatic}, cfg.N, cfg.P)
+		if err != nil {
+			t.Fatal(err)
+		}
+		withPol, polTr := newTraced()
+		if err := withPol.SetPolicy(pol); err != nil {
+			t.Fatal(err)
+		}
+		polGroups := runScript(withPol, ops)
+
+		if !reflect.DeepEqual(baseGroups, polGroups) {
+			t.Fatalf("seed %d: groups diverged:\n  nil policy: %d groups\n  static:     %d groups",
+				seed, len(baseGroups), len(polGroups))
+		}
+		if !reflect.DeepEqual(baseTr.Events(), polTr.Events()) {
+			t.Fatalf("seed %d: trace events diverged (%d vs %d events)",
+				seed, baseTr.Len(), polTr.Len())
+		}
+		if base.Stats() != withPol.Stats() {
+			t.Fatalf("seed %d: stats diverged: %+v vs %+v", seed, base.Stats(), withPol.Stats())
+		}
+	}
+}
+
+// TestAdaptivePolicyRespectsFloors: even with an adaptive policy shrunk to
+// its floor, every formed group has at least PMin members and never more
+// than the alive worker count — the controller-side clamp property.
+func TestAdaptivePolicyRespectsFloors(t *testing.T) {
+	const pmin, pmax = 2, 4
+	for seed := int64(1); seed <= 5; seed++ {
+		cfg := Config{N: 8, P: 4, Weighting: Dynamic, Alpha: 0.5, Window: MinWindow(8, pmin)}
+		c := mustNew(t, cfg)
+		pol, err := policy.New(policy.Spec{Name: policy.NameAdaptiveP, PMin: pmin, PMax: pmax, Window: 2}, cfg.N, cfg.P)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SetPolicy(pol); err != nil {
+			t.Fatal(err)
+		}
+		for _, g := range runScript(c, replayScript(seed, cfg.N, 600)) {
+			if len(g.Members) < pmin || len(g.Members) > pmax {
+				t.Fatalf("seed %d: group size %d outside [%d,%d]", seed, len(g.Members), pmin, pmax)
+			}
+		}
+	}
+}
+
+// TestPolicyGroupWeightsSumToOne: groups formed under policy alpha
+// overrides still carry weights summing to 1 within 1e-12 (together with
+// the initial-model mass when the conservative approximation is in use).
+func TestPolicyGroupWeightsSumToOne(t *testing.T) {
+	for _, approx := range []ApproxRule{InitialModel, ClosestIteration} {
+		cfg := Config{N: 8, P: 4, Weighting: Dynamic, Alpha: 0.5, Approx: approx}
+		c := mustNew(t, cfg)
+		// alphaOverride deviates from the configured decay on every group.
+		if err := c.SetPolicy(alphaOverridePolicy{alpha: 0.3}); err != nil {
+			t.Fatal(err)
+		}
+		groups := runScript(c, replayScript(3, cfg.N, 500))
+		if len(groups) == 0 {
+			t.Fatal("script formed no groups")
+		}
+		for _, g := range groups {
+			sum := g.InitWeight
+			for _, w := range g.Weights {
+				sum += w
+			}
+			if math.Abs(sum-1) > 1e-12 {
+				t.Fatalf("approx %v: group weights sum to %v (|Δ|=%g)", approx, sum, math.Abs(sum-1))
+			}
+		}
+	}
+}
+
+// alphaOverridePolicy is a test double: static sizing, fixed alpha
+// override.
+type alphaOverridePolicy struct{ alpha float64 }
+
+func (alphaOverridePolicy) Name() string                 { return "test-alpha" }
+func (alphaOverridePolicy) OnSignal(_, _ int, _ float64) {}
+func (p alphaOverridePolicy) Decide(in policy.Inputs) policy.Decision {
+	n := in.ConfigP
+	if in.Alive < n {
+		n = in.Alive
+	}
+	return policy.Decision{P: n, Alpha: p.alpha}
+}
+func (alphaOverridePolicy) Snapshot() []byte {
+	return policy.EncodeState(policy.State{Kind: "test-alpha"})
+}
+func (alphaOverridePolicy) Restore([]byte) error { return nil }
+func (alphaOverridePolicy) Reset()               {}
+
+// TestSnapshotCarriesPolicyState pins the v2 snapshot contract: policy
+// state rides the controller snapshot, Snapshot∘Restore is the identity
+// on bytes with or without a policy re-attached, and a fresh policy
+// attached to a restored controller picks up exactly the old state.
+func TestSnapshotCarriesPolicyState(t *testing.T) {
+	cfg := Config{N: 6, P: 3, Weighting: Dynamic, Alpha: 0.5, Window: MinWindow(6, 2)}
+	spec := policy.Spec{Name: policy.NameAdaptiveP, PMin: 2, PMax: 3, Window: 2}
+	c := mustNew(t, cfg)
+	pol, err := policy.New(spec, cfg.N, cfg.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetPolicy(pol); err != nil {
+		t.Fatal(err)
+	}
+	ops := replayScript(7, cfg.N, 300)
+	runScript(c, ops)
+
+	snap := c.Snapshot()
+
+	// Restore without re-attaching a policy: the blob is parked and passed
+	// through, so the re-snapshot is byte-identical.
+	parked, err := Restore(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again := parked.Snapshot(); !bytes.Equal(snap, again) {
+		t.Fatal("Snapshot∘Restore without policy re-attach is not the identity")
+	}
+
+	// Restore and attach a fresh policy instance: SetPolicy applies the
+	// parked blob, so the twin continues exactly like the original.
+	restored, err := Restore(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := policy.New(spec, cfg.N, cfg.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.SetPolicy(fresh); err != nil {
+		t.Fatal(err)
+	}
+	if again := restored.Snapshot(); !bytes.Equal(snap, again) {
+		t.Fatal("snapshot changed after policy re-attach (state was not applied exactly)")
+	}
+
+	cont := replayScript(11, cfg.N, 200)
+	a := runScript(c, cont)
+	b := runScript(restored, cont)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("continuations diverged after policy failover: %d vs %d groups", len(a), len(b))
+	}
+}
+
+// TestIntrospectionDeadSentinels is the satellite-4 regression test:
+// introspection accessors must not serve frozen values for
+// condemned-but-not-yet-purged workers.
+func TestIntrospectionDeadSentinels(t *testing.T) {
+	c := mustNew(t, Config{N: 4, P: 2, Window: 3})
+	// Workers 0..3 all report; 0 runs ahead.
+	pairs := [][2]int{{0, 1}, {2, 3}, {0, 2}}
+	iter := 0
+	for _, p := range pairs {
+		iter++
+		ready(t, c, p[0], iter)
+		ready(t, c, p[1], iter)
+	}
+	ready(t, c, 0, 10) // frontrunner pulls maxIter to 10, then queues
+
+	// Worker 3 was fast-forwarded to iter 2 by the {2,3} group.
+	if got := c.StalenessOf(3); got != 10-2 {
+		t.Fatalf("pre-condemnation StalenessOf(3) = %d, want 8", got)
+	}
+
+	// Condemn the frontrunner: its own staleness reads -1, and the
+	// surviving workers' staleness is measured against the best survivor,
+	// not the corpse's frozen iteration.
+	c.ReportFailure(0)
+	if got := c.StalenessOf(0); got != -1 {
+		t.Fatalf("condemned StalenessOf(0) = %d, want -1 sentinel", got)
+	}
+	if got := c.MaxIter(); got != 3 {
+		t.Fatalf("MaxIter after frontrunner death = %d, want 3 (best survivor)", got)
+	}
+	// Best survivor is worker 2 at iter 3 (fast-forwarded by {0,2}).
+	if got := c.StalenessOf(3); got != 1 {
+		t.Fatalf("survivor StalenessOf(3) = %d, want 1 against surviving max", got)
+	}
+
+	// ContactAge: rows and columns of a condemned worker read -1, even for
+	// pairs that synced before the death.
+	age := c.ContactAge()
+	for j := 1; j < 4; j++ {
+		if age[0][j] != -1 || age[j][0] != -1 {
+			t.Fatalf("condemned ContactAge row/col not sentineled: age[0][%d]=%d age[%d][0]=%d",
+				j, age[0][j], j, age[j][0])
+		}
+	}
+	if age[2][3] < 0 {
+		t.Fatalf("alive pair {2,3} lost its contact age: %d", age[2][3])
+	}
+
+	// Rejoin restores live readings (staleness vs. the current max).
+	if err := c.Rejoin(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.StalenessOf(0); got != 0 {
+		t.Fatalf("rejoined StalenessOf(0) = %d, want 0 (it is the frontrunner again)", got)
+	}
+	if got := c.MaxIter(); got != 10 {
+		t.Fatalf("MaxIter after rejoin = %d, want 10", got)
+	}
+}
+
+// TestStragglerBiasReordersQueue: with the straggler-bias policy, a
+// freshly-signaled high-staleness worker jumps ahead of earlier fresh
+// signals into the next group, and the non-FIFO pop is recorded as a
+// KPolicyDecision deviation.
+func TestStragglerBiasReordersQueue(t *testing.T) {
+	c := mustNew(t, Config{N: 6, P: 3, DisableGroupFilter: true})
+	tr := trace.New(trace.FuncClock(func() float64 { return 0 }), 1<<10)
+	c.SetTracer(tr)
+	pol, err := policy.New(policy.Spec{Name: policy.NameStragglerBias}, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetPolicy(pol); err != nil {
+		t.Fatal(err)
+	}
+	ready(t, c, 0, 9)       // maxIter 9, queue [0]
+	ready(t, c, 1, 9)       // queue [0,1], both staleness 0
+	gs := ready(t, c, 2, 2) // staleness 7: bias order [2,0,1] completes the group
+	if len(gs) != 1 {
+		t.Fatalf("expected group, got %v", gs)
+	}
+	if want := []int{2, 0, 1}; !reflect.DeepEqual(gs[0].Members, want) {
+		t.Fatalf("members = %v, want straggler-first %v", gs[0].Members, want)
+	}
+	found := false
+	for _, ev := range tr.Events() {
+		if ev.Kind == trace.KPolicyDecision {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("queue reorder was not recorded as a KPolicyDecision deviation")
+	}
+}

@@ -26,8 +26,11 @@ import (
 // snapshotMagic identifies a controller snapshot ("PRCS").
 const snapshotMagic uint32 = 0x50524353
 
-// snapshotVersion is the current encoding version.
-const snapshotVersion uint32 = 1
+// snapshotVersion is the current encoding version. Version 2 added the
+// iteration-tracking state (lastIter/maxIter/lastNow/lastTog) and the
+// formation-policy state blob: policies decide from them, so warm
+// failover must carry them for the replacement to decide identically.
+const snapshotVersion uint32 = 2
 
 var snapshotTable = crc64.MakeTable(crc64.ECMA)
 
@@ -166,8 +169,9 @@ const maxSnapshotLen = 1 << 24
 
 // Snapshot serializes the controller's complete state: effective config,
 // signal queue (in FIFO order), sync-graph window (ring storage, cursor,
-// fill state), activity counters, liveness vector and heartbeat clocks, and
-// the group-history database. Two controllers with equal state produce
+// fill state), activity counters, liveness vector and heartbeat clocks,
+// the group-history database, iteration tracking, and the attached
+// formation policy's state. Two controllers with equal state produce
 // byte-identical snapshots, so Snapshot→Restore→Snapshot is the round-trip
 // equality check.
 func (c *Controller) Snapshot() []byte {
@@ -224,6 +228,24 @@ func (c *Controller) Snapshot() []byte {
 	for _, g := range c.log {
 		e.ints(g)
 	}
+
+	// Iteration tracking and formation-policy state (v2). An attached
+	// policy contributes its live state; a controller restored but not
+	// yet given a policy passes the parked blob through unchanged, so
+	// Snapshot→Restore→Snapshot is byte-identical with or without the
+	// policy re-attached.
+	e.ints(c.lastIter)
+	e.i64(c.maxIter)
+	e.f64(c.lastNow)
+	for _, row := range c.lastTog {
+		e.ints(row)
+	}
+	blob := c.polBlob
+	if c.pol != nil {
+		blob = c.pol.Snapshot()
+	}
+	e.i64(len(blob))
+	e.buf = append(e.buf, blob...)
 
 	e.u64(crc64.Checksum(e.buf, snapshotTable))
 	c.tracer.Instant(trace.KCtrlSnapshot, trace.ControllerTrack, -1, int64(len(e.buf)), 0)
@@ -332,6 +354,33 @@ func Restore(data []byte) (*Controller, error) {
 	ln := d.count(maxSnapshotLen)
 	for i := 0; i < ln && d.err == nil; i++ {
 		c.log = append(c.log, d.ints(maxSnapshotLen))
+	}
+
+	// Iteration tracking and formation-policy state (v2).
+	lastIter := d.ints(maxSnapshotLen)
+	if d.err == nil && len(lastIter) != cfg.N {
+		d.fail("iteration-tracking length mismatch")
+	}
+	if d.err == nil {
+		copy(c.lastIter, lastIter)
+	}
+	c.maxIter = d.i64()
+	c.lastNow = d.f64()
+	for i := 0; i < cfg.N && d.err == nil; i++ {
+		row := d.ints(maxSnapshotLen)
+		if len(row) != cfg.N {
+			d.fail("last-together row %d length %d", i, len(row))
+			break
+		}
+		copy(c.lastTog[i], row)
+	}
+	bn := d.count(maxSnapshotLen)
+	if d.err == nil && d.off+bn > len(body) {
+		d.fail("truncated policy state")
+	}
+	if d.err == nil && bn > 0 {
+		c.polBlob = append([]byte(nil), body[d.off:d.off+bn]...)
+		d.off += bn
 	}
 	if d.err != nil {
 		return nil, d.err

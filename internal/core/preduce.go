@@ -14,6 +14,7 @@ import (
 	"partialreduce/internal/cluster"
 	"partialreduce/internal/controller"
 	"partialreduce/internal/metrics"
+	"partialreduce/internal/policy"
 	"partialreduce/internal/tensor"
 	"partialreduce/internal/trace"
 )
@@ -37,6 +38,20 @@ type PReduceConfig struct {
 	// cluster has a geo-distributed topology (cheap intra-DC collectives);
 	// group-frozen avoidance still bridges zones periodically.
 	ZoneAffinity bool
+	// Policy selects a group-formation policy (internal/policy): the zero
+	// value keeps the controller's built-in behavior, "adaptive-p" adapts
+	// the group size between the spec's bounds from observed worker
+	// cadence, "straggler-bias" pulls high-staleness workers into groups
+	// first. When adaptive bounds allow shrinking below P and Window is 0,
+	// the sync-graph window is sized for the smallest reachable group size
+	// so frozen avoidance stays sound at every P the policy may choose.
+	Policy policy.Spec
+	// CtrlRestartEvery, when positive, warm-restarts the controller
+	// (Snapshot → Restore → re-attach tracer/instruments/policy) every
+	// that many dispatched groups: the simulator's deterministic stand-in
+	// for live controller failover. Replay tests use it to pin that
+	// policy state survives a restore exactly.
+	CtrlRestartEvery int
 }
 
 // PReduce is the partial-reduce training strategy.
@@ -47,16 +62,32 @@ type PReduce struct {
 // NewPReduce returns the strategy for cfg.
 func NewPReduce(cfg PReduceConfig) *PReduce { return &PReduce{cfg: cfg} }
 
-// Name implements cluster.Strategy: "CON P=3", "DYN P=3", "CON+OV P=3"...
+// Name implements cluster.Strategy: "CON P=3", "DYN P=3", "CON+OV P=3",
+// "ADP P=4" (adaptive-p policy), "SBIAS P=4" (straggler-bias policy)...
 func (p *PReduce) Name() string {
 	tag := "CON"
 	if p.cfg.Weighting == controller.Dynamic {
 		tag = "DYN"
 	}
+	switch p.cfg.Policy.Name {
+	case policy.NameAdaptiveP:
+		tag = "ADP"
+	case policy.NameStragglerBias:
+		tag = "SBIAS"
+	}
 	if p.cfg.Overlap {
 		tag += "+OV"
 	}
 	return fmt.Sprintf("%s P=%d", tag, p.cfg.P)
+}
+
+// WithPolicy returns a copy of the strategy with the given formation
+// policy spec — how the CLI's -policy/-p-min/-p-max/-policy-window flags
+// retrofit a policy onto the named P-Reduce strategies.
+func (p *PReduce) WithPolicy(spec policy.Spec) *PReduce {
+	cfg := p.cfg
+	cfg.Policy = spec
+	return NewPReduce(cfg)
 }
 
 func (p *PReduce) controllerConfig(c *cluster.Cluster) controller.Config {
@@ -76,6 +107,15 @@ func (p *PReduce) controllerConfig(c *cluster.Cluster) controller.Config {
 			zones[w] = c.Cfg.Topology.ZoneOf(w)
 		}
 		cfg.Zones = zones
+	}
+	if cfg.Window == 0 && p.cfg.Policy.Enabled() {
+		// An adaptive policy may form groups as small as PMin; the
+		// sync-graph window must be able to witness connectivity at that
+		// size, so size it for the smallest reachable P, not the
+		// configured one.
+		if r := p.cfg.Policy.Resolve(p.cfg.P); r.Name == policy.NameAdaptiveP && r.PMin < p.cfg.P {
+			cfg.Window = controller.MinWindow(c.Cfg.N, r.PMin)
+		}
 	}
 	return cfg
 }
@@ -114,11 +154,13 @@ func (p *PReduce) RunDetailed(c *cluster.Cluster) (*RunInfo, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := p.runWith(c, ctrl)
+	// runWith returns the final controller: CtrlRestartEvery replaces the
+	// incarnation mid-run, and the stats must come from the survivor.
+	res, final, err := p.runWith(c, ctrl)
 	if err != nil {
 		return nil, err
 	}
-	return &RunInfo{Result: res, Stats: ctrl.Stats(), MeanW: ctrl.MeanW()}, nil
+	return &RunInfo{Result: res, Stats: final.Stats(), MeanW: final.MeanW()}, nil
 }
 
 // runWith drives Algorithm 2 on the cluster's event engine. When the cell
@@ -127,17 +169,32 @@ func (p *PReduce) RunDetailed(c *cluster.Cluster) (*RunInfo, error) {
 // a group caught mid-collective is aborted and its survivors re-signal after
 // one controller round trip, and checkpoint rejoins re-admit the worker with
 // its crash-time model.
-func (p *PReduce) runWith(c *cluster.Cluster, ctrl *controller.Controller) (*metrics.Result, error) {
+func (p *PReduce) runWith(c *cluster.Cluster, ctrl *controller.Controller) (*metrics.Result, *controller.Controller, error) {
 	// The controller shares the cluster's virtual-clock tracer (nil when
 	// tracing is off), so its ready/group-formed/staleness decisions land on
 	// the same timeline as the worker spans.
 	ctrl.SetTracer(c.Tracer)
 	ctrl.SetInstruments(c.Ins)
+	var pol policy.Policy
+	if p.cfg.Policy.Enabled() {
+		var err error
+		pol, err = policy.New(p.cfg.Policy, c.Cfg.N, p.cfg.P)
+		if err != nil {
+			return nil, ctrl, err
+		}
+		if err := ctrl.SetPolicy(pol); err != nil {
+			return nil, ctrl, err
+		}
+	}
 	if p.cfg.Overlap {
 		if len(c.Cfg.Crashes) > 0 {
-			return nil, fmt.Errorf("core: overlapped P-Reduce does not support crash schedules")
+			return nil, ctrl, fmt.Errorf("core: overlapped P-Reduce does not support crash schedules")
 		}
-		return p.runOverlapped(c, ctrl)
+		if p.cfg.CtrlRestartEvery > 0 {
+			return nil, ctrl, fmt.Errorf("core: overlapped P-Reduce does not support controller restarts")
+		}
+		res, err := p.runOverlapped(c, ctrl)
+		return res, ctrl, err
 	}
 	agg := tensor.NewVector(len(c.Init))
 	var readyErr error
@@ -260,6 +317,27 @@ func (p *PReduce) runWith(c *cluster.Cluster, ctrl *controller.Controller) (*met
 		})
 	}
 
+	// restart is the simulated warm-failover drill: serialize the
+	// controller, destroy it, restore a replacement from the snapshot, and
+	// re-attach the wiring (tracer, instruments, policy — whose state
+	// rides the snapshot and is restored into the same policy object).
+	dispatched := 0
+	restart := func() {
+		next, err := controller.Restore(ctrl.Snapshot())
+		if err == nil {
+			err = next.SetPolicy(pol) // no-op when pol is nil
+		}
+		if err != nil {
+			readyErr = err
+			c.Eng.Stop()
+			return
+		}
+		next.SetTracer(c.Tracer)
+		next.SetInstruments(c.Ins)
+		ctrl = next
+		c.Tracer.Instant(trace.KCtrlRestore, trace.ControllerTrack, -1, 0, 0)
+	}
+
 	dispatch = func(groups []controller.Group) {
 		for _, g := range groups {
 			g := g
@@ -275,12 +353,16 @@ func (p *PReduce) runWith(c *cluster.Cluster, ctrl *controller.Controller) (*met
 				}
 			}
 			attempt(id, g, 1)
+			dispatched++
+			if p.cfg.CtrlRestartEvery > 0 && dispatched%p.cfg.CtrlRestartEvery == 0 {
+				restart()
+			}
 		}
 	}
 
 	signalReady = func(w *cluster.Worker) {
 		readyAt[w.ID] = c.Eng.Now()
-		groups, err := ctrl.Ready(controller.Signal{Worker: w.ID, Iter: w.Iter})
+		groups, err := ctrl.Ready(controller.Signal{Worker: w.ID, Iter: w.Iter, Now: c.Eng.Now()})
 		if err != nil {
 			readyErr = err
 			c.Eng.Stop()
@@ -364,7 +446,7 @@ func (p *PReduce) runWith(c *cluster.Cluster, ctrl *controller.Controller) (*met
 	}
 	c.Eng.Run()
 	if readyErr != nil {
-		return nil, readyErr
+		return nil, ctrl, readyErr
 	}
-	return c.Finish(), nil
+	return c.Finish(), ctrl, nil
 }

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"partialreduce/internal/metrics"
+	"partialreduce/internal/model"
+)
+
+// AdaptiveRow is one cell of the adaptive-policy sweep: static DYN P=4
+// versus ADP P=4 (adaptive-p, bounds [2,4]) on the same seeds.
+type AdaptiveRow struct {
+	Label        string // "HL=0", "HL=2", "HL=3", "production"
+	Seeds        []int64
+	StaticTime   []float64 // virtual seconds to threshold; 0 when missed
+	AdaptiveTime []float64
+	StaticFail   int
+	AdaptiveFail int
+}
+
+// Speedup returns static/adaptive mean time-to-threshold over the seeds
+// where both sides converged (ok=false when no seed qualifies). A value
+// above 1 means the adaptive policy was faster.
+func (r *AdaptiveRow) Speedup() (float64, bool) {
+	var s, a float64
+	n := 0
+	for i := range r.Seeds {
+		if r.StaticTime[i] > 0 && r.AdaptiveTime[i] > 0 {
+			s += r.StaticTime[i]
+			a += r.AdaptiveTime[i]
+			n++
+		}
+	}
+	if n == 0 || a == 0 {
+		return 0, false
+	}
+	return s / a, true
+}
+
+// AdaptiveSweepResult is the full static-vs-adaptive comparison, plus every
+// raw run result for CSV export (Workload is rewritten to
+// "<name>/<row>/seed<k>" so summary rows stay unique).
+type AdaptiveSweepResult struct {
+	Rows    []AdaptiveRow
+	Results []*metrics.Result
+}
+
+// RobustnessAdaptive compares static dynamic-weight P-Reduce ("DYN P=4")
+// against the adaptive-p formation policy ("ADP P=4", group-size bounds
+// [2,4]) on ResNet-34/CIFAR-10 with N=8, across heterogeneity levels and a
+// regime-switching production trace, over several seeds. The claim under
+// test: shrinking groups when the signal-cadence dispersion is high buys
+// time-to-threshold at HL>=2 without giving anything up in the
+// near-homogeneous cell. The whole sweep is a pure function of
+// (opts, seeds).
+func RobustnessAdaptive(opts Options, seeds int) (*AdaptiveSweepResult, error) {
+	if seeds < 1 {
+		return nil, fmt.Errorf("experiments: need at least one seed")
+	}
+	w := opts.workload(CIFAR10Workload(model.ResNet34))
+	rows := []struct {
+		label string
+		env   EnvKind
+		hl    int
+	}{
+		{"HL=0", EnvHL, 0}, // no accelerator sharing: the homogeneous control
+		{"HL=2", EnvHL, 2},
+		{"HL=3", EnvHL, 3},
+		{"production", EnvProduction, 0},
+	}
+
+	out := &AdaptiveSweepResult{}
+	type pair struct{ static, adaptive *metrics.Result }
+	results := make([][]pair, len(rows))
+	var jobs []job
+	for ri, row := range rows {
+		ri := ri
+		results[ri] = make([]pair, seeds)
+		r := AdaptiveRow{Label: row.label}
+		for i := 0; i < seeds; i++ {
+			i := i
+			seed := opts.Seed + int64(i)
+			r.Seeds = append(r.Seeds, seed)
+			cell := Cell{Workload: w, N: 8, Env: row.env, HL: row.hl, Seed: seed}
+			jobs = append(jobs,
+				job{cell: cell, strategy: "DYN P=4", store: func(res *metrics.Result) { results[ri][i].static = res }},
+				job{cell: cell, strategy: "ADP P=4", store: func(res *metrics.Result) { results[ri][i].adaptive = res }},
+			)
+		}
+		out.Rows = append(out.Rows, r)
+	}
+	if err := runAll(opts, jobs); err != nil {
+		return nil, err
+	}
+	for ri := range rows {
+		r := &out.Rows[ri]
+		r.StaticTime = make([]float64, seeds)
+		r.AdaptiveTime = make([]float64, seeds)
+		for i, p := range results[ri] {
+			for _, side := range []struct {
+				res  *metrics.Result
+				time *float64
+				fail *int
+			}{
+				{p.static, &r.StaticTime[i], &r.StaticFail},
+				{p.adaptive, &r.AdaptiveTime[i], &r.AdaptiveFail},
+			} {
+				if side.res == nil {
+					*side.fail++
+					continue
+				}
+				// Uniquify the CSV key: one summary row per (strategy,
+				// row, seed).
+				side.res.Workload = fmt.Sprintf("%s/%s/seed%d", side.res.Workload, r.Label, r.Seeds[i])
+				out.Results = append(out.Results, side.res)
+				if side.res.Converged {
+					*side.time = side.res.RunTime
+				} else {
+					*side.fail++
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Format renders the sweep as a per-row table with the mean speedup band.
+func (r *AdaptiveSweepResult) Format(w io.Writer) {
+	fmt.Fprintf(w, "adaptive-p vs static P-Reduce (ResNet-34/CIFAR-10, N=8, DYN P=4 vs ADP P=4 [2,4]):\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "  %-10s", row.Label)
+		for i := range row.Seeds {
+			st, ad := row.StaticTime[i], row.AdaptiveTime[i]
+			switch {
+			case st == 0 || ad == 0:
+				fmt.Fprintf(w, "  seed %d: n/a", row.Seeds[i])
+			default:
+				fmt.Fprintf(w, "  seed %d: %.0fs/%.0fs", row.Seeds[i], st, ad)
+			}
+		}
+		if sp, ok := row.Speedup(); ok {
+			fmt.Fprintf(w, "  mean speedup %.2fx", sp)
+		}
+		if row.StaticFail > 0 || row.AdaptiveFail > 0 {
+			fmt.Fprintf(w, "  (missed: static %d, adaptive %d)", row.StaticFail, row.AdaptiveFail)
+		}
+		fmt.Fprintf(w, "\n")
+	}
+	fmt.Fprintf(w, "times are static/adaptive virtual seconds to the accuracy threshold; >1x means adaptive is faster\n")
+}

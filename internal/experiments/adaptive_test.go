@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"partialreduce/internal/cluster"
+	"partialreduce/internal/controller"
+	"partialreduce/internal/core"
+	"partialreduce/internal/metrics"
+	"partialreduce/internal/model"
+	"partialreduce/internal/policy"
+	"partialreduce/internal/trace"
+)
+
+// runAdaptiveTraced runs one quick adaptive-p cell with tracing enabled.
+// restartEvery > 0 warm-restarts the controller (Snapshot→Restore, policy
+// state riding the blob) every that-many dispatched groups.
+func runAdaptiveTraced(t *testing.T, seed int64, restartEvery int) (*metrics.Result, *cluster.Cluster) {
+	t.Helper()
+	opts := Options{Seed: seed, Quick: true}
+	cell := Cell{
+		Workload: opts.workload(CIFAR10Workload(model.ResNet34)),
+		N:        8, Env: EnvHL, HL: 2, Seed: seed,
+	}
+	cfg, err := cell.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.TraceCap = 1 << 15
+	c, err := cluster.New(cfg, "ADP P=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	strat := core.NewPReduce(core.PReduceConfig{
+		P: 4, Weighting: controller.Dynamic, Approx: controller.ClosestIteration,
+		Policy:           policy.Spec{Name: policy.NameAdaptiveP, PMin: 2, PMax: 4},
+		CtrlRestartEvery: restartEvery,
+	})
+	res, err := strat.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, c
+}
+
+// TestAdaptiveSeedReplayDeterministic is the satellite-2 replay pin: two
+// same-seed adaptive-p runs — each warm-restarting the controller mid-run
+// — export byte-identical summary CSV and trace JSONL. Any
+// non-determinism in the policy (map iteration, wall clocks, lossy
+// snapshot state) would diverge the group stream and break this.
+func TestAdaptiveSeedReplayDeterministic(t *testing.T) {
+	run := func() ([]byte, []byte) {
+		res, c := runAdaptiveTraced(t, 3, 5)
+		events := c.Tracer.Events()
+		if len(events) == 0 {
+			t.Fatal("no trace events")
+		}
+		var csv, jsonl bytes.Buffer
+		if err := metrics.WriteSummaryCSV(&csv, res); err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.WriteJSONL(&jsonl, events); err != nil {
+			t.Fatal(err)
+		}
+		return csv.Bytes(), jsonl.Bytes()
+	}
+	c1, j1 := run()
+	c2, j2 := run()
+	if !bytes.Equal(c1, c2) {
+		t.Fatalf("same-seed adaptive runs wrote different summary CSVs:\n%s\nvs\n%s", c1, c2)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("same-seed adaptive runs exported different JSONL traces")
+	}
+}
+
+// TestAdaptiveSurvivesWarmRestore pins that a mid-run controller warm
+// restore is invisible to training: the run with periodic
+// Snapshot→Restore cycles produces exactly the result of the run without
+// them. If any adaptive-policy state (group-size controller, cadence
+// EMAs) were lost or approximated across the restore, the group stream —
+// and with it the result — would diverge.
+func TestAdaptiveSurvivesWarmRestore(t *testing.T) {
+	plain, _ := runAdaptiveTraced(t, 4, 0)
+	restarted, c := runAdaptiveTraced(t, 4, 5)
+
+	restores := 0
+	for _, ev := range c.Tracer.Events() {
+		if ev.Kind == trace.KCtrlRestore {
+			restores++
+		}
+	}
+	if restores == 0 {
+		t.Fatal("restart harness never fired (CtrlRestartEvery ignored)")
+	}
+	if !reflect.DeepEqual(plain, restarted) {
+		t.Fatalf("warm restores changed the training result:\n  plain:     %+v\n  restarted: %+v",
+			plain, restarted)
+	}
+}
+
+// TestAdaptiveDecisionsDeviate sanity-checks that the adaptive policy
+// actually does something on a heterogeneous cell: at HL=2 the cadence
+// dispersion crosses the shrink threshold, so at least one formed group
+// must be smaller than the configured P, and the deviation counter must
+// be nonzero.
+func TestAdaptiveDecisionsDeviate(t *testing.T) {
+	_, c := runAdaptiveTraced(t, 1, 0)
+	deviations := 0
+	smaller := false
+	for _, ev := range c.Tracer.Events() {
+		switch ev.Kind {
+		case trace.KPolicyDecision:
+			deviations++
+		case trace.KGroupFormed:
+			if ev.B < 4 && ev.B >= 2 {
+				smaller = true
+			}
+		}
+	}
+	if deviations == 0 {
+		t.Fatal("adaptive-p never deviated from static on an HL=2 cell")
+	}
+	if !smaller {
+		t.Fatal("no group smaller than the configured P was formed")
+	}
+	if snap := c.Ins.Snapshot(); snap.PolicyDeviations == 0 {
+		t.Fatal("instruments did not count the policy deviations")
+	}
+}
+
+// TestStaticPolicyMatchesBaselineResult is the end-to-end half of the
+// metamorphic golden test: retrofitting the static policy via
+// Options.Policy (the -policy flag path) onto a DYN run reproduces the
+// policy-free result exactly.
+func TestStaticPolicyMatchesBaselineResult(t *testing.T) {
+	cell := Cell{
+		Workload: Options{Quick: true}.workload(CIFAR10Workload(model.ResNet34)),
+		N:        8, Env: EnvHL, HL: 2, Seed: 2,
+	}
+	base, err := runCell(Options{Seed: 2, Quick: true}, cell, "DYN P=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, err := runCell(Options{Seed: 2, Quick: true, Policy: policy.Spec{Name: policy.NameStatic}}, cell, "DYN P=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, with) {
+		t.Fatalf("static policy changed the run result:\n  baseline: %+v\n  static:   %+v", base, with)
+	}
+}

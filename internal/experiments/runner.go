@@ -10,6 +10,7 @@ import (
 	"partialreduce/internal/controller"
 	"partialreduce/internal/core"
 	"partialreduce/internal/metrics"
+	"partialreduce/internal/policy"
 )
 
 // Options tune an experiment run.
@@ -20,6 +21,12 @@ type Options struct {
 	Quick bool
 	// Parallelism bounds concurrent cells; zero selects GOMAXPROCS.
 	Parallelism int
+	// Policy optionally retrofits a group-formation policy (see
+	// internal/policy) onto every P-Reduce strategy an experiment runs;
+	// non-P-Reduce baselines are unaffected. The zero Spec is a no-op, and
+	// Spec{Name: policy.NameStatic} reproduces the policy-free controller
+	// byte for byte (the metamorphic baseline).
+	Policy policy.Spec
 }
 
 func (o Options) workers() int {
@@ -69,6 +76,21 @@ func StrategyFor(name string) (cluster.Strategy, error) {
 		return core.NewPReduce(core.PReduceConfig{
 			P: p, Weighting: controller.Dynamic, Approx: controller.ClosestIteration,
 		}), nil
+	case matchInt(name, "ADP P=%d", &p):
+		// Dynamic P-Reduce with the adaptive-p formation policy: the
+		// configured P is the upper bound, groups shrink toward PMin=2 when
+		// the signal-cadence dispersion says the cell is heterogeneous.
+		return core.NewPReduce(core.PReduceConfig{
+			P: p, Weighting: controller.Dynamic, Approx: controller.ClosestIteration,
+			Policy: policy.Spec{Name: policy.NameAdaptiveP, PMin: 2, PMax: p},
+		}), nil
+	case matchInt(name, "SBIAS P=%d", &p):
+		// Dynamic P-Reduce with the straggler-bias formation policy: the
+		// highest-staleness queued workers are preferred into each group.
+		return core.NewPReduce(core.PReduceConfig{
+			P: p, Weighting: controller.Dynamic, Approx: controller.ClosestIteration,
+			Policy: policy.Spec{Name: policy.NameStragglerBias},
+		}), nil
 	}
 	return nil, fmt.Errorf("experiments: unknown strategy %q", name)
 }
@@ -101,7 +123,7 @@ func runAll(opts Options, jobs []job) error {
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			res, err := runCell(j.cell, j.strategy)
+			res, err := runCell(opts, j.cell, j.strategy)
 			if err != nil {
 				mu.Lock()
 				if firstErr == nil {
@@ -120,11 +142,15 @@ func runAll(opts Options, jobs []job) error {
 	return firstErr
 }
 
-// runCell executes one simulation.
-func runCell(cell Cell, strategy string) (*metrics.Result, error) {
+// runCell executes one simulation, applying opts.Policy to P-Reduce
+// strategies.
+func runCell(opts Options, cell Cell, strategy string) (*metrics.Result, error) {
 	s, err := StrategyFor(strategy)
 	if err != nil {
 		return nil, err
+	}
+	if pr, ok := s.(*core.PReduce); ok && opts.Policy.Enabled() {
+		s = pr.WithPolicy(opts.Policy)
 	}
 	cfg, err := cell.Build()
 	if err != nil {

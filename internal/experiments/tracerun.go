@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"partialreduce/internal/cluster"
+	"partialreduce/internal/core"
 	"partialreduce/internal/metrics"
 	"partialreduce/internal/model"
 )
@@ -31,6 +32,9 @@ func TracedRun(opts Options, traceCap int) (*metrics.Result, *cluster.Cluster, e
 	s, err := StrategyFor(strategy)
 	if err != nil {
 		return nil, nil, err
+	}
+	if pr, ok := s.(*core.PReduce); ok && opts.Policy.Enabled() {
+		s = pr.WithPolicy(opts.Policy)
 	}
 	cfg, err := cell.Build()
 	if err != nil {

@@ -28,6 +28,7 @@ import (
 	"partialreduce/internal/metrics"
 	"partialreduce/internal/model"
 	"partialreduce/internal/optim"
+	"partialreduce/internal/policy"
 	"partialreduce/internal/tensor"
 	"partialreduce/internal/trace"
 	"partialreduce/internal/transport"
@@ -46,6 +47,11 @@ type Config struct {
 	Weighting controller.Weighting
 	Alpha     float64
 	Approx    controller.ApproxRule
+	// Policy selects a group-formation policy (see internal/policy). The
+	// zero Spec leaves the controller's static behavior untouched. The
+	// adaptive-p policy can shrink groups to Policy.PMin, so the controller
+	// window is sized for PMin to keep the frozen-avoidance guarantee.
+	Policy policy.Spec
 	// Iters is the number of local iterations each worker performs.
 	Iters int
 	// ComputeDelay optionally injects artificial per-batch latency to
@@ -167,6 +173,11 @@ func (c Config) Validate() error {
 			return fmt.Errorf("live: negative rejoin delay for worker %d", w)
 		}
 	}
+	if c.Policy.Enabled() {
+		if err := c.Policy.Resolve(c.P).Validate(c.N, c.P); err != nil {
+			return err
+		}
+	}
 	return c.Optimizer.Validate()
 }
 
@@ -267,15 +278,35 @@ func Run(cfg Config, world []transport.Transport) (*Report, error) {
 	if len(world) != cfg.N {
 		return nil, fmt.Errorf("live: %d transports for %d workers", len(world), cfg.N)
 	}
-	ctrl, err := controller.New(controller.Config{
+	ctrlCfg := controller.Config{
 		N: cfg.N, P: cfg.P,
 		Weighting: cfg.Weighting, Alpha: cfg.Alpha, Approx: cfg.Approx,
-	})
+	}
+	var pol policy.Policy
+	if cfg.Policy.Enabled() {
+		spec := cfg.Policy.Resolve(cfg.P)
+		if spec.Name == policy.NameAdaptiveP && spec.PMin < cfg.P {
+			// Adaptive groups can shrink to PMin; the sync window must be
+			// sized for the smallest group or frozen avoidance would reject
+			// them.
+			ctrlCfg.Window = controller.MinWindow(cfg.N, spec.PMin)
+		}
+		var perr error
+		if pol, perr = policy.New(cfg.Policy, cfg.N, cfg.P); perr != nil {
+			return nil, perr
+		}
+	}
+	ctrl, err := controller.New(ctrlCfg)
 	if err != nil {
 		return nil, err
 	}
 	ctrl.SetTracer(cfg.Tracer)
 	ctrl.SetInstruments(cfg.Instruments)
+	if pol != nil {
+		if err := ctrl.SetPolicy(pol); err != nil {
+			return nil, err
+		}
+	}
 
 	base := cfg.Spec.Build(cfg.Seed)
 	rt := &runtime{
@@ -476,6 +507,7 @@ func (rt *runtime) service(ctrl *controller.Controller, completed []bool, stop, 
 			return
 		}
 		crashed = true
+		pol := ctrl.Policy()
 		if cfg.CtrlCold {
 			// Cold: only the effective config survives; queue, sync-graph,
 			// liveness, and counters are rebuilt from worker re-signals and
@@ -509,6 +541,18 @@ func (rt *runtime) service(ctrl *controller.Controller, completed []bool, stop, 
 		// re-open its trace sink).
 		ctrl.SetTracer(cfg.Tracer)
 		ctrl.SetInstruments(cfg.Instruments)
+		if pol != nil {
+			// The policy object is wiring too, but its state is not: a warm
+			// restore carries it in the snapshot blob (SetPolicy applies
+			// it); a cold rebuild loses it along with the queue.
+			if cfg.CtrlCold {
+				pol.Reset()
+			}
+			if err := ctrl.SetPolicy(pol); err != nil {
+				rt.runErr <- fmt.Errorf("live: controller failover policy: %w", err)
+				return
+			}
+		}
 		for w := range waiting {
 			delete(waiting, w)
 			delete(waitSeq, w)

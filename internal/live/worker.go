@@ -11,6 +11,7 @@ import (
 	"partialreduce/internal/data"
 	"partialreduce/internal/model"
 	"partialreduce/internal/optim"
+	"partialreduce/internal/policy"
 	"partialreduce/internal/tensor"
 	"partialreduce/internal/trace"
 	"partialreduce/internal/transport"
@@ -105,15 +106,32 @@ func RunWorker(cfg Config, tr transport.Transport, host bool) (*Report, error) {
 // whose connection breaks fails its pending receive with a peer-down error,
 // which the loop reports as a death event.
 func runControllerService(cfg Config, tr transport.Transport) error {
-	ctrl, err := controller.New(controller.Config{
+	ctrlCfg := controller.Config{
 		N: cfg.N, P: cfg.P,
 		Weighting: cfg.Weighting, Alpha: cfg.Alpha, Approx: cfg.Approx,
-	})
+	}
+	var pol policy.Policy
+	if cfg.Policy.Enabled() {
+		spec := cfg.Policy.Resolve(cfg.P)
+		if spec.Name == policy.NameAdaptiveP && spec.PMin < cfg.P {
+			ctrlCfg.Window = controller.MinWindow(cfg.N, spec.PMin)
+		}
+		var perr error
+		if pol, perr = policy.New(cfg.Policy, cfg.N, cfg.P); perr != nil {
+			return perr
+		}
+	}
+	ctrl, err := controller.New(ctrlCfg)
 	if err != nil {
 		return err
 	}
 	ctrl.SetTracer(cfg.Tracer)
 	ctrl.SetInstruments(cfg.Instruments)
+	if pol != nil {
+		if err := ctrl.SetPolicy(pol); err != nil {
+			return err
+		}
+	}
 
 	type event struct {
 		worker int
@@ -279,6 +297,7 @@ func runControllerService(cfg Config, tr transport.Transport) error {
 			return nil
 		}
 		crashed = true
+		svcPol := ctrl.Policy()
 		if cfg.CtrlCold {
 			next, _, err := controller.Rebuild(ctrl.Config(), nil)
 			if err != nil {
@@ -301,6 +320,16 @@ func runControllerService(cfg Config, tr transport.Transport) error {
 		// replacement incarnation.
 		ctrl.SetTracer(cfg.Tracer)
 		ctrl.SetInstruments(cfg.Instruments)
+		if svcPol != nil {
+			// Warm restores carry policy state in the snapshot blob; a cold
+			// rebuild loses it along with the queue.
+			if cfg.CtrlCold {
+				svcPol.Reset()
+			}
+			if err := ctrl.SetPolicy(svcPol); err != nil {
+				return fmt.Errorf("live: controller failover policy: %w", err)
+			}
+		}
 		for w := range waiting {
 			delete(waiting, w)
 		}
@@ -375,7 +404,10 @@ func runControllerService(cfg Config, tr transport.Transport) error {
 				}
 				break
 			}
-			groups, err := ctrl.Ready(controller.Signal{Worker: ev.worker, Iter: ev.iter})
+			groups, err := ctrl.Ready(controller.Signal{
+				Worker: ev.worker, Iter: ev.iter,
+				Now: float64(time.Now().UnixNano()) / 1e9,
+			})
 			if err != nil {
 				// Dead-marked or duplicate sender: release it to proceed solo.
 				delete(waiting, ev.worker)

@@ -197,6 +197,10 @@ type Instruments struct {
 	interventions int64
 	deferrals     int64
 
+	policyP          int64   // group size at the latest policy decision (0: no policy)
+	policyAlpha      float64 // dynamic-weight decay in effect at that decision
+	policyDeviations int64   // decisions that deviated from the static default
+
 	comms CommStats
 }
 
@@ -282,6 +286,23 @@ func (in *Instruments) CountDeferral() {
 	in.mu.Unlock()
 }
 
+// RecordPolicyDecision records one formation-policy decision: p the
+// chosen group size, alpha the dynamic-weight decay in effect, deviated
+// whether the decision differs from the static default (what the
+// controller would do with no policy attached). Nil-safe.
+func (in *Instruments) RecordPolicyDecision(p int, alpha float64, deviated bool) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.policyP = int64(p)
+	in.policyAlpha = alpha
+	if deviated {
+		in.policyDeviations++
+	}
+	in.mu.Unlock()
+}
+
 // AddComms folds a data-plane delta into the running total. Nil-safe.
 func (in *Instruments) AddComms(s CommStats) {
 	if in == nil {
@@ -304,6 +325,9 @@ type InstrumentsSnapshot struct {
 	GroupsFormed     int64
 	Interventions    int64
 	Deferrals        int64
+	PolicyP          int64
+	PolicyAlpha      float64
+	PolicyDeviations int64
 	Comms            CommStats
 	QueueDepthNow    float64
 	QueueDepthSample float64
@@ -330,7 +354,12 @@ func (in *Instruments) Snapshot() *InstrumentsSnapshot {
 		GroupsFormed:   in.groupsFormed,
 		Interventions:  in.interventions,
 		Deferrals:      in.deferrals,
-		Comms:          in.comms,
+
+		PolicyP:          in.policyP,
+		PolicyAlpha:      in.policyAlpha,
+		PolicyDeviations: in.policyDeviations,
+
+		Comms: in.comms,
 	}
 	if t, v, ok := in.queueDepth.Last(); ok {
 		snap.QueueDepthNow, snap.QueueDepthSample = t, v

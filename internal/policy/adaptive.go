@@ -1,0 +1,192 @@
+package policy
+
+// adaptive-p: bound the time fast workers burn waiting at group barriers
+// by shrinking P when the cluster's compute speeds spread apart, and
+// grow P back toward the configured size when they re-converge.
+//
+// The decision signal is per-worker signal-cadence dispersion. Each
+// accepted ready signal updates an EMA of that worker's inter-signal gap
+// (its end-to-end iteration period: compute + barrier wait +
+// collective). The dispersion is the ratio of the slowest worker's gap
+// to the median gap across alive workers. Staleness itself is useless
+// here — P-Reduce's fast-forwarding (§3.3.3) caps observed staleness at
+// ~1 regardless of how skewed the cluster is — but cadence survives
+// fast-forwarding untouched: a worker sharing its accelerator with one
+// neighbor signals ~1.45× slower than the median, with three neighbors
+// ~1.9× slower, while homogeneous jitter keeps the ratio under ~1.15.
+//
+// Every Window formed groups the policy re-decides with hysteresis:
+// dispersion ≥ hi shrinks P one step (never below PMin), dispersion ≤ lo
+// grows it one step (never above PMax); in between, P holds. Extreme
+// dispersion (beyond adaptCap) instead walks P back toward the
+// configured size — see adaptCap below. P starts at the configured
+// size, so a homogeneous run never deviates from static behavior at
+// all. All state is a handful of ints and two float vectors, snapshot
+// exactly by codec.go.
+
+// Hysteresis thresholds on cadence dispersion (max gap / median gap).
+// Homogeneous jitter stays below adaptLo; one straggler sharing an
+// accelerator pushes dispersion past adaptHi. The dead band between them
+// stops P from oscillating on a borderline cluster. (A depth-scaled
+// band — requiring more dispersion evidence for each further step below
+// the configured P — was tried and measured slower across the HL sweep:
+// once dispersion clears adaptHi the barrier saving from each extra
+// shrink step keeps outweighing the mixing cost, so flat thresholds win.)
+const (
+	adaptHi = 1.3
+	adaptLo = 1.2
+)
+
+// adaptCap bounds the regime where shrinking makes sense. Group sizing
+// helps against *mild, persistent* stragglers — workers slow enough to
+// hold up barriers but fast enough to keep participating. Once the
+// slowest worker's cadence blows past adaptCap× the median (production
+// regime switches hit 5–18×), FIFO formation already routes around it —
+// groups fill from whoever is ready — so shrinking buys no barrier time
+// and only slows mixing. Above the cap the policy walks P back toward
+// the configured size instead. Shared-accelerator dispersion tops out
+// near 1.9 (HL=3), comfortably under the cap.
+const adaptCap = 2.5
+
+// gapKeep is the EMA retention for the per-worker inter-signal gap:
+// gap ← gapKeep·gap + (1−gapKeep)·sample. 0.8 forgets a regime switch
+// in a handful of iterations without chasing single-batch jitter.
+const gapKeep = 0.8
+
+type adaptive struct {
+	n      int
+	pmin   int
+	pmax   int
+	window int
+	start  int // configured P: the initial and Reset group size
+
+	cur       int       // current group size, always in [pmin, pmax]
+	lastAdapt int       // GroupsFormed at the last re-decision
+	lastSeen  []float64 // per worker: time of last ready signal, -1 before any
+	gap       []float64 // per worker: EMA inter-signal gap, 0 before two signals
+
+	scratch []float64 // sort buffer for the dispersion quantiles
+}
+
+func newAdaptive(spec Spec, n, configP int) *adaptive {
+	a := &adaptive{
+		n:        n,
+		pmin:     spec.PMin,
+		pmax:     spec.PMax,
+		window:   spec.Window,
+		start:    configP,
+		cur:      configP,
+		lastSeen: make([]float64, n),
+		gap:      make([]float64, n),
+		scratch:  make([]float64, n),
+	}
+	for i := range a.lastSeen {
+		a.lastSeen[i] = -1
+	}
+	return a
+}
+
+func (a *adaptive) Name() string { return NameAdaptiveP }
+
+// OnSignal folds one ready signal into the worker's cadence estimate.
+// Clock-less callers (all signals at now=0) never produce a positive
+// gap, so the estimates stay empty and the policy holds the configured P.
+func (a *adaptive) OnSignal(worker, _ int, now float64) {
+	if worker < 0 || worker >= a.n {
+		return
+	}
+	if last := a.lastSeen[worker]; last >= 0 && now > last {
+		g := now - last
+		if a.gap[worker] == 0 {
+			a.gap[worker] = g
+		} else {
+			a.gap[worker] = gapKeep*a.gap[worker] + (1-gapKeep)*g
+		}
+	}
+	a.lastSeen[worker] = now
+}
+
+func (a *adaptive) Decide(in Inputs) Decision {
+	if in.GroupsFormed-a.lastAdapt >= a.window {
+		a.lastAdapt = in.GroupsFormed
+		a.adapt(in.AliveMask)
+	}
+	p := a.cur
+	if in.Alive < p {
+		p = in.Alive
+	}
+	return Decision{P: p}
+}
+
+// adapt takes one hysteresis step on the cadence dispersion of the alive
+// workers. Fewer than two warm estimates (cold start, clock-less caller)
+// means no evidence: hold.
+func (a *adaptive) adapt(alive []bool) {
+	k := 0
+	for w := 0; w < a.n; w++ {
+		if a.gap[w] > 0 && (alive == nil || alive[w]) {
+			a.scratch[k] = a.gap[w]
+			k++
+		}
+	}
+	if k < 2 {
+		return
+	}
+	s := a.scratch[:k]
+	for i := 1; i < k; i++ { // insertion sort: tiny k, zero allocations
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	median := s[k/2]
+	if median <= 0 {
+		return
+	}
+	switch dispersion := s[k-1] / median; {
+	case dispersion > adaptCap:
+		if a.cur < a.start { // extreme tail: recover, never shrink
+			a.cur++
+		}
+	case dispersion >= adaptHi && a.cur > a.pmin:
+		a.cur--
+	case dispersion <= adaptLo && a.cur < a.pmax:
+		a.cur++
+	}
+}
+
+func (a *adaptive) Snapshot() []byte {
+	return EncodeState(State{
+		Kind:      NameAdaptiveP,
+		Cur:       a.cur,
+		LastAdapt: a.lastAdapt,
+		LastSeen:  a.lastSeen,
+		Gap:       a.gap,
+	})
+}
+
+func (a *adaptive) Restore(blob []byte) error {
+	st, err := DecodeState(blob)
+	if err != nil {
+		return err
+	}
+	if err := st.validateFor(NameAdaptiveP, a.n); err != nil {
+		return err
+	}
+	if st.Cur < a.pmin || st.Cur > a.pmax {
+		st.Cur = min(max(st.Cur, a.pmin), a.pmax)
+	}
+	a.cur = st.Cur
+	a.lastAdapt = st.LastAdapt
+	copy(a.lastSeen, st.LastSeen)
+	copy(a.gap, st.Gap)
+	return nil
+}
+
+func (a *adaptive) Reset() {
+	a.cur = a.start
+	a.lastAdapt = 0
+	for i := range a.lastSeen {
+		a.lastSeen[i] = -1
+		a.gap[i] = 0
+	}
+}

@@ -1,0 +1,38 @@
+package policy
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzPolicyStateCodec mirrors the transport's FuzzFrameCodec for the
+// policy-state snapshot blob: DecodeState must never panic on arbitrary
+// input, and every blob it accepts must be canonical — re-encoding the
+// decoded state reproduces the input byte for byte (so a policy state
+// riding a controller snapshot through Snapshot→Restore→Snapshot cannot
+// drift).
+func FuzzPolicyStateCodec(f *testing.F) {
+	f.Add(EncodeState(State{Kind: NameStatic}))
+	f.Add(EncodeState(State{Kind: NameStragglerBias}))
+	f.Add(EncodeState(State{
+		Kind: NameAdaptiveP, Cur: 3, LastAdapt: 17,
+		LastSeen: []float64{-1, 0.5, 2.25}, Gap: []float64{0, 1.5, 0.75},
+	}))
+	adp, _ := New(Spec{Name: NameAdaptiveP, PMin: 2, PMax: 4}, 4, 3)
+	adp.OnSignal(0, 1, 1.0)
+	adp.OnSignal(0, 2, 2.5)
+	f.Add(adp.Snapshot())
+	f.Add([]byte{})
+	f.Add([]byte("PRPS"))
+
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		st, err := DecodeState(blob) // must not panic
+		if err != nil {
+			return
+		}
+		again := EncodeState(st)
+		if !bytes.Equal(again, blob) {
+			t.Fatalf("codec not canonical: %d-byte blob re-encodes to %d bytes", len(blob), len(again))
+		}
+	})
+}

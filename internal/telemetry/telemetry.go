@@ -107,6 +107,10 @@ func WriteMetrics(w io.Writer, snap *metrics.InstrumentsSnapshot) error {
 	counter("preduce_group_interventions_total", "Groups rewritten by frozen avoidance.", float64(snap.Interventions))
 	counter("preduce_group_deferrals_total", "Group formations deferred awaiting a bridging signal.", float64(snap.Deferrals))
 
+	gauge("preduce_policy_p", "Group size chosen at the latest formation-policy decision (0: no policy attached).", float64(snap.PolicyP))
+	gauge("preduce_policy_alpha", "Dynamic-weight decay in effect at the latest formation-policy decision.", snap.PolicyAlpha)
+	counter("preduce_policy_deviations_total", "Formation-policy decisions that deviated from the static default.", float64(snap.PolicyDeviations))
+
 	cs := snap.Comms
 	counter("preduce_comm_ops_total", "Collective operations executed.", float64(cs.Ops))
 	counter("preduce_comm_sent_bytes_total", "Payload bytes sent across all workers.", float64(cs.BytesSent))

@@ -131,6 +131,9 @@ const (
 	// and closing (A=first partitioned rank).
 	KPartition
 	KPartitionHeal
+	// KPolicyDecision marks a formation-policy decision that deviated
+	// from the static default (A=decided group size, B=default size).
+	KPolicyDecision
 
 	kindCount // internal: table size
 )
@@ -164,8 +167,9 @@ var kindNames = [kindCount]string{
 	KLinkSever:     "link-sever",
 	KLinkHeal:      "link-heal",
 	KLinkDrop:      "link-drop",
-	KPartition:     "partition",
-	KPartitionHeal: "partition-heal",
+	KPartition:      "partition",
+	KPartitionHeal:  "partition-heal",
+	KPolicyDecision: "policy-decision",
 }
 
 // String returns the exporter name of k ("kind-N" for unknown values).
