@@ -7,11 +7,25 @@ GO ?= go
 
 # Packages whose tests exercise real goroutine concurrency and therefore run
 # under the race detector as part of tier-1.
-RACE_PKGS := ./internal/transport/ ./internal/collective/ ./internal/live/ ./internal/controller/ ./internal/policy/ ./internal/core/ ./internal/tensor/ ./internal/bufpool/ .
+RACE_PKGS := ./internal/transport/ ./internal/collective/ ./internal/live/ ./internal/controller/ ./internal/policy/ ./internal/core/ ./internal/engine/ ./internal/tensor/ ./internal/bufpool/ .
 
-.PHONY: ci vet build test race allocgate chaos trace-smoke bench fuzz clean
+.PHONY: ci vet build test race allocgate chaos trace-smoke chargeguard bench fuzz clean
 
-ci: vet build test race allocgate chaos trace-smoke
+ci: vet build test race allocgate chaos trace-smoke chargeguard
+
+# Charge-drift guard: the simulator's traffic accounting is folded into the
+# engine's SimEnv (GroupRing/WorldRing/Exchanges), so a strategy that calls
+# cluster.ChargeRing/ChargeExchange directly has bypassed the environment and
+# its comm columns can silently diverge from the event timeline. Only
+# internal/engine (the fold) and internal/cluster (the definitions and their
+# tests) may mention the charge calls.
+chargeguard:
+	@bad=$$(grep -rnE '\.Charge(Ring|Exchange)\(' internal cmd examples \
+		| grep -v '^internal/engine/' | grep -v '^internal/cluster/' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "direct traffic charging outside internal/engine + internal/cluster:"; \
+		echo "$$bad"; exit 1; \
+	fi; echo "chargeguard: ok"
 
 # staticcheck is optional tooling: run it when the binary is on PATH, skip
 # quietly otherwise so ci stays green on minimal containers.

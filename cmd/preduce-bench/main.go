@@ -165,11 +165,16 @@ func runTable1(opts experiments.Options) error {
 		return err
 	}
 	res.Format(os.Stdout)
+	// Walk the table in its printed order (block, HL, strategy) so the
+	// summary CSV and comms lines are byte-identical across runs — ranging
+	// over the Cells maps would randomize the rows.
 	var all []*metrics.Result
 	for _, blk := range res.Blocks {
-		for _, byStrategy := range blk.Cells {
-			for _, r := range byStrategy {
-				all = append(all, r)
+		for _, hl := range blk.HLs {
+			for _, s := range experiments.Table1Strategies {
+				if r := blk.Cells[hl][s]; r != nil {
+					all = append(all, r)
+				}
 			}
 		}
 	}

@@ -3,13 +3,16 @@
 // Eager-Reduce and AD-PSGD, and the parameter-server methods BSP, ASP, HETE
 // (staleness-aware learning rates) and BK (backup workers). Each runs real
 // SGD on the shared cluster substrate; only the synchronization structure
-// and the communication cost model differ.
+// and the communication cost model differ. The synchronization step itself
+// — and all traffic accounting — lives in internal/engine: every baseline
+// builds a SimEnv and either delegates to a shared driver (All-Reduce) or
+// drives the step machine and aggregation rules directly.
 package baselines
 
 import (
 	"partialreduce/internal/cluster"
+	"partialreduce/internal/engine"
 	"partialreduce/internal/metrics"
-	"partialreduce/internal/tensor"
 )
 
 // AllReduce is bulk-synchronous ring all-reduce training: every iteration,
@@ -24,45 +27,9 @@ func NewAllReduce() *AllReduce { return &AllReduce{} }
 // Name implements cluster.Strategy.
 func (*AllReduce) Name() string { return "AR" }
 
-// Run implements cluster.Strategy. All-Reduce honors a crash schedule the
-// only way a global collective can (§4): the first fail-stop halts training
-// — every subsequent round would block forever on the dead rank — and the
-// run is recorded as not converged.
+// Run implements cluster.Strategy by delegating to the shared step engine:
+// RunAllReduceSim executes the same compute → reduce → apply step as the
+// live RunAllReduceWorker, on the simulated Environment.
 func (*AllReduce) Run(c *cluster.Cluster) (*metrics.Result, error) {
-	n := float64(c.Cfg.N)
-	avg := tensor.NewVector(len(c.Init))
-	c.ScheduleCrashes(func(int) { c.Eng.Stop() }, nil)
-
-	var round func()
-	round = func() {
-		// The barrier waits for the slowest worker's batch, then the group
-		// pays one full-cluster ring all-reduce.
-		var maxDt float64
-		for _, w := range c.Workers {
-			if dt := c.ComputeTime(w); dt > maxDt {
-				maxDt = dt
-			}
-		}
-		ring := c.RingTimeAll()
-		dur := maxDt + ring
-		c.ChargeRing(c.Cfg.N, ring)
-		c.Eng.After(dur, func() {
-			avg.Zero()
-			for _, w := range c.Workers {
-				g, _ := c.GradientAtCurrent(w)
-				avg.Axpy(1/n, g)
-			}
-			for _, w := range c.Workers {
-				w.Opt.Update(w.Params(), avg, 1)
-				w.Iter++
-			}
-			c.RecordUpdate()
-			if !c.Eng.Stopped() {
-				round()
-			}
-		})
-	}
-	c.Eng.At(0, round)
-	c.Eng.Run()
-	return c.Finish(), nil
+	return engine.RunAllReduceSim(engine.NewSimEnv(c))
 }

@@ -2,6 +2,7 @@ package baselines
 
 import (
 	"partialreduce/internal/cluster"
+	"partialreduce/internal/engine"
 	"partialreduce/internal/metrics"
 	"partialreduce/internal/tensor"
 )
@@ -24,11 +25,15 @@ func (*DPSGD) Name() string { return "D-PSGD" }
 
 // Run implements cluster.Strategy.
 func (*DPSGD) Run(c *cluster.Cluster) (*metrics.Result, error) {
+	env := engine.NewSimEnv(c)
 	n := c.Cfg.N
 	next := make([]tensor.Vector, n) // post-gossip models, built per round
 	for i := range next {
 		next[i] = tensor.NewVector(len(c.Init))
 	}
+	weights := engine.UniformWeights(3) // ring gossip: left, self, right
+	neighbors := make([]tensor.Vector, 3)
+	machine := engine.NewMachine(n)
 
 	var round func()
 	round = func() {
@@ -38,6 +43,7 @@ func (*DPSGD) Run(c *cluster.Cluster) (*metrics.Result, error) {
 		// round pays one pairwise exchange).
 		var maxDt float64
 		for _, w := range c.Workers {
+			machine.To(w.ID, engine.StateCompute)
 			if dt := c.ComputeTime(w); dt > maxDt {
 				maxDt = dt
 			}
@@ -48,19 +54,19 @@ func (*DPSGD) Run(c *cluster.Cluster) (*metrics.Result, error) {
 				worst = t
 			}
 		}
-		c.ChargeExchange(n) // one bidirectional model exchange per ring link
+		env.Exchanges(n) // one bidirectional model exchange per ring link
 		c.Eng.After(maxDt+worst, func() {
 			// Gossip averaging with ring weights 1/3–1/3–1/3, then the local
 			// gradient (computed at the pre-gossip model, as in D-PSGD).
 			for i, w := range c.Workers {
-				left := c.Workers[(i-1+n)%n]
-				right := c.Workers[(i+1)%n]
-				next[i].Zero()
-				next[i].Axpy(1.0/3, left.Params())
-				next[i].Axpy(1.0/3, w.Params())
-				next[i].Axpy(1.0/3, right.Params())
+				machine.To(w.ID, engine.StateReduce)
+				neighbors[0] = c.Workers[(i-1+n)%n].Params()
+				neighbors[1] = w.Params()
+				neighbors[2] = c.Workers[(i+1)%n].Params()
+				tensor.WeightedAverage(next[i], weights, neighbors)
 			}
 			for i, w := range c.Workers {
+				machine.To(w.ID, engine.StateApply)
 				g, _ := c.GradientAtCurrent(w)
 				w.Params().CopyFrom(next[i])
 				w.Opt.Update(w.Params(), g, 1)

@@ -2,6 +2,7 @@ package baselines
 
 import (
 	"partialreduce/internal/cluster"
+	"partialreduce/internal/engine"
 	"partialreduce/internal/metrics"
 	"partialreduce/internal/tensor"
 )
@@ -36,8 +37,15 @@ func NewEagerReduce() *EagerReduce { return &EagerReduce{} }
 // Name implements cluster.Strategy.
 func (*EagerReduce) Name() string { return "ER" }
 
-// Run implements cluster.Strategy.
+// Run implements cluster.Strategy. ER is the one baseline that does not
+// ride the step machine or tensor.WeightedAverage: its rounds are decoupled
+// from the worker loops (a worker deposits and keeps going, so no worker is
+// ever "in" the collective), and its aggregate is a sum-then-scale over all
+// N cached slots — including stale replays — not a convex combination of
+// fresh contributions. Only the traffic accounting goes through the engine
+// Environment.
 func (e *EagerReduce) Run(c *cluster.Cluster) (*metrics.Result, error) {
+	env := engine.NewSimEnv(c)
 	quorum := e.Quorum
 	if quorum == 0 {
 		quorum = c.Cfg.N/2 + 1
@@ -81,8 +89,7 @@ func (e *EagerReduce) Run(c *cluster.Cluster) (*metrics.Result, error) {
 			return
 		}
 		inFlight = true
-		ring := c.RingTimeAll()
-		c.ChargeRing(c.Cfg.N, ring)
+		ring := env.WorldRing()
 		c.Eng.After(ring, finishRound)
 	}
 

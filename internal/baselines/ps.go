@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"partialreduce/internal/cluster"
+	"partialreduce/internal/engine"
 	"partialreduce/internal/metrics"
 	"partialreduce/internal/optim"
 	"partialreduce/internal/tensor"
@@ -39,30 +40,35 @@ func (*PSBSP) Name() string { return "PS BSP" }
 
 // Run implements cluster.Strategy.
 func (*PSBSP) Run(c *cluster.Cluster) (*metrics.Result, error) {
+	env := engine.NewSimEnv(c)
 	srv := newPSServer(c)
 	c.EvalOverride = func() float64 { return c.EvalParams(srv.params) }
-	n := float64(c.Cfg.N)
 	avg := tensor.NewVector(len(c.Init))
+	weights := engine.UniformWeights(c.Cfg.N)
+	grads := make([]tensor.Vector, c.Cfg.N)
+	machine := engine.NewMachine(c.Cfg.N)
 
 	var round func()
 	round = func() {
 		var maxDt float64
 		for _, w := range c.Workers {
+			machine.To(w.ID, engine.StateCompute)
 			if dt := c.ComputeTime(w); dt > maxDt {
 				maxDt = dt
 			}
 		}
 		dur := maxDt + c.PSTimeMax()
-		c.ChargeExchange(c.Cfg.N) // every worker pushes and pulls
+		env.Exchanges(c.Cfg.N) // every worker pushes and pulls
 		c.Eng.After(dur, func() {
-			avg.Zero()
-			for _, w := range c.Workers {
-				g, _ := c.GradientAtCurrent(w)
-				avg.Axpy(1/n, g)
+			for i, w := range c.Workers {
+				machine.To(w.ID, engine.StateReduce)
+				grads[i], _ = c.GradientAtCurrent(w)
 			}
+			tensor.WeightedAverage(avg, weights, grads)
 			srv.opt.Update(srv.params, avg, 1)
 			srv.version++
 			for _, w := range c.Workers {
+				machine.To(w.ID, engine.StateApply)
 				w.Params().CopyFrom(srv.params)
 				w.Iter++
 			}
@@ -104,22 +110,27 @@ func (p *PSAsync) Name() string {
 
 // Run implements cluster.Strategy.
 func (p *PSAsync) Run(c *cluster.Cluster) (*metrics.Result, error) {
+	env := engine.NewSimEnv(c)
 	srv := newPSServer(c)
 	c.EvalOverride = func() float64 { return c.EvalParams(srv.params) }
 	pulled := make([]int, c.Cfg.N) // server version each worker last pulled
+	machine := engine.NewMachine(c.Cfg.N)
 
 	var start func(w *cluster.Worker)
 	start = func(w *cluster.Worker) {
+		machine.To(w.ID, engine.StateCompute)
 		c.Snapshot(w)
 		c.Eng.After(c.ComputeTime(w), func() {
 			grad, _ := c.Gradient(w) // at the pulled snapshot
-			c.ChargeExchange(1)
+			machine.To(w.ID, engine.StateReduce)
+			env.Exchanges(1)
 			c.Eng.After(c.PSTime(w.ID), func() {
 				scale := 1.0
 				if p.Hete {
 					staleness := srv.version - pulled[w.ID]
 					scale = 1 / float64(staleness+1)
 				}
+				machine.To(w.ID, engine.StateApply)
 				srv.opt.Update(srv.params, grad, scale)
 				srv.version++
 				w.Params().CopyFrom(srv.params) // pull
@@ -161,10 +172,14 @@ func (p *PSBK) Run(c *cluster.Cluster) (*metrics.Result, error) {
 	if p.Backup < 0 || p.Backup >= c.Cfg.N {
 		return nil, fmt.Errorf("baselines: %d backup workers need 0 <= b < N=%d", p.Backup, c.Cfg.N)
 	}
+	env := engine.NewSimEnv(c)
 	srv := newPSServer(c)
 	c.EvalOverride = func() float64 { return c.EvalParams(srv.params) }
 	k := c.Cfg.N - p.Backup
 	avg := tensor.NewVector(len(c.Init))
+	weights := engine.UniformWeights(k)
+	grads := make([]tensor.Vector, k)
+	machine := engine.NewMachine(c.Cfg.N)
 
 	type arrival struct {
 		dt float64
@@ -175,20 +190,24 @@ func (p *PSBK) Run(c *cluster.Cluster) (*metrics.Result, error) {
 	var round func()
 	round = func() {
 		for i, w := range c.Workers {
+			machine.To(w.ID, engine.StateCompute)
 			arrivals[i] = arrival{dt: c.ComputeTime(w), w: w}
 		}
 		sort.Slice(arrivals, func(i, j int) bool { return arrivals[i].dt < arrivals[j].dt })
 		dur := arrivals[k-1].dt + c.PSTimeMax()
-		c.ChargeExchange(c.Cfg.N) // k gradients land, everyone pulls
+		env.Exchanges(c.Cfg.N) // k gradients land, everyone pulls
 		c.Eng.After(dur, func() {
-			avg.Zero()
-			for _, a := range arrivals[:k] { // stragglers' gradients dropped
-				g, _ := c.GradientAtCurrent(a.w)
-				avg.Axpy(1/float64(k), g)
+			for _, w := range c.Workers {
+				machine.To(w.ID, engine.StateReduce)
 			}
+			for i, a := range arrivals[:k] { // stragglers' gradients dropped
+				grads[i], _ = c.GradientAtCurrent(a.w)
+			}
+			tensor.WeightedAverage(avg, weights, grads)
 			srv.opt.Update(srv.params, avg, 1)
 			srv.version++
 			for _, w := range c.Workers {
+				machine.To(w.ID, engine.StateApply)
 				w.Params().CopyFrom(srv.params)
 				w.Iter++
 			}

@@ -13,10 +13,10 @@ import (
 
 	"partialreduce/internal/cluster"
 	"partialreduce/internal/controller"
+	"partialreduce/internal/engine"
 	"partialreduce/internal/metrics"
 	"partialreduce/internal/policy"
 	"partialreduce/internal/tensor"
-	"partialreduce/internal/trace"
 )
 
 // PReduceConfig configures the strategy.
@@ -163,12 +163,11 @@ func (p *PReduce) RunDetailed(c *cluster.Cluster) (*RunInfo, error) {
 	return &RunInfo{Result: res, Stats: final.Stats(), MeanW: final.MeanW()}, nil
 }
 
-// runWith drives Algorithm 2 on the cluster's event engine. When the cell
-// carries a fail-stop schedule (§4), crashes are handled the way the paper
-// says the controller makes cheap: a dead worker's queued signal is purged,
-// a group caught mid-collective is aborted and its survivors re-signal after
-// one controller round trip, and checkpoint rejoins re-admit the worker with
-// its crash-time model.
+// runWith wires the controller (tracer, instruments, policy), builds the
+// simulated Environment, and hands the run to the shared step engine
+// (internal/engine): RunOverlappedSim for the pipelined variant, otherwise
+// RunPReduceSim — the same training-step state machine the live runtime
+// executes, driven here by the virtual clock.
 func (p *PReduce) runWith(c *cluster.Cluster, ctrl *controller.Controller) (*metrics.Result, *controller.Controller, error) {
 	// The controller shares the cluster's virtual-clock tracer (nil when
 	// tracing is off), so its ready/group-formed/staleness decisions land on
@@ -186,6 +185,7 @@ func (p *PReduce) runWith(c *cluster.Cluster, ctrl *controller.Controller) (*met
 			return nil, ctrl, err
 		}
 	}
+	env := engine.NewSimEnv(c)
 	if p.cfg.Overlap {
 		if len(c.Cfg.Crashes) > 0 {
 			return nil, ctrl, fmt.Errorf("core: overlapped P-Reduce does not support crash schedules")
@@ -193,260 +193,8 @@ func (p *PReduce) runWith(c *cluster.Cluster, ctrl *controller.Controller) (*met
 		if p.cfg.CtrlRestartEvery > 0 {
 			return nil, ctrl, fmt.Errorf("core: overlapped P-Reduce does not support controller restarts")
 		}
-		res, err := p.runOverlapped(c, ctrl)
+		res, err := engine.RunOverlappedSim(env, ctrl)
 		return res, ctrl, err
 	}
-	agg := tensor.NewVector(len(c.Init))
-	var readyErr error
-
-	// inflight tracks dispatched groups until they complete, so a crash can
-	// abort exactly the group the corpse was syncing with. aborted seqs make
-	// the already-scheduled completion event a no-op.
-	inflight := make(map[uint64]controller.Group)
-	aborted := make(map[uint64]bool)
-	var seq uint64
-
-	// readyAt[w] is the virtual time of w's outstanding ready signal, the
-	// start of its KSignalWait span (closed when its group dispatches).
-	readyAt := make([]float64, c.Cfg.N)
-
-	var startCompute func(w *cluster.Worker)
-	var dispatch func(groups []controller.Group)
-
-	onGroupDone := func(id uint64, g controller.Group) {
-		if aborted[id] {
-			delete(aborted, id)
-			return
-		}
-		delete(inflight, id)
-		// Weighted model average (Alg. 2 line 7; §3.3 for dynamic weights).
-		agg.Zero()
-		for i, wid := range g.Members {
-			agg.Axpy(g.Weights[i], c.Workers[wid].Params())
-		}
-		if g.InitWeight > 0 {
-			agg.Axpy(g.InitWeight, c.Init)
-		}
-		for _, wid := range g.Members {
-			w := c.Workers[wid]
-			w.Params().CopyFrom(agg)
-			w.Iter = g.Iter // fast-forward (§3.3.3)
-		}
-		c.RecordUpdate()
-		for _, wid := range g.Members {
-			startCompute(c.Workers[wid])
-		}
-	}
-
-	var signalReady func(w *cluster.Worker)
-
-	// attempt models collective attempt k of group id starting now. An
-	// attempt whose members straddle an active partition blocks until the
-	// collective timeout fires, then retries after a deterministic backoff —
-	// the live runtime's RetryPolicy in virtual time. When the budget is
-	// exhausted the controller aborts the op with nobody condemned and every
-	// member re-signals after a controller round trip: the same stuck-op
-	// path the live service takes for severed links.
-	var attempt func(id uint64, g controller.Group, k int)
-	attempt = func(id uint64, g controller.Group, k int) {
-		if aborted[id] {
-			// A crash abort dissolved the group while this attempt was
-			// pending; the members have already re-signaled.
-			delete(aborted, id)
-			return
-		}
-		// Charged per attempt: an attempt that times out still moved (some
-		// of) its bytes, exactly as the live runtime counts aborted
-		// attempts' partial traffic.
-		ring := c.RingTime(g.Members)
-		c.ChargeRing(len(g.Members), ring)
-		if !c.PartitionSplits(g.Members, c.Eng.Now()) {
-			// One controller round trip plus a ring all-reduce sized to the
-			// group: P-Reduce preserves collective bandwidth utilization
-			// while shrinking the synchronization scope (§3.1.1).
-			if c.Tracer != nil {
-				// The modeled collective: a group-wait span covering the RTT
-				// plus the ring, with the two symmetric ring phases ((g−1)
-				// steps each) as sub-spans — the sim counterpart of the live
-				// runtime's measured KReduceScatter/KAllGather.
-				now := c.Eng.Now()
-				rtt := c.Cfg.Net.CtrlRTT
-				gs := int64(len(g.Members))
-				for _, m := range g.Members {
-					c.Tracer.SpanAt(trace.KGroupWait, int32(m), int32(g.Iter), now, rtt+ring, int64(id), gs)
-					c.Tracer.SpanAt(trace.KReduceScatter, int32(m), int32(g.Iter), now+rtt, ring/2, int64(id), 0)
-					c.Tracer.SpanAt(trace.KAllGather, int32(m), int32(g.Iter), now+rtt+ring/2, ring/2, int64(id), 0)
-				}
-			}
-			c.Eng.After(c.Cfg.Net.CtrlRTT+ring, func() { onGroupDone(id, g) })
-			return
-		}
-		rm := c.Cfg.Retry
-		timeout := rm.TimeoutOr(c.Cfg.Profile.BatchCompute + ring)
-		c.Track.AddComms(metrics.CommStats{Timeouts: 1})
-		c.Tracer.InstantAt(trace.KTimeout, trace.ControllerTrack, int32(g.Iter), c.Eng.Now()+timeout, int64(id), int64(k))
-		if k < rm.Attempts() {
-			c.Track.AddComms(metrics.CommStats{Retries: 1})
-			c.Tracer.InstantAt(trace.KRetry, trace.ControllerTrack, int32(g.Iter), c.Eng.Now()+timeout+rm.Backoff(k), int64(id), int64(k+1))
-			c.Eng.After(timeout+rm.Backoff(k), func() { attempt(id, g, k+1) })
-			return
-		}
-		// Budget exhausted: the members sit through the final timeout, then
-		// the group is aborted (dead = -1: nobody is condemned) and the
-		// survivors re-signal for the same iteration.
-		c.Track.AddComms(metrics.CommStats{Aborts: 1})
-		c.Tracer.InstantAt(trace.KAbort, trace.ControllerTrack, int32(g.Iter), c.Eng.Now()+timeout, int64(id), 0)
-		c.Eng.After(timeout, func() {
-			if aborted[id] {
-				delete(aborted, id)
-				return
-			}
-			delete(inflight, id)
-			dispatch(ctrl.AbortGroup(g, -1))
-			for _, m := range g.Members {
-				if c.Dead[m] {
-					continue
-				}
-				w := c.Workers[m]
-				c.Eng.After(c.Cfg.Net.CtrlRTT, func() {
-					if !c.Dead[w.ID] {
-						signalReady(w)
-					}
-				})
-			}
-		})
-	}
-
-	// restart is the simulated warm-failover drill: serialize the
-	// controller, destroy it, restore a replacement from the snapshot, and
-	// re-attach the wiring (tracer, instruments, policy — whose state
-	// rides the snapshot and is restored into the same policy object).
-	dispatched := 0
-	restart := func() {
-		next, err := controller.Restore(ctrl.Snapshot())
-		if err == nil {
-			err = next.SetPolicy(pol) // no-op when pol is nil
-		}
-		if err != nil {
-			readyErr = err
-			c.Eng.Stop()
-			return
-		}
-		next.SetTracer(c.Tracer)
-		next.SetInstruments(c.Ins)
-		ctrl = next
-		c.Tracer.Instant(trace.KCtrlRestore, trace.ControllerTrack, -1, 0, 0)
-	}
-
-	dispatch = func(groups []controller.Group) {
-		for _, g := range groups {
-			g := g
-			seq++
-			id := seq
-			inflight[id] = g
-			if c.Tracer != nil {
-				// Close each member's signal-wait span: it waited from its
-				// ready signal until this dispatch.
-				now := c.Eng.Now()
-				for i, m := range g.Members {
-					c.Tracer.SpanAt(trace.KSignalWait, int32(m), int32(g.Iters[i]), readyAt[m], now-readyAt[m], 0, 0)
-				}
-			}
-			attempt(id, g, 1)
-			dispatched++
-			if p.cfg.CtrlRestartEvery > 0 && dispatched%p.cfg.CtrlRestartEvery == 0 {
-				restart()
-			}
-		}
-	}
-
-	signalReady = func(w *cluster.Worker) {
-		readyAt[w.ID] = c.Eng.Now()
-		groups, err := ctrl.Ready(controller.Signal{Worker: w.ID, Iter: w.Iter, Now: c.Eng.Now()})
-		if err != nil {
-			readyErr = err
-			c.Eng.Stop()
-			return
-		}
-		dispatch(groups)
-	}
-
-	onComputeDone := func(w *cluster.Worker) {
-		if c.Dead[w.ID] {
-			return // the corpse's in-flight batch is lost with it
-		}
-		grad, _ := c.Gradient(w)
-		w.Opt.Update(w.Params(), grad, 1) // local update (Alg. 2 line 4)
-		w.Iter++
-		signalReady(w)
-	}
-
-	startCompute = func(w *cluster.Worker) {
-		if c.Dead[w.ID] {
-			return
-		}
-		c.Snapshot(w)
-		dt := c.ComputeTime(w)
-		c.Tracer.SpanAt(trace.KCompute, int32(w.ID), int32(w.Iter), c.Eng.Now(), dt, 0, 0)
-		c.Eng.After(dt, func() { onComputeDone(w) })
-	}
-
-	onCrash := func(dead int) {
-		// If the corpse was mid-collective, abort that group: the survivors
-		// roll back (in the simulator the average simply never lands) and
-		// re-signal ready after one controller round trip.
-		for id, g := range inflight {
-			hit := false
-			for _, m := range g.Members {
-				if m == dead {
-					hit = true
-					break
-				}
-			}
-			if !hit {
-				continue
-			}
-			delete(inflight, id)
-			aborted[id] = true
-			dispatch(ctrl.AbortGroup(g, dead))
-			for _, m := range g.Members {
-				if m == dead || c.Dead[m] {
-					continue
-				}
-				w := c.Workers[m]
-				c.Eng.After(c.Cfg.Net.CtrlRTT, func() {
-					if !c.Dead[w.ID] {
-						signalReady(w)
-					}
-				})
-			}
-			return
-		}
-		// Otherwise the worker was computing (its batch is discarded at
-		// onComputeDone) or queued (Fail purges the signal). Shrinking the
-		// surviving count can let the existing queue fill a group.
-		dispatch(ctrl.Fail(dead))
-	}
-
-	onRejoin := func(w int) {
-		// Checkpoint restart: the replica resumes from its crash-time
-		// parameters and iteration count (the state the checkpoint froze).
-		if err := ctrl.Rejoin(w); err != nil {
-			readyErr = err
-			c.Eng.Stop()
-			return
-		}
-		startCompute(c.Workers[w])
-	}
-
-	c.ScheduleCrashes(onCrash, onRejoin)
-	for _, w := range c.Workers {
-		w := w
-		c.Eng.At(0, func() { startCompute(w) })
-	}
-	c.Eng.Run()
-	if readyErr != nil {
-		return nil, ctrl, readyErr
-	}
-	return c.Finish(), ctrl, nil
+	return engine.RunPReduceSim(env, ctrl, pol, p.cfg.CtrlRestartEvery)
 }

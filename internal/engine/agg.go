@@ -1,0 +1,33 @@
+package engine
+
+import (
+	"partialreduce/internal/controller"
+	"partialreduce/internal/tensor"
+)
+
+// Aggregation rules. Every strategy's model/gradient combination step is a
+// convex combination computed by tensor.WeightedAverage, whose accumulation
+// order (zero, then one Axpy per input, in input order) is pinned: the
+// byte-identical golden runs depend on it.
+
+// GroupAverage computes a formed group's weighted model average into dst
+// (Algorithm 2 line 7; §3.3 for dynamic weights): params[i] is the model of
+// g.Members[i], and under dynamic weighting a positive g.InitWeight folds in
+// the shared initial model x₁ with the leftover EMA mass.
+func GroupAverage(dst tensor.Vector, g controller.Group, params []tensor.Vector, init tensor.Vector) {
+	tensor.WeightedAverage(dst, g.Weights, params)
+	if g.InitWeight > 0 {
+		dst.Axpy(g.InitWeight, init)
+	}
+}
+
+// UniformWeights returns the weight vector {1/n, ..., 1/n} — the barrier
+// strategies' gradient average and D-PSGD's 1/3 gossip weights are all
+// uniform convex combinations.
+func UniformWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / float64(n)
+	}
+	return w
+}

@@ -1,0 +1,363 @@
+package engine
+
+import (
+	"errors"
+	"time"
+
+	"partialreduce/internal/collective"
+	"partialreduce/internal/controller"
+	"partialreduce/internal/data"
+	"partialreduce/internal/metrics"
+	"partialreduce/internal/model"
+	"partialreduce/internal/optim"
+	"partialreduce/internal/tensor"
+	"partialreduce/internal/trace"
+	"partialreduce/internal/transport"
+)
+
+// LiveEnv is one worker's live Environment: a real transport endpoint, real
+// collective operations, wall-clock time, measured bytes. Where SimEnv
+// prices a collective analytically and charges modeled traffic, LiveEnv
+// executes it and lets the collective layer count what actually moved (into
+// Copts.Stats).
+type LiveEnv struct {
+	// Rank is this worker's id in the transport world.
+	Rank int
+	// Trans is the worker's transport endpoint.
+	Trans transport.Transport
+	// Copts configures every collective this worker runs. Its TraceIter
+	// field is updated in place per group op — deliberately persistent, so
+	// trailing collectives (the multi-process tail gather/barrier) inherit
+	// the last iteration's tag.
+	Copts collective.Options
+	// Tracer and Instruments are the worker-side telemetry sinks (both
+	// nil-safe / optional).
+	Tracer      *trace.Tracer
+	Instruments *metrics.Instruments
+
+	epoch time.Time
+}
+
+// NewLiveEnv returns a live Environment for one rank. copts.Stats should
+// point at the caller's per-worker OpStats accumulator.
+func NewLiveEnv(rank int, tr transport.Transport, copts collective.Options, tracer *trace.Tracer, ins *metrics.Instruments) *LiveEnv {
+	return &LiveEnv{Rank: rank, Trans: tr, Copts: copts, Tracer: tracer, Instruments: ins, epoch: time.Now()}
+}
+
+// Now implements Environment: wall seconds since the env was created.
+func (e *LiveEnv) Now() float64 { return time.Since(e.epoch).Seconds() }
+
+// World implements Environment.
+func (e *LiveEnv) World() int { return e.Trans.Size() }
+
+// GroupReduce executes one P-Reduce group collective: the weighted in-place
+// model average over the group's members, tagged with the worker's current
+// iteration.
+func (e *LiveEnv) GroupReduce(members []int, opID uint32, params tensor.Vector, weight float64, iter int) error {
+	e.Copts.TraceIter = int32(iter)
+	return collective.WeightedAverageOpts(e.Trans, members, opID, params, weight, e.Copts)
+}
+
+// WorldReduceMean executes one full-group mean all-reduce (the AR baseline's
+// gradient average) over group.
+func (e *LiveEnv) WorldReduceMean(group []int, opID uint32, grad tensor.Vector) error {
+	return collective.AllReduceMeanOpts(e.Trans, group, opID, grad, e.Copts)
+}
+
+// Directive is the controller's answer to a ready signal: a formed group to
+// reduce with, or Skip — proceed solo this iteration (tail release, or a
+// signal the controller rejected).
+type Directive struct {
+	Group controller.Group
+	OpID  uint32
+	Skip  bool
+}
+
+// Control is the worker's view of the control plane. The in-process runtime
+// implements it over channels to the controller service goroutine; the
+// multi-process runtime implements it over the transport's control-tag
+// message space. Model data never moves through a Control — it carries only
+// ids, iteration numbers, and op tags (§4).
+type Control interface {
+	// Signal sends the worker's ready signal for iter and blocks until the
+	// controller answers. Retransmission of lost signals (bounded reply
+	// waits, controller failover) happens inside the implementation; an
+	// error means the control plane is unusable and the run is over for
+	// this worker.
+	Signal(iter int) (Directive, error)
+	// SignalNoWait sends the ready signal without waiting for the answer —
+	// the crash-injection path: the signal must be in flight when the
+	// worker dies, so the controller can form a group containing the corpse.
+	SignalNoWait(iter int)
+	// ReportDeath reports a peer observed dead inside collective op opID of
+	// group g.
+	ReportDeath(dead int, g controller.Group, opID uint32) error
+	// ReportStuck reports a collective that timed out with no peer known
+	// dead (severed link, partition): the controller aborts the op for the
+	// whole group and nobody is condemned.
+	ReportStuck(g controller.Group, opID uint32) error
+	// Finished announces that the worker completed all its iterations.
+	Finished() error
+}
+
+// LiveWorker is one worker's training state, assembled by a live runtime and
+// driven by RunPReduceWorker / RunAllReduceWorker.
+type LiveWorker struct {
+	Env     *LiveEnv
+	Model   model.Model
+	Opt     *optim.SGD
+	Sampler *data.Sampler
+	// Init is the shared initial model x₁ (dynamic weighting folds it in
+	// with the leftover EMA mass).
+	Init tensor.Vector
+	// Iters is the local-iteration budget; StartIter is where the loop
+	// counter begins (non-zero after a checkpoint rejoin).
+	Iters     int
+	StartIter int
+	BatchSize int
+	// ComputeDelay optionally injects artificial per-batch latency to
+	// emulate heterogeneity on real hardware (nil for full speed).
+	ComputeDelay func(worker, iter int) time.Duration
+	// CrashAt, when positive, fail-stops the worker once its loop counter
+	// reaches that iteration (P-Reduce: just after the ready signal goes
+	// out; All-Reduce: just before the barrier).
+	CrashAt int
+	// OnIter, when non-nil, observes every loop-counter advance (the
+	// in-process runtime mirrors it into its per-worker progress vector).
+	OnIter func(iter int)
+}
+
+// Outcome reports how a live worker loop ended.
+type Outcome struct {
+	// Iter is the final loop-counter value.
+	Iter int
+	// Groups counts group collectives completed (P-Reduce) or all-reduce
+	// rounds completed (AR).
+	Groups int
+	// Crashed reports that the injected fail-stop fired; the runtime owns
+	// what "dying" means (checkpoint + transport down-marks in-process,
+	// FailSelf multi-process).
+	Crashed bool
+	// DeadErr is the collective error that declared this worker dead
+	// (somebody else reported us and our own op was aborted against us);
+	// the worker must fall silent. Nil otherwise.
+	DeadErr error
+}
+
+// RunPReduceWorker is the live training-step loop (Algorithm 2), shared by
+// the in-process and multi-process runtimes: compute a batch, update
+// locally, signal ready, and either proceed solo or reduce with the
+// dispatched group — rolling back and re-signaling when the collective is
+// aborted under it (§4). A non-nil error is fatal and raw: the calling
+// runtime owns wrapping and cleanup (the two runtimes differ in both).
+func RunPReduceWorker(w *LiveWorker, ctl Control) (Outcome, error) {
+	env := w.Env
+	id := env.Rank
+	m := w.Model
+	grad := tensor.NewVector(m.NumParams())
+	pre := tensor.NewVector(m.NumParams())
+	var batch *data.Batch
+	tracer := env.Tracer
+	ins := env.Instruments
+	var prevComms collective.OpStats // last OpStats folded into instruments
+	machine := NewMachine(1)
+	groups := 0
+	// The paper's loop counter: fast-forwarded to the group max after every
+	// partial reduce (§3.3.3), so stragglers skip caught-up work.
+	iter := w.StartIter
+
+	for iter < w.Iters {
+		machine.To(0, StateCompute)
+		computeStart := tracer.Now()
+		if w.ComputeDelay != nil {
+			if d := w.ComputeDelay(id, iter); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		batch = w.Sampler.Sample(batch, w.BatchSize)
+		m.Gradient(grad, batch)
+		w.Opt.Update(m.Params(), grad, 1)
+		iter++
+		if w.OnIter != nil {
+			w.OnIter(iter)
+		}
+		tracer.Span(trace.KCompute, int32(id), int32(iter), computeStart, 0, 0)
+
+		if w.CrashAt > 0 && iter >= w.CrashAt {
+			// Fail-stop with the ready signal in flight: the controller may
+			// form a group containing this corpse, and the survivors must
+			// detect and recover (§4).
+			tracer.Instant(trace.KCrash, int32(id), int32(iter), 0, 0)
+			ctl.SignalNoWait(iter)
+			machine.Kill(0)
+			return Outcome{Iter: iter, Groups: groups, Crashed: true}, nil
+		}
+
+		for { // signal ready; on a group abort, roll back and re-signal
+			machine.To(0, StateReady)
+			waitStart := tracer.Now()
+			var waitWall time.Time
+			if ins != nil {
+				waitWall = time.Now()
+			}
+			d, err := ctl.Signal(iter)
+			if err != nil {
+				return Outcome{Iter: iter, Groups: groups}, err
+			}
+			if ins != nil {
+				ins.AddBarrierWait(id, time.Since(waitWall).Seconds())
+			}
+			solo := int64(0)
+			if d.Skip {
+				solo = 1
+			}
+			tracer.Span(trace.KSignalWait, int32(id), int32(iter), waitStart, solo, 0)
+			if d.Skip {
+				break // proceed solo this iteration
+			}
+			g := d.Group
+			var weight float64
+			for i, member := range g.Members {
+				if member == id {
+					weight = g.Weights[i]
+					break
+				}
+			}
+			machine.To(0, StateReduce)
+			pre.CopyFrom(m.Params())
+			err = env.GroupReduce(g.Members, d.OpID, m.Params(), weight, iter)
+			if ins != nil {
+				// Fold this collective's data-plane delta into the live
+				// instruments so /metrics is fresh mid-run (the run total
+				// still merges once at worker exit).
+				cur := *env.Copts.Stats
+				ins.AddComms(commsDelta(cur, prevComms))
+				prevComms = cur
+			}
+			if err == nil {
+				machine.To(0, StateApply)
+				if g.InitWeight > 0 {
+					m.Params().Axpy(g.InitWeight, w.Init)
+				}
+				if g.Iter > iter {
+					iter = g.Iter
+					if w.OnIter != nil {
+						w.OnIter(iter)
+					}
+				}
+				groups++
+				break
+			}
+			if !transport.IsFailure(err) {
+				// Hard transport error (e.g. endpoint closed): fatal.
+				return Outcome{Iter: iter, Groups: groups}, err
+			}
+			// A peer died mid-collective (§4): roll back to the pre-group
+			// model, report the death, and re-signal ready for this same
+			// iteration. The controller will regroup us with survivors.
+			m.Params().CopyFrom(pre)
+			dead := deadPeer(err)
+			if dead == id {
+				machine.Kill(0)
+				return Outcome{Iter: iter, Groups: groups, DeadErr: err}, nil
+			}
+			if dead >= 0 {
+				if rerr := ctl.ReportDeath(dead, g, d.OpID); rerr != nil {
+					return Outcome{Iter: iter, Groups: groups}, rerr
+				}
+			} else if transport.IsTimeout(err) {
+				// The collective timed out (after exhausting any retry
+				// budget) with no peer known dead: a severed link or
+				// partition. Ask the controller to abort the op for the
+				// whole group so every stuck member rolls back and
+				// re-signals; nobody is condemned.
+				if rerr := ctl.ReportStuck(g, d.OpID); rerr != nil {
+					return Outcome{Iter: iter, Groups: groups}, rerr
+				}
+			}
+		}
+	}
+	if machine.State(0) != StateIdle {
+		// A rejoin checkpointed at the final iteration re-enters with the
+		// budget already spent; everyone else arrives here from a solo
+		// release (ready) or a completed group (apply).
+		machine.To(0, StateDone)
+	}
+	if err := ctl.Finished(); err != nil {
+		return Outcome{Iter: iter, Groups: groups}, err
+	}
+	return Outcome{Iter: iter, Groups: groups}, nil
+}
+
+// RunAllReduceWorker is the live All-Reduce baseline's per-rank loop: every
+// iteration all workers compute a gradient and average it with one
+// full-world mean all-reduce — the synchronous barrier P-Reduce removes.
+// There is no ready/controller phase, so the step machine moves compute →
+// reduce directly. world is the full transport mesh (for the crash
+// injection's down-marks); group must list every rank.
+func RunAllReduceWorker(w *LiveWorker, world []transport.Transport, group []int) (Outcome, error) {
+	env := w.Env
+	id := env.Rank
+	m := w.Model
+	grad := tensor.NewVector(m.NumParams())
+	var batch *data.Batch
+	machine := NewMachine(1)
+
+	for iter := 0; iter < w.Iters; iter++ {
+		if w.CrashAt > 0 && iter+1 >= w.CrashAt {
+			// Fail-stop: drop out right before this iteration's barrier;
+			// every peer will see us down inside it.
+			machine.Kill(0)
+			transport.FailPeerEverywhere(world, id)
+			return Outcome{Iter: iter, Crashed: true}, nil
+		}
+		machine.To(0, StateCompute)
+		if w.ComputeDelay != nil {
+			if d := w.ComputeDelay(id, iter); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		batch = w.Sampler.Sample(batch, w.BatchSize)
+		m.Gradient(grad, batch)
+		machine.To(0, StateReduce)
+		if err := env.WorldReduceMean(group, uint32(iter+1), grad); err != nil {
+			return Outcome{Iter: iter}, err
+		}
+		machine.To(0, StateApply)
+		w.Opt.Update(m.Params(), grad, 1)
+		if w.OnIter != nil {
+			w.OnIter(iter + 1)
+		}
+	}
+	machine.To(0, StateDone)
+	return Outcome{Iter: w.Iters, Groups: w.Iters}, nil
+}
+
+// commsDelta converts the difference cur−prev of two cumulative OpStats
+// readings into the metrics.CommStats shape the live instruments accumulate.
+func commsDelta(cur, prev collective.OpStats) metrics.CommStats {
+	return metrics.CommStats{
+		Ops:            cur.Ops - prev.Ops,
+		BytesSent:      cur.BytesSent - prev.BytesSent,
+		BytesRecv:      cur.BytesRecv - prev.BytesRecv,
+		Segments:       cur.Segments - prev.Segments,
+		Retries:        cur.Retries - prev.Retries,
+		Timeouts:       cur.Timeouts - prev.Timeouts,
+		Aborts:         cur.Aborts - prev.Aborts,
+		ReduceScatterS: (cur.ReduceScatter - prev.ReduceScatter).Seconds(),
+		AllGatherS:     (cur.AllGather - prev.AllGather).Seconds(),
+	}
+}
+
+// deadPeer extracts the rank whose death caused a collective failure, or -1.
+func deadPeer(err error) int {
+	var pd *transport.PeerDownError
+	if errors.As(err, &pd) {
+		return pd.Peer
+	}
+	var oa *transport.OpAbortedError
+	if errors.As(err, &oa) {
+		return oa.Dead
+	}
+	return -1
+}

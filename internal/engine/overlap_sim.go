@@ -1,4 +1,4 @@
-package core
+package engine
 
 import (
 	"partialreduce/internal/cluster"
@@ -15,14 +15,21 @@ type overlapState struct {
 	stashBuf     tensor.Vector // storage backing stashed
 }
 
-// runOverlapped drives Algorithm 2 with communication/computation
-// overlapping (PReduceConfig.Overlap): each worker launches its next batch
-// the moment it signals ready, so the group's collective and the batch run
-// concurrently. The next local update applies a gradient taken at the
-// pre-aggregation snapshot — the bounded inconsistency DDP-style pipelining
-// accepts in exchange for hiding communication time.
-func (p *PReduce) runOverlapped(c *cluster.Cluster, ctrl *controller.Controller) (*metrics.Result, error) {
+// RunOverlappedSim drives Algorithm 2 with communication/computation
+// overlapping (the DDP-style pipelining §4 leaves as future work): each
+// worker launches its next batch the moment it signals ready, so the group's
+// collective and the batch run concurrently. The next local update applies a
+// gradient taken at the pre-aggregation snapshot — the bounded inconsistency
+// DDP-style pipelining accepts in exchange for hiding communication time.
+//
+// This driver deliberately does not carry the step Machine: pipelining is
+// the one execution mode whose whole point is violating the sequential step
+// order (a worker is in compute and reduce at once), so the invariant
+// checker would only encode false positives here.
+func RunOverlappedSim(env *SimEnv, ctrl *controller.Controller) (*metrics.Result, error) {
+	c := env.C
 	agg := tensor.NewVector(len(c.Init))
+	paramsBuf := make([]tensor.Vector, 0, c.Cfg.N)
 	states := make([]overlapState, len(c.Workers))
 	for i := range states {
 		states[i].stashBuf = tensor.NewVector(len(c.Init))
@@ -33,13 +40,11 @@ func (p *PReduce) runOverlapped(c *cluster.Cluster, ctrl *controller.Controller)
 	var applyAndSignal func(w *cluster.Worker, grad tensor.Vector)
 
 	onGroupDone := func(g controller.Group) {
-		agg.Zero()
-		for i, wid := range g.Members {
-			agg.Axpy(g.Weights[i], c.Workers[wid].Params())
+		paramsBuf = paramsBuf[:0]
+		for _, wid := range g.Members {
+			paramsBuf = append(paramsBuf, c.Workers[wid].Params())
 		}
-		if g.InitWeight > 0 {
-			agg.Axpy(g.InitWeight, c.Init)
-		}
+		GroupAverage(agg, g, paramsBuf, c.Init)
 		for _, wid := range g.Members {
 			w := c.Workers[wid]
 			w.Params().CopyFrom(agg)
@@ -79,10 +84,8 @@ func (p *PReduce) runOverlapped(c *cluster.Cluster, ctrl *controller.Controller)
 		startCompute(w)
 		for _, g := range groups {
 			g := g
-			ring := c.RingTime(g.Members)
-			dur := c.Cfg.Net.CtrlRTT + ring
-			c.ChargeRing(len(g.Members), ring)
-			c.Eng.After(dur, func() { onGroupDone(g) })
+			ring := env.GroupRing(g.Members)
+			c.Eng.After(c.Cfg.Net.CtrlRTT+ring, func() { onGroupDone(g) })
 		}
 	}
 

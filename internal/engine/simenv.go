@@ -1,0 +1,52 @@
+package engine
+
+import (
+	"partialreduce/internal/cluster"
+)
+
+// SimEnv is the simulated Environment: virtual clock, analytic α–β
+// communication costs, and — crucially — the modeled traffic accounting
+// folded inside. Strategies used to mirror every cost query with a matching
+// ChargeRing/ChargeExchange call, a drift hazard (forget one and the comm
+// columns silently diverge from the event timeline); here the query and the
+// charge are one method, so a collective the engine prices is a collective
+// the summary counts, by construction. A `make ci` guard keeps direct
+// charging calls from reappearing outside this package.
+type SimEnv struct {
+	// C is the underlying cluster substrate. Drivers reach through it for
+	// workers, the event engine, and the tracer; all traffic charging goes
+	// through the methods below.
+	C *cluster.Cluster
+}
+
+// NewSimEnv wraps a cluster as an engine Environment.
+func NewSimEnv(c *cluster.Cluster) *SimEnv { return &SimEnv{C: c} }
+
+// Now implements Environment with the event engine's virtual clock.
+func (e *SimEnv) Now() float64 { return e.C.Eng.Now() }
+
+// World implements Environment.
+func (e *SimEnv) World() int { return e.C.Cfg.N }
+
+// GroupRing prices one executed ring all-reduce among members and charges
+// its traffic (2(g−1)·WireBytes each way plus g·ring/2 modeled seconds per
+// ring phase). It returns the modeled duration for the caller to charge the
+// event engine. Call it once per attempt: an attempt that later times out
+// still moved (some of) its bytes, exactly as the live runtime counts
+// aborted attempts' partial traffic.
+func (e *SimEnv) GroupRing(members []int) float64 {
+	ring := e.C.RingTime(members)
+	e.C.ChargeRing(len(members), ring)
+	return ring
+}
+
+// WorldRing prices and charges one executed full-cluster ring all-reduce.
+func (e *SimEnv) WorldRing() float64 {
+	ring := e.C.RingTimeAll()
+	e.C.ChargeRing(e.C.Cfg.N, ring)
+	return ring
+}
+
+// Exchanges charges n executed point-to-point model exchanges (a PS
+// push/pull round trip, or one half of a pairwise average).
+func (e *SimEnv) Exchanges(n int) { e.C.ChargeExchange(n) }

@@ -7,18 +7,19 @@ import (
 
 	"partialreduce/internal/collective"
 	"partialreduce/internal/data"
+	"partialreduce/internal/engine"
 	"partialreduce/internal/model"
 	"partialreduce/internal/optim"
-	"partialreduce/internal/tensor"
 	"partialreduce/internal/transport"
 )
 
 // RunAllReduce is the live All-Reduce baseline: every iteration all N
 // workers compute a gradient and average it with one full-world ring
-// all-reduce — the synchronous barrier P-Reduce removes. Comparing its wall
-// time against Run on the same world (with the same injected ComputeDelay
-// stragglers) demonstrates the heterogeneity tolerance live, not just in
-// simulation. Config.P is ignored.
+// all-reduce — the synchronous barrier P-Reduce removes. Each goroutine runs
+// engine.RunAllReduceWorker, the same step loop the simulated AR baseline
+// drives on virtual time. Comparing its wall time against Run on the same
+// world (with the same injected ComputeDelay stragglers) demonstrates the
+// heterogeneity tolerance live, not just in simulation. Config.P is ignored.
 //
 // Config.Crash is honored the hard way: the crashed worker simply stops
 // participating, and because every iteration requires all N workers, the
@@ -57,43 +58,32 @@ func RunAllReduce(cfg Config, world []transport.Transport) (*Report, error) {
 			defer wg.Done()
 			m := base.Clone()
 			models[id] = m
-			opt := optim.NewSGD(cfg.Optimizer, m.NumParams())
-			sampler := data.NewSampler(shards[id], cfg.Seed*31+int64(id))
-			grad := tensor.NewVector(m.NumParams())
-			var batch *data.Batch
-			tr := world[id]
 			var local collective.OpStats
 			defer func() {
 				commMu.Lock()
 				comms.Merge(local)
 				commMu.Unlock()
 			}()
-			copts := collective.Options{SegmentElems: cfg.SegmentElems, Stats: &local}
-
-			crashAt, hasCrash := cfg.Crash[id]
-			for iter := 0; iter < cfg.Iters; iter++ {
-				if hasCrash && iter+1 >= crashAt {
-					// Fail-stop: drop out right before this iteration's
-					// barrier; every peer will see us down inside it.
-					transport.FailPeerEverywhere(world, id)
-					return
+			env := engine.NewLiveEnv(id, world[id], collective.Options{
+				SegmentElems: cfg.SegmentElems,
+				Stats:        &local,
+			}, nil, nil)
+			w := &engine.LiveWorker{
+				Env:          env,
+				Model:        m,
+				Opt:          optim.NewSGD(cfg.Optimizer, m.NumParams()),
+				Sampler:      data.NewSampler(shards[id], cfg.Seed*31+int64(id)),
+				Iters:        cfg.Iters,
+				BatchSize:    cfg.BatchSize,
+				ComputeDelay: cfg.ComputeDelay,
+				CrashAt:      cfg.Crash[id], // zero when id never crashes
+				OnIter:       func(it int) { iters[id] = it },
+			}
+			if _, err := engine.RunAllReduceWorker(w, world, group); err != nil {
+				runErr <- fmt.Errorf("live: worker %d all-reduce: %w", id, err)
+				for _, t := range world {
+					t.Close()
 				}
-				if cfg.ComputeDelay != nil {
-					if d := cfg.ComputeDelay(id, iter); d > 0 {
-						time.Sleep(d)
-					}
-				}
-				batch = sampler.Sample(batch, cfg.BatchSize)
-				m.Gradient(grad, batch)
-				if err := collective.AllReduceMeanOpts(tr, group, uint32(iter+1), grad, copts); err != nil {
-					runErr <- fmt.Errorf("live: worker %d all-reduce: %w", id, err)
-					for _, t := range world {
-						t.Close()
-					}
-					return
-				}
-				opt.Update(m.Params(), grad, 1)
-				iters[id] = iter + 1
 			}
 		}()
 	}

@@ -1,10 +1,17 @@
 // Package live is the runtime counterpart of the simulator: real goroutine
 // workers training real model replicas, a controller service mediating
 // ready signals over channels, and P-Reduce groups executing genuine ring
-// all-reduce collectives over an in-process or TCP transport. It mirrors the
+// all-reduce collectives over an in-process or TCP transport. It follows the
 // paper's prototype (§4): the controller carries only worker ids and
 // iteration numbers — a few bytes — while model data moves exclusively
 // through the group collectives.
+//
+// The training step itself is not defined here: workers execute
+// engine.RunPReduceWorker — the same step state machine the simulator
+// drives — over a LiveEnv (wall clock, real collectives) and a
+// channel-backed engine.Control. This package owns only the substrate: the
+// controller service goroutine, crash/checkpoint/rejoin choreography, and
+// run assembly.
 //
 // The runtime is fault tolerant in the sense of §4: a worker crash is
 // detected by its group peers (the collective fails with a typed peer-down
@@ -16,7 +23,6 @@ package live
 
 import (
 	"bytes"
-	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -25,6 +31,7 @@ import (
 	"partialreduce/internal/collective"
 	"partialreduce/internal/controller"
 	"partialreduce/internal/data"
+	"partialreduce/internal/engine"
 	"partialreduce/internal/metrics"
 	"partialreduce/internal/model"
 	"partialreduce/internal/optim"
@@ -679,21 +686,58 @@ func (rt *runtime) service(ctrl *controller.Controller, completed []bool, stop, 
 	}
 }
 
-// worker runs one training loop from startIter. allowCrash arms the
-// configured crash injection (disarmed for the post-rejoin incarnation).
+// chanControl implements engine.Control over the in-process service channel:
+// ready signals (with idempotent retransmission on controller failover) go
+// through rt.signalReady; failure reports and completion are plain service
+// messages. Sends to svcCh cannot fail, so only Signal can ever error — and
+// here it cannot either (the service outlives every worker goroutine).
+type chanControl struct {
+	rt *runtime
+	id int
+}
+
+func (c *chanControl) Signal(iter int) (engine.Directive, error) {
+	gm := c.rt.signalReady(c.id, iter)
+	return engine.Directive{Group: gm.group, OpID: gm.opID, Skip: gm.skip}, nil
+}
+
+func (c *chanControl) SignalNoWait(iter int) {
+	rt := c.rt
+	rt.readySeq[c.id]++
+	reply := make(chan *groupMsg, 1) // abandoned: the corpse never reads it
+	rt.svcCh <- svcMsg{kind: kindReady, worker: c.id, iter: iter, seq: rt.readySeq[c.id], reply: reply}
+}
+
+func (c *chanControl) ReportDeath(dead int, g controller.Group, opID uint32) error {
+	c.rt.svcCh <- svcMsg{kind: kindFail, worker: c.id, dead: dead, group: g, opID: opID}
+	return nil
+}
+
+func (c *chanControl) ReportStuck(g controller.Group, opID uint32) error {
+	c.rt.svcCh <- svcMsg{kind: kindStuck, worker: c.id, group: g, opID: opID}
+	return nil
+}
+
+func (c *chanControl) Finished() error {
+	c.rt.svcCh <- svcMsg{kind: kindDone, worker: c.id}
+	return nil
+}
+
+// worker runs one training loop from startIter: it assembles the engine
+// LiveWorker (env, model, optimizer, crash schedule) and hands the step loop
+// to engine.RunPReduceWorker, then owns the runtime-specific epilogue —
+// run-wide teardown on a hard error, checkpoint/rejoin choreography on a
+// crash, silence when declared dead. allowCrash arms the configured crash
+// injection (disarmed for the post-rejoin incarnation).
 func (rt *runtime) worker(id int, m model.Model, opt *optim.SGD, sampler *data.Sampler, startIter int, allowCrash bool) {
 	cfg := rt.cfg
-	tr := rt.world[id]
-	grad := tensor.NewVector(m.NumParams())
-	pre := tensor.NewVector(m.NumParams())
-	var batch *data.Batch
 	var comms collective.OpStats
 	defer rt.addComms(&comms)
 	pol := cfg.Retry
 	if pol.Seed == 0 {
 		pol.Seed = cfg.Seed
 	}
-	copts := collective.Options{
+	env := engine.NewLiveEnv(id, rt.world[id], collective.Options{
 		SegmentElems: cfg.SegmentElems,
 		Stats:        &comms,
 		Timeout:      cfg.CollectiveTimeout,
@@ -701,110 +745,40 @@ func (rt *runtime) worker(id int, m model.Model, opt *optim.SGD, sampler *data.S
 		Tracer:       cfg.Tracer,
 		TraceTrack:   int32(id),
 		TraceIter:    -1,
+	}, cfg.Tracer, cfg.Instruments)
+	crashAt := 0
+	if allowCrash {
+		crashAt = cfg.Crash[id] // zero when id never crashes
 	}
-	tracer := cfg.Tracer
-	ins := cfg.Instruments
-	var prevComms collective.OpStats // last OpStats folded into instruments
-	// The paper's loop counter: fast-forwarded to the group max after every
-	// partial reduce (§3.3.3), so stragglers skip caught-up work.
-	iter := startIter
-	crashAt, hasCrash := cfg.Crash[id]
-
-	for iter < cfg.Iters {
-		computeStart := tracer.Now()
-		if cfg.ComputeDelay != nil {
-			if d := cfg.ComputeDelay(id, iter); d > 0 {
-				time.Sleep(d)
-			}
-		}
-		batch = sampler.Sample(batch, cfg.BatchSize)
-		m.Gradient(grad, batch)
-		opt.Update(m.Params(), grad, 1)
-		iter++
-		rt.iters[id] = iter
-		tracer.Span(trace.KCompute, int32(id), int32(iter), computeStart, 0, 0)
-
-		if allowCrash && hasCrash && iter >= crashAt {
-			rt.crash(id, m, opt, iter)
-			return // no done message: the cluster must detect the death
-		}
-
-		for { // signal ready; on group abort, roll back and re-signal
-			waitStart := tracer.Now()
-			var waitWall time.Time
-			if ins != nil {
-				waitWall = time.Now()
-			}
-			gm := rt.signalReady(id, iter)
-			if ins != nil {
-				ins.AddBarrierWait(id, time.Since(waitWall).Seconds())
-			}
-			solo := int64(0)
-			if gm.skip {
-				solo = 1
-			}
-			tracer.Span(trace.KSignalWait, int32(id), int32(iter), waitStart, solo, 0)
-			if gm.skip {
-				break // proceed solo this iteration
-			}
-			g := gm.group
-			var weight float64
-			for i, member := range g.Members {
-				if member == id {
-					weight = g.Weights[i]
-					break
-				}
-			}
-			pre.CopyFrom(m.Params())
-			copts.TraceIter = int32(iter)
-			err := collective.WeightedAverageOpts(tr, g.Members, gm.opID, m.Params(), weight, copts)
-			if ins != nil {
-				// Fold this collective's data-plane delta into the live
-				// instruments so /metrics is fresh mid-run (the run total
-				// still merges once at worker exit).
-				ins.AddComms(commsDelta(comms, prevComms))
-				prevComms = comms
-			}
-			if err == nil {
-				if g.InitWeight > 0 {
-					m.Params().Axpy(g.InitWeight, rt.init)
-				}
-				if g.Iter > iter {
-					iter = g.Iter
-					rt.iters[id] = iter
-				}
-				break
-			}
-			if !transport.IsFailure(err) {
-				// Hard transport error (e.g. endpoint closed): abort the
-				// whole run, unblocking peers first.
-				rt.runErr <- fmt.Errorf("live: worker %d collective: %w", id, err)
-				for _, t := range rt.world {
-					t.Close()
-				}
-				rt.svcCh <- svcMsg{kind: kindDone, worker: id}
-				return
-			}
-			// A peer died mid-collective (§4): roll back to the pre-group
-			// model, report the death, and re-signal ready for this same
-			// iteration. The controller will regroup us with survivors.
-			m.Params().CopyFrom(pre)
-			dead := deadPeer(err)
-			if dead == id {
-				return // we ourselves were declared dead; fall silent
-			}
-			if dead >= 0 {
-				rt.svcCh <- svcMsg{kind: kindFail, worker: id, dead: dead, group: g, opID: gm.opID}
-			} else if transport.IsTimeout(err) {
-				// The collective timed out (after exhausting any retry budget)
-				// with no peer known dead: a severed link or partition. Ask the
-				// service to abort the op for the whole group so every stuck
-				// member rolls back and re-signals; nobody is condemned.
-				rt.svcCh <- svcMsg{kind: kindStuck, worker: id, group: g, opID: gm.opID}
-			}
-		}
+	w := &engine.LiveWorker{
+		Env:          env,
+		Model:        m,
+		Opt:          opt,
+		Sampler:      sampler,
+		Init:         rt.init,
+		Iters:        cfg.Iters,
+		StartIter:    startIter,
+		BatchSize:    cfg.BatchSize,
+		ComputeDelay: cfg.ComputeDelay,
+		CrashAt:      crashAt,
+		OnIter:       func(it int) { rt.iters[id] = it },
 	}
-	rt.svcCh <- svcMsg{kind: kindDone, worker: id}
+	out, err := engine.RunPReduceWorker(w, &chanControl{rt: rt, id: id})
+	switch {
+	case err != nil:
+		// Hard transport error (e.g. endpoint closed): abort the whole run,
+		// unblocking peers first.
+		rt.runErr <- fmt.Errorf("live: worker %d collective: %w", id, err)
+		for _, t := range rt.world {
+			t.Close()
+		}
+		rt.svcCh <- svcMsg{kind: kindDone, worker: id}
+	case out.Crashed:
+		rt.crash(id, m, opt, out.Iter)
+		// No done message: the cluster must detect the death.
+	case out.DeadErr != nil:
+		// We ourselves were declared dead; fall silent.
+	}
 }
 
 // signalReady sends worker id's ready signal for iter and waits for the group
@@ -840,19 +814,14 @@ func (rt *runtime) signalReady(id, iter int) *groupMsg {
 	}
 }
 
-// crash simulates a fail-stop crash of worker id immediately after its ready
-// signal for iter went out: the signal is in flight, so the controller may
-// form a group containing the corpse. If a rejoin is configured, the state
-// at the crash point is checkpointed first (standing in for the periodic
-// checkpoint a real deployment would have on disk) and a restart goroutine
-// is scheduled.
+// crash completes a fail-stop crash of worker id: the engine loop already
+// emitted the crash trace instant and left the ready signal for iter in
+// flight (SignalNoWait), so the controller may form a group containing the
+// corpse. If a rejoin is configured, the state at the crash point is
+// checkpointed first (standing in for the periodic checkpoint a real
+// deployment would have on disk) and a restart goroutine is scheduled.
 func (rt *runtime) crash(id int, m model.Model, opt *optim.SGD, iter int) {
-	rt.cfg.Tracer.Instant(trace.KCrash, int32(id), int32(iter), 0, 0)
 	delay, willRejoin := rt.cfg.Rejoin[id]
-	rt.readySeq[id]++
-	reply := make(chan *groupMsg, 1) // abandoned: the corpse never reads it
-	rt.svcCh <- svcMsg{kind: kindReady, worker: id, iter: iter, seq: rt.readySeq[id], reply: reply}
-
 	var snap []byte
 	if willRejoin {
 		vel, step := opt.State()
@@ -909,33 +878,4 @@ func (rt *runtime) rejoin(id int, snap []byte, delay time.Duration) {
 	sampler := data.NewSampler(rt.shards[id], rt.cfg.Seed*31+int64(id)+9973)
 	rt.models[id] = m
 	rt.worker(id, m, opt, sampler, int(st.Iter), false)
-}
-
-// commsDelta converts the difference cur−prev of two cumulative OpStats
-// readings into the metrics.CommStats shape the live instruments accumulate.
-func commsDelta(cur, prev collective.OpStats) metrics.CommStats {
-	return metrics.CommStats{
-		Ops:            cur.Ops - prev.Ops,
-		BytesSent:      cur.BytesSent - prev.BytesSent,
-		BytesRecv:      cur.BytesRecv - prev.BytesRecv,
-		Segments:       cur.Segments - prev.Segments,
-		Retries:        cur.Retries - prev.Retries,
-		Timeouts:       cur.Timeouts - prev.Timeouts,
-		Aborts:         cur.Aborts - prev.Aborts,
-		ReduceScatterS: (cur.ReduceScatter - prev.ReduceScatter).Seconds(),
-		AllGatherS:     (cur.AllGather - prev.AllGather).Seconds(),
-	}
-}
-
-// deadPeer extracts the rank whose death caused a collective failure, or -1.
-func deadPeer(err error) int {
-	var pd *transport.PeerDownError
-	if errors.As(err, &pd) {
-		return pd.Peer
-	}
-	var oa *transport.OpAbortedError
-	if errors.As(err, &oa) {
-		return oa.Dead
-	}
-	return -1
 }

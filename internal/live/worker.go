@@ -9,6 +9,7 @@ import (
 	"partialreduce/internal/collective"
 	"partialreduce/internal/controller"
 	"partialreduce/internal/data"
+	"partialreduce/internal/engine"
 	"partialreduce/internal/model"
 	"partialreduce/internal/optim"
 	"partialreduce/internal/policy"
@@ -491,11 +492,96 @@ func decodeGroup(payload []float64) (g controller.Group, opID uint32, skip bool,
 	return g, opID, skip, nil
 }
 
-// runWorkerLoop is the per-process worker: compute, signal rank ctrlRank,
-// aggregate with the replied group, repeat; then a final roster-wide gather
-// lets the host evaluate the averaged model. An abort-listener goroutine
-// applies the host's abort notifications to the local transport, waking this
-// worker if it is blocked in a collective behind a dead peer.
+// wireControl implements engine.Control over the transport's control-tag
+// message space: ready signals and failure reports ride readyTag(seq)
+// messages to the controller rank, group replies come back on replyTag(seq).
+// The host's per-worker receive loop matches consecutive sequence numbers,
+// so every send below advances seq exactly as the host expects.
+type wireControl struct {
+	cfg      Config
+	tr       transport.Transport
+	ctrlRank int
+	id       int
+	seq      int
+	replyBuf []float64
+}
+
+func (c *wireControl) Signal(iter int) (engine.Directive, error) {
+	if err := c.tr.Send(c.ctrlRank, readyTag(c.seq), []float64{float64(iter)}); err != nil {
+		return engine.Directive{}, err
+	}
+	var reply []float64
+	for resends := 0; ; {
+		n, err := transport.RecvIntoDeadline(c.tr, c.ctrlRank, replyTag(c.seq), c.replyBuf, c.cfg.CtrlTimeout)
+		if err == nil {
+			reply = c.replyBuf[:n]
+			break
+		}
+		if !transport.IsTimeout(err) {
+			return engine.Directive{}, err
+		}
+		// The reply was lost with a crashed controller incarnation (or
+		// is merely late): re-send the signal on the next sequence
+		// number — the host recognizes retransmissions — and wait
+		// there. After ctrlResendLimit misses the controller is
+		// unreachable (severed link, dead host): withdraw from the
+		// cluster so peers and the host detect the departure through
+		// the transport instead of everyone hanging.
+		resends++
+		if resends > ctrlResendLimit {
+			if sf, ok := c.tr.(transport.SelfFailer); ok {
+				sf.FailSelf()
+			} else {
+				c.tr.Close()
+			}
+			return engine.Directive{}, fmt.Errorf("live: worker %d: controller unreachable after %d signals: %w", c.id, resends, err)
+		}
+		c.seq++
+		if err := c.tr.Send(c.ctrlRank, readyTag(c.seq), []float64{float64(iter)}); err != nil {
+			return engine.Directive{}, err
+		}
+	}
+	c.seq++
+	g, opID, skip, err := decodeGroup(reply)
+	if err != nil {
+		return engine.Directive{}, err
+	}
+	return engine.Directive{Group: g, OpID: opID, Skip: skip}, nil
+}
+
+func (c *wireControl) SignalNoWait(iter int) {
+	// Crash injection: the signal goes out and the sender dies without
+	// reading the reply, so the send error (if any) is irrelevant.
+	_ = c.tr.Send(c.ctrlRank, readyTag(c.seq), []float64{float64(iter)})
+}
+
+func (c *wireControl) ReportDeath(dead int, g controller.Group, opID uint32) error {
+	if err := c.tr.Send(c.ctrlRank, readyTag(c.seq), []float64{readyFailure, float64(dead), float64(opID)}); err != nil {
+		return err
+	}
+	c.seq++
+	return nil
+}
+
+func (c *wireControl) ReportStuck(g controller.Group, opID uint32) error {
+	if err := c.tr.Send(c.ctrlRank, readyTag(c.seq), []float64{readyFailure, -1, float64(opID)}); err != nil {
+		return err
+	}
+	c.seq++
+	return nil
+}
+
+func (c *wireControl) Finished() error {
+	return c.tr.Send(c.ctrlRank, readyTag(c.seq), []float64{readyFinished})
+}
+
+// runWorkerLoop is the per-process worker: it assembles the engine
+// LiveWorker and wire-backed Control, hands the training loop to
+// engine.RunPReduceWorker (the same step machine the in-process runtime and
+// the simulator drive), then runs the roster-wide gather that lets the host
+// evaluate the averaged model. An abort-listener goroutine applies the
+// host's abort notifications to the local transport, waking this worker if
+// it is blocked in a collective behind a dead peer.
 func runWorkerLoop(cfg Config, tr transport.Transport, ctrlRank int, host bool) (*Report, error) {
 	id := tr.Rank()
 	base := cfg.Spec.Build(cfg.Seed)
@@ -505,9 +591,6 @@ func runWorkerLoop(cfg Config, tr transport.Transport, ctrlRank int, host bool) 
 	m := base.Clone()
 	opt := optim.NewSGD(cfg.Optimizer, m.NumParams())
 	sampler := data.NewSampler(shards[id], cfg.Seed*31+int64(id))
-	grad := tensor.NewVector(m.NumParams())
-	pre := tensor.NewVector(m.NumParams())
-	var batch *data.Batch
 
 	// Abort listener: the host numbers abort notifications per worker; op 0
 	// is the shutdown sentinel. Errors end the listener (the transport is
@@ -525,13 +608,12 @@ func runWorkerLoop(cfg Config, tr transport.Transport, ctrlRank int, host bool) 
 	}
 
 	start := time.Now()
-	groups := 0
 	var comms collective.OpStats
 	pol := cfg.Retry
 	if pol.Seed == 0 {
 		pol.Seed = cfg.Seed
 	}
-	copts := collective.Options{
+	env := engine.NewLiveEnv(id, tr, collective.Options{
 		SegmentElems: cfg.SegmentElems,
 		Stats:        &comms,
 		Timeout:      cfg.CollectiveTimeout,
@@ -539,159 +621,40 @@ func runWorkerLoop(cfg Config, tr transport.Transport, ctrlRank int, host bool) 
 		Tracer:       cfg.Tracer,
 		TraceTrack:   int32(id),
 		TraceIter:    -1,
+	}, cfg.Tracer, cfg.Instruments)
+	w := &engine.LiveWorker{
+		Env:          env,
+		Model:        m,
+		Opt:          opt,
+		Sampler:      sampler,
+		Init:         init,
+		Iters:        cfg.Iters,
+		BatchSize:    cfg.BatchSize,
+		ComputeDelay: cfg.ComputeDelay,
+		CrashAt:      cfg.Crash[id], // zero when this rank never crashes
 	}
-	tracer := cfg.Tracer
-	ins := cfg.Instruments
-	var prevComms collective.OpStats // last OpStats folded into instruments
-	replyBuf := make([]float64, 5+2*cfg.N)
-	// iter is the paper's loop counter k: it fast-forwards to the group max
-	// after every partial reduce (§3.3.3), so stragglers skip caught-up work.
-	iter := 0
-	seq := 0
-	crashAt, hasCrash := cfg.Crash[id]
-	for iter < cfg.Iters {
-		computeStart := tracer.Now()
-		if cfg.ComputeDelay != nil {
-			if d := cfg.ComputeDelay(id, iter); d > 0 {
-				time.Sleep(d)
-			}
-		}
-		batch = sampler.Sample(batch, cfg.BatchSize)
-		m.Gradient(grad, batch)
-		opt.Update(m.Params(), grad, 1)
-		iter++
-		tracer.Span(trace.KCompute, int32(id), int32(iter), computeStart, 0, 0)
-
-		if hasCrash && iter >= crashAt {
-			// Fail-stop with the ready signal in flight: the controller may
-			// form a group containing this corpse, and the survivors must
-			// detect and recover (§4).
-			tracer.Instant(trace.KCrash, int32(id), int32(iter), 0, 0)
-			_ = tr.Send(ctrlRank, readyTag(seq), []float64{float64(iter)})
-			if sf, ok := tr.(transport.SelfFailer); ok {
-				sf.FailSelf()
-			} else {
-				tr.Close()
-			}
-			return &Report{
-				WallTime:    time.Since(start),
-				WorkerIters: []int{iter},
-				Completed:   []bool{false},
-			}, nil
-		}
-
-		for { // signal ready; on a group abort, roll back and re-signal
-			waitStart := tracer.Now()
-			var waitWall time.Time
-			if ins != nil {
-				waitWall = time.Now()
-			}
-			if err := tr.Send(ctrlRank, readyTag(seq), []float64{float64(iter)}); err != nil {
-				return nil, err
-			}
-			var reply []float64
-			for resends := 0; ; {
-				n, err := transport.RecvIntoDeadline(tr, ctrlRank, replyTag(seq), replyBuf, cfg.CtrlTimeout)
-				if err == nil {
-					reply = replyBuf[:n]
-					break
-				}
-				if !transport.IsTimeout(err) {
-					return nil, err
-				}
-				// The reply was lost with a crashed controller incarnation (or
-				// is merely late): re-send the signal on the next sequence
-				// number — the host recognizes retransmissions — and wait
-				// there. After ctrlResendLimit misses the controller is
-				// unreachable (severed link, dead host): withdraw from the
-				// cluster so peers and the host detect the departure through
-				// the transport instead of everyone hanging.
-				resends++
-				if resends > ctrlResendLimit {
-					if sf, ok := tr.(transport.SelfFailer); ok {
-						sf.FailSelf()
-					} else {
-						tr.Close()
-					}
-					return nil, fmt.Errorf("live: worker %d: controller unreachable after %d signals: %w", id, resends, err)
-				}
-				seq++
-				if err := tr.Send(ctrlRank, readyTag(seq), []float64{float64(iter)}); err != nil {
-					return nil, err
-				}
-			}
-			seq++
-			g, opID, skip, err := decodeGroup(reply)
-			if err != nil {
-				return nil, err
-			}
-			if ins != nil {
-				ins.AddBarrierWait(id, time.Since(waitWall).Seconds())
-			}
-			solo := int64(0)
-			if skip {
-				solo = 1
-			}
-			tracer.Span(trace.KSignalWait, int32(id), int32(iter), waitStart, solo, 0)
-			if skip {
-				break // proceed solo this iteration
-			}
-			var weight float64
-			for i, member := range g.Members {
-				if member == id {
-					weight = g.Weights[i]
-					break
-				}
-			}
-			pre.CopyFrom(m.Params())
-			copts.TraceIter = int32(iter)
-			err = collective.WeightedAverageOpts(tr, g.Members, opID, m.Params(), weight, copts)
-			if ins != nil {
-				// Fold this collective's data-plane delta into the live
-				// instruments so /metrics is fresh mid-run.
-				ins.AddComms(commsDelta(comms, prevComms))
-				prevComms = comms
-			}
-			if err == nil {
-				if g.InitWeight > 0 {
-					m.Params().Axpy(g.InitWeight, init)
-				}
-				if g.Iter > iter {
-					iter = g.Iter
-				}
-				groups++
-				break
-			}
-			if !transport.IsFailure(err) {
-				return nil, err
-			}
-			// A peer died mid-collective (§4): roll back to the pre-group
-			// model, report the death on the ready stream, and re-signal
-			// this same iteration on the next sequence number.
-			m.Params().CopyFrom(pre)
-			dead := deadPeer(err)
-			if dead == id {
-				return nil, fmt.Errorf("live: worker %d declared dead: %w", id, err)
-			}
-			if dead >= 0 {
-				if err := tr.Send(ctrlRank, readyTag(seq), []float64{readyFailure, float64(dead), float64(opID)}); err != nil {
-					return nil, err
-				}
-				seq++
-			} else if transport.IsTimeout(err) {
-				// The collective timed out (retry budget exhausted) with no
-				// peer known dead: report the stuck op so the host aborts it
-				// for the whole group, then re-signal this iteration.
-				if err := tr.Send(ctrlRank, readyTag(seq), []float64{readyFailure, -1, float64(opID)}); err != nil {
-					return nil, err
-				}
-				seq++
-			}
-		}
-	}
-	if err := tr.Send(ctrlRank, readyTag(seq), []float64{readyFinished}); err != nil {
+	ctl := &wireControl{cfg: cfg, tr: tr, ctrlRank: ctrlRank, id: id, replyBuf: make([]float64, 5+2*cfg.N)}
+	out, err := engine.RunPReduceWorker(w, ctl)
+	switch {
+	case err != nil:
 		return nil, err
+	case out.DeadErr != nil:
+		return nil, fmt.Errorf("live: worker %d declared dead: %w", id, out.DeadErr)
+	case out.Crashed:
+		// The engine already sent the in-flight ready signal; complete the
+		// fail-stop so peers and the host observe the death.
+		if sf, ok := tr.(transport.SelfFailer); ok {
+			sf.FailSelf()
+		} else {
+			tr.Close()
+		}
+		return &Report{
+			WallTime:    time.Since(start),
+			WorkerIters: []int{out.Iter},
+			Completed:   []bool{false},
+		}, nil
 	}
+	iter, groups := out.Iter, out.Groups
 
 	// The host broadcasts the survivor roster; the final average runs over
 	// it (a full-world gather would block on the dead ranks forever).
@@ -705,14 +668,16 @@ func runWorkerLoop(cfg Config, tr transport.Transport, ctrlRank int, host bool) 
 	}
 	sort.Ints(roster)
 
-	all, err := collective.GatherOpts(tr, roster, gatherOpID, ctrlRank, m.Params(), copts)
+	// The tail collectives reuse env.Copts: its TraceIter still carries the
+	// last group op's iteration tag, the behavior the trace goldens pin.
+	all, err := collective.GatherOpts(tr, roster, gatherOpID, ctrlRank, m.Params(), env.Copts)
 	if err != nil {
 		return nil, err
 	}
 	// Hold every surviving process until the roster is done: a rank that
 	// exits early (iteration fast-forward can finish it first) would tear
 	// down its transport under peers still training.
-	if err := collective.BarrierOpts(tr, roster, barrierOpID, copts); err != nil {
+	if err := collective.BarrierOpts(tr, roster, barrierOpID, env.Copts); err != nil {
 		return nil, err
 	}
 	rep := &Report{

@@ -155,11 +155,16 @@ func LogSumExp(v Vector) float64 {
 	return m + math.Log(z)
 }
 
-// WeightedSum writes sum_i weights[i]*vs[i] into dst. All vectors must share
-// dst's length and len(weights) must equal len(vs).
-func WeightedSum(dst Vector, weights []float64, vs []Vector) {
+// WeightedAverage writes the combination sum_i weights[i]*vs[i] into dst.
+// All vectors must share dst's length and len(weights) must equal len(vs).
+// Every aggregation rule in the codebase — group model averages, barrier
+// gradient means, gossip mixing — is a convex instance of this (weights
+// summing to 1), and they all share this exact accumulation order (zero,
+// then one Axpy per input, in input order): same-seed replays are
+// byte-identical only because the float rounding sequence never varies.
+func WeightedAverage(dst Vector, weights []float64, vs []Vector) {
 	if len(weights) != len(vs) {
-		panic(fmt.Sprintf("tensor: WeightedSum %d weights for %d vectors", len(weights), len(vs)))
+		panic(fmt.Sprintf("tensor: WeightedAverage %d weights for %d vectors", len(weights), len(vs)))
 	}
 	dst.Zero()
 	for i, v := range vs {

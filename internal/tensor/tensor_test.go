@@ -120,12 +120,12 @@ func TestLogSumExp(t *testing.T) {
 	}
 }
 
-func TestWeightedSumAndMean(t *testing.T) {
+func TestWeightedAverageAndMean(t *testing.T) {
 	vs := []Vector{{1, 2}, {3, 4}, {5, 6}}
 	dst := NewVector(2)
-	WeightedSum(dst, []float64{0.5, 0.25, 0.25}, vs)
+	WeightedAverage(dst, []float64{0.5, 0.25, 0.25}, vs)
 	if !almostEq(dst[0], 2.5, 1e-12) || !almostEq(dst[1], 3.5, 1e-12) {
-		t.Fatalf("WeightedSum: got %v", dst)
+		t.Fatalf("WeightedAverage: got %v", dst)
 	}
 	Mean(dst, vs)
 	if !almostEq(dst[0], 3, 1e-12) || !almostEq(dst[1], 4, 1e-12) {
@@ -133,11 +133,42 @@ func TestWeightedSumAndMean(t *testing.T) {
 	}
 }
 
+// TestWeightedAverageConvexIdentity is the convex-combination property: for
+// any weight vector summing to 1, the weighted average of copies of a
+// constant vector is that vector, within 1e-12 per element.
+func TestWeightedAverageConvexIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(8)
+		c := rng.NormFloat64() * 10
+		weights := make([]float64, n)
+		sum := 0.0
+		for i := range weights {
+			weights[i] = rng.Float64()
+			sum += weights[i]
+		}
+		for i := range weights {
+			weights[i] /= sum
+		}
+		vs := make([]Vector, n)
+		for i := range vs {
+			vs[i] = Vector{c, c, c}
+		}
+		dst := NewVector(3)
+		WeightedAverage(dst, weights, vs)
+		for j, got := range dst {
+			if !almostEq(got, c, 1e-12*math.Max(1, math.Abs(c))) {
+				t.Fatalf("trial %d: weights %v over constant %v: dst[%d]=%v", trial, weights, c, j, got)
+			}
+		}
+	}
+}
+
 func TestMismatchPanics(t *testing.T) {
 	assertPanics(t, "Add", func() { Vector{1}.Add(Vector{1, 2}) })
 	assertPanics(t, "CopyFrom", func() { Vector{1}.CopyFrom(Vector{1, 2}) })
 	assertPanics(t, "Dot", func() { Vector{1}.Dot(Vector{1, 2}) })
-	assertPanics(t, "WeightedSum", func() { WeightedSum(NewVector(1), []float64{1}, nil) })
+	assertPanics(t, "WeightedAverage", func() { WeightedAverage(NewVector(1), []float64{1}, nil) })
 	assertPanics(t, "Mean", func() { Mean(NewVector(1), nil) })
 	assertPanics(t, "MatrixFrom", func() { MatrixFrom(2, 2, Vector{1}) })
 }
