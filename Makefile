@@ -53,9 +53,10 @@ allocgate:
 	$(GO) test ./internal/tensor/ -run TestAddScaledDispatchAllocFree -count 1
 
 # Seeded chaos soak: worker fail-stop + controller crash (warm and cold) +
-# timed network partition composed in one run, swept across seeds under the
-# race detector. ci runs the default sweep; raise CHAOS_SEEDS for a longer
-# soak. Any failure reproduces from the logged seed.
+# timed network partition + elastic join/drain staircase composed in one run,
+# swept across seeds under the race detector. ci runs the default sweep;
+# raise CHAOS_SEEDS for a longer soak. Any failure reproduces from the
+# logged seed.
 CHAOS_SEEDS ?= 4
 chaos:
 	PREDUCE_CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race ./internal/live/ -run TestChaosSoak -count 1

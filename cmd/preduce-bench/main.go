@@ -81,7 +81,7 @@ func exportSummary(name string, results ...*metrics.Result) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: table1|fig4|fig7a|fig7b|fig8|fig9|fig10|fig11|geo|seeds|crash|partition|adaptive|ablations|all")
+	exp := flag.String("exp", "all", "experiment id: table1|fig4|fig7a|fig7b|fig8|fig9|fig10|fig11|geo|seeds|crash|partition|adaptive|elastic|ablations|all")
 	seed := flag.Int64("seed", 1, "master seed for datasets, initialization and timing draws")
 	quickFlag := flag.Bool("quick", false, "reduced update budgets and thresholds")
 	parallel := flag.Int("parallel", 0, "max concurrent cells (0 = GOMAXPROCS)")
@@ -134,8 +134,9 @@ func main() {
 		"crash":     runCrash,
 		"partition": runPartition,
 		"adaptive":  runAdaptive,
+		"elastic":   runElastic,
 	}
-	order := []string{"fig4", "table1", "fig7a", "fig7b", "fig8", "fig9", "fig10", "fig11", "geo", "seeds", "crash", "partition", "adaptive", "ablations"}
+	order := []string{"fig4", "table1", "fig7a", "fig7b", "fig8", "fig9", "fig10", "fig11", "geo", "seeds", "crash", "partition", "adaptive", "elastic", "ablations"}
 
 	var ids []string
 	if *exp == "all" {
@@ -307,6 +308,17 @@ func runAdaptive(opts experiments.Options) error {
 	res.Format(os.Stdout)
 	exportSummary("adaptive", res.Results...)
 	reportComms(res.Results...)
+	return nil
+}
+
+func runElastic(opts experiments.Options) error {
+	res, err := experiments.RobustnessElastic(opts)
+	if err != nil {
+		return err
+	}
+	res.Format(os.Stdout)
+	exportSummary("elastic", res.Results()...)
+	reportComms(res.Results()...)
 	return nil
 }
 

@@ -21,12 +21,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
 	preduce "partialreduce"
 	"partialreduce/internal/collective"
 	"partialreduce/internal/data"
+	"partialreduce/internal/hetero"
 	"partialreduce/internal/live"
 	"partialreduce/internal/metrics"
 	"partialreduce/internal/model"
@@ -78,6 +80,16 @@ func main() {
 		"trace event-ring capacity (0: default 65536; oldest events drop when full)")
 	telemetryAddr := flag.String("telemetry-addr", "",
 		"serve Prometheus-text /metrics (staleness histogram, queue depth, barrier-wait, comm counters) and /debug/pprof/ on this address for the run's duration (e.g. 127.0.0.1:9090, or :0 for an ephemeral port)")
+	initial := flag.Int("initial", 0,
+		"elastic start: only ranks [0,initial) train from the beginning; the rest park until a scheduled join (0: everyone; -addrs still lists every rank)")
+	joinAfter := flag.Int("join-after", 0,
+		"elastic scale-out: admit the first parked rank once this many groups have dispatched, then one more per -scale-step (requires -initial < len(addrs))")
+	drainAfter := flag.Int("drain-after", 0,
+		"elastic scale-in: gracefully drain the highest rank once this many groups have dispatched, then one more per -scale-step, down to -scale-to")
+	scaleTo := flag.Int("scale-to", 0,
+		"elastic scale-in target membership (with -drain-after; 0: no drains)")
+	scaleStep := flag.Int("scale-step", 5,
+		"groups between consecutive elastic joins (after -join-after) and drains (after -drain-after)")
 	policyName := flag.String("policy", "",
 		"group-formation policy: static|adaptive-p|straggler-bias (empty: controller default)")
 	pMin := flag.Int("p-min", 0, "adaptive-p lower group-size bound (0: default 2)")
@@ -186,6 +198,19 @@ func main() {
 	if *policyName != "" {
 		cfg.Policy = policy.Spec{Name: *policyName, PMin: *pMin, PMax: *pMax, Window: *policyWindow}
 	}
+	if *initial > 0 || *joinAfter > 0 || *drainAfter > 0 {
+		founders := *initial
+		if founders == 0 {
+			founders = n
+		}
+		cfg.Initial = *initial
+		cfg.Elastic = elasticSchedule(n, founders, *joinAfter, *drainAfter, *scaleTo, *scaleStep)
+		// Fail fast: every rank must agree on the schedule, and a bad one
+		// should not cost a mesh timeout before being rejected.
+		if err := cfg.Elastic.Validate(n, founders); err != nil {
+			fail(err)
+		}
+	}
 	if *crashAfter > 0 {
 		// Only this process knows it will crash; peers detect the death at
 		// the wire (broken connections / heartbeat loss) exactly as they
@@ -223,6 +248,34 @@ func main() {
 	if *rank == 0 {
 		fmt.Printf("averaged-model accuracy: %.3f  groups: %d\n", rep.FinalAccuracy, rep.Groups)
 	}
+}
+
+// elasticSchedule builds the flag-driven membership schedule: parked ranks
+// [initial, n) join one per step groups starting at joinAfter, and members
+// drain highest-first down to scaleTo, one per step groups starting at
+// drainAfter. The canonical 8→12→6 sweep over 12 addresses is
+// `-initial 8 -join-after 20 -drain-after 60 -scale-to 6 -scale-step 10`.
+func elasticSchedule(n, initial, joinAfter, drainAfter, scaleTo, step int) hetero.ElasticSchedule {
+	if step <= 0 {
+		return nil
+	}
+	var s hetero.ElasticSchedule
+	if joinAfter > 0 {
+		at := joinAfter
+		for w := initial; w < n; w++ {
+			s = append(s, hetero.ElasticEvent{Worker: w, AfterUpdates: at, Kind: hetero.ElasticJoin})
+			at += step
+		}
+	}
+	if drainAfter > 0 && scaleTo > 0 {
+		at := drainAfter
+		for w := n - 1; w >= scaleTo; w-- {
+			s = append(s, hetero.ElasticEvent{Worker: w, AfterUpdates: at, Kind: hetero.ElasticDrain})
+			at += step
+		}
+	}
+	sort.SliceStable(s, func(i, j int) bool { return s[i].AfterUpdates < s[j].AfterUpdates })
+	return s
 }
 
 // rankPath inserts ".r<rank>" before the path's extension ("out.json" →

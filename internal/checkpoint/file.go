@@ -1,0 +1,108 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// Durable on-disk checkpointing. A checkpoint is only useful if the crash
+// it guards against cannot also destroy it, so WriteFile never modifies the
+// current generation in place: the new state goes to a temp file in the
+// same directory, is fsynced, the previous generation is rotated aside, and
+// the temp file is renamed over the target — all steps after which a torn
+// write leaves either the new generation, the previous one, or both.
+// ReadFile is the matching recovery path: it falls back to the rotated
+// generation when the primary is missing, truncated, or corrupt.
+
+// PrevSuffix is appended to the checkpoint path to name the rotated
+// previous generation.
+const PrevSuffix = ".prev"
+
+// WriteFile atomically persists s at path. The write sequence is:
+//
+//  1. serialize to path+".tmp" in the target directory (same filesystem,
+//     so the final rename is atomic), fsync it, close it;
+//  2. rotate an existing checkpoint to path+".prev" (replacing any older
+//     previous generation);
+//  3. rename the temp file onto path and fsync the directory.
+//
+// A crash at any point leaves a readable generation: before (3) the old
+// checkpoint exists at path or path+".prev"; after (3) the new one is in
+// place. The temp file is removed on error.
+func WriteFile(path string, s *State) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("checkpoint: create temp: %w", err)
+	}
+	if err := Write(f, s); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: fsync temp: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: close temp: %w", err)
+	}
+
+	// Rotate the current generation aside. A missing current checkpoint
+	// (first write) is fine; any other rename failure aborts before the
+	// final rename so the current generation is never lost.
+	if err := os.Rename(path, path+PrevSuffix); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: rotate previous: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: publish: %w", err)
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// ReadFile loads the checkpoint at path, falling back to the rotated
+// previous generation (path+".prev") when the primary is missing or fails
+// to decode — the torn-write case. It returns the state and the path it
+// was actually read from; the error reports both failures when neither
+// generation is readable.
+func ReadFile(path string) (*State, string, error) {
+	s, err := readOne(path)
+	if err == nil {
+		return s, path, nil
+	}
+	prev := path + PrevSuffix
+	ps, perr := readOne(prev)
+	if perr == nil {
+		return ps, prev, nil
+	}
+	return nil, "", fmt.Errorf("checkpoint: primary %s: %v; previous %s: %v", path, err, prev, perr)
+}
+
+func readOne(path string) (*State, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// syncDir fsyncs a directory so the renames inside it are durable.
+// Filesystems that refuse directory fsync (some network mounts) degrade
+// gracefully: the rename sequence is still ordered, just not flushed.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	d.Sync()
+	return nil
+}

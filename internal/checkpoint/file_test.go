@@ -1,0 +1,145 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testState(iter int64) *State {
+	n := 257
+	s := &State{
+		Params:   make([]float64, n),
+		Velocity: make([]float64, n),
+		Iter:     iter,
+		Step:     iter,
+	}
+	for i := range s.Params {
+		s.Params[i] = float64(iter)*1000 + float64(i)*0.5
+		s.Velocity[i] = -float64(i)
+	}
+	return s
+}
+
+func sameState(t *testing.T, got, want *State) {
+	t.Helper()
+	if got.Iter != want.Iter || got.Step != want.Step {
+		t.Fatalf("counters: got iter=%d step=%d, want iter=%d step=%d",
+			got.Iter, got.Step, want.Iter, want.Step)
+	}
+	for i := range want.Params {
+		if got.Params[i] != want.Params[i] {
+			t.Fatalf("param %d: got %v want %v", i, got.Params[i], want.Params[i])
+		}
+	}
+}
+
+func TestWriteFileReadFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt")
+	want := testState(7)
+	if err := WriteFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, from, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != path {
+		t.Fatalf("read from %q, want primary %q", from, path)
+	}
+	sameState(t, got, want)
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+}
+
+// TestWriteFileRotation: the second write rotates the first generation to
+// .prev, and both generations decode.
+func TestWriteFileRotation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt")
+	gen1, gen2 := testState(1), testState(2)
+	if err := WriteFile(path, gen1); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, gen2); err != nil {
+		t.Fatal(err)
+	}
+	cur, _, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameState(t, cur, gen2)
+	prev, err := readOne(path + PrevSuffix)
+	if err != nil {
+		t.Fatalf("previous generation unreadable: %v", err)
+	}
+	sameState(t, prev, gen1)
+}
+
+// TestTornWriteFallsBackToPrevious simulates a crash that tears the current
+// checkpoint mid-file: ReadFile must reject the truncated primary (checksum
+// or short read) and recover the previous generation.
+func TestTornWriteFallsBackToPrevious(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt")
+	gen1, gen2 := testState(1), testState(2)
+	if err := WriteFile(path, gen1); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, gen2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the primary: cut it in half, as a crash mid-write would.
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+
+	got, from, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	if from != path+PrevSuffix {
+		t.Fatalf("recovered from %q, want %q", from, path+PrevSuffix)
+	}
+	sameState(t, got, gen1)
+}
+
+// TestTornWriteBothGenerationsGone: when the primary is torn and no
+// previous generation exists, ReadFile reports both failures.
+func TestTornWriteBothGenerationsGone(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt")
+	if err := WriteFile(path, testState(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadFile(path); err == nil {
+		t.Fatal("expected an error with no readable generation")
+	}
+}
+
+// TestReadFileMissingPrimary: a deleted primary (e.g. crashed between the
+// rotate and the publish rename) still recovers from .prev.
+func TestReadFileMissingPrimary(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt")
+	gen1 := testState(3)
+	if err := WriteFile(path, gen1); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(path, path+PrevSuffix); err != nil {
+		t.Fatal(err)
+	}
+	got, from, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != path+PrevSuffix {
+		t.Fatalf("recovered from %q, want %q", from, path+PrevSuffix)
+	}
+	sameState(t, got, gen1)
+}

@@ -24,7 +24,11 @@ import (
 
 // Config describes one training run.
 type Config struct {
-	N         int           // number of workers
+	N int // worker capacity (rank space)
+	// Initial is the founding membership size: ranks [Initial, N) start
+	// parked and only enter training when an Elastic join admits them. Zero
+	// selects N (every rank is a founder — the non-elastic default).
+	Initial   int
 	Spec      model.Builder // proxy model architecture (model.Spec or model.ConvSpec)
 	Seed      int64         // master seed (model init, samplers, strategy RNG)
 	Train     *data.Dataset
@@ -53,6 +57,11 @@ type Config struct {
 	// Retry models the live runtime's collective retry policy in virtual
 	// seconds. The zero value gives one attempt with a one-batch timeout.
 	Retry RetryModel
+	// Elastic is a deterministic membership-change schedule: scale-out
+	// joins bootstrap a parked rank from a live donor, graceful drains
+	// retire a member at its next ready point. Strategies that understand
+	// elasticity (P-Reduce) act on it; others ignore it.
+	Elastic hetero.ElasticSchedule
 
 	// TraceCap enables virtual-clock tracing: 0 disables it (the default —
 	// parameter sweeps stay untraced), negative selects
@@ -93,6 +102,14 @@ func (c Config) Validate() error {
 	}
 	if err := c.Topology.Validate(c.N); err != nil {
 		return err
+	}
+	if c.Initial != 0 && (c.Initial < 2 || c.Initial > c.N) {
+		return fmt.Errorf("cluster: need 2 <= Initial <= N, got Initial=%d N=%d", c.Initial, c.N)
+	}
+	if len(c.Elastic) > 0 || c.Initial != 0 {
+		if err := c.Elastic.Validate(c.N, c.InitialOr()); err != nil {
+			return err
+		}
 	}
 	if err := c.Crashes.Validate(c.N, 1); err != nil {
 		return err
@@ -181,6 +198,15 @@ func (c *Cluster) PartitionSplits(members []int, t float64) bool {
 	return c.Cfg.Partitions.SplitsAt(members, t)
 }
 
+// InitialOr returns the effective founding membership size (N when Initial
+// is zero).
+func (c Config) InitialOr() int {
+	if c.Initial == 0 {
+		return c.N
+	}
+	return c.Initial
+}
+
 func (c *Config) applyDefaults() {
 	if c.EvalEvery == 0 {
 		c.EvalEvery = 25
@@ -267,6 +293,12 @@ func New(cfg Config, strategyName string) (*Cluster, error) {
 	c.evalBuf = tensor.NewVector(base.NumParams())
 
 	c.Dead = make([]bool, cfg.N)
+	// Ranks outside the founding membership park as dead until an elastic
+	// join bootstraps and revives them; EvalAverage must not count their
+	// untrained replicas.
+	for i := cfg.InitialOr(); i < cfg.N; i++ {
+		c.Dead[i] = true
+	}
 	shards := cfg.Train.Shard(cfg.N)
 	c.Workers = make([]*Worker, cfg.N)
 	for i := range c.Workers {

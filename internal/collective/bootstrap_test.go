@@ -1,0 +1,87 @@
+package collective
+
+import (
+	"testing"
+	"time"
+
+	"partialreduce/internal/transport"
+)
+
+func TestBootstrapTransfer(t *testing.T) {
+	world := transport.NewMem(3)
+	donor, joiner := 0, 2
+	want := BootstrapState{
+		Params:   []float64{1.5, -2, 3e30, 0},
+		Velocity: []float64{0.1, 0.2, 0.3, 0.4},
+		Iter:     41,
+		Step:     97,
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- BootstrapSend(world[donor], joiner, 7, want, Options{})
+	}()
+	var stats OpStats
+	got, err := BootstrapRecv(world[joiner], donor, 7, Options{Stats: &stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	if got.Iter != want.Iter || got.Step != want.Step {
+		t.Fatalf("counters: got %d/%d want %d/%d", got.Iter, got.Step, want.Iter, want.Step)
+	}
+	for i := range want.Params {
+		if got.Params[i] != want.Params[i] {
+			t.Fatalf("param %d: got %v want %v", i, got.Params[i], want.Params[i])
+		}
+	}
+	for i := range want.Velocity {
+		if got.Velocity[i] != want.Velocity[i] {
+			t.Fatalf("velocity %d: got %v want %v", i, got.Velocity[i], want.Velocity[i])
+		}
+	}
+	if stats.Ops != 1 || stats.BytesRecv == 0 {
+		t.Fatalf("stats not accumulated: %+v", stats)
+	}
+}
+
+func TestBootstrapNoVelocity(t *testing.T) {
+	world := transport.NewMem(2)
+	want := BootstrapState{Params: []float64{9, 8, 7}, Iter: 5, Step: 5}
+	go func() { BootstrapSend(world[0], 1, 1, want, Options{}) }()
+	got, err := BootstrapRecv(world[1], 0, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Velocity) != 0 {
+		t.Fatalf("expected empty velocity, got %v", got.Velocity)
+	}
+	if len(got.Params) != 3 || got.Params[2] != 7 {
+		t.Fatalf("params corrupted: %v", got.Params)
+	}
+}
+
+// TestBootstrapRecvTimeout: a joiner whose donor died does not hang; the
+// deadline fires so the runtime can pick another donor.
+func TestBootstrapRecvTimeout(t *testing.T) {
+	world := transport.NewMem(2)
+	_, err := BootstrapRecv(world[1], 0, 2, Options{Timeout: 30 * time.Millisecond})
+	if err == nil {
+		t.Fatal("expected a timeout with no donor sending")
+	}
+	if !transport.IsTimeout(err) {
+		t.Fatalf("want timeout error, got %v", err)
+	}
+}
+
+func TestBootstrapSendValidates(t *testing.T) {
+	world := transport.NewMem(2)
+	if err := BootstrapSend(world[0], 1, 3, BootstrapState{}, Options{}); err == nil {
+		t.Fatal("empty params accepted")
+	}
+	bad := BootstrapState{Params: []float64{1, 2}, Velocity: []float64{1}}
+	if err := BootstrapSend(world[0], 1, 4, bad, Options{}); err == nil {
+		t.Fatal("mismatched velocity accepted")
+	}
+}

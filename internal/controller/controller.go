@@ -19,8 +19,12 @@ import (
 
 // Config describes a controller.
 type Config struct {
-	N int // total workers
+	N int // world capacity (maximum rank count)
 	P int // group size, 2 ≤ P ≤ N
+	// Initial is the number of ranks that are members at startup; ranks
+	// [Initial, N) are capacity held for elastic scale-out joins. Zero
+	// selects N (a fixed-size world, the pre-elastic behavior).
+	Initial int
 	// Window is the sync-graph history length T. Zero selects the paper's
 	// minimum ⌈(N−1)/(P−1)⌉, below which disconnection cannot be
 	// distinguished from an under-filled window (§4).
@@ -58,6 +62,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("controller: need N >= 2 workers, got %d", c.N)
 	case c.P < 2 || c.P > c.N:
 		return fmt.Errorf("controller: need 2 <= P <= N, got P=%d N=%d", c.P, c.N)
+	case c.Initial < 0 || c.Initial > c.N:
+		return fmt.Errorf("controller: need 0 <= Initial <= N, got Initial=%d N=%d", c.Initial, c.N)
+	case c.Initial != 0 && c.Initial < 2:
+		return fmt.Errorf("controller: need Initial >= 2 members at startup, got %d", c.Initial)
 	case c.Window < 0:
 		return fmt.Errorf("controller: negative window %d", c.Window)
 	case c.Window > 0 && c.Window < MinWindow(c.N, c.P):
@@ -94,6 +102,11 @@ type Signal struct {
 	Worker int
 	Iter   int
 	Now    float64
+	// Epoch is the sender's world-view epoch. Zero means unversioned
+	// (always accepted — the pre-elastic wire format); a nonzero epoch
+	// must match the controller's current epoch or Ready rejects the
+	// signal with ErrStaleEpoch, without condemning the sender.
+	Epoch uint64
 }
 
 // Group is the controller's reply to the members of a formed group.
@@ -114,6 +127,10 @@ type Group struct {
 	// Bridged reports that the group filter rewrote this group to reconnect
 	// a frozen sync-graph.
 	Bridged bool
+	// Epoch is the controller's world-view epoch at formation. Members
+	// echo it in subsequent signals so membership changes invalidate
+	// stale world views deterministically.
+	Epoch uint64
 }
 
 // Stats summarizes controller activity.
@@ -124,6 +141,10 @@ type Stats struct {
 	Failures      int // workers declared dead (ReportFailure)
 	Rejoins       int // workers re-admitted after a failure
 	GroupsAborted int // groups torn down because a member died mid-collective
+	Joins         int // ranks admitted by elastic scale-out
+	Drains        int // ranks that entered graceful drain
+	Decommissions int // drained ranks that completed their hand-off
+	StaleEpochs   int // ready signals rejected for a stale epoch
 }
 
 // Controller is the P-Reduce controller. It is not safe for concurrent use;
@@ -142,6 +163,18 @@ type Controller struct {
 	alive  []bool
 	aliveN int
 	beat   []float64
+
+	// Elastic membership: member[w] reports rank w belongs to the current
+	// world view (ranks >= cfg.Initial start outside it and Join later);
+	// draining[w] marks a member finishing its in-flight group before a
+	// graceful hand-off. epoch is the world-view version, bumped by every
+	// membership change (Join/Drain/Decommission/Fail/Rejoin) and stamped
+	// into formed groups so stale views are rejected deterministically.
+	// activeMask is Decide/filter scratch: member ∧ alive ∧ ¬draining.
+	member     []bool
+	draining   []bool
+	epoch      uint64
+	activeMask []bool
 
 	// Group history database: co-occurrence counts sufficient to rebuild
 	// the empirical E[W_k] exactly, plus the optional full log.
@@ -190,17 +223,25 @@ func New(cfg Config) (*Controller, error) {
 	if cfg.Alpha == 0 {
 		cfg.Alpha = 0.6
 	}
-	c := &Controller{
-		cfg:     cfg,
-		queued:  make([]bool, cfg.N),
-		graph:   NewSyncGraph(cfg.N, cfg.Window),
-		inGroup: make([]int, cfg.N),
-		alive:   make([]bool, cfg.N),
-		aliveN:  cfg.N,
-		beat:    make([]float64, cfg.N),
+	if cfg.Initial == 0 {
+		cfg.Initial = cfg.N
 	}
-	for i := range c.alive {
+	c := &Controller{
+		cfg:        cfg,
+		queued:     make([]bool, cfg.N),
+		graph:      NewSyncGraph(cfg.N, cfg.Window),
+		inGroup:    make([]int, cfg.N),
+		alive:      make([]bool, cfg.N),
+		aliveN:     cfg.Initial,
+		beat:       make([]float64, cfg.N),
+		member:     make([]bool, cfg.N),
+		draining:   make([]bool, cfg.N),
+		epoch:      1,
+		activeMask: make([]bool, cfg.N),
+	}
+	for i := 0; i < cfg.Initial; i++ {
 		c.alive[i] = true
+		c.member[i] = true
 	}
 	c.together = make([][]int, cfg.N)
 	for i := range c.together {
@@ -277,14 +318,28 @@ func (c *Controller) Groups() [][]int { return c.log }
 
 // Ready accepts a worker's ready signal and returns the groups formed as a
 // result (zero or one under normal operation). It rejects out-of-range
-// workers and duplicate signals from a worker that is already queued: a
-// worker sends exactly one ready per iteration and blocks for its group.
+// workers, non-members, drained workers, stale-epoch signals (without
+// condemning the sender — see ErrStaleEpoch), and duplicate signals from a
+// worker that is already queued: a worker sends exactly one ready per
+// iteration and blocks for its group.
 func (c *Controller) Ready(s Signal) ([]Group, error) {
 	if s.Worker < 0 || s.Worker >= c.cfg.N {
 		return nil, fmt.Errorf("controller: worker %d out of range [0,%d)", s.Worker, c.cfg.N)
 	}
+	if !c.member[s.Worker] {
+		return nil, fmt.Errorf("controller: worker %d: %w", s.Worker, ErrNotMember)
+	}
 	if !c.alive[s.Worker] {
 		return nil, fmt.Errorf("controller: worker %d is marked dead (rejoin first)", s.Worker)
+	}
+	if c.draining[s.Worker] {
+		return nil, fmt.Errorf("controller: worker %d: %w", s.Worker, ErrDraining)
+	}
+	if s.Epoch != 0 && s.Epoch != c.epoch {
+		c.stats.StaleEpochs++
+		c.tracer.Instant(trace.KEpochStale, int32(s.Worker), int32(s.Iter), int64(s.Epoch), int64(c.epoch))
+		return nil, fmt.Errorf("controller: worker %d signaled epoch %d, world is at %d: %w",
+			s.Worker, s.Epoch, c.epoch, ErrStaleEpoch)
 	}
 	if c.queued[s.Worker] {
 		return nil, fmt.Errorf("controller: worker %d already has a queued signal", s.Worker)
@@ -356,18 +411,19 @@ func (c *Controller) consultPolicy(def int) (int, float64) {
 		})
 	}
 	c.polQueue = q
+	active := c.refreshActiveMask()
 	d := c.pol.Decide(policy.Inputs{
 		Now:          c.lastNow,
 		ConfigP:      c.cfg.P,
 		ConfigAlpha:  c.cfg.Alpha,
-		Alive:        c.aliveN,
-		AliveMask:    c.alive,
+		Alive:        active,
+		AliveMask:    c.activeMask,
 		GroupsFormed: c.stats.GroupsFormed,
 		Queue:        q,
 	})
 	p := d.P
-	if p > c.aliveN {
-		p = c.aliveN
+	if p > active {
+		p = active
 	}
 	alpha := d.Alpha
 	if alpha <= 0 || alpha >= 1 || alpha == c.cfg.Alpha {
@@ -431,12 +487,12 @@ func (c *Controller) applyBias(order []int, p int) bool {
 }
 
 // groupSize returns the effective group size: the configured P, shrunk to
-// the surviving worker count so the controller keeps forming groups after
-// failures (§4: "the controller can simply exclude failed workers from
-// future groups").
+// the active worker count (members that are alive and not draining) so the
+// controller keeps forming groups after failures and drains (§4: "the
+// controller can simply exclude failed workers from future groups").
 func (c *Controller) groupSize() int {
-	if c.aliveN < c.cfg.P {
-		return c.aliveN
+	if n := c.ActiveCount(); n < c.cfg.P {
+		return n
 	}
 	return c.cfg.P
 }
@@ -455,9 +511,11 @@ func (c *Controller) formGroup(p int, alpha float64) (Group, bool) {
 	// signal from another component; if none is waiting, it defers the group
 	// until one arrives. Deferral cannot deadlock: workers outside the
 	// candidate's component are either computing or aggregating and always
-	// send their next ready signal. Connectivity is judged over the alive
-	// worker set only — dead workers cannot be bridged to.
-	if !c.cfg.DisableGroupFilter && c.graph.Full() && !c.graph.ConnectedAmong(c.alive) {
+	// send their next ready signal. Connectivity is judged over the active
+	// worker set only — dead, draining, and departed workers cannot be
+	// bridged to.
+	c.refreshActiveMask()
+	if !c.cfg.DisableGroupFilter && c.graph.Full() && !c.graph.ConnectedAmong(c.activeMask) {
 		c.stats.FrozenChecks++
 		comp := c.graph.Components()
 		if sameComponent(c.queue[:p], comp) {
@@ -555,7 +613,7 @@ func (c *Controller) formGroup(p int, alpha float64) (Group, bool) {
 		c.log = append(c.log, logged)
 	}
 
-	g := Group{Members: members, Iters: iters, Iter: maxIter, Bridged: bridged}
+	g := Group{Members: members, Iters: iters, Iter: maxIter, Bridged: bridged, Epoch: c.epoch}
 	switch c.cfg.Weighting {
 	case Dynamic:
 		a := c.cfg.Alpha

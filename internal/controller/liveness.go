@@ -22,9 +22,13 @@ func (c *Controller) ReportFailure(worker int) bool {
 	}
 	c.alive[worker] = false
 	c.aliveN--
+	// A draining worker that dies mid-hand-off is a failure, not a clean
+	// decommission.
+	c.draining[worker] = false
 	c.stats.Failures++
 	c.PurgeSignal(worker)
 	c.refreshMaxIter()
+	c.epoch++
 	c.tracer.Instant(trace.KWorkerDead, int32(worker), -1, 0, 0)
 	return true
 }
@@ -81,6 +85,9 @@ func (c *Controller) Rejoin(worker int) error {
 	if worker < 0 || worker >= c.cfg.N {
 		return fmt.Errorf("controller: worker %d out of range [0,%d)", worker, c.cfg.N)
 	}
+	if !c.member[worker] {
+		return fmt.Errorf("controller: rejoin: worker %d: %w (Join instead)", worker, ErrNotMember)
+	}
 	if c.alive[worker] {
 		return fmt.Errorf("controller: worker %d is not dead", worker)
 	}
@@ -88,6 +95,7 @@ func (c *Controller) Rejoin(worker int) error {
 	c.aliveN++
 	c.stats.Rejoins++
 	c.refreshMaxIter()
+	c.epoch++
 	c.tracer.Instant(trace.KWorkerRejoin, int32(worker), -1, 0, 0)
 	return nil
 }

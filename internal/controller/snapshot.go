@@ -30,7 +30,10 @@ const snapshotMagic uint32 = 0x50524353
 // iteration-tracking state (lastIter/maxIter/lastNow/lastTog) and the
 // formation-policy state blob: policies decide from them, so warm
 // failover must carry them for the replacement to decide identically.
-const snapshotVersion uint32 = 2
+// Version 3 added elastic membership: cfg.Initial, the per-signal epoch,
+// the membership/draining vectors, the world-view epoch, and the
+// join/drain/decommission/stale-epoch counters.
+const snapshotVersion uint32 = 3
 
 var snapshotTable = crc64.MakeTable(crc64.ECMA)
 
@@ -190,6 +193,7 @@ func (c *Controller) Snapshot() []byte {
 	e.boolean(c.cfg.RecordGroups)
 	e.boolean(c.cfg.ZoneAffinity)
 	e.ints(c.cfg.Zones)
+	e.i64(c.cfg.Initial)
 
 	// Signal queue (FIFO order).
 	e.i64(len(c.queue))
@@ -197,6 +201,7 @@ func (c *Controller) Snapshot() []byte {
 		e.i64(s.Worker)
 		e.i64(s.Iter)
 		e.f64(s.Now)
+		e.u64(s.Epoch)
 	}
 
 	// Sync-graph window: ring storage order plus cursor and fill state.
@@ -214,10 +219,17 @@ func (c *Controller) Snapshot() []byte {
 	e.i64(c.stats.Failures)
 	e.i64(c.stats.Rejoins)
 	e.i64(c.stats.GroupsAborted)
+	e.i64(c.stats.Joins)
+	e.i64(c.stats.Drains)
+	e.i64(c.stats.Decommissions)
+	e.i64(c.stats.StaleEpochs)
 
-	// Liveness.
+	// Liveness and elastic membership.
 	e.bools(c.alive)
 	e.floats(c.beat)
+	e.bools(c.member)
+	e.bools(c.draining)
+	e.u64(c.epoch)
 
 	// Group-history database.
 	e.ints(c.inGroup)
@@ -283,6 +295,7 @@ func Restore(data []byte) (*Controller, error) {
 	cfg.RecordGroups = d.boolean()
 	cfg.ZoneAffinity = d.boolean()
 	cfg.Zones = d.ints(maxSnapshotLen)
+	cfg.Initial = d.i64()
 	if d.err != nil {
 		return nil, d.err
 	}
@@ -293,7 +306,7 @@ func Restore(data []byte) (*Controller, error) {
 
 	qn := d.count(maxSnapshotLen)
 	for i := 0; i < qn && d.err == nil; i++ {
-		s := Signal{Worker: d.i64(), Iter: d.i64(), Now: d.f64()}
+		s := Signal{Worker: d.i64(), Iter: d.i64(), Now: d.f64(), Epoch: d.u64()}
 		if s.Worker < 0 || s.Worker >= cfg.N {
 			d.fail("queued worker %d out of range", s.Worker)
 			break
@@ -325,19 +338,37 @@ func Restore(data []byte) (*Controller, error) {
 	c.stats.Failures = d.i64()
 	c.stats.Rejoins = d.i64()
 	c.stats.GroupsAborted = d.i64()
+	c.stats.Joins = d.i64()
+	c.stats.Drains = d.i64()
+	c.stats.Decommissions = d.i64()
+	c.stats.StaleEpochs = d.i64()
 
 	alive := d.bools(maxSnapshotLen)
 	beat := d.floats(maxSnapshotLen)
+	member := d.bools(maxSnapshotLen)
+	draining := d.bools(maxSnapshotLen)
+	epoch := d.u64()
 	inGroup := d.ints(maxSnapshotLen)
-	if d.err == nil && (len(alive) != cfg.N || len(beat) != cfg.N || len(inGroup) != cfg.N) {
+	if d.err == nil && (len(alive) != cfg.N || len(beat) != cfg.N || len(inGroup) != cfg.N ||
+		len(member) != cfg.N || len(draining) != cfg.N) {
 		d.fail("liveness/history length mismatch")
+	}
+	if d.err == nil && epoch == 0 {
+		d.fail("world-view epoch 0")
 	}
 	if d.err == nil {
 		copy(c.alive, alive)
 		copy(c.beat, beat)
+		copy(c.member, member)
+		copy(c.draining, draining)
 		copy(c.inGroup, inGroup)
+		c.epoch = epoch
 		c.aliveN = 0
-		for _, a := range c.alive {
+		for i, a := range c.alive {
+			if a && !c.member[i] {
+				d.fail("rank %d alive but not a member", i)
+				break
+			}
 			if a {
 				c.aliveN++
 			}
@@ -391,10 +422,11 @@ func Restore(data []byte) (*Controller, error) {
 	return c, nil
 }
 
-// Drain forms as many groups as the current queue supports — the public
-// entry the failover path uses after a Restore or Rebuild to flush groups
-// the lost controller might have been about to dispatch.
-func (c *Controller) Drain() []Group { return c.drainGroups() }
+// FlushGroups forms as many groups as the current queue supports — the
+// public entry the failover path uses after a Restore or Rebuild to flush
+// groups the lost controller might have been about to dispatch. (Graceful
+// rank departure is Drain, in elastic.go.)
+func (c *Controller) FlushGroups() []Group { return c.drainGroups() }
 
 // IsQueued reports whether worker currently has a ready signal in the queue.
 // The failover path uses it to recognize a retransmitted ready signal (the
@@ -413,6 +445,13 @@ func (c *Controller) IsQueued(worker int) bool {
 // before the filter activates). Dead workers the lost controller knew about
 // are re-detected by the staleness detector — a worker that never re-signals
 // never lands in a group.
+//
+// Elasticity: a re-sent signal from a rank outside cfg's initial
+// membership proves the lost controller had admitted it (it had already
+// bootstrapped and signaled), so Rebuild re-admits it on the spot. Signal
+// epochs are versions of the lost controller's world view and meaningless
+// to the rebuilt one; they are stripped, and the fresh controller's first
+// group replies re-issue the current epoch to everyone.
 func Rebuild(cfg Config, signals []Signal) (*Controller, []Group, error) {
 	c, err := New(cfg)
 	if err != nil {
@@ -429,6 +468,12 @@ func Rebuild(cfg Config, signals []Signal) (*Controller, []Group, error) {
 			continue
 		}
 		seen[s.Worker] = true
+		if !c.member[s.Worker] {
+			if err := c.Join(s.Worker, s.Now); err != nil {
+				return nil, nil, err
+			}
+		}
+		s.Epoch = 0
 		gs, err := c.Ready(s)
 		if err != nil {
 			return nil, nil, err

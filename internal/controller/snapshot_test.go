@@ -311,7 +311,7 @@ func TestIsQueuedDrain(t *testing.T) {
 	if !c.IsQueued(0) || !c.IsQueued(1) {
 		t.Fatal("queued signals not visible")
 	}
-	if gs := c.Drain(); len(gs) != 0 {
+	if gs := c.FlushGroups(); len(gs) != 0 {
 		t.Fatalf("drain formed a group from %d < P signals", 2)
 	}
 	// Shrinking the alive set (P clamps to survivors) makes the queue
@@ -326,7 +326,7 @@ func TestIsQueuedDrain(t *testing.T) {
 	if c.IsQueued(0) || c.IsQueued(1) {
 		t.Fatal("drained members still queued")
 	}
-	if gs := c.Drain(); len(gs) != 0 {
+	if gs := c.FlushGroups(); len(gs) != 0 {
 		t.Fatalf("drain on an empty queue formed %+v", gs)
 	}
 }

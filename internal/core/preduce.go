@@ -93,6 +93,7 @@ func (p *PReduce) WithPolicy(spec policy.Spec) *PReduce {
 func (p *PReduce) controllerConfig(c *cluster.Cluster) controller.Config {
 	cfg := controller.Config{
 		N:                  c.Cfg.N,
+		Initial:            c.Cfg.Initial,
 		P:                  p.cfg.P,
 		Window:             p.cfg.Window,
 		Weighting:          p.cfg.Weighting,

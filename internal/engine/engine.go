@@ -72,16 +72,24 @@ const (
 	// StateDead: fail-stopped. A checkpoint rejoin transitions back to
 	// StateCompute.
 	StateDead
+	// StateJoining: an elastic scale-out rank bootstrapping the freshest
+	// checkpointed model from a live donor before its first compute.
+	StateJoining
+	// StateDraining: a gracefully departing rank that finished its
+	// in-flight group and is handing off; it no longer signals ready.
+	StateDraining
 )
 
 var stepStateNames = [...]string{
-	StateIdle:    "idle",
-	StateCompute: "compute",
-	StateReady:   "ready",
-	StateReduce:  "reduce",
-	StateApply:   "apply",
-	StateDone:    "done",
-	StateDead:    "dead",
+	StateIdle:     "idle",
+	StateCompute:  "compute",
+	StateReady:    "ready",
+	StateReduce:   "reduce",
+	StateApply:    "apply",
+	StateDone:     "done",
+	StateDead:     "dead",
+	StateJoining:  "joining",
+	StateDraining: "draining",
 }
 
 // String returns the state's name.
@@ -109,15 +117,27 @@ func (s StepState) String() string {
 //	apply   → compute                      (next step)
 //	apply   → done                         (iterations exhausted/fast-forwarded)
 //	apply   → dead                         (fail-stop between steps)
+//	apply   → draining                     (drain lands after the group applies)
 //	dead    → compute                      (checkpoint rejoin)
+//	idle    → joining                      (elastic rank starts bootstrapping)
+//	joining → compute                      (bootstrap complete: first local step)
+//	joining → dead                         (donor lost / bootstrap fail-stop)
+//	compute → draining                     (drain lands at the signal point)
+//	ready   → draining                     (drain answered instead of a group)
+//	draining→ done                         (hand-off acknowledged; terminal exit)
+//	draining→ dead                         (fail-stop mid-hand-off)
+//	done    → joining                      (a decommissioned slot re-occupied
+//	                                        by a fresh joiner)
 var legalSteps = [...][]StepState{
-	StateIdle:    {StateCompute},
-	StateCompute: {StateReady, StateReduce, StateDead},
-	StateReady:   {StateReduce, StateCompute, StateDone, StateDead},
-	StateReduce:  {StateApply, StateReady, StateDead},
-	StateApply:   {StateCompute, StateDone, StateDead},
-	StateDone:    {},
-	StateDead:    {StateCompute},
+	StateIdle:     {StateCompute, StateJoining},
+	StateCompute:  {StateReady, StateReduce, StateDead, StateDraining},
+	StateReady:    {StateReduce, StateCompute, StateDone, StateDead, StateDraining},
+	StateReduce:   {StateApply, StateReady, StateDead},
+	StateApply:    {StateCompute, StateDone, StateDead, StateDraining},
+	StateDone:     {StateJoining},
+	StateDead:     {StateCompute},
+	StateJoining:  {StateCompute, StateDead},
+	StateDraining: {StateDone, StateDead},
 }
 
 // Machine tracks the step state of a set of workers and enforces the legal

@@ -65,12 +65,31 @@ func (e *LiveEnv) WorldReduceMean(group []int, opID uint32, grad tensor.Vector) 
 }
 
 // Directive is the controller's answer to a ready signal: a formed group to
-// reduce with, or Skip — proceed solo this iteration (tail release, or a
-// signal the controller rejected).
+// reduce with, or one of the control outcomes — Skip (proceed solo this
+// iteration: tail release, or a signal the controller rejected), Drain (the
+// worker's graceful hand-off is complete; leave the loop cleanly), Refresh
+// (the signal carried a stale world-view epoch; adopt Epoch and re-signal),
+// or a bootstrap assignment (serve your model state to a joining rank, then
+// re-signal).
 type Directive struct {
 	Group controller.Group
 	OpID  uint32
 	Skip  bool
+	// Drain tells the worker its Drain → Decommission hand-off is complete:
+	// stop training without an error and without counting as a failure.
+	Drain bool
+	// Refresh tells the worker its signal was rejected for a stale epoch:
+	// adopt Epoch as the current world view and re-signal the same iteration.
+	Refresh bool
+	// Epoch is the controller's world-view version at answer time; the
+	// worker stamps it into its next ready signal.
+	Epoch uint64
+	// Bootstrap assigns the worker as the join donor for rank BootstrapFor:
+	// it sends its model state with the Bootstrap collective under
+	// BootstrapOp, then re-signals the same iteration.
+	Bootstrap    bool
+	BootstrapFor int
+	BootstrapOp  uint32
 }
 
 // Control is the worker's view of the control plane. The in-process runtime
@@ -142,6 +161,10 @@ type Outcome struct {
 	// (somebody else reported us and our own op was aborted against us);
 	// the worker must fall silent. Nil otherwise.
 	DeadErr error
+	// Drained reports a graceful elastic hand-off: the worker drained and
+	// decommissioned cleanly before spending its iteration budget. Not a
+	// failure, not a crash.
+	Drained bool
 }
 
 // RunPReduceWorker is the live training-step loop (Algorithm 2), shared by
@@ -194,7 +217,12 @@ func RunPReduceWorker(w *LiveWorker, ctl Control) (Outcome, error) {
 		}
 
 		for { // signal ready; on a group abort, roll back and re-signal
-			machine.To(0, StateReady)
+			if machine.State(0) != StateReady {
+				// Refresh and bootstrap directives loop back here with the
+				// worker already in StateReady (the re-signal is the same
+				// step-machine phase, not a new transition).
+				machine.To(0, StateReady)
+			}
 			waitStart := tracer.Now()
 			var waitWall time.Time
 			if ins != nil {
@@ -212,6 +240,41 @@ func RunPReduceWorker(w *LiveWorker, ctl Control) (Outcome, error) {
 				solo = 1
 			}
 			tracer.Span(trace.KSignalWait, int32(id), int32(iter), waitStart, solo, 0)
+			if d.Drain {
+				// Graceful hand-off complete: the controller answered the
+				// signal with a drain acknowledgment instead of a group. Exit
+				// without Finished() — a drained rank is not a completed one.
+				machine.To(0, StateDraining)
+				machine.To(0, StateDone)
+				return Outcome{Iter: iter, Groups: groups, Drained: true}, nil
+			}
+			if d.Bootstrap {
+				// This worker is the join donor: serve its model state to the
+				// joining rank, then re-signal the same iteration. A transport
+				// failure here means the joiner died mid-bootstrap; the donor
+				// is unaffected and simply re-signals.
+				vel, step := w.Opt.State()
+				st := collective.BootstrapState{
+					Params:   m.Params(),
+					Velocity: vel,
+					Iter:     iter,
+					Step:     step,
+				}
+				tracer.Instant(trace.KBootstrap, int32(id), int32(iter),
+					int64(d.BootstrapFor), int64(len(st.Params)))
+				if err := collective.BootstrapSend(env.Trans, d.BootstrapFor, d.BootstrapOp, st, env.Copts); err != nil {
+					if !transport.IsFailure(err) {
+						return Outcome{Iter: iter, Groups: groups}, err
+					}
+				}
+				continue
+			}
+			if d.Refresh {
+				// Stale world-view epoch: the Control implementation has
+				// already adopted d.Epoch for the next signal; re-signal the
+				// same iteration against the current membership.
+				continue
+			}
 			if d.Skip {
 				break // proceed solo this iteration
 			}

@@ -3,6 +3,7 @@ package engine
 import (
 	"partialreduce/internal/cluster"
 	"partialreduce/internal/controller"
+	"partialreduce/internal/hetero"
 	"partialreduce/internal/metrics"
 	"partialreduce/internal/policy"
 	"partialreduce/internal/tensor"
@@ -45,6 +46,22 @@ func RunPReduceSim(env *SimEnv, ctrl *controller.Controller, pol policy.Policy, 
 	var startCompute func(w *cluster.Worker)
 	var dispatch func(groups []controller.Group)
 
+	// Elastic membership: events fire in schedule order once the cluster-wide
+	// applied update count reaches their trigger. A join waits in
+	// pendingJoins until the next ready signal from an eligible donor, which
+	// serves the bootstrap from its own stable ready-point state and then
+	// signals as usual; the joiner is admitted at assignment time, so group
+	// formation deterministically waits for its first signal. Drains mark
+	// the rank so its next ready point becomes a Drain → Decommission
+	// hand-off instead of a signal. Both rules are exactly the live
+	// runtime's, which is what keeps the sim↔live differential's update
+	// counts equal.
+	elastic := c.Cfg.Elastic
+	nextElastic := 0
+	pendingJoins := []int(nil)
+	drainPending := make([]bool, c.Cfg.N)
+	var checkElastic func()
+
 	onGroupDone := func(id uint64, g controller.Group) {
 		if aborted[id] {
 			delete(aborted, id)
@@ -64,6 +81,7 @@ func RunPReduceSim(env *SimEnv, ctrl *controller.Controller, pol policy.Policy, 
 			w.Iter = g.Iter // fast-forward (§3.3.3)
 		}
 		c.RecordUpdate()
+		checkElastic()
 		for _, wid := range g.Members {
 			startCompute(c.Workers[wid])
 		}
@@ -190,10 +208,79 @@ func RunPReduceSim(env *SimEnv, ctrl *controller.Controller, pol policy.Policy, 
 		}
 	}
 
+	// serveBootstrap is the donor side of a join, run at the donor's ready
+	// point where its model state is stable: capture params/optimizer/iter
+	// (BootstrapSend semantics), admit the joiner immediately — the epoch
+	// bumps now, and formation waits for its first signal — and schedule the
+	// install after the priced transfer. The donor then signals as usual.
+	serveBootstrap := func(donor *cluster.Worker, j int) {
+		machine.To(j, StateJoining)
+		params := donor.Params().Clone()
+		vel, step := donor.Opt.State()
+		iter := donor.Iter
+		c.Tracer.Instant(trace.KBootstrap, int32(j), int32(iter), int64(donor.ID), int64(len(params)))
+		if err := ctrl.Join(j, c.Eng.Now()); err != nil {
+			readyErr = err
+			c.Eng.Stop()
+			return
+		}
+		dt := env.BootstrapTransfer(donor.ID, j)
+		c.Eng.After(dt, func() {
+			w := c.Workers[j]
+			w.Params().CopyFrom(params)
+			if err := w.Opt.Restore(vel, step); err != nil {
+				readyErr = err
+				c.Eng.Stop()
+				return
+			}
+			w.Iter = iter
+			c.Revive(j)
+			startCompute(w)
+		})
+	}
+
 	signalReady = func(w *cluster.Worker) {
 		machine.To(w.ID, StateReady)
+		if drainPending[w.ID] {
+			// The drain lands at the rank's next ready point: it hands off
+			// instead of signaling, finishes nothing new, and leaves without
+			// being counted as a failure. Shrinking the active set can let
+			// the queue fill a group, so both steps may dispatch.
+			drainPending[w.ID] = false
+			machine.To(w.ID, StateDraining)
+			groups, err := ctrl.Drain(w.ID)
+			if err != nil {
+				readyErr = err
+				c.Eng.Stop()
+				return
+			}
+			dispatch(groups)
+			more, err := ctrl.Decommission(w.ID)
+			if err != nil {
+				readyErr = err
+				c.Eng.Stop()
+				return
+			}
+			machine.To(w.ID, StateDone)
+			// Eval-exclude the departed replica (it left with its model; the
+			// cluster's inference average is over current members only).
+			c.Kill(w.ID)
+			dispatch(more)
+			return
+		}
+		if len(pendingJoins) > 0 && ctrl.IsMember(w.ID) && !ctrl.IsDraining(w.ID) {
+			// A join is waiting for a donor and this member just reached its
+			// ready point: serve the bootstrap, then fall through — the donor
+			// signals the same iteration as usual.
+			j := pendingJoins[0]
+			pendingJoins = pendingJoins[1:]
+			serveBootstrap(w, j)
+			if readyErr != nil {
+				return
+			}
+		}
 		readyAt[w.ID] = c.Eng.Now()
-		groups, err := ctrl.Ready(controller.Signal{Worker: w.ID, Iter: w.Iter, Now: c.Eng.Now()})
+		groups, err := ctrl.Ready(controller.Signal{Worker: w.ID, Iter: w.Iter, Now: c.Eng.Now(), Epoch: ctrl.Epoch()})
 		if err != nil {
 			readyErr = err
 			c.Eng.Stop()
@@ -221,6 +308,18 @@ func RunPReduceSim(env *SimEnv, ctrl *controller.Controller, pol policy.Policy, 
 		dt := c.ComputeTime(w)
 		c.Tracer.SpanAt(trace.KCompute, int32(w.ID), int32(w.Iter), c.Eng.Now(), dt, 0, 0)
 		c.Eng.After(dt, func() { onComputeDone(w) })
+	}
+
+	checkElastic = func() {
+		for nextElastic < len(elastic) && elastic[nextElastic].AfterUpdates <= c.Updates() {
+			e := elastic[nextElastic]
+			nextElastic++
+			if e.Kind == hetero.ElasticJoin {
+				pendingJoins = append(pendingJoins, e.Worker)
+			} else {
+				drainPending[e.Worker] = true
+			}
+		}
 	}
 
 	onCrash := func(dead int) {

@@ -50,3 +50,13 @@ func (e *SimEnv) WorldRing() float64 {
 // Exchanges charges n executed point-to-point model exchanges (a PS
 // push/pull round trip, or one half of a pairwise average).
 func (e *SimEnv) Exchanges(n int) { e.C.ChargeExchange(n) }
+
+// BootstrapTransfer prices one elastic scale-out bootstrap — the donor
+// ships its full model state to the joiner point-to-point — and charges its
+// traffic. Like the other methods it returns the modeled duration for the
+// caller to charge the event engine.
+func (e *SimEnv) BootstrapTransfer(donor, joiner int) float64 {
+	dt := e.C.PairTime(donor, joiner)
+	e.C.ChargeExchange(1)
+	return dt
+}

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"partialreduce/internal/baselines"
+	"partialreduce/internal/cluster"
+	"partialreduce/internal/controller"
+	"partialreduce/internal/core"
+	"partialreduce/internal/hetero"
+	"partialreduce/internal/metrics"
+	"partialreduce/internal/model"
+)
+
+// ElasticRow is one strategy of the elastic sweep with its membership
+// counters (zero for strategies that never change membership).
+type ElasticRow struct {
+	Strategy      string
+	Schedule      string
+	Joins         int
+	Drains        int
+	Decommissions int
+	StaleEpochs   int
+	Failures      int
+	Result        *metrics.Result
+}
+
+// ElasticSweepResult compares P-Reduce riding the canonical 8→12→6
+// staircase against static-membership references. Everything here is a pure
+// function of opts.Seed — the schedule triggers on deterministic update
+// counts and the simulator's clock is virtual — so two same-seed runs
+// produce byte-identical summary CSVs.
+type ElasticSweepResult struct {
+	Rows []ElasticRow
+}
+
+// Results returns the rows' metric results in printed order (for CSV export).
+func (r *ElasticSweepResult) Results() []*metrics.Result {
+	var out []*metrics.Result
+	for _, row := range r.Rows {
+		if row.Result != nil {
+			out = append(out, row.Result)
+		}
+	}
+	return out
+}
+
+// RobustnessElastic runs the elastic-membership sweep on the headline
+// heterogeneous cell (ResNet-34/CIFAR-10, HL=3): P-Reduce trains through a
+// seeded 8→12→6 staircase — four ranks bootstrap-join mid-run, then six
+// members gracefully drain — while the static references (P-Reduce and
+// All-Reduce on the founding eight) show what elasticity buys and costs.
+// All-Reduce cannot scale at all: its barrier needs a fixed world, which is
+// exactly the §4 asymmetry the paper's recovery story extends to planned
+// membership change.
+func RobustnessElastic(opts Options) (*ElasticSweepResult, error) {
+	w := opts.workload(CIFAR10Workload(model.ResNet34))
+	// Fixed-budget runs: every strategy executes exactly the same number of
+	// updates (the threshold is unreachable), so the comparison is accuracy
+	// and virtual time at equal synchronization work — the regime where the
+	// staircase is guaranteed to complete and leave a reconvergence tail.
+	w.Threshold = 0.999
+	w.MaxUpdates = 400
+	if opts.Quick {
+		w.MaxUpdates = 200
+	}
+	// Joins start an eighth of the way in, one per budget/40 updates; the
+	// six drains follow at the same cadence. Full budget: joins at
+	// 50,60,70,80 and drains at 90..140, leaving 260 updates on the final 6.
+	after := w.MaxUpdates / 8
+	step := w.MaxUpdates / 40
+	schedule := hetero.ScaleSchedule(8, 12, 6, after, step)
+
+	type spec struct {
+		strategy string
+		schedule string
+		cell     Cell
+		preduce  bool
+	}
+	specs := []spec{
+		{
+			strategy: "DYN P=4", schedule: "8→12→6", preduce: true,
+			cell: Cell{Workload: w, N: 12, Env: EnvHL, HL: 3, Seed: opts.Seed,
+				Initial: 8, Elastic: schedule},
+		},
+		{
+			strategy: "DYN P=4", schedule: "static 8", preduce: true,
+			cell: Cell{Workload: w, N: 8, Env: EnvHL, HL: 3, Seed: opts.Seed},
+		},
+		{
+			strategy: "AR", schedule: "static 8",
+			cell: Cell{Workload: w, N: 8, Env: EnvHL, HL: 3, Seed: opts.Seed},
+		},
+	}
+
+	out := &ElasticSweepResult{Rows: make([]ElasticRow, len(specs))}
+	sem := make(chan struct{}, opts.workers())
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for i, sp := range specs {
+		i, sp := i, sp
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			row, err := runElasticCell(opts, sp.cell, sp.strategy, sp.preduce)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%s (%s): %w", sp.strategy, sp.schedule, err)
+				}
+				return
+			}
+			row.Schedule = sp.schedule
+			out.Rows[i] = row
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// runElasticCell runs one cell, surfacing the controller's membership
+// counters for P-Reduce strategies (baselines have no controller).
+func runElasticCell(opts Options, cell Cell, strategy string, preduce bool) (ElasticRow, error) {
+	row := ElasticRow{Strategy: strategy}
+	cfg, err := cell.Build()
+	if err != nil {
+		return row, err
+	}
+	c, err := cluster.New(cfg, strategy)
+	if err != nil {
+		return row, err
+	}
+	if !preduce {
+		row.Result, err = baselines.NewAllReduce().Run(c)
+		return row, err
+	}
+	s, err := StrategyFor(strategy)
+	if err != nil {
+		return row, err
+	}
+	pr := s.(*core.PReduce)
+	if opts.Policy.Enabled() {
+		pr = pr.WithPolicy(opts.Policy)
+	}
+	var st controller.Stats
+	row.Result, st, err = pr.RunWithStats(c)
+	if err != nil {
+		return row, err
+	}
+	row.Joins, row.Drains, row.Decommissions = st.Joins, st.Drains, st.Decommissions
+	row.StaleEpochs, row.Failures = st.StaleEpochs, st.Failures
+	return row, nil
+}
+
+// Format renders the elastic sweep as a table.
+func (r *ElasticSweepResult) Format(w io.Writer) {
+	fmt.Fprintf(w, "elastic membership sweep (ResNet-34/CIFAR-10, HL=3, capacity 12, fixed update budget):\n")
+	fmt.Fprintf(w, "  %-10s %-10s %-7s %-9s %-8s %-13s %-6s %-6s %s\n",
+		"strategy", "schedule", "acc", "time(s)", "updates",
+		"join/drain/dc", "stale", "failed", "per-update(s)")
+	for _, row := range r.Rows {
+		res := row.Result
+		if res == nil {
+			continue
+		}
+		fmt.Fprintf(w, "  %-10s %-10s %-7.3f %-9.0f %-8d %2d/%2d/%2d      %-6d %-6d %.3f\n",
+			row.Strategy, row.Schedule, res.FinalAccuracy, res.RunTime,
+			res.Updates, row.Joins, row.Drains, row.Decommissions,
+			row.StaleEpochs, row.Failures, res.PerUpdate())
+	}
+}

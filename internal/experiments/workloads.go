@@ -136,6 +136,11 @@ type Cell struct {
 	// group straddles an active partition (zero value: single attempt).
 	Partitions hetero.PartitionSchedule
 	Retry      cluster.RetryModel
+	// Initial and Elastic make the cell's membership elastic: only ranks
+	// [0, Initial) train from the start (0: all N), and Elastic joins and
+	// drains fire on the applied-update count mid-run.
+	Initial int
+	Elastic hetero.ElasticSchedule
 }
 
 // Build constructs the cluster config for the cell.
@@ -181,6 +186,8 @@ func (c Cell) Build() (cluster.Config, error) {
 		Crashes:    c.Crashes,
 		Partitions: c.Partitions,
 		Retry:      c.Retry,
+		Initial:    c.Initial,
+		Elastic:    c.Elastic,
 	}, nil
 }
 

@@ -1,0 +1,72 @@
+package hetero
+
+import "testing"
+
+func TestElasticScheduleValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		s       ElasticSchedule
+		n, init int
+		ok      bool
+	}{
+		{"empty", nil, 8, 8, true},
+		{"join capacity rank", ElasticSchedule{{Worker: 8, AfterUpdates: 10, Kind: ElasticJoin}}, 12, 8, true},
+		{"join existing member", ElasticSchedule{{Worker: 3, AfterUpdates: 10, Kind: ElasticJoin}}, 12, 8, false},
+		{"drain member", ElasticSchedule{{Worker: 3, AfterUpdates: 10, Kind: ElasticDrain}}, 8, 8, true},
+		{"drain non-member", ElasticSchedule{{Worker: 9, AfterUpdates: 10, Kind: ElasticDrain}}, 12, 8, false},
+		{"join then drain same rank", ElasticSchedule{
+			{Worker: 8, AfterUpdates: 10, Kind: ElasticJoin},
+			{Worker: 8, AfterUpdates: 20, Kind: ElasticDrain},
+		}, 12, 8, true},
+		{"drain then rejoin slot", ElasticSchedule{
+			{Worker: 2, AfterUpdates: 10, Kind: ElasticDrain},
+			{Worker: 2, AfterUpdates: 20, Kind: ElasticJoin},
+		}, 4, 4, true},
+		{"out of order", ElasticSchedule{
+			{Worker: 8, AfterUpdates: 20, Kind: ElasticJoin},
+			{Worker: 9, AfterUpdates: 10, Kind: ElasticJoin},
+		}, 12, 8, false},
+		{"zero trigger", ElasticSchedule{{Worker: 8, AfterUpdates: 0, Kind: ElasticJoin}}, 12, 8, false},
+		{"worker out of range", ElasticSchedule{{Worker: 12, AfterUpdates: 5, Kind: ElasticJoin}}, 12, 8, false},
+		{"drains below two active", ElasticSchedule{
+			{Worker: 0, AfterUpdates: 5, Kind: ElasticDrain},
+			{Worker: 1, AfterUpdates: 10, Kind: ElasticDrain},
+		}, 3, 3, false},
+		{"bad initial", nil, 8, 1, false},
+	}
+	for _, tc := range cases {
+		err := tc.s.Validate(tc.n, tc.init)
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: expected error, got nil", tc.name)
+		}
+	}
+}
+
+func TestScaleSchedule(t *testing.T) {
+	s := ScaleSchedule(8, 12, 6, 20, 10)
+	if err := s.Validate(12, 8); err != nil {
+		t.Fatalf("canonical 8→12→6 staircase invalid: %v", err)
+	}
+	// 4 joins (ranks 8..11), then 6 drains (ranks 11 down to 6).
+	if len(s) != 10 {
+		t.Fatalf("want 10 events, got %d: %v", len(s), s)
+	}
+	for i := 0; i < 4; i++ {
+		e := s[i]
+		if e.Kind != ElasticJoin || e.Worker != 8+i || e.AfterUpdates != 20+10*i {
+			t.Fatalf("join %d wrong: %+v", i, e)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		e := s[4+i]
+		if e.Kind != ElasticDrain || e.Worker != 11-i || e.AfterUpdates != 60+10*i {
+			t.Fatalf("drain %d wrong: %+v", i, e)
+		}
+	}
+	if ScaleSchedule(8, 12, 6, 0, 10) != nil || ScaleSchedule(8, 12, 6, 20, 0) != nil {
+		t.Fatal("degenerate parameters should yield nil")
+	}
+}

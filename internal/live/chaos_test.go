@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"partialreduce/internal/collective"
+	"partialreduce/internal/hetero"
 	"partialreduce/internal/transport"
 )
 
@@ -26,12 +27,17 @@ func chaosSeeds(t *testing.T) int {
 
 // TestChaosSoak throws every fault in the repertoire at the same run:
 // a fail-stop worker, a controller crash (warm on even seeds, cold on odd),
-// and a timed two-rank network partition, all on one seeded Faulty world.
-// The invariants are the ones each fault guarantees alone — exactly the
-// injected death is condemned, the controller restarts exactly once, the
-// survivors complete every iteration, and nothing hangs — and the soak
-// asserts they still compose. Each seed is fully deterministic, so a failure
-// reproduces with PREDUCE_CHAOS_SEEDS and the logged seed.
+// a timed two-rank network partition, and a seeded elastic 4→6→4 staircase
+// (two ranks bootstrap-join mid-run, then both drain back out), all on one
+// seeded Faulty world. The invariants are the ones each fault guarantees
+// alone — exactly the injected death is condemned, the controller restarts
+// exactly once, every membership change completes without condemning anyone,
+// the surviving founders complete every iteration, and nothing hangs — and
+// the soak asserts they still compose. A bootstrap transfer that straddles
+// the partition times out and aborts cleanly (the joiner is un-joined via
+// drain+decommission), so the drain counters hold under every interleaving.
+// Each seed is fully deterministic, so a failure reproduces with
+// PREDUCE_CHAOS_SEEDS and the logged seed.
 func TestChaosSoak(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos soak is a timed sweep")
@@ -42,6 +48,12 @@ func TestChaosSoak(t *testing.T) {
 		cold := s%2 == 1
 		t.Run("seed="+strconv.FormatInt(seed, 10), func(t *testing.T) {
 			cfg := liveConfig(t, seed)
+			cfg.N = 6
+			cfg.Initial = 4
+			// Joins at 8 and 14 dispatched groups, drains at 20 and 26: the
+			// whole staircase lands after the controller crash (at 4 groups)
+			// and interleaves with the partition window and the rank-1 crash.
+			cfg.Elastic = hetero.ScaleSchedule(4, 6, 4, 8, 6)
 			cfg.CtrlCrashAfter = 4
 			cfg.CtrlCold = cold
 			cfg.CtrlTimeout = 100 * time.Millisecond
@@ -74,6 +86,17 @@ func TestChaosSoak(t *testing.T) {
 			if rep.Failures != 1 {
 				t.Fatalf("failures = %d, want exactly the injected fail-stop", rep.Failures)
 			}
+			// Both joiners are admitted, and both leave again — by the
+			// scheduled drain, or by the clean un-join when their bootstrap
+			// straddled a fault. Either way nobody is condemned and every
+			// drain hand-off decommissions.
+			if rep.Joins != 2 {
+				t.Fatalf("joins = %d, want both scheduled admissions", rep.Joins)
+			}
+			if rep.Drains != 2 || rep.Decommissions != 2 {
+				t.Fatalf("drains/decommissions = %d/%d, want 2/2",
+					rep.Drains, rep.Decommissions)
+			}
 			for _, id := range []int{0, 2, 3} {
 				if !rep.Completed[id] {
 					t.Fatalf("survivor %d did not complete (iters %d/%d)",
@@ -85,6 +108,11 @@ func TestChaosSoak(t *testing.T) {
 			}
 			if rep.Completed[1] {
 				t.Fatal("the fail-stopped worker reported completion")
+			}
+			for _, id := range []int{4, 5} {
+				if rep.Completed[id] {
+					t.Fatalf("drained joiner %d reported completion", id)
+				}
 			}
 			if rep.FinalAccuracy < 0.80 {
 				t.Fatalf("accuracy %.3f after crash + failover + partition", rep.FinalAccuracy)

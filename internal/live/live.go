@@ -23,6 +23,7 @@ package live
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -32,6 +33,7 @@ import (
 	"partialreduce/internal/controller"
 	"partialreduce/internal/data"
 	"partialreduce/internal/engine"
+	"partialreduce/internal/hetero"
 	"partialreduce/internal/metrics"
 	"partialreduce/internal/model"
 	"partialreduce/internal/optim"
@@ -68,6 +70,19 @@ type Config struct {
 	// elements: 0 selects collective.DefaultSegmentElems, negative disables
 	// segmentation (one message per ring step).
 	SegmentElems int
+
+	// Initial is the number of founding members: ranks [Initial, N) park —
+	// no worker goroutine, no controller membership — until an Elastic join
+	// event admits them. Zero selects N (every rank is a founder). N is thus
+	// the cluster's capacity, not its population.
+	Initial int
+	// Elastic is the membership-change schedule: join events admit parked
+	// ranks (bootstrapping model state from a live donor first), drain
+	// events retire members gracefully (the drain lands at the worker's
+	// next ready signal; it is never condemned). Events trigger on the
+	// cluster-wide dispatched-group count, the live counterpart of the
+	// simulator's applied-update count.
+	Elastic hetero.ElasticSchedule
 
 	// Crash maps worker id -> local iteration at which the worker crashes.
 	// The crash lands at the worst possible moment for the protocol: the
@@ -185,7 +200,23 @@ func (c Config) Validate() error {
 			return err
 		}
 	}
+	if c.Initial != 0 && (c.Initial < 2 || c.Initial > c.N) {
+		return fmt.Errorf("live: Initial %d outside [2,%d]", c.Initial, c.N)
+	}
+	if len(c.Elastic) > 0 || c.Initial != 0 {
+		if err := c.Elastic.Validate(c.N, c.initialOr()); err != nil {
+			return err
+		}
+	}
 	return c.Optimizer.Validate()
+}
+
+// initialOr resolves the founding-member count: Initial, or N when zero.
+func (c Config) initialOr() int {
+	if c.Initial == 0 {
+		return c.N
+	}
+	return c.Initial
 }
 
 // Report summarizes a live run.
@@ -195,6 +226,10 @@ type Report struct {
 	Aborts        int     // groups torn down because a member died mid-collective
 	Failures      int     // workers declared dead
 	Rejoins       int     // workers re-admitted from a checkpoint
+	Joins         int     // elastic scale-out admissions
+	Drains        int     // graceful drain hand-offs started
+	Decommissions int     // drains completed (member retired)
+	StaleEpochs   int     // ready signals rejected for a stale world view
 	CtrlRestarts  int     // controller crash/restart cycles survived
 	WallTime      time.Duration
 	WorkerIters   []int  // local iterations completed per worker
@@ -205,23 +240,36 @@ type Report struct {
 	Comms collective.OpStats
 }
 
-// groupMsg carries a formed group to its members; skip means "proceed
-// without averaging" (tail release, or a signal the controller rejected).
+// groupMsg carries the controller's answer to a ready signal: a formed
+// group, or one of the control outcomes — skip ("proceed without
+// averaging": tail release, or a signal the controller rejected), drain
+// (graceful hand-off complete; exit cleanly), refresh (stale world-view
+// epoch; adopt epoch and re-signal), or a bootstrap donor assignment.
+// Every answer carries the controller's current epoch.
 type groupMsg struct {
 	group controller.Group
 	opID  uint32
 	skip  bool
+
+	drain        bool
+	refresh      bool
+	bootstrap    bool
+	bootstrapFor int
+	bootstrapOp  uint32
+	epoch        uint64
 }
 
 // svcKind enumerates messages on the controller service's inbox.
 type svcKind int
 
 const (
-	kindReady  svcKind = iota // worker finished an iteration and wants a group
-	kindDone                  // worker finished all iterations
-	kindFail                  // worker observed a peer die inside a collective
-	kindRejoin                // crashed worker asks to re-enter from checkpoint
-	kindStuck                 // worker's collective timed out with no peer death
+	kindReady     svcKind = iota // worker finished an iteration and wants a group
+	kindDone                     // worker finished all iterations
+	kindFail                     // worker observed a peer die inside a collective
+	kindRejoin                   // crashed worker asks to re-enter from checkpoint
+	kindStuck                    // worker's collective timed out with no peer death
+	kindJoin                     // bootstrapped elastic rank asks to be admitted
+	kindJoinAbort                // bootstrap transfer failed; re-queue the join
 )
 
 // svcMsg is one message to the controller service.
@@ -230,11 +278,12 @@ type svcMsg struct {
 	worker int
 	iter   int
 	seq    uint64         // kindReady: per-worker signal sequence number
+	epoch  uint64         // kindReady: sender's world-view epoch (0: unversioned)
 	reply  chan *groupMsg // kindReady: where to deliver the group
 	dead   int            // kindFail: the peer observed down
 	group  controller.Group
 	opID   uint32        // kindFail/kindStuck: the failing collective op
-	admit  chan struct{} // kindRejoin: closed once the worker is re-admitted
+	admit  chan struct{} // kindRejoin/kindJoin: closed once the worker is admitted
 }
 
 // runtime bundles the state shared by the service, the workers, and the
@@ -286,7 +335,7 @@ func Run(cfg Config, world []transport.Transport) (*Report, error) {
 		return nil, fmt.Errorf("live: %d transports for %d workers", len(world), cfg.N)
 	}
 	ctrlCfg := controller.Config{
-		N: cfg.N, P: cfg.P,
+		N: cfg.N, P: cfg.P, Initial: cfg.Initial,
 		Weighting: cfg.Weighting, Alpha: cfg.Alpha, Approx: cfg.Approx,
 	}
 	var pol policy.Policy
@@ -336,7 +385,9 @@ func Run(cfg Config, world []transport.Transport) (*Report, error) {
 	go rt.service(ctrl, completed, stop, ctrlDone)
 
 	start := time.Now()
-	for id := 0; id < cfg.N; id++ {
+	// Ranks [initialOr, N) park: no goroutine until a join event admits them
+	// (rt.join spawns the worker after the bootstrap transfer lands).
+	for id := 0; id < cfg.initialOr(); id++ {
 		id := id
 		rt.wg.Add(1)
 		go func() {
@@ -381,6 +432,10 @@ func Run(cfg Config, world []transport.Transport) (*Report, error) {
 		Aborts:        stats.GroupsAborted,
 		Failures:      stats.Failures,
 		Rejoins:       stats.Rejoins,
+		Joins:         stats.Joins,
+		Drains:        stats.Drains,
+		Decommissions: stats.Decommissions,
+		StaleEpochs:   stats.StaleEpochs,
 		CtrlRestarts:  rt.ctrlRestarts,
 		WallTime:      time.Since(start),
 		WorkerIters:   rt.iters,
@@ -416,6 +471,10 @@ func (rt *runtime) service(ctrl *controller.Controller, completed []bool, stop, 
 		fin.Failures += st.Failures
 		fin.Rejoins += st.Rejoins
 		fin.GroupsAborted += st.GroupsAborted
+		fin.Joins += st.Joins
+		fin.Drains += st.Drains
+		fin.Decommissions += st.Decommissions
+		fin.StaleEpochs += st.StaleEpochs
 		rt.finalStats = fin
 		rt.finalAlive = ctrl.Alive()
 		close(ctrlDone)
@@ -433,13 +492,45 @@ func (rt *runtime) service(ctrl *controller.Controller, completed []bool, stop, 
 	}
 	aborted := make(map[uint32]bool)
 	deadSet := make(map[int]bool) // service-side memory of detected deaths
-	active := cfg.N               // workers believed alive and not yet finished
+	active := cfg.initialOr()     // workers believed alive and not yet finished
 	opSeq := uint32(0)
-	ctrlGroups := 0 // groups dispatched, for the crash trigger
+	ctrlGroups := 0 // groups dispatched, for the crash and elastic triggers
 	crashed := false
+
+	// Elastic membership state. Events trigger on ctrlGroups, the dispatched
+	// group count — the live counterpart of the simulator's applied-update
+	// counter (identical under lockstep, where every group is one cluster
+	// iteration). A join waits in pendingJoins until the next ready signal
+	// from an eligible donor, which is answered with a bootstrap assignment
+	// instead of being queued; a drain waits in drainPending until the
+	// draining worker's own next ready signal, so it always lands between
+	// groups, never inside one.
+	elastic := cfg.Elastic
+	nextElastic := 0
+	pendingJoins := []int(nil)
+	drainPending := make([]bool, cfg.N)
+	drained := make([]bool, cfg.N)
+	// Bootstrap transfers use op ids from a disjoint space so a group-op
+	// abort can never collide with one (group ops count up from 1).
+	bootOp := uint32(0x40000000)
+	checkElastic := func() {
+		for nextElastic < len(elastic) && elastic[nextElastic].AfterUpdates <= ctrlGroups {
+			ev := elastic[nextElastic]
+			nextElastic++
+			switch ev.Kind {
+			case hetero.ElasticJoin:
+				pendingJoins = append(pendingJoins, ev.Worker)
+			case hetero.ElasticDrain:
+				drainPending[ev.Worker] = true
+			}
+		}
+	}
 
 	answer := func(w int, gm *groupMsg) {
 		if ch, ok := waiting[w]; ok {
+			if gm.epoch == 0 {
+				gm.epoch = ctrl.Epoch()
+			}
 			ch <- gm
 			answered[w] = waitSeq[w]
 			delete(waiting, w)
@@ -456,6 +547,7 @@ func (rt *runtime) service(ctrl *controller.Controller, completed []bool, stop, 
 				answer(member, &groupMsg{group: g, opID: opSeq})
 			}
 		}
+		checkElastic()
 	}
 	release := func() {
 		// Every still-active worker is queued and the controller formed no
@@ -480,6 +572,12 @@ func (rt *runtime) service(ctrl *controller.Controller, completed []bool, stop, 
 	// is alive again; deadSet keeps the service-side accounting (active,
 	// reply wakeups) idempotent while the death is re-reported to it.
 	markDead := func(dead int, g controller.Group, opID uint32) {
+		if drained[dead] || !ctrl.IsMember(dead) {
+			// A drained (or never-joined) rank is not a member: it cannot be
+			// condemned. Late death reports against it — a peer observing its
+			// clean exit as a transport hiccup — are dropped.
+			return
+		}
 		first := !deadSet[dead]
 		if !first && !ctrl.IsAlive(dead) {
 			return
@@ -526,6 +624,10 @@ func (rt *runtime) service(ctrl *controller.Controller, completed []bool, stop, 
 			carry.Failures += st.Failures
 			carry.Rejoins += st.Rejoins
 			carry.GroupsAborted += st.GroupsAborted
+			carry.Joins += st.Joins
+			carry.Drains += st.Drains
+			carry.Decommissions += st.Decommissions
+			carry.StaleEpochs += st.StaleEpochs
 			next, _, err := controller.Rebuild(ctrl.Config(), nil)
 			if err != nil {
 				rt.runErr <- fmt.Errorf("live: controller cold rebuild: %w", err)
@@ -596,15 +698,77 @@ func (rt *runtime) service(ctrl *controller.Controller, completed []bool, stop, 
 				// Retransmission of a signal the controller still holds (the
 				// original reply died with a crashed controller incarnation):
 				// re-attach the reply channel, don't re-queue.
-				handleGroups(ctrl.Drain())
+				handleGroups(ctrl.FlushGroups())
 				release()
 				return
 			}
+			if drainPending[w] {
+				// The drain lands here, at the worker's own ready point:
+				// between groups by construction, so no in-flight collective
+				// is torn down and nobody is condemned. Shrinking the active
+				// set may let the queue fill a group immediately — dispatch
+				// those before the hand-off acknowledgment.
+				drainPending[w] = false
+				groups, err := ctrl.Drain(w)
+				if err != nil {
+					rt.runErr <- fmt.Errorf("live: drain worker %d: %w", w, err)
+					answer(w, &groupMsg{skip: true})
+					return
+				}
+				handleGroups(groups)
+				more, err := ctrl.Decommission(w)
+				if err != nil {
+					rt.runErr <- fmt.Errorf("live: decommission worker %d: %w", w, err)
+					answer(w, &groupMsg{skip: true})
+					return
+				}
+				handleGroups(more)
+				drained[w] = true
+				active--
+				answer(w, &groupMsg{drain: true})
+				release()
+				return
+			}
+			if len(pendingJoins) > 0 && ctrl.IsMember(w) && !ctrl.IsDraining(w) {
+				// A join is waiting for a donor, and w — a live member at its
+				// ready point, model state stable — just volunteered. Answer
+				// with the bootstrap assignment instead of queueing the
+				// signal; w re-signals the same iteration after serving. The
+				// joiner is admitted right now: the epoch bumps here, and
+				// group formation deterministically waits for the joiner's
+				// first signal instead of racing its bootstrap (the same rule
+				// the simulator applies, which keeps the sim↔live
+				// differential's update counts equal).
+				j := pendingJoins[0]
+				pendingJoins = pendingJoins[1:]
+				if err := ctrl.Join(j, float64(time.Now().UnixNano())/1e9); err != nil {
+					rt.runErr <- fmt.Errorf("live: join worker %d: %w", j, err)
+					answer(w, &groupMsg{skip: true})
+					return
+				}
+				drained[j] = false
+				delete(deadSet, j)
+				active++
+				lastHeard[j] = time.Now()
+				bootOp++
+				op := bootOp
+				rt.wg.Add(1)
+				go rt.join(j, w, op)
+				answer(w, &groupMsg{bootstrap: true, bootstrapFor: j, bootstrapOp: op})
+				return
+			}
 			groups, err := ctrl.Ready(controller.Signal{
-				Worker: w, Iter: msg.iter,
+				Worker: w, Iter: msg.iter, Epoch: msg.epoch,
 				Now: float64(time.Now().UnixNano()) / 1e9,
 			})
 			if err != nil {
+				if errors.Is(err, controller.ErrStaleEpoch) {
+					// The signal carried an outdated world view: deterministic
+					// rejection, not condemnation. The worker adopts the
+					// epoch from the answer and re-signals the same iteration.
+					answer(w, &groupMsg{refresh: true})
+					return
+				}
 				// Rejected sender (tracking mismatch): release it to proceed
 				// solo; it is not grouped.
 				answer(w, &groupMsg{skip: true})
@@ -646,6 +810,27 @@ func (rt *runtime) service(ctrl *controller.Controller, completed []bool, stop, 
 				active++
 			}
 			close(msg.admit)
+		case kindJoin:
+			// Bootstrapped elastic rank reporting in: admission already
+			// happened at donor-assignment time; this message just refreshes
+			// the liveness beat before its first (possibly slow) batch.
+			close(msg.admit)
+		case kindJoinAbort:
+			// The bootstrap transfer failed (donor lost mid-send). The rank
+			// was already admitted at assignment time and will never signal:
+			// un-join it cleanly — it never trained, so a graceful drain +
+			// decommission releases its slot without condemning anyone.
+			if ctrl.IsMember(w) && !ctrl.IsDraining(w) && ctrl.IsAlive(w) {
+				if groups, err := ctrl.Drain(w); err == nil {
+					handleGroups(groups)
+				}
+				if more, err := ctrl.Decommission(w); err == nil {
+					handleGroups(more)
+				}
+				drained[w] = true
+				active--
+				release()
+			}
 		}
 	}
 
@@ -694,11 +879,25 @@ func (rt *runtime) service(ctrl *controller.Controller, completed []bool, stop, 
 type chanControl struct {
 	rt *runtime
 	id int
+	// epoch is the last world-view version the controller answered with;
+	// stamped into every outgoing signal (0 until the first answer:
+	// unversioned signals are always accepted).
+	epoch uint64
 }
 
 func (c *chanControl) Signal(iter int) (engine.Directive, error) {
-	gm := c.rt.signalReady(c.id, iter)
-	return engine.Directive{Group: gm.group, OpID: gm.opID, Skip: gm.skip}, nil
+	gm := c.rt.signalReady(c.id, iter, c.epoch)
+	if gm.epoch != 0 {
+		// Adopt the controller's world view from every answer, so the next
+		// signal is stamped with a current epoch (refresh answers exist
+		// precisely to deliver this).
+		c.epoch = gm.epoch
+	}
+	return engine.Directive{
+		Group: gm.group, OpID: gm.opID, Skip: gm.skip,
+		Drain: gm.drain, Refresh: gm.refresh, Epoch: gm.epoch,
+		Bootstrap: gm.bootstrap, BootstrapFor: gm.bootstrapFor, BootstrapOp: gm.bootstrapOp,
+	}, nil
 }
 
 func (c *chanControl) SignalNoWait(iter int) {
@@ -778,7 +977,55 @@ func (rt *runtime) worker(id int, m model.Model, opt *optim.SGD, sampler *data.S
 		// No done message: the cluster must detect the death.
 	case out.DeadErr != nil:
 		// We ourselves were declared dead; fall silent.
+	case out.Drained:
+		// Graceful elastic exit: the service already decommissioned us and
+		// adjusted its accounting. No done message — a drained rank did not
+		// complete its iterations and is excluded from the final average.
 	}
+}
+
+// join bootstraps parked rank id from the donor's served model state (under
+// bootstrap op id op), performs the admission handshake with the service,
+// and runs the worker loop from the donor's iteration. It executes on its
+// own goroutine, spawned by the service at donor-assignment time.
+func (rt *runtime) join(id, donor int, op uint32) {
+	defer rt.wg.Done()
+	var comms collective.OpStats
+	st, err := collective.BootstrapRecv(rt.world[id], donor, op, collective.Options{
+		Timeout: rt.cfg.CollectiveTimeout,
+		Stats:   &comms,
+	})
+	rt.addComms(&comms)
+	if err != nil {
+		if transport.IsFailure(err) {
+			// The donor died mid-transfer: hand the join back to the service
+			// so the next eligible ready signal serves it with a new donor.
+			rt.svcCh <- svcMsg{kind: kindJoinAbort, worker: id}
+			return
+		}
+		rt.runErr <- fmt.Errorf("live: worker %d bootstrap from %d: %w", id, donor, err)
+		return
+	}
+	m := rt.base.Clone()
+	m.SetParams(tensor.Vector(st.Params))
+	opt := optim.NewSGD(rt.cfg.Optimizer, m.NumParams())
+	if err := opt.Restore(tensor.Vector(st.Velocity), st.Step); err != nil {
+		rt.runErr <- fmt.Errorf("live: worker %d bootstrap restore: %w", id, err)
+		return
+	}
+
+	// Admission happened at donor-assignment time; this handshake just
+	// refreshes the liveness beat so the staleness sweep never counts the
+	// bootstrap transfer against the first batch.
+	admit := make(chan struct{})
+	rt.svcCh <- svcMsg{kind: kindJoin, worker: id, admit: admit}
+	<-admit
+	rt.cfg.Tracer.Instant(trace.KBootstrap, int32(id), int32(st.Iter), int64(donor), int64(len(st.Params)))
+
+	// The joiner's sampler stream is its own (the rank never sampled before).
+	sampler := data.NewSampler(rt.shards[id], rt.cfg.Seed*31+int64(id))
+	rt.models[id] = m
+	rt.worker(id, m, opt, sampler, st.Iter, false)
 }
 
 // signalReady sends worker id's ready signal for iter and waits for the group
@@ -787,10 +1034,10 @@ func (rt *runtime) worker(id int, m model.Model, opt *optim.SGD, sampler *data.S
 // in-flight reply cannot strand the worker, while a reply that merely raced
 // the timer is recognized by the service as already answered and consumed from
 // the buffered channel here.
-func (rt *runtime) signalReady(id, iter int) *groupMsg {
+func (rt *runtime) signalReady(id, iter int, epoch uint64) *groupMsg {
 	rt.readySeq[id]++
 	reply := make(chan *groupMsg, 1)
-	msg := svcMsg{kind: kindReady, worker: id, iter: iter, seq: rt.readySeq[id], reply: reply}
+	msg := svcMsg{kind: kindReady, worker: id, iter: iter, seq: rt.readySeq[id], epoch: epoch, reply: reply}
 	rt.svcCh <- msg
 	if rt.cfg.CtrlTimeout <= 0 {
 		return <-reply

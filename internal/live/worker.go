@@ -1,6 +1,7 @@
 package live
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -10,6 +11,7 @@ import (
 	"partialreduce/internal/controller"
 	"partialreduce/internal/data"
 	"partialreduce/internal/engine"
+	"partialreduce/internal/hetero"
 	"partialreduce/internal/model"
 	"partialreduce/internal/optim"
 	"partialreduce/internal/policy"
@@ -41,9 +43,15 @@ const (
 	ctrlReplyTag  uint64 = 0xC1_000000_000000
 	ctrlAbortTag  uint64 = 0xC2_000000_000000
 	ctrlRosterTag uint64 = 0xC3_000000_000000
+	ctrlJoinTag   uint64 = 0xC4_000000_000000
 	gatherOpID    uint32 = 0xFFFFFF
 	barrierOpID   uint32 = 0xFFFFFE
 )
+
+// bootOpBase is the first bootstrap-transfer op id: a disjoint space from the
+// group ops (which count up from 1), so an op abort can never collide with an
+// in-flight bootstrap.
+const bootOpBase uint32 = 0x40000000
 
 // ctrlResendLimit bounds how many times a worker re-sends a ready signal whose
 // reply timed out (CtrlTimeout) before concluding the controller is
@@ -53,11 +61,19 @@ const ctrlResendLimit = 8
 func readyTag(seq int) uint64 { return ctrlReadyTag | uint64(seq) }
 func replyTag(seq int) uint64 { return ctrlReplyTag | uint64(seq) }
 func abortTag(seq int) uint64 { return ctrlAbortTag | uint64(seq) }
+func joinTag(seq int) uint64  { return ctrlJoinTag | uint64(seq) }
 
 // Ready-stream control markers (payload[0] values that are not iterations).
 const (
-	readyFinished = -1 // worker completed all iterations
-	readyFailure  = -2 // payload: [-2, deadRank, opID] — peer death report
+	readyFinished  = -1 // worker completed all iterations
+	readyFailure   = -2 // payload: [-2, deadRank, opID] — peer death report
+	readyJoinAbort = -3 // elastic joiner's bootstrap transfer failed; un-join it
+)
+
+// Join-stream message kinds (payload[0] of a joinTag message, host → rank).
+const (
+	joinAssign  = 0 // payload: [0, donor, bootstrapOp] — bootstrap and train
+	joinDismiss = 1 // payload: [1, 0, 0] — run over; exit without training
 )
 
 // RunWorker runs this process's share of a live P-Reduce world: the worker
@@ -108,7 +124,7 @@ func RunWorker(cfg Config, tr transport.Transport, host bool) (*Report, error) {
 // which the loop reports as a death event.
 func runControllerService(cfg Config, tr transport.Transport) error {
 	ctrlCfg := controller.Config{
-		N: cfg.N, P: cfg.P,
+		N: cfg.N, P: cfg.P, Initial: cfg.Initial,
 		Weighting: cfg.Weighting, Alpha: cfg.Alpha, Approx: cfg.Approx,
 	}
 	var pol policy.Policy
@@ -136,8 +152,9 @@ func runControllerService(cfg Config, tr transport.Transport) error {
 
 	type event struct {
 		worker int
-		iter   int // readyFinished / readyFailure are control markers
+		iter   int // readyFinished / readyFailure / readyJoinAbort are control markers
 		seq    int
+		epoch  uint64 // the world-view version the signal was sent under
 		dead   int    // readyFailure: the rank reported down
 		opID   uint32 // readyFailure: the collective that broke
 		lost   bool   // the receive loop itself saw the worker go down
@@ -168,8 +185,14 @@ func runControllerService(cfg Config, tr transport.Transport) error {
 							dead: int(payload[1]), opID: uint32(payload[2]),
 						}
 					}
+				case readyJoinAbort:
+					events <- event{worker: w, iter: readyJoinAbort, seq: seq}
 				default:
-					events <- event{worker: w, iter: int(payload[0]), seq: seq}
+					e := event{worker: w, iter: int(payload[0]), seq: seq}
+					if len(payload) >= 2 {
+						e.epoch = uint64(payload[1])
+					}
+					events <- e
 				}
 			}
 		}()
@@ -182,10 +205,33 @@ func runControllerService(cfg Config, tr transport.Transport) error {
 	deadSet := map[int]bool{} // host-side memory of deaths (survives ctrl crashes)
 	abortSeq := make([]int, cfg.N)
 	completed := make([]bool, cfg.N)
-	active := cfg.N
+	active := cfg.initialOr()
 	opSeq := uint32(0)
-	ctrlGroups := 0 // groups dispatched, for the failover-harness trigger
+	ctrlGroups := 0 // groups dispatched: failover-harness and elastic triggers
 	crashed := false
+
+	// Elastic membership: schedule events fire on the dispatched-group count.
+	// Joins queue until an eligible ready signal donates its sender as the
+	// bootstrap source; drains land at the target's next ready point, which by
+	// construction is between groups.
+	elastic := cfg.Elastic
+	nextElastic := 0
+	pendingJoins := []int(nil)
+	drainPending := map[int]bool{}
+	drained := make([]bool, cfg.N)
+	bootOp := bootOpBase
+	joinSeq := make([]int, cfg.N)
+	checkElastic := func() {
+		for nextElastic < len(elastic) && elastic[nextElastic].AfterUpdates <= ctrlGroups {
+			ev := elastic[nextElastic]
+			nextElastic++
+			if ev.Kind == hetero.ElasticJoin {
+				pendingJoins = append(pendingJoins, ev.Worker)
+			} else {
+				drainPending[ev.Worker] = true
+			}
+		}
+	}
 
 	// sendAbort tells worker w to abort collective op locally; returns the
 	// rank as a new death suspect if even that message cannot be delivered.
@@ -213,6 +259,11 @@ func runControllerService(cfg Config, tr transport.Transport) error {
 		for len(suspects) > 0 {
 			s := suspects[0]
 			suspects = suspects[1:]
+			if drained[s.worker] || !ctrl.IsMember(s.worker) {
+				// Graceful departures and never-admitted parked ranks are not
+				// deaths: nothing to condemn or abort.
+				continue
+			}
 			first := !deadSet[s.worker]
 			if !first && !ctrl.IsAlive(s.worker) {
 				continue
@@ -252,6 +303,7 @@ func runControllerService(cfg Config, tr transport.Transport) error {
 		for _, g := range groups {
 			opSeq++
 			ctrlGroups++
+			checkElastic()
 			op := opSeq
 			opGroups[op] = g
 			var suspects []int
@@ -269,7 +321,7 @@ func runControllerService(cfg Config, tr transport.Transport) error {
 					}
 					return fmt.Errorf("live: controller grouped worker %d with no pending signal", m)
 				}
-				if err := tr.Send(m, replyTag(seq), encodeGroup(g, op, false)); err != nil {
+				if err := tr.Send(m, replyTag(seq), encodeDirective(engine.Directive{Group: g, OpID: op, Epoch: ctrl.Epoch()})); err != nil {
 					if !transport.IsFailure(err) {
 						return err
 					}
@@ -337,11 +389,59 @@ func runControllerService(cfg Config, tr transport.Transport) error {
 		return nil
 	}
 
+	// retire gracefully removes member w from the world with no hand-off
+	// reply: the revert path when a freshly admitted joiner turns out to be
+	// unreachable (assignment undeliverable, or its bootstrap transfer died).
+	retire := func(w int) error {
+		gs, err := ctrl.Drain(w)
+		if err != nil {
+			return nil // not a member or already draining: nothing to revert
+		}
+		if err := dispatch(gs); err != nil {
+			return err
+		}
+		if gs, err = ctrl.Decommission(w); err == nil {
+			if err := dispatch(gs); err != nil {
+				return err
+			}
+		}
+		drained[w] = true
+		active--
+		return nil
+	}
+
+	// admitJoin admits parked rank j at the donor's ready point: the epoch
+	// bumps now, so under lockstep the next group deterministically waits for
+	// the joiner's first signal. Returns false when the joiner is unreachable
+	// and the admission was reverted (the donor should proceed normally).
+	admitJoin := func(j, donor int) (bool, error) {
+		if err := ctrl.Join(j, float64(time.Now().UnixNano())/1e9); err != nil {
+			return false, err
+		}
+		drained[j] = false
+		delete(deadSet, j)
+		active++
+		bootOp++
+		err := tr.Send(j, joinTag(joinSeq[j]), []float64{joinAssign, float64(donor), float64(bootOp)})
+		joinSeq[j]++
+		if err != nil {
+			if !transport.IsFailure(err) {
+				return false, err
+			}
+			// The joiner's process is gone before it ever trained: revert.
+			if rerr := retire(j); rerr != nil {
+				return false, rerr
+			}
+			return false, nil
+		}
+		return true, nil
+	}
+
 	release := func() error {
 		if len(waiting) > 0 && len(waiting) == active {
 			for w, seq := range waiting {
 				ctrl.PurgeSignal(w)
-				if err := tr.Send(w, replyTag(seq), encodeGroup(controller.Group{}, 0, true)); err != nil {
+				if err := tr.Send(w, replyTag(seq), encodeDirective(engine.Directive{Skip: true, Epoch: ctrl.Epoch()})); err != nil {
 					if !transport.IsFailure(err) {
 						return err
 					}
@@ -394,25 +494,96 @@ func runControllerService(cfg Config, tr transport.Transport) error {
 			if err := markDead(ev.dead, ev.opID); err != nil {
 				return err
 			}
+		case ev.iter == readyJoinAbort:
+			// The joiner's bootstrap transfer died with its donor: un-join it
+			// so the cohort stops waiting for a first signal that will never
+			// come. The rank goes back to parked and may be re-assigned.
+			if ctrl.IsMember(ev.worker) && !ctrl.IsDraining(ev.worker) && ctrl.IsAlive(ev.worker) {
+				if err := retire(ev.worker); err != nil {
+					return err
+				}
+			}
 		default:
 			waiting[ev.worker] = ev.seq
 			if ctrl.IsQueued(ev.worker) {
 				// Retransmission of a signal the controller still holds (the
 				// reply bookkeeping died with a crashed controller
 				// incarnation): re-attach the reply seq, don't re-queue.
-				if err := dispatch(ctrl.Drain()); err != nil {
+				if err := dispatch(ctrl.FlushGroups()); err != nil {
 					return err
 				}
 				break
 			}
+			if drainPending[ev.worker] && ctrl.IsMember(ev.worker) && !ctrl.IsDraining(ev.worker) {
+				// Graceful drain lands at the target's ready point — between
+				// groups by construction, so no in-flight collective is cut.
+				delete(drainPending, ev.worker)
+				gs, derr := ctrl.Drain(ev.worker)
+				if derr != nil {
+					return derr
+				}
+				if err := dispatch(gs); err != nil {
+					return err
+				}
+				if gs, derr = ctrl.Decommission(ev.worker); derr != nil {
+					return derr
+				}
+				if err := dispatch(gs); err != nil {
+					return err
+				}
+				drained[ev.worker] = true
+				active--
+				delete(waiting, ev.worker)
+				if err := tr.Send(ev.worker, replyTag(ev.seq), encodeDirective(engine.Directive{Drain: true, Epoch: ctrl.Epoch()})); err != nil && !transport.IsFailure(err) {
+					return err
+				}
+				break
+			}
+			if len(pendingJoins) > 0 && ctrl.IsMember(ev.worker) && !ctrl.IsDraining(ev.worker) && !deadSet[ev.worker] {
+				// Divert this ready into a bootstrap assignment: the sender's
+				// state is stable here, so it donates a snapshot to the joiner
+				// and re-signals the same iteration afterwards.
+				j := pendingJoins[0]
+				pendingJoins = pendingJoins[1:]
+				ok, jerr := admitJoin(j, ev.worker)
+				if jerr != nil {
+					return jerr
+				}
+				if ok {
+					delete(waiting, ev.worker)
+					d := engine.Directive{Bootstrap: true, BootstrapFor: j, BootstrapOp: bootOp, Epoch: ctrl.Epoch()}
+					if err := tr.Send(ev.worker, replyTag(ev.seq), encodeDirective(d)); err != nil {
+						if !transport.IsFailure(err) {
+							return err
+						}
+						// Donor died before serving; its dead connection fails
+						// the joiner's transfer, which then reports join-abort.
+						if err := markDead(ev.worker, 0); err != nil {
+							return err
+						}
+					}
+					break
+				}
+				// Admission reverted (joiner unreachable): the donor's signal
+				// proceeds normally below.
+			}
 			groups, err := ctrl.Ready(controller.Signal{
-				Worker: ev.worker, Iter: ev.iter,
+				Worker: ev.worker, Iter: ev.iter, Epoch: ev.epoch,
 				Now: float64(time.Now().UnixNano()) / 1e9,
 			})
 			if err != nil {
-				// Dead-marked or duplicate sender: release it to proceed solo.
 				delete(waiting, ev.worker)
-				if serr := tr.Send(ev.worker, replyTag(ev.seq), encodeGroup(controller.Group{}, 0, true)); serr != nil && !transport.IsFailure(serr) {
+				if errors.Is(err, controller.ErrStaleEpoch) {
+					// The signal predates a membership change: hand the sender
+					// the current epoch and let it re-signal. Nobody is
+					// condemned for having an out-of-date world view.
+					if serr := tr.Send(ev.worker, replyTag(ev.seq), encodeDirective(engine.Directive{Refresh: true, Epoch: ctrl.Epoch()})); serr != nil && !transport.IsFailure(serr) {
+						return serr
+					}
+					break
+				}
+				// Dead-marked or duplicate sender: release it to proceed solo.
+				if serr := tr.Send(ev.worker, replyTag(ev.seq), encodeDirective(engine.Directive{Skip: true, Epoch: ctrl.Epoch()})); serr != nil && !transport.IsFailure(serr) {
 					return serr
 				}
 				continue
@@ -429,8 +600,19 @@ func runControllerService(cfg Config, tr transport.Transport) error {
 		}
 	}
 
-	// Shutdown: stop each survivor's abort listener, then broadcast the
-	// roster of completed workers for the final gather.
+	// Shutdown: dismiss parked ranks first (never admitted, or drained back
+	// out — they are waiting on the join stream and exit without training),
+	// then stop each survivor's abort listener and broadcast the roster of
+	// completed workers for the final gather.
+	for w := 0; w < cfg.N; w++ {
+		if completed[w] || deadSet[w] || ctrl.IsMember(w) {
+			continue
+		}
+		if err := tr.Send(w, joinTag(joinSeq[w]), []float64{joinDismiss, 0, 0}); err != nil && !transport.IsFailure(err) {
+			return err
+		}
+		joinSeq[w]++
+	}
 	roster := make([]float64, 0, cfg.N)
 	for w := 0; w < cfg.N; w++ {
 		if completed[w] {
@@ -451,16 +633,37 @@ func runControllerService(cfg Config, tr transport.Transport) error {
 	return nil
 }
 
-// encodeGroup flattens a group reply into a float64 payload:
-// [skip, opID, iter, initWeight, P, members..., weights...].
-func encodeGroup(g controller.Group, opID uint32, skip bool) []float64 {
+// Reply modes (payload[0] of a replyTag message).
+const (
+	modeGroup     = 0 // reduce with the encoded group
+	modeSkip      = 1 // proceed solo this iteration
+	modeDrain     = 2 // graceful hand-off complete; exit cleanly
+	modeRefresh   = 3 // stale epoch; adopt the reply's epoch and re-signal
+	modeBootstrap = 4 // serve model state to rank aux under op opID, re-signal
+)
+
+// encodeDirective flattens a controller directive into a float64 payload:
+// [mode, opID, iter, initWeight, epoch, aux, P, members..., weights...].
+// aux carries the joiner rank for modeBootstrap and is zero otherwise.
+func encodeDirective(d engine.Directive) []float64 {
+	g := d.Group
 	p := len(g.Members)
-	out := make([]float64, 0, 5+2*p)
-	s := 0.0
-	if skip {
-		s = 1
+	out := make([]float64, 0, 7+2*p)
+	mode, aux, opID := float64(modeGroup), 0.0, d.OpID
+	switch {
+	case d.Skip:
+		mode = modeSkip
+	case d.Drain:
+		mode = modeDrain
+	case d.Refresh:
+		mode = modeRefresh
+	case d.Bootstrap:
+		mode = modeBootstrap
+		aux = float64(d.BootstrapFor)
+		opID = d.BootstrapOp
 	}
-	out = append(out, s, float64(opID), float64(g.Iter), g.InitWeight, float64(p))
+	out = append(out, mode, float64(opID), float64(g.Iter), g.InitWeight,
+		float64(d.Epoch), aux, float64(p))
 	for _, m := range g.Members {
 		out = append(out, float64(m))
 	}
@@ -468,28 +671,51 @@ func encodeGroup(g controller.Group, opID uint32, skip bool) []float64 {
 	return out
 }
 
-func decodeGroup(payload []float64) (g controller.Group, opID uint32, skip bool, err error) {
-	if len(payload) < 5 {
-		return g, 0, false, fmt.Errorf("live: short group reply")
+func decodeDirective(payload []float64) (engine.Directive, error) {
+	var d engine.Directive
+	if len(payload) < 7 {
+		return d, fmt.Errorf("live: short group reply")
 	}
-	skip = payload[0] == 1
-	opID = uint32(payload[1])
-	g.Iter = int(payload[2])
-	g.InitWeight = payload[3]
-	p := int(payload[4])
-	if len(payload) != 5+2*p {
-		return g, 0, false, fmt.Errorf("live: group reply length %d for P=%d", len(payload), p)
+	mode := int(payload[0])
+	d.Epoch = uint64(payload[4])
+	switch mode {
+	case modeGroup:
+	case modeSkip:
+		d.Skip = true
+	case modeDrain:
+		d.Drain = true
+	case modeRefresh:
+		d.Refresh = true
+	case modeBootstrap:
+		d.Bootstrap = true
+		d.BootstrapFor = int(payload[5])
+		d.BootstrapOp = uint32(payload[1])
+	default:
+		return d, fmt.Errorf("live: unknown reply mode %d", mode)
 	}
-	g.Members = make([]int, p)
-	for i := 0; i < p; i++ {
-		v := payload[5+i]
-		if v != math.Trunc(v) || v < 0 {
-			return g, 0, false, fmt.Errorf("live: bad member id %v", v)
+	if mode != modeGroup {
+		if len(payload) != 7+2*int(payload[6]) {
+			return d, fmt.Errorf("live: group reply length %d for P=%v", len(payload), payload[6])
 		}
-		g.Members[i] = int(v)
+		return d, nil
 	}
-	g.Weights = append([]float64{}, payload[5+p:]...)
-	return g, opID, skip, nil
+	d.OpID = uint32(payload[1])
+	d.Group.Iter = int(payload[2])
+	d.Group.InitWeight = payload[3]
+	p := int(payload[6])
+	if len(payload) != 7+2*p {
+		return d, fmt.Errorf("live: group reply length %d for P=%d", len(payload), p)
+	}
+	d.Group.Members = make([]int, p)
+	for i := 0; i < p; i++ {
+		v := payload[7+i]
+		if v != math.Trunc(v) || v < 0 {
+			return d, fmt.Errorf("live: bad member id %v", v)
+		}
+		d.Group.Members[i] = int(v)
+	}
+	d.Group.Weights = append([]float64{}, payload[7+p:]...)
+	return d, nil
 }
 
 // wireControl implements engine.Control over the transport's control-tag
@@ -503,11 +729,16 @@ type wireControl struct {
 	ctrlRank int
 	id       int
 	seq      int
+	// epoch is the last world-view version the controller answered with,
+	// stamped into every outgoing signal (0 until the first answer:
+	// unversioned signals are always accepted).
+	epoch    uint64
 	replyBuf []float64
 }
 
 func (c *wireControl) Signal(iter int) (engine.Directive, error) {
-	if err := c.tr.Send(c.ctrlRank, readyTag(c.seq), []float64{float64(iter)}); err != nil {
+	sig := []float64{float64(iter), float64(c.epoch)}
+	if err := c.tr.Send(c.ctrlRank, readyTag(c.seq), sig); err != nil {
 		return engine.Directive{}, err
 	}
 	var reply []float64
@@ -537,22 +768,27 @@ func (c *wireControl) Signal(iter int) (engine.Directive, error) {
 			return engine.Directive{}, fmt.Errorf("live: worker %d: controller unreachable after %d signals: %w", c.id, resends, err)
 		}
 		c.seq++
-		if err := c.tr.Send(c.ctrlRank, readyTag(c.seq), []float64{float64(iter)}); err != nil {
+		if err := c.tr.Send(c.ctrlRank, readyTag(c.seq), sig); err != nil {
 			return engine.Directive{}, err
 		}
 	}
 	c.seq++
-	g, opID, skip, err := decodeGroup(reply)
+	d, err := decodeDirective(reply)
 	if err != nil {
 		return engine.Directive{}, err
 	}
-	return engine.Directive{Group: g, OpID: opID, Skip: skip}, nil
+	if d.Epoch != 0 {
+		// Adopt the controller's world view from every answer (refresh
+		// replies exist precisely to deliver this).
+		c.epoch = d.Epoch
+	}
+	return d, nil
 }
 
 func (c *wireControl) SignalNoWait(iter int) {
 	// Crash injection: the signal goes out and the sender dies without
 	// reading the reply, so the send error (if any) is irrelevant.
-	_ = c.tr.Send(c.ctrlRank, readyTag(c.seq), []float64{float64(iter)})
+	_ = c.tr.Send(c.ctrlRank, readyTag(c.seq), []float64{float64(iter), float64(c.epoch)})
 }
 
 func (c *wireControl) ReportDeath(dead int, g controller.Group, opID uint32) error {
@@ -573,6 +809,16 @@ func (c *wireControl) ReportStuck(g controller.Group, opID uint32) error {
 
 func (c *wireControl) Finished() error {
 	return c.tr.Send(c.ctrlRank, readyTag(c.seq), []float64{readyFinished})
+}
+
+// ReportJoinAbort tells the host this rank's bootstrap transfer failed: the
+// host un-joins it (nobody condemned) and the rank goes back to parked.
+func (c *wireControl) ReportJoinAbort() error {
+	if err := c.tr.Send(c.ctrlRank, readyTag(c.seq), []float64{readyJoinAbort}); err != nil {
+		return err
+	}
+	c.seq++
+	return nil
 }
 
 // runWorkerLoop is the per-process worker: it assembles the engine
@@ -622,39 +868,98 @@ func runWorkerLoop(cfg Config, tr transport.Transport, ctrlRank int, host bool) 
 		TraceTrack:   int32(id),
 		TraceIter:    -1,
 	}, cfg.Tracer, cfg.Instruments)
-	w := &engine.LiveWorker{
-		Env:          env,
-		Model:        m,
-		Opt:          opt,
-		Sampler:      sampler,
-		Init:         init,
-		Iters:        cfg.Iters,
-		BatchSize:    cfg.BatchSize,
-		ComputeDelay: cfg.ComputeDelay,
-		CrashAt:      cfg.Crash[id], // zero when this rank never crashes
-	}
-	ctl := &wireControl{cfg: cfg, tr: tr, ctrlRank: ctrlRank, id: id, replyBuf: make([]float64, 5+2*cfg.N)}
-	out, err := engine.RunPReduceWorker(w, ctl)
-	switch {
-	case err != nil:
-		return nil, err
-	case out.DeadErr != nil:
-		return nil, fmt.Errorf("live: worker %d declared dead: %w", id, out.DeadErr)
-	case out.Crashed:
-		// The engine already sent the in-flight ready signal; complete the
-		// fail-stop so peers and the host observe the death.
-		if sf, ok := tr.(transport.SelfFailer); ok {
-			sf.FailSelf()
-		} else {
-			tr.Close()
+	ctl := &wireControl{cfg: cfg, tr: tr, ctrlRank: ctrlRank, id: id, replyBuf: make([]float64, 7+2*cfg.N)}
+
+	// Elastic lifecycle: ranks beyond the founding set park on the join
+	// stream until the host assigns them a donor (bootstrap, then train from
+	// the donor's iteration) or dismisses them at shutdown. A drained rank
+	// parks again — eligible for re-admission, dismissed when the run ends.
+	parked := id >= cfg.initialOr()
+	joinSeq := 0
+	startIter := 0
+	groupsTotal := 0
+	var out engine.Outcome
+	for {
+		if parked {
+			payload, err := tr.Recv(ctrlRank, joinTag(joinSeq))
+			if err != nil {
+				return nil, err
+			}
+			joinSeq++
+			if len(payload) < 3 || payload[0] == joinDismiss {
+				return &Report{
+					Groups:      groupsTotal,
+					WallTime:    time.Since(start),
+					WorkerIters: []int{startIter},
+					Completed:   []bool{false},
+					Comms:       comms,
+				}, nil
+			}
+			donor, op := int(payload[1]), uint32(payload[2])
+			st, berr := collective.BootstrapRecv(tr, donor, op, env.Copts)
+			if berr != nil {
+				if transport.IsFailure(berr) {
+					// Donor died mid-transfer: hand the join back to the host
+					// and wait parked for a new assignment (or dismissal).
+					if rerr := ctl.ReportJoinAbort(); rerr != nil {
+						return nil, rerr
+					}
+					continue
+				}
+				return nil, fmt.Errorf("live: worker %d bootstrap from %d: %w", id, donor, berr)
+			}
+			m.SetParams(tensor.Vector(st.Params))
+			opt = optim.NewSGD(cfg.Optimizer, m.NumParams())
+			if err := opt.Restore(tensor.Vector(st.Velocity), st.Step); err != nil {
+				return nil, fmt.Errorf("live: worker %d bootstrap restore: %w", id, err)
+			}
+			cfg.Tracer.Instant(trace.KBootstrap, int32(id), int32(st.Iter), int64(donor), int64(len(st.Params)))
+			startIter = st.Iter
+			parked = false
 		}
-		return &Report{
-			WallTime:    time.Since(start),
-			WorkerIters: []int{out.Iter},
-			Completed:   []bool{false},
-		}, nil
+
+		w := &engine.LiveWorker{
+			Env:          env,
+			Model:        m,
+			Opt:          opt,
+			Sampler:      sampler,
+			Init:         init,
+			Iters:        cfg.Iters,
+			StartIter:    startIter,
+			BatchSize:    cfg.BatchSize,
+			ComputeDelay: cfg.ComputeDelay,
+			CrashAt:      cfg.Crash[id], // zero when this rank never crashes
+		}
+		var err error
+		out, err = engine.RunPReduceWorker(w, ctl)
+		switch {
+		case err != nil:
+			return nil, err
+		case out.DeadErr != nil:
+			return nil, fmt.Errorf("live: worker %d declared dead: %w", id, out.DeadErr)
+		case out.Crashed:
+			// The engine already sent the in-flight ready signal; complete the
+			// fail-stop so peers and the host observe the death.
+			if sf, ok := tr.(transport.SelfFailer); ok {
+				sf.FailSelf()
+			} else {
+				tr.Close()
+			}
+			return &Report{
+				WallTime:    time.Since(start),
+				WorkerIters: []int{out.Iter},
+				Completed:   []bool{false},
+			}, nil
+		}
+		groupsTotal += out.Groups
+		if out.Drained {
+			startIter = out.Iter
+			parked = true
+			continue
+		}
+		break
 	}
-	iter, groups := out.Iter, out.Groups
+	iter, groups := out.Iter, groupsTotal
 
 	// The host broadcasts the survivor roster; the final average runs over
 	// it (a full-world gather would block on the dead ranks forever).

@@ -134,6 +134,21 @@ const (
 	// KPolicyDecision marks a formation-policy decision that deviated
 	// from the static default (A=decided group size, B=default size).
 	KPolicyDecision
+	// KWorkerJoin marks a rank admitted into the membership
+	// (Track=worker, A=new epoch).
+	KWorkerJoin
+	// KWorkerDrain marks a rank entering graceful drain (Track=worker,
+	// A=new epoch).
+	KWorkerDrain
+	// KWorkerDecommission marks a drained rank leaving the membership
+	// (Track=worker, A=new epoch).
+	KWorkerDecommission
+	// KEpochStale marks a ready signal rejected for carrying a stale
+	// world-view epoch (Track=worker, A=signal epoch, B=current epoch).
+	KEpochStale
+	// KBootstrap marks a joining rank fetching the model from a live
+	// donor (Track=joiner, A=donor rank, B=param count).
+	KBootstrap
 
 	kindCount // internal: table size
 )
@@ -167,9 +182,14 @@ var kindNames = [kindCount]string{
 	KLinkSever:     "link-sever",
 	KLinkHeal:      "link-heal",
 	KLinkDrop:      "link-drop",
-	KPartition:      "partition",
-	KPartitionHeal:  "partition-heal",
-	KPolicyDecision: "policy-decision",
+	KPartition:          "partition",
+	KPartitionHeal:      "partition-heal",
+	KPolicyDecision:     "policy-decision",
+	KWorkerJoin:         "worker-join",
+	KWorkerDrain:        "worker-drain",
+	KWorkerDecommission: "worker-decommission",
+	KEpochStale:         "epoch-stale",
+	KBootstrap:          "bootstrap",
 }
 
 // String returns the exporter name of k ("kind-N" for unknown values).

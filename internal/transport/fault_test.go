@@ -24,8 +24,16 @@ func FuzzFrameCodec(f *testing.F) {
 	// Header advertising a giant count with no body.
 	f.Add(EncodeFrame(7, nil)[:frameHeaderSize-1])
 	hostile := make([]byte, frameHeaderSize)
-	putFrameHeader(hostile, 9, ^uint32(0))
+	putFrameHeader(hostile, 9, ^uint32(0), 0)
 	f.Add(hostile)
+	// Bit-flipped payloads: single-bit corruption in the body and in the
+	// checksum field itself, both of which the payload CRC must reject.
+	flipped := EncodeFrame(3, []float64{1, 2, 3})
+	flipped[frameHeaderSize+5] ^= 0x10
+	f.Add(flipped)
+	crcFlipped := EncodeFrame(3, []float64{4, 5})
+	crcFlipped[13] ^= 0x01
+	f.Add(crcFlipped)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tag, payload, err := DecodeFrame(data, 0)
@@ -72,18 +80,39 @@ func FuzzFrameRoundTrip(f *testing.F) {
 }
 
 func TestDecodeFrameRejectsOversizedCount(t *testing.T) {
-	buf := make([]byte, frameHeaderSize+8)
-	putFrameHeader(buf, 5, 1)
+	buf := EncodeFrame(5, []float64{0})
 	if _, _, err := DecodeFrame(buf, 1); err != nil {
 		t.Fatalf("legal frame rejected: %v", err)
 	}
-	putFrameHeader(buf, 5, 2)
+	putFrameHeader(buf, 5, 2, 0)
 	if _, _, err := DecodeFrame(buf, 1); err == nil {
 		t.Fatal("count above limit accepted")
 	}
-	putFrameHeader(buf, 5, ^uint32(0))
+	putFrameHeader(buf, 5, ^uint32(0), 0)
 	if _, _, err := DecodeFrame(buf, 0); err == nil {
 		t.Fatal("giant count accepted under default limit")
+	}
+}
+
+// TestDecodeFrameRejectsBitFlips flips every bit of a valid frame beyond
+// the tag field — the element count, the checksum, and the payload — and
+// asserts the decoder rejects each corruption. (CRC32 detects all
+// single-bit errors, so this check is exhaustive, not probabilistic. The
+// tag is routing metadata, deliberately outside the payload checksum.)
+func TestDecodeFrameRejectsBitFlips(t *testing.T) {
+	orig := EncodeFrame(42, []float64{1.5, -2.25, 3e9, 0})
+	if _, _, err := DecodeFrame(orig, 0); err != nil {
+		t.Fatalf("pristine frame rejected: %v", err)
+	}
+	buf := make([]byte, len(orig))
+	for byteIdx := 8; byteIdx < len(orig); byteIdx++ {
+		for bit := 0; bit < 8; bit++ {
+			copy(buf, orig)
+			buf[byteIdx] ^= 1 << bit
+			if _, _, err := DecodeFrame(buf, 0); err == nil {
+				t.Fatalf("flip of byte %d bit %d went undetected", byteIdx, bit)
+			}
+		}
 	}
 }
 

@@ -3,16 +3,21 @@ package transport
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"math"
 )
 
-// Wire frame layout (little-endian): 8-byte tag, 4-byte element count, then
-// count float64 payload words. A frame whose tag is hbTag and whose count is
-// zero is a heartbeat; it refreshes peer liveness and is never delivered.
+// Wire frame layout (little-endian): 8-byte tag, 4-byte element count,
+// 4-byte CRC32-Castagnoli of the payload bytes, then count float64 payload
+// words. The count bound protects the reader from hostile allocations; the
+// payload CRC protects the math from silent bit rot — a flipped payload bit
+// would otherwise aggregate a corrupt gradient into every member of a
+// group. A frame whose tag is hbTag and whose count is zero is a heartbeat;
+// it refreshes peer liveness and is never delivered.
 const (
-	frameHeaderSize = 12
+	frameHeaderSize = 16
 	// hbTag marks heartbeat frames. Collective tags are op<<24|phase<<16|step
-	// with a uint32 op, and control-plane tags use the 0xC0/0xC1 prefixes;
+	// with a uint32 op, and control-plane tags use the 0xC0-0xC5 prefixes;
 	// neither can ever equal ^uint64(0).
 	hbTag = ^uint64(0)
 	// DefaultMaxFrameElems bounds the element count a decoder accepts
@@ -22,27 +27,41 @@ const (
 	DefaultMaxFrameElems = 1 << 24
 )
 
-// putFrameHeader writes tag and count into hdr (len >= frameHeaderSize).
-func putFrameHeader(hdr []byte, tag uint64, count uint32) {
+// frameCRCTable is the Castagnoli polynomial — hardware-accelerated on
+// amd64/arm64, and detects all single- and double-bit payload errors.
+var frameCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// putFrameHeader writes tag, count, and payload checksum into hdr
+// (len >= frameHeaderSize).
+func putFrameHeader(hdr []byte, tag uint64, count, crc uint32) {
 	binary.LittleEndian.PutUint64(hdr[0:8], tag)
 	binary.LittleEndian.PutUint32(hdr[8:12], count)
+	binary.LittleEndian.PutUint32(hdr[12:16], crc)
 }
 
-// parseFrameHeader reads tag and count back out of hdr.
-func parseFrameHeader(hdr []byte) (tag uint64, count uint32) {
-	return binary.LittleEndian.Uint64(hdr[0:8]), binary.LittleEndian.Uint32(hdr[8:12])
+// parseFrameHeader reads tag, count, and payload checksum back out of hdr.
+func parseFrameHeader(hdr []byte) (tag uint64, count, crc uint32) {
+	return binary.LittleEndian.Uint64(hdr[0:8]),
+		binary.LittleEndian.Uint32(hdr[8:12]),
+		binary.LittleEndian.Uint32(hdr[12:16])
 }
 
 // EncodeFrameInto appends one encoded frame to dst and returns the extended
-// slice (append semantics: the result may share dst's backing array). Callers
-// on the hot path pass a pooled buffer with sufficient capacity —
+// slice (append semantics: the result may share dst's backing array). The
+// payload CRC is computed over the appended payload bytes and patched into
+// the header afterwards, so the hot path makes no extra pass buffer.
+// Callers on the hot path pass a pooled buffer with sufficient capacity —
 // bufpool.GetBytes(FrameLen(payload))[:0] — so no allocation occurs.
 func EncodeFrameInto(dst []byte, tag uint64, payload []float64) []byte {
+	start := len(dst)
 	dst = binary.LittleEndian.AppendUint64(dst, tag)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, 0) // CRC placeholder
 	for _, v := range payload {
 		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
 	}
+	crc := crc32.Checksum(dst[start+frameHeaderSize:], frameCRCTable)
+	binary.LittleEndian.PutUint32(dst[start+12:start+16], crc)
 	return dst
 }
 
@@ -57,8 +76,8 @@ func EncodeFrame(tag uint64, payload []float64) []byte {
 }
 
 // DecodeFrame parses one frame produced by EncodeFrame, enforcing maxElems
-// (<=0 selects DefaultMaxFrameElems) and exact framing. Exported for the
-// codec fuzz tests.
+// (<=0 selects DefaultMaxFrameElems), exact framing, and the payload
+// checksum. Exported for the codec fuzz tests.
 func DecodeFrame(buf []byte, maxElems int) (tag uint64, payload []float64, err error) {
 	if maxElems <= 0 {
 		maxElems = DefaultMaxFrameElems
@@ -66,13 +85,16 @@ func DecodeFrame(buf []byte, maxElems int) (tag uint64, payload []float64, err e
 	if len(buf) < frameHeaderSize {
 		return 0, nil, fmt.Errorf("transport: short frame (%d bytes)", len(buf))
 	}
-	tag, count := parseFrameHeader(buf)
+	tag, count, crc := parseFrameHeader(buf)
 	if err := checkFrameCount(count, maxElems); err != nil {
 		return 0, nil, err
 	}
 	body := buf[frameHeaderSize:]
 	if len(body) != 8*int(count) {
 		return 0, nil, fmt.Errorf("transport: frame body %d bytes for count %d", len(body), count)
+	}
+	if err := checkFrameCRC(body, crc); err != nil {
+		return 0, nil, err
 	}
 	payload = decodePayload(body, int(count))
 	return tag, payload, nil
@@ -85,6 +107,15 @@ func checkFrameCount(count uint32, maxElems int) error {
 	if int64(count) > int64(maxElems) {
 		return fmt.Errorf("transport: frame count %d exceeds limit %d (corrupt or hostile frame)",
 			count, maxElems)
+	}
+	return nil
+}
+
+// checkFrameCRC verifies the payload checksum carried in the header against
+// the received payload bytes.
+func checkFrameCRC(body []byte, crc uint32) error {
+	if got := crc32.Checksum(body, frameCRCTable); got != crc {
+		return fmt.Errorf("transport: frame payload checksum mismatch (got %#x, header %#x)", got, crc)
 	}
 	return nil
 }

@@ -246,7 +246,7 @@ func (t *TCP) readLoop(peer int, c net.Conn) {
 			t.peerLost(peer)
 			return
 		}
-		tag, count := parseFrameHeader(hdr[:])
+		tag, count, crc := parseFrameHeader(hdr[:])
 		t.lastSeen[peer].Store(time.Now().UnixNano())
 		if tag == hbTag && count == 0 {
 			continue // heartbeat: liveness only, nothing to deliver
@@ -262,6 +262,14 @@ func (t *TCP) readLoop(peer int, c net.Conn) {
 		// into-receive consumes it.
 		buf := bufpool.GetBytes(8 * int(count))
 		if _, err := io.ReadFull(c, buf); err != nil {
+			bufpool.PutBytes(buf)
+			t.peerLost(peer)
+			return
+		}
+		if err := checkFrameCRC(buf, crc); err != nil {
+			// A corrupt payload fails only this peer: once frame boundaries
+			// are suspect, nothing further from this connection is usable,
+			// but the rest of the mesh keeps working.
 			bufpool.PutBytes(buf)
 			t.peerLost(peer)
 			return
@@ -293,20 +301,32 @@ func (t *TCP) peerLost(peer int) {
 	t.box.failPeer(peer)
 }
 
-// heartbeatLoop probes peers and declares the stale ones dead.
+// heartbeatLoop probes peers and declares the stale ones dead. Each sweep
+// reads the clock exactly once and judges every peer's staleness against
+// that single reading *before* any probe is written: a heartbeat write can
+// block up to a full interval on a congested connection, and evaluating
+// staleness against a clock captured before the blocking writes would skew
+// later peers' deadlines by however long earlier writes stalled.
 func (t *TCP) heartbeatLoop() {
 	defer t.hbWG.Done()
 	ticker := time.NewTicker(t.opts.HeartbeatInterval)
 	defer ticker.Stop()
 	hb := make([]byte, frameHeaderSize)
-	putFrameHeader(hb, hbTag, 0)
+	putFrameHeader(hb, hbTag, 0, 0)
+	stale := make([]bool, t.size)
 	for {
 		select {
 		case <-t.stopHB:
 			return
 		case <-ticker.C:
 		}
+		// Phase 1: one clock read, all staleness verdicts.
 		now := time.Now()
+		for p := 0; p < t.size; p++ {
+			stale[p] = p != t.rank &&
+				now.UnixNano()-t.lastSeen[p].Load() > int64(t.opts.HeartbeatTimeout)
+		}
+		// Phase 2: condemn stale peers, probe the rest.
 		for p := 0; p < t.size; p++ {
 			if p == t.rank {
 				continue
@@ -318,13 +338,16 @@ func (t *TCP) heartbeatLoop() {
 			if dead || tc == nil {
 				continue
 			}
+			if stale[p] {
+				t.peerLost(p)
+				continue
+			}
 			tc.mu.Lock()
 			tc.c.SetWriteDeadline(now.Add(t.opts.HeartbeatInterval))
 			_, err := tc.c.Write(hb)
 			tc.c.SetWriteDeadline(time.Time{})
 			tc.mu.Unlock()
-			stale := now.UnixNano()-t.lastSeen[p].Load() > int64(t.opts.HeartbeatTimeout)
-			if err != nil || stale {
+			if err != nil {
 				t.peerLost(p)
 			}
 		}
