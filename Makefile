@@ -7,11 +7,11 @@ GO ?= go
 
 # Packages whose tests exercise real goroutine concurrency and therefore run
 # under the race detector as part of tier-1.
-RACE_PKGS := ./internal/transport/ ./internal/collective/ ./internal/live/ ./internal/controller/ ./internal/policy/ ./internal/core/ ./internal/engine/ ./internal/tensor/ ./internal/bufpool/ .
+RACE_PKGS := ./internal/transport/ ./internal/collective/ ./internal/live/ ./internal/controller/ ./internal/policy/ ./internal/core/ ./internal/engine/ ./internal/tensor/ ./internal/bufpool/ ./internal/analyze/ .
 
-.PHONY: ci vet build test race allocgate chaos trace-smoke chargeguard bench fuzz clean
+.PHONY: ci vet build test race allocgate chaos trace-smoke chargeguard bench benchgate fuzz clean
 
-ci: vet build test race allocgate chaos trace-smoke chargeguard
+ci: vet build test race allocgate chaos trace-smoke chargeguard benchgate-quick
 
 # Charge-drift guard: the simulator's traffic accounting is folded into the
 # engine's SimEnv (GroupRing/WorldRing/Exchanges), so a strategy that calls
@@ -74,7 +74,7 @@ trace-smoke:
 # the trace-overhead gate bounds the traced/untraced regression at <3%.
 BENCHTIME ?= 1s
 bench:
-	$(GO) test ./internal/collective/ ./internal/transport/ ./internal/tensor/ \
+	$(GO) test -p 1 ./internal/collective/ ./internal/transport/ ./internal/tensor/ \
 		-run '^$$' -bench 'BenchmarkAllReduceSum$$|BenchmarkAllReduceSumTraced$$|BenchmarkRingSegmented|BenchmarkEncodeFrame|BenchmarkSendRecvInto|BenchmarkAddScaled' \
 		-benchmem -benchtime $(BENCHTIME) -json > BENCH_dataplane.json
 	@grep -oE '"Output":"(Benchmark[^"]*|[^"]*ns/op[^"]*)"' BENCH_dataplane.json | \
@@ -85,6 +85,18 @@ bench:
 	PREDUCE_POLICYGATE=1 $(GO) test ./internal/policy/ -run TestPolicyDecideGate -count 1 -v
 	@echo "wrote BENCH_dataplane.json"
 
+# Benchmark regression gate: rerun the data-plane sweep and compare against
+# the committed BENCH_dataplane.json baseline. Fails on a throughput
+# regression beyond the tolerance or on ANY allocs/op increase. ci runs the
+# quick variant (100ms benchtime, widened tolerance — chiefly an alloc and
+# gross-slowdown gate); run `make benchgate` for the enforcing 1s/15% pass.
+benchgate:
+	sh scripts/benchgate.sh
+
+.PHONY: benchgate-quick
+benchgate-quick:
+	BENCH_QUICK=1 sh scripts/benchgate.sh
+
 # Short fuzz pass over the wire codec (longer runs: raise FUZZTIME).
 FUZZTIME ?= 15s
 fuzz:
@@ -92,6 +104,7 @@ fuzz:
 	$(GO) test ./internal/transport/ -run '^$$' -fuzz FuzzFrameRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/policy/ -run '^$$' -fuzz FuzzPolicyStateCodec -fuzztime $(FUZZTIME)
 
+# BENCH_dataplane.json is the committed benchgate baseline, so clean
+# leaves it alone; refresh it with `make bench`.
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_dataplane.json

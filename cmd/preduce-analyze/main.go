@@ -1,0 +1,100 @@
+// Command preduce-analyze merges per-rank JSONL traces (or one sim
+// trace) onto an aligned timeline, runs the critical-path / blame
+// analysis, and prints a byte-reproducible report.
+//
+//	preduce-analyze [flags] trace.jsonl [trace.r1.jsonl ...]
+//
+// Flags:
+//
+//	-top N        groups shown in the "top groups" table (default 10)
+//	-csv DIR      also write iters.csv, groups.csv, blame.csv to DIR
+//	-chrome FILE  also export the merged timeline as a Chrome trace
+//	-validate     run the merged-timeline structural checks and fail
+//	              on violation (same checks as preduce-tracecheck)
+//	-slack SEC    clock-error slack for -validate (default 0.005)
+//
+// The report, CSVs and Chrome export are deterministic: identical
+// input bytes produce identical output bytes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"partialreduce/internal/analyze"
+	"partialreduce/internal/trace"
+)
+
+func main() {
+	top := flag.Int("top", 10, "groups shown in the top-groups table")
+	csvDir := flag.String("csv", "", "directory to write iters/groups/blame CSVs (created if missing)")
+	chrome := flag.String("chrome", "", "write the merged timeline as a Chrome trace to this file")
+	validate := flag.Bool("validate", false, "run merged-timeline structural checks and fail on violation")
+	slack := flag.Float64("slack", 0, "clock-error slack in seconds for -validate (default 0.005)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: preduce-analyze [flags] trace.jsonl [trace.r1.jsonl ...]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	m, err := analyze.MergeFiles(flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	if *validate {
+		if _, err := analyze.ValidateMerged(m, *slack); err != nil {
+			fatal(err)
+		}
+	}
+	report, err := analyze.Analyze(m)
+	if err != nil {
+		fatal(err)
+	}
+	if err := analyze.WriteReport(os.Stdout, report, *top); err != nil {
+		fatal(err)
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+		for _, f := range []struct {
+			name  string
+			write func(*os.File) error
+		}{
+			{"iters.csv", func(f *os.File) error { return analyze.WriteIterCSV(f, report) }},
+			{"groups.csv", func(f *os.File) error { return analyze.WriteGroupCSV(f, report) }},
+			{"blame.csv", func(f *os.File) error { return analyze.WriteBlameCSV(f, report) }},
+		} {
+			if err := writeFile(filepath.Join(*csvDir, f.name), f.write); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if *chrome != "" {
+		if err := writeFile(*chrome, func(f *os.File) error {
+			return trace.WriteChrome(f, m.Events)
+		}); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "preduce-analyze:", err)
+	os.Exit(1)
+}

@@ -95,6 +95,10 @@ func main() {
 	pMin := flag.Int("p-min", 0, "adaptive-p lower group-size bound (0: default 2)")
 	pMax := flag.Int("p-max", 0, "adaptive-p upper group-size bound (0: -p)")
 	policyWindow := flag.Int("policy-window", 0, "formations between adaptive-p decisions (0: default 8)")
+	scoreboard := flag.Duration("scoreboard", 0,
+		"rank 0: dump the live straggler scoreboard (per-worker blame/wait, ranked by recent blame) to stderr at this interval, and once on exit (0 disables; implies instruments)")
+	straggle := flag.String("straggle", "",
+		"demo straggler injection 'rank:dur' (e.g. 1:30ms): that rank sleeps dur extra per iteration, so the scoreboard and blame gauges have someone to convict")
 	flag.Parse()
 
 	list := strings.Split(*addrs, ",")
@@ -131,8 +135,12 @@ func main() {
 	var ins *metrics.Instruments
 	if *tracePath != "" {
 		tr2 = trace.New(trace.NewWallClock(), *traceBuf)
+		// Stamp the recording rank into every event, so merged
+		// multi-rank timelines self-identify without the .r<rank>
+		// file-name convention.
+		tr2.SetOrigin(int32(*rank))
 	}
-	if *tracePath != "" || *telemetryAddr != "" {
+	if *tracePath != "" || *telemetryAddr != "" || *scoreboard > 0 {
 		ins = metrics.NewInstruments(n)
 	}
 
@@ -211,6 +219,18 @@ func main() {
 			fail(err)
 		}
 	}
+	if *straggle != "" {
+		sRank, sDelay, err := parseStraggle(*straggle, n)
+		if err != nil {
+			fail(err)
+		}
+		cfg.ComputeDelay = func(worker, iter int) time.Duration {
+			if worker == sRank {
+				return sDelay
+			}
+			return 0
+		}
+	}
 	if *crashAfter > 0 {
 		// Only this process knows it will crash; peers detect the death at
 		// the wire (broken connections / heartbeat loss) exactly as they
@@ -228,10 +248,32 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rank %d: telemetry on http://%s/metrics (pprof under /debug/pprof/)\n", *rank, ep.Addr)
 	}
 
+	// The blame estimator lives in the controller's process (rank 0 in
+	// this deployment), so only the host's scoreboard carries data.
+	if *scoreboard > 0 && *rank == 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			tick := time.NewTicker(*scoreboard)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					_ = telemetry.WriteScoreboard(os.Stderr, ins.Snapshot())
+				}
+			}
+		}()
+	}
+
 	start := time.Now()
 	rep, err := live.RunWorker(cfg, tr, *rank == 0)
 	if err != nil {
 		fail(err)
+	}
+	if *scoreboard > 0 && *rank == 0 {
+		_ = telemetry.WriteScoreboard(os.Stderr, ins.Snapshot())
 	}
 	fmt.Fprintf(os.Stderr, "rank %d: done in %s\n", *rank, time.Since(start).Round(time.Millisecond))
 	if tr2 != nil {
@@ -298,6 +340,30 @@ func writeTrace(path string, tr *trace.Tracer) error {
 		return trace.WriteJSONL(f, tr.Events())
 	}
 	return trace.WriteChrome(f, tr.Events())
+}
+
+// parseStraggle parses "rank:dur" (e.g. "1:30ms") into a straggler
+// injection target.
+func parseStraggle(s string, n int) (int, time.Duration, error) {
+	rankSpec, durSpec, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("straggle %q: want rank:dur (e.g. 1:30ms)", s)
+	}
+	var r int
+	if _, err := fmt.Sscanf(strings.TrimSpace(rankSpec), "%d", &r); err != nil {
+		return 0, 0, fmt.Errorf("straggle rank %q: %v", rankSpec, err)
+	}
+	if r < 0 || r >= n {
+		return 0, 0, fmt.Errorf("straggle rank %d outside [0,%d)", r, n)
+	}
+	d, err := time.ParseDuration(strings.TrimSpace(durSpec))
+	if err != nil {
+		return 0, 0, fmt.Errorf("straggle duration %q: %v", durSpec, err)
+	}
+	if d <= 0 {
+		return 0, 0, fmt.Errorf("straggle duration must be positive")
+	}
+	return r, d, nil
 }
 
 // parsePartition parses "r1,r2,...@from[:until]" into a timed transport

@@ -1,0 +1,139 @@
+// Package analyze is the deterministic trace-analysis engine behind
+// cmd/preduce-analyze: it parses the JSONL event logs the trace package
+// exports, merges per-rank traces from multi-process live runs onto one
+// aligned timeline (estimating each rank's clock offset from matched
+// signal/ready and group-formed event pairs), partitions every worker
+// iteration into phases (compute, communication, retry backoff, group
+// wait, signal wait), reconstructs each P-Reduce group's arrival order,
+// and attributes blocked time to the rank that caused it — the offline
+// counterpart of the live blame instruments in internal/metrics.
+//
+// Everything is deterministic: the same input bytes produce the same
+// Report, and the report writers use fixed ordering and fixed float
+// formatting, so analyzer output is byte-reproducible (the property the
+// golden tests pin).
+package analyze
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"partialreduce/internal/trace"
+)
+
+// RankTrace is one recording process's event stream: Rank identifies the
+// process (-1 when unknown — a simulator trace, or a legacy file with no
+// rank stamps), Events its parsed events in file order.
+type RankTrace struct {
+	Rank   int
+	Path   string
+	Events []trace.Event
+}
+
+// jsonlEvent mirrors one WriteJSONL line. Rank is a pointer so files
+// written before the rank field existed parse as "unstamped".
+type jsonlEvent struct {
+	TS    float64 `json:"ts"`
+	Dur   float64 `json:"dur"`
+	Kind  string  `json:"kind"`
+	Track int32   `json:"track"`
+	Iter  int32   `json:"iter"`
+	Rank  *int32  `json:"rank"`
+	A     int64   `json:"a"`
+	B     int64   `json:"b"`
+}
+
+// ParseJSONL parses a JSONL event log (the WriteJSONL format) back into
+// events. Blank lines are ignored; an unknown kind name or malformed
+// line is an error (the validator depends on strictness here).
+func ParseJSONL(r io.Reader) ([]trace.Event, error) {
+	var events []trace.Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var je jsonlEvent
+		if err := json.Unmarshal([]byte(text), &je); err != nil {
+			return nil, fmt.Errorf("analyze: line %d: %w", line, err)
+		}
+		kind, ok := trace.KindByName(je.Kind)
+		if !ok {
+			return nil, fmt.Errorf("analyze: line %d: unknown event kind %q", line, je.Kind)
+		}
+		if je.Dur < 0 {
+			return nil, fmt.Errorf("analyze: line %d: negative duration %v", line, je.Dur)
+		}
+		origin := trace.NoOrigin
+		if je.Rank != nil {
+			origin = *je.Rank
+		}
+		events = append(events, trace.Event{
+			TS: je.TS, Dur: je.Dur, Kind: kind,
+			Track: je.Track, Iter: je.Iter, Origin: origin,
+			A: je.A, B: je.B,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("analyze: %w", err)
+	}
+	return events, nil
+}
+
+// rankSuffix matches the ".r<rank>" infix cmd/preduce-live inserts before
+// the trace extension — the legacy rank carrier, used only when the
+// events themselves are unstamped.
+var rankSuffix = regexp.MustCompile(`\.r(\d+)\.[^.]+$`)
+
+// RankFromPath extracts the rank from a ".r<rank>.<ext>" file name, or
+// -1 when the name carries none.
+func RankFromPath(path string) int {
+	m := rankSuffix.FindStringSubmatch(filepath.Base(path))
+	if m == nil {
+		return -1
+	}
+	r, err := strconv.Atoi(m[1])
+	if err != nil {
+		return -1
+	}
+	return r
+}
+
+// ReadTraceFile parses one JSONL trace file into a RankTrace. The
+// recording rank is taken from the events' rank stamps when present
+// (satellite of the rank-stamping fix: the file name is only the
+// fallback carrier), else from a ".r<rank>" infix in the file name,
+// else -1 (single-trace mode).
+func ReadTraceFile(path string) (RankTrace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return RankTrace{}, fmt.Errorf("analyze: %w", err)
+	}
+	defer f.Close()
+	events, err := ParseJSONL(f)
+	if err != nil {
+		return RankTrace{}, fmt.Errorf("analyze: %s: %w", path, err)
+	}
+	rank := -1
+	for _, ev := range events {
+		if ev.Origin >= 0 {
+			rank = int(ev.Origin)
+			break
+		}
+	}
+	if rank < 0 {
+		rank = RankFromPath(path)
+	}
+	return RankTrace{Rank: rank, Path: path, Events: events}, nil
+}

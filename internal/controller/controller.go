@@ -10,6 +10,7 @@ package controller
 
 import (
 	"fmt"
+	"math"
 
 	"partialreduce/internal/metrics"
 	"partialreduce/internal/policy"
@@ -551,11 +552,13 @@ func (c *Controller) formGroup(p int, alpha float64) (Group, bool) {
 
 	members := make([]int, p)
 	iters := make([]int, p)
+	nows := make([]float64, p)
 	maxIter := 0
 	for i := 0; i < p; i++ {
 		s := c.queue[i]
 		members[i] = s.Worker
 		iters[i] = s.Iter
+		nows[i] = s.Now
 		if s.Iter > maxIter {
 			maxIter = s.Iter
 		}
@@ -596,6 +599,33 @@ func (c *Controller) formGroup(p int, alpha float64) (Group, bool) {
 		c.ins.CountGroup(bridged)
 		if c.ins != nil {
 			c.ins.SetSyncGauges(c.MaxContactAge(), c.graph.NumComponents())
+		}
+		// Online blame: each member queued at its signal's Now and is
+		// released now (c.lastNow, the clock of the signal that
+		// triggered formation — the group maximum by monotonicity).
+		// The last-arriving member is the group's critical rank and
+		// gets charged the other members' arrival gaps. Signals
+		// without a clock (Now == 0, staleness tracking unused) can't
+		// be placed in time, so such groups are skipped.
+		if c.ins != nil {
+			feed := true
+			critical, critNow := -1, math.Inf(-1)
+			waits := make([]float64, p)
+			for i, now := range nows {
+				if now <= 0 {
+					feed = false
+					break
+				}
+				if w := c.lastNow - now; w > 0 {
+					waits[i] = w
+				}
+				if now >= critNow {
+					critNow, critical = now, members[i]
+				}
+			}
+			if feed {
+				c.ins.AddGroupRelease(members, waits, critical)
+			}
 		}
 	}
 	for _, w := range members {

@@ -201,8 +201,26 @@ type Instruments struct {
 	policyAlpha      float64 // dynamic-weight decay in effect at that decision
 	policyDeviations int64   // decisions that deviated from the static default
 
+	// Online blame estimator, fed by the controller at every group
+	// release (see AddGroupRelease): per-worker cumulative
+	// arrived-but-waiting seconds, cumulative blame (seconds of other
+	// members' time the worker consumed by arriving last), counts of
+	// groups where the worker was the last arrival, and an EWMA of the
+	// worker's per-group blame — the "recent straggler" signal the
+	// scoreboard ranks by.
+	groupWait  []float64
+	blame      []float64
+	criticalN  []int64
+	blameEWMA  []float64
+	groupCount []int64 // groups each worker was a member of
+
 	comms CommStats
 }
+
+// blameEWMADecay is the per-group decay of the recent-blame EWMA: each
+// new group g updates ewma = decay·ewma + (1−decay)·blame(g). ~0.9 keeps
+// roughly the last twenty groups in view.
+const blameEWMADecay = 0.9
 
 // NewInstruments returns instruments for an n-worker run.
 func NewInstruments(n int) *Instruments {
@@ -210,6 +228,11 @@ func NewInstruments(n int) *Instruments {
 		staleness:   NewHistogram(64),
 		queueDepth:  NewSeries(0),
 		barrierWait: make([]float64, n),
+		groupWait:   make([]float64, n),
+		blame:       make([]float64, n),
+		criticalN:   make([]int64, n),
+		blameEWMA:   make([]float64, n),
+		groupCount:  make([]int64, n),
 	}
 }
 
@@ -303,6 +326,60 @@ func (in *Instruments) RecordPolicyDecision(p int, alpha float64, deviated bool)
 	in.mu.Unlock()
 }
 
+// AddGroupRelease folds one group release into the online blame
+// estimator. members are the released workers, waits their
+// arrival-to-release waiting seconds (same order, clamped at 0), and
+// critical the member that arrived last (-1 when unknown — e.g. a
+// single-member solo release). The critical member is charged the sum
+// of the other members' arrival gaps relative to its own arrival:
+// blame_c += Σ_{i≠c} max(0, wait_i − wait_c) — the seconds of other
+// workers' time its lateness consumed. Every member's blame EWMA decays
+// toward its per-group charge, so the scoreboard's "recent" column
+// tracks the current straggler rather than run-cumulative history.
+// Nil-safe; out-of-range workers are ignored.
+func (in *Instruments) AddGroupRelease(members []int, waits []float64, critical int) {
+	if in == nil || len(members) == 0 || len(members) != len(waits) {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	critWait := 0.0
+	if critical >= 0 {
+		for i, w := range members {
+			if w == critical {
+				critWait = waits[i]
+			}
+		}
+	}
+	induced := 0.0
+	if critical >= 0 {
+		for i, w := range members {
+			if w == critical {
+				continue
+			}
+			if d := waits[i] - critWait; d > 0 {
+				induced += d
+			}
+		}
+	}
+	for i, w := range members {
+		if w < 0 || w >= len(in.groupWait) {
+			continue
+		}
+		in.groupCount[w]++
+		if waits[i] > 0 {
+			in.groupWait[w] += waits[i]
+		}
+		charge := 0.0
+		if w == critical {
+			charge = induced
+			in.criticalN[w]++
+			in.blame[w] += induced
+		}
+		in.blameEWMA[w] = blameEWMADecay*in.blameEWMA[w] + (1-blameEWMADecay)*charge
+	}
+}
+
 // AddComms folds a data-plane delta into the running total. Nil-safe.
 func (in *Instruments) AddComms(s CommStats) {
 	if in == nil {
@@ -328,6 +405,11 @@ type InstrumentsSnapshot struct {
 	PolicyP          int64
 	PolicyAlpha      float64
 	PolicyDeviations int64
+	GroupWait        []float64
+	Blame            []float64
+	BlameEWMA        []float64
+	CriticalN        []int64
+	GroupCount       []int64
 	Comms            CommStats
 	QueueDepthNow    float64
 	QueueDepthSample float64
@@ -344,11 +426,26 @@ func (in *Instruments) Snapshot() *InstrumentsSnapshot {
 	ts, vs := in.queueDepth.Points()
 	bw := make([]float64, len(in.barrierWait))
 	copy(bw, in.barrierWait)
+	copyF := func(src []float64) []float64 {
+		out := make([]float64, len(src))
+		copy(out, src)
+		return out
+	}
+	copyI := func(src []int64) []int64 {
+		out := make([]int64, len(src))
+		copy(out, src)
+		return out
+	}
 	snap := &InstrumentsSnapshot{
 		Staleness:      in.staleness.clone(),
 		QueueDepthTS:   ts,
 		QueueDepthV:    vs,
 		BarrierWait:    bw,
+		GroupWait:      copyF(in.groupWait),
+		Blame:          copyF(in.blame),
+		BlameEWMA:      copyF(in.blameEWMA),
+		CriticalN:      copyI(in.criticalN),
+		GroupCount:     copyI(in.groupCount),
 		MaxContactAge:  in.maxContactAge,
 		SyncComponents: in.syncComponents,
 		GroupsFormed:   in.groupsFormed,

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"sync"
 	"testing"
 )
@@ -92,6 +93,7 @@ func TestInstrumentsNilSafe(t *testing.T) {
 	in.CountGroup(true)
 	in.CountDeferral()
 	in.AddComms(CommStats{Ops: 1})
+	in.AddGroupRelease([]int{0, 1}, []float64{0.5, 0}, 1)
 	snap := in.Snapshot()
 	if snap == nil || snap.Staleness == nil || snap.Staleness.Count() != 0 {
 		t.Fatal("nil instruments snapshot not empty")
@@ -140,6 +142,63 @@ func TestInstrumentsSnapshot(t *testing.T) {
 	in.ObserveStaleness(5)
 	if snap.Staleness.Count() != 2 {
 		t.Fatal("snapshot histogram aliases the live one")
+	}
+}
+
+func TestAddGroupRelease(t *testing.T) {
+	in := NewInstruments(4)
+	// Worker 2 arrives last: members 0 and 1 each waited 0.4s and 0.2s
+	// longer than it did, so 2 is charged 0.6s of their time.
+	in.AddGroupRelease([]int{0, 1, 2}, []float64{0.4, 0.2, 0}, 2)
+	snap := in.Snapshot()
+	if math.Abs(snap.Blame[2]-0.6) > 1e-12 {
+		t.Fatalf("critical blame %v, want 0.6", snap.Blame[2])
+	}
+	if snap.Blame[0] != 0 || snap.Blame[1] != 0 {
+		t.Fatalf("non-critical blame %v %v, want 0", snap.Blame[0], snap.Blame[1])
+	}
+	if snap.CriticalN[2] != 1 || snap.CriticalN[0] != 0 {
+		t.Fatalf("critical counts %v", snap.CriticalN)
+	}
+	if snap.GroupWait[0] != 0.4 || snap.GroupWait[1] != 0.2 || snap.GroupWait[2] != 0 {
+		t.Fatalf("group waits %v", snap.GroupWait)
+	}
+	if snap.GroupCount[0] != 1 || snap.GroupCount[3] != 0 {
+		t.Fatalf("group counts %v", snap.GroupCount)
+	}
+	if snap.BlameEWMA[2] <= 0 || snap.BlameEWMA[0] != 0 {
+		t.Fatalf("blame EWMA %v", snap.BlameEWMA)
+	}
+
+	// A second group with a different critical member moves the EWMA:
+	// worker 2's recent blame decays, worker 0's rises.
+	prev := snap.BlameEWMA[2]
+	in.AddGroupRelease([]int{0, 2}, []float64{0, 0.3}, 0)
+	snap = in.Snapshot()
+	if snap.Blame[0] != 0.3 {
+		t.Fatalf("blame[0] = %v, want 0.3", snap.Blame[0])
+	}
+	if snap.BlameEWMA[2] >= prev {
+		t.Fatalf("straggler EWMA did not decay: %v -> %v", prev, snap.BlameEWMA[2])
+	}
+	if snap.BlameEWMA[0] <= 0 {
+		t.Fatalf("new straggler EWMA %v, want > 0", snap.BlameEWMA[0])
+	}
+
+	// Degenerate inputs are ignored or tolerated.
+	in.AddGroupRelease(nil, nil, 0)
+	in.AddGroupRelease([]int{0}, []float64{1, 2}, 0)       // length mismatch
+	in.AddGroupRelease([]int{9}, []float64{1}, 9)          // out of range
+	in.AddGroupRelease([]int{1, 3}, []float64{0.1, 0}, -1) // unknown critical
+	snap2 := in.Snapshot()
+	if snap2.Blame[0] != snap.Blame[0] {
+		t.Fatal("degenerate release changed blame")
+	}
+	if math.Abs(snap2.GroupWait[1]-(0.2+0.1)) > 1e-12 {
+		t.Fatalf("unknown-critical release must still record waits: %v", snap2.GroupWait)
+	}
+	if snap2.CriticalN[1] != 0 && snap2.CriticalN[3] != 0 {
+		t.Fatal("unknown-critical release charged someone")
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strconv"
 
 	"partialreduce/internal/metrics"
@@ -100,6 +101,46 @@ func WriteMetrics(w io.Writer, snap *metrics.InstrumentsSnapshot) error {
 		ew.str("\n")
 	}
 
+	// Online blame estimator (fed by the controller at each group
+	// release): the live counterpart of preduce-analyze's blame ledger.
+	perWorker := func(name, typ, help string, vals []float64) {
+		if len(vals) == 0 {
+			return
+		}
+		ew.str("# HELP ")
+		ew.str(name)
+		ew.str(" ")
+		ew.str(help)
+		ew.str("\n# TYPE ")
+		ew.str(name)
+		ew.str(" ")
+		ew.str(typ)
+		ew.str("\n")
+		for i, v := range vals {
+			ew.str(name)
+			ew.str("{worker=\"")
+			ew.str(strconv.Itoa(i))
+			ew.str("\"} ")
+			ew.f64(v)
+			ew.str("\n")
+		}
+	}
+	toF := func(vals []int64) []float64 {
+		out := make([]float64, len(vals))
+		for i, v := range vals {
+			out[i] = float64(v)
+		}
+		return out
+	}
+	perWorker("preduce_worker_wait_seconds_total", "counter",
+		"Cumulative seconds each worker spent queued waiting for its group to form.", snap.GroupWait)
+	perWorker("preduce_worker_blame_seconds_total", "counter",
+		"Cumulative seconds of other workers' time each worker consumed by arriving last to its groups.", snap.Blame)
+	perWorker("preduce_worker_blame_recent", "gauge",
+		"Exponential moving average of each worker's per-group blame (the straggler scoreboard signal).", snap.BlameEWMA)
+	perWorker("preduce_worker_critical_total", "counter",
+		"Groups in which each worker was the last arrival.", toF(snap.CriticalN))
+
 	gauge("preduce_sync_max_contact_age", "Groups since the most estranged alive worker pair last synchronized (-1: some pair never met).", float64(snap.MaxContactAge))
 	gauge("preduce_sync_components", "Connected components of the windowed sync-graph (1 = healthy).", float64(snap.SyncComponents))
 
@@ -122,6 +163,53 @@ func WriteMetrics(w io.Writer, snap *metrics.InstrumentsSnapshot) error {
 	counter("preduce_comm_reduce_scatter_seconds_total", "Cumulative seconds in the reduce-scatter phase across workers.", cs.ReduceScatterS)
 	counter("preduce_comm_all_gather_seconds_total", "Cumulative seconds in the all-gather phase across workers.", cs.AllGatherS)
 
+	return ew.err
+}
+
+// WriteScoreboard renders the live straggler scoreboard: one line per
+// worker, sorted by recent blame (the EWMA) descending with ties broken
+// by cumulative blame then rank, so the current straggler tops the
+// board. Deterministic for a fixed snapshot.
+func WriteScoreboard(w io.Writer, snap *metrics.InstrumentsSnapshot) error {
+	ew := &errw{w: w}
+	n := len(snap.Blame)
+	ew.str("straggler scoreboard (groups formed: ")
+	ew.i64(snap.GroupsFormed)
+	ew.str(")\n")
+	if n == 0 {
+		ew.str("  (no per-worker blame data)\n")
+		return ew.err
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		i, j := order[a], order[b]
+		if snap.BlameEWMA[i] != snap.BlameEWMA[j] {
+			return snap.BlameEWMA[i] > snap.BlameEWMA[j]
+		}
+		if snap.Blame[i] != snap.Blame[j] {
+			return snap.Blame[i] > snap.Blame[j]
+		}
+		return i < j
+	})
+	ew.str("  rank  recent_s  blame_s  waited_s  critical  groups\n")
+	for _, i := range order {
+		var crit, groups int64
+		if i < len(snap.CriticalN) {
+			crit = snap.CriticalN[i]
+		}
+		if i < len(snap.GroupCount) {
+			groups = snap.GroupCount[i]
+		}
+		var wait float64
+		if i < len(snap.GroupWait) {
+			wait = snap.GroupWait[i]
+		}
+		ew.str(fmt.Sprintf("  %4d  %8.3f  %7.3f  %8.3f  %8d  %6d\n",
+			i, snap.BlameEWMA[i], snap.Blame[i], wait, crit, groups))
+	}
 	return ew.err
 }
 

@@ -25,6 +25,7 @@ func sampleInstruments() *metrics.Instruments {
 	in.CountGroup(false)
 	in.CountGroup(true)
 	in.CountDeferral()
+	in.AddGroupRelease([]int{0, 2}, []float64{0.75, 0}, 2)
 	in.AddComms(metrics.CommStats{
 		Ops: 7, BytesSent: 1000, BytesRecv: 900, Segments: 14,
 		Retries: 1, Timeouts: 2, Aborts: 0,
@@ -68,10 +69,20 @@ func TestWriteMetricsRendersEverything(t *testing.T) {
 		"preduce_comm_aborts_total 0",
 		"preduce_comm_reduce_scatter_seconds_total 0.75",
 		"preduce_comm_all_gather_seconds_total 0.5",
+		`preduce_worker_wait_seconds_total{worker="0"} 0.75`,
+		`preduce_worker_wait_seconds_total{worker="2"} 0`,
+		`preduce_worker_blame_seconds_total{worker="2"} 0.75`,
+		`preduce_worker_blame_seconds_total{worker="1"} 0`,
+		`preduce_worker_critical_total{worker="2"} 1`,
 	} {
 		if !strings.Contains(out, want+"\n") {
 			t.Errorf("missing line %q in:\n%s", want, out)
 		}
+	}
+	// The EWMA is (1−0.9)·0.75 with float rounding; assert the stable
+	// prefix rather than the exact decimal tail.
+	if !strings.Contains(out, `preduce_worker_blame_recent{worker="2"} 0.07`) {
+		t.Error("missing recent-blame gauge for the critical worker")
 	}
 	// No bucket is rendered past the maximum observed value.
 	if strings.Contains(out, `preduce_staleness_bucket{le="4"}`) {
@@ -90,6 +101,43 @@ func TestWriteMetricsDeterministic(t *testing.T) {
 	}
 	if !bytes.Equal(a.Bytes(), b.Bytes()) {
 		t.Fatal("metrics rendering is not deterministic for a fixed snapshot")
+	}
+}
+
+func TestWriteScoreboard(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteScoreboard(&buf, sampleInstruments().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header, column row, then one line per worker with the blamed
+	// worker (2) on top.
+	if len(lines) != 5 {
+		t.Fatalf("scoreboard has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "groups formed: 2") {
+		t.Fatalf("missing group count header: %q", lines[0])
+	}
+	if fields := strings.Fields(lines[2]); len(fields) == 0 || fields[0] != "2" {
+		t.Fatalf("top scoreboard rank = %v, want 2:\n%s", fields, out)
+	}
+	var again bytes.Buffer
+	if err := WriteScoreboard(&again, sampleInstruments().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if out != again.String() {
+		t.Fatal("scoreboard rendering is not deterministic")
+	}
+
+	// Empty snapshot degrades gracefully.
+	buf.Reset()
+	var nilIns *metrics.Instruments
+	if err := WriteScoreboard(&buf, nilIns.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no per-worker blame data") {
+		t.Fatalf("empty scoreboard: %q", buf.String())
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 )
 
@@ -18,43 +19,71 @@ func usec(sec float64) string {
 	return strconv.FormatFloat(sec*1e6, 'f', 3, 64)
 }
 
+// chromePid maps an event's recording process to a Chrome pid: events
+// with a stamped origin rank render as that pid (a merged multi-rank
+// timeline groups per process in Perfetto), unstamped events as pid 0.
+func chromePid(ev Event) int {
+	if ev.Origin >= 0 {
+		return int(ev.Origin)
+	}
+	return 0
+}
+
+// chromeTid maps an event's track to a Chrome tid: controller events on
+// tid 0, worker w on tid w+1, so the controller track sorts on top.
+func chromeTid(ev Event) int {
+	if ev.Track == ControllerTrack {
+		return 0
+	}
+	return int(ev.Track) + 1
+}
+
 // WriteChrome renders events as Chrome trace-event JSON (the
 // chrome://tracing / Perfetto "JSON object format"): spans become "X"
-// complete events, instants "i" events, and thread-name metadata gives
-// one named track per worker plus one for the controller. Controller
-// events render on tid 0, worker w on tid w+1, so the controller track
-// sorts on top.
+// complete events, instants "i" events, and thread-name metadata names
+// every (process, track) pair present — one track per worker plus one
+// for the controller. Events recorded with a stamped origin rank land in
+// that rank's process group (see chromePid), so a merged multi-rank
+// timeline keeps one process lane per rank.
 func WriteChrome(w io.Writer, events []Event) error {
 	bw := &errWriter{w: w}
 	bw.str(`{"traceEvents":[`)
 
-	// Thread-name metadata for every track present.
-	maxTrack := int32(-1)
-	hasCtrl := false
+	// Thread-name metadata for every (pid, tid) pair present, in
+	// deterministic ascending order.
+	type lane struct{ pid, tid int }
+	seen := map[lane]bool{}
+	lanes := []lane(nil)
 	for _, ev := range events {
-		if ev.Track == ControllerTrack {
-			hasCtrl = true
-		} else if ev.Track > maxTrack {
-			maxTrack = ev.Track
+		l := lane{chromePid(ev), chromeTid(ev)}
+		if !seen[l] {
+			seen[l] = true
+			lanes = append(lanes, l)
 		}
 	}
+	sort.Slice(lanes, func(i, j int) bool {
+		if lanes[i].pid != lanes[j].pid {
+			return lanes[i].pid < lanes[j].pid
+		}
+		return lanes[i].tid < lanes[j].tid
+	})
 	first := true
-	meta := func(tid int, name string) {
+	for _, l := range lanes {
 		if !first {
 			bw.str(",")
 		}
 		first = false
-		bw.str(`{"ph":"M","pid":0,"tid":`)
-		bw.str(strconv.Itoa(tid))
+		name := "controller"
+		if l.tid > 0 {
+			name = fmt.Sprintf("worker %d", l.tid-1)
+		}
+		bw.str(`{"ph":"M","pid":`)
+		bw.str(strconv.Itoa(l.pid))
+		bw.str(`,"tid":`)
+		bw.str(strconv.Itoa(l.tid))
 		bw.str(`,"name":"thread_name","args":{"name":"`)
 		bw.str(name)
 		bw.str(`"}}`)
-	}
-	if hasCtrl {
-		meta(0, "controller")
-	}
-	for t := int32(0); t <= maxTrack; t++ {
-		meta(int(t)+1, fmt.Sprintf("worker %d", t))
 	}
 
 	for _, ev := range events {
@@ -62,21 +91,22 @@ func WriteChrome(w io.Writer, events []Event) error {
 			bw.str(",")
 		}
 		first = false
-		tid := int(ev.Track) + 1
-		if ev.Track == ControllerTrack {
-			tid = 0
-		}
+		pid, tid := chromePid(ev), chromeTid(ev)
 		bw.str(`{"name":"`)
 		bw.str(ev.Kind.String())
 		if ev.Dur > 0 || isSpanKind(ev.Kind) {
-			bw.str(`","ph":"X","pid":0,"tid":`)
+			bw.str(`","ph":"X","pid":`)
+			bw.str(strconv.Itoa(pid))
+			bw.str(`,"tid":`)
 			bw.str(strconv.Itoa(tid))
 			bw.str(`,"ts":`)
 			bw.str(usec(ev.TS))
 			bw.str(`,"dur":`)
 			bw.str(usec(ev.Dur))
 		} else {
-			bw.str(`","ph":"i","s":"t","pid":0,"tid":`)
+			bw.str(`","ph":"i","s":"t","pid":`)
+			bw.str(strconv.Itoa(pid))
+			bw.str(`,"tid":`)
 			bw.str(strconv.Itoa(tid))
 			bw.str(`,"ts":`)
 			bw.str(usec(ev.TS))
@@ -105,9 +135,12 @@ func isSpanKind(k Kind) bool {
 }
 
 // WriteJSONL renders one JSON object per line per event:
-// {"ts":…,"dur":…,"kind":"…","track":…,"iter":…,"a":…,"b":…}.
-// Timestamps are clock seconds. The format is fixed-order and
-// deterministic, suitable for jq/awk streaming analysis.
+// {"ts":…,"dur":…,"kind":"…","track":…,"iter":…,"rank":…,"a":…,"b":…}.
+// Timestamps are clock seconds; rank is the recording process's origin
+// rank (-1 when never stamped), so a multi-rank trace self-identifies
+// without relying on the per-rank file name. The format is fixed-order
+// and deterministic, suitable for jq/awk streaming analysis and for the
+// analyzer's ParseJSONL.
 func WriteJSONL(w io.Writer, events []Event) error {
 	bw := &errWriter{w: w}
 	for _, ev := range events {
@@ -121,6 +154,8 @@ func WriteJSONL(w io.Writer, events []Event) error {
 		bw.str(strconv.FormatInt(int64(ev.Track), 10))
 		bw.str(`,"iter":`)
 		bw.str(strconv.FormatInt(int64(ev.Iter), 10))
+		bw.str(`,"rank":`)
+		bw.str(strconv.FormatInt(int64(ev.Origin), 10))
 		bw.str(`,"a":`)
 		bw.str(strconv.FormatInt(ev.A, 10))
 		bw.str(`,"b":`)

@@ -200,9 +200,30 @@ func (k Kind) String() string {
 	return "kind-?"
 }
 
+// kindByName is the exporter-name → Kind reverse of kindNames.
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, kindCount)
+	for k := Kind(0); k < kindCount; k++ {
+		m[kindNames[k]] = k
+	}
+	return m
+}()
+
+// KindByName resolves an exporter name (the JSONL "kind" field) back to
+// its Kind — the parsing half of the trace-analysis pipeline.
+func KindByName(name string) (Kind, bool) {
+	k, ok := kindByName[name]
+	return k, ok
+}
+
 // ControllerTrack is the track id of controller-side events; worker
 // events use the worker's rank (>= 0).
 const ControllerTrack int32 = -1
+
+// NoOrigin is the Origin value of events recorded by a tracer whose
+// recording process was never identified with SetOrigin (the simulator's
+// single shared tracer, unit tests).
+const NoOrigin int32 = -1
 
 // Event is one fixed-size trace record. It contains no pointers, so the
 // ring buffer is a single flat allocation and recording never touches
@@ -213,7 +234,14 @@ type Event struct {
 	Kind  Kind
 	Track int32 // worker rank, or ControllerTrack
 	Iter  int32 // iteration context, -1 when not applicable
-	A, B  int64 // kind-specific arguments
+	// Origin is the rank of the process that recorded the event (the
+	// tracer's SetOrigin value), or NoOrigin. It is what lets a merged
+	// multi-rank timeline tell rank 2's events apart from rank 0's without
+	// relying on the per-rank file name — in particular for events whose
+	// Track is not the recording rank (ControllerTrack instants, link
+	// faults).
+	Origin int32
+	A, B   int64 // kind-specific arguments
 }
 
 // DefaultCapacity is the ring size used when New is given cap <= 0:
@@ -230,6 +258,7 @@ type Tracer struct {
 	next    int
 	wrapped bool
 	dropped uint64
+	origin  int32
 }
 
 // New returns a tracer reading timestamps from clock and retaining the
@@ -238,7 +267,20 @@ func New(clock Clock, cap int) *Tracer {
 	if cap <= 0 {
 		cap = DefaultCapacity
 	}
-	return &Tracer{clock: clock, buf: make([]Event, cap)}
+	return &Tracer{clock: clock, buf: make([]Event, cap), origin: NoOrigin}
+}
+
+// SetOrigin stamps rank into the Origin of every event recorded from now
+// on. A live multi-process runtime sets it to the process's rank so the
+// exported trace self-identifies its recording process; the simulator's
+// single tracer leaves it at NoOrigin. Nil-safe.
+func (t *Tracer) SetOrigin(rank int32) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.origin = rank
+	t.mu.Unlock()
 }
 
 // Now returns the tracer's clock reading, or 0 on a nil tracer. Span
@@ -256,6 +298,7 @@ func (t *Tracer) record(ev Event) {
 	if t.wrapped {
 		t.dropped++
 	}
+	ev.Origin = t.origin
 	t.buf[t.next] = ev
 	t.next++
 	if t.next == len(t.buf) {

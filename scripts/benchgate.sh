@@ -1,0 +1,107 @@
+#!/bin/sh
+# benchgate: compare a fresh data-plane benchmark run against the committed
+# BENCH_dataplane.json baseline and fail on a throughput regression larger
+# than the tolerance or on ANY alloc-count increase (the zero-alloc data
+# plane is a hard invariant; ns/op wobbles with the machine, allocs don't).
+#
+#   make benchgate                 # full run (default -benchtime 1s, 15% tolerance)
+#   BENCH_QUICK=1 make benchgate   # fast ci mode (-benchtime 100ms, 60% tolerance)
+#
+# Short benchtimes are noisy (100ms runs wobble tens of percent on shared
+# machines), so quick mode widens the throughput bound and acts chiefly as
+# an alloc-increase and gross-slowdown smoke gate; the full run enforces
+# the real 15% bound. Override either mode with BENCH_GATE_TOL=<percent>. The baseline
+# refreshes via `make bench` (which rewrites BENCH_dataplane.json) — regenerate
+# it on the machine that enforces the gate, since ns/op is machine-relative.
+set -eu
+cd "$(dirname "$0")/.."
+
+GO=${GO:-go}
+BASELINE=${BENCH_BASELINE:-BENCH_dataplane.json}
+TOL=${BENCH_GATE_TOL:-}
+if [ "${BENCH_QUICK:-0}" = "1" ]; then
+    BT=${BENCHTIME:-100ms}
+    [ -n "$TOL" ] || TOL=60
+else
+    BT=${BENCHTIME:-1s}
+    [ -n "$TOL" ] || TOL=15
+fi
+
+if [ ! -f "$BASELINE" ]; then
+    echo "benchgate: baseline $BASELINE missing (run 'make bench' and commit it)" >&2
+    exit 1
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# -p 1 runs the three test binaries sequentially: concurrent binaries
+# would contend for CPU (inflating ns/op) and interleave their output
+# events in the json stream.
+echo "benchgate: fresh run (-benchtime $BT, tolerance ${TOL}%) ..."
+$GO test -p 1 ./internal/collective/ ./internal/transport/ ./internal/tensor/ \
+    -run '^$' -bench 'BenchmarkAllReduceSum$|BenchmarkAllReduceSumTraced$|BenchmarkRingSegmented|BenchmarkEncodeFrame|BenchmarkSendRecvInto|BenchmarkAddScaled' \
+    -benchmem -benchtime "$BT" -json > "$tmp/fresh.json"
+
+# Pull "name ns_per_op allocs_per_op" triples out of a test2json stream.
+# test2json usually splits a benchmark line across Output events — the name
+# on one event (with a trailing tab), the measurements on the next — but can
+# also deliver both on a single event. Events from different packages can
+# interleave, so the pending name is tracked per package.
+extract() {
+    sed -nE 's/^.*"Package":"([^"]*)".*"Output":"([^"]*)".*$/\1\t\2/p' "$1" \
+    | sed -e 's/\\t/ /g' -e 's/\\n//g' \
+    | awk -F'\t' '
+        $2 ~ /^Benchmark/ {
+            split($2, f, " "); name[$1] = f[1]; sub(/-[0-9]+$/, "", name[$1])
+        }
+        $2 ~ /ns\/op/ {
+            n = split($2, f, " ")
+            ns = ""; allocs = ""
+            for (i = 2; i <= n; i++) {
+                if (f[i] == "ns/op")     ns = f[i-1]
+                if (f[i] == "allocs/op") allocs = f[i-1]
+            }
+            if (name[$1] != "" && ns != "") print name[$1], ns, (allocs == "" ? 0 : allocs)
+            name[$1] = ""
+        }'
+}
+
+extract "$BASELINE" | sort > "$tmp/base"
+extract "$tmp/fresh.json" | sort > "$tmp/new"
+
+if [ ! -s "$tmp/base" ]; then
+    echo "benchgate: no benchmark results parsed from $BASELINE" >&2
+    exit 1
+fi
+
+awk -v tol="$TOL" '
+    NR == FNR { base_ns[$1] = $2; base_al[$1] = $3; seen[$1] = 0; next }
+    {
+        if (!($1 in base_ns)) {
+            printf "benchgate: note %-40s no baseline (new benchmark)\n", $1
+            next
+        }
+        seen[$1] = 1
+        limit = base_ns[$1] * (1 + tol / 100)
+        if ($2 + 0 > limit) {
+            printf "benchgate: FAIL %-40s %s ns/op vs baseline %s (>+%s%%)\n", $1, $2, base_ns[$1], tol
+            bad = 1
+        } else {
+            printf "benchgate: ok   %-40s %s ns/op (baseline %s)\n", $1, $2, base_ns[$1]
+        }
+        if ($3 + 0 > base_al[$1] + 0) {
+            printf "benchgate: FAIL %-40s %s allocs/op vs baseline %s (any increase fails)\n", $1, $3, base_al[$1]
+            bad = 1
+        }
+    }
+    END {
+        for (n in seen) if (!seen[n]) {
+            printf "benchgate: FAIL %-40s present in baseline but missing from the fresh run\n", n
+            bad = 1
+        }
+        exit bad
+    }
+' "$tmp/base" "$tmp/new"
+
+echo "benchgate: ok"

@@ -2,11 +2,14 @@
 # trace-smoke: end-to-end check of the observability stack (make trace-smoke).
 #
 # 1. A seeded simulator run exports a virtual-clock Chrome trace.
-# 2. A seeded three-rank live run exports wall-clock traces while serving
-#    the telemetry endpoint; /metrics is scraped mid-run.
-# 3. preduce-tracecheck validates every exported trace against the Chrome
-#    trace-event schema, and the scraped metrics are grepped for the
-#    instruments the endpoint must expose.
+# 2. A seeded three-rank live run (with an injected straggler and the live
+#    scoreboard enabled) exports per-rank JSONL traces while serving the
+#    telemetry endpoint; /metrics is scraped mid-run.
+# 3. preduce-tracecheck validates the Chrome traces against the trace-event
+#    schema and the JSONL traces as a merged multi-rank timeline (clock
+#    offsets, monotonicity, span integrity).
+# 4. preduce-analyze merges the three rank traces, renders the blame report,
+#    and re-exports a merged Chrome trace that is schema-checked too.
 #
 # Everything is stdlib + curl; the run takes a few seconds.
 set -eu
@@ -21,6 +24,7 @@ echo "trace-smoke: building binaries"
 $GO build -o "$DIR/preduce-bench" ./cmd/preduce-bench
 $GO build -o "$DIR/preduce-live" ./cmd/preduce-live
 $GO build -o "$DIR/preduce-tracecheck" ./cmd/preduce-tracecheck
+$GO build -o "$DIR/preduce-analyze" ./cmd/preduce-analyze
 
 echo "trace-smoke: simulator trace"
 "$DIR/preduce-bench" -trace "$DIR/sim.json" -trace-buf 32768 -quick -seed 1 > "$DIR/sim.out"
@@ -28,12 +32,15 @@ cat "$DIR/sim.out"
 
 echo "trace-smoke: live run with telemetry on 127.0.0.1:$PORT"
 ADDRS="127.0.0.1:$BASE,127.0.0.1:$((BASE+1)),127.0.0.1:$((BASE+2))"
-"$DIR/preduce-live" -rank 1 -addrs "$ADDRS" -iters 8000 -seed 1 -trace "$DIR/live.json" 2> "$DIR/r1.log" &
+"$DIR/preduce-live" -rank 1 -addrs "$ADDRS" -iters 8000 -seed 1 \
+    -trace "$DIR/live.jsonl" -straggle 2:200us 2> "$DIR/r1.log" &
 R1=$!
-"$DIR/preduce-live" -rank 2 -addrs "$ADDRS" -iters 8000 -seed 1 -trace "$DIR/live.json" 2> "$DIR/r2.log" &
+"$DIR/preduce-live" -rank 2 -addrs "$ADDRS" -iters 8000 -seed 1 \
+    -trace "$DIR/live.jsonl" -straggle 2:200us 2> "$DIR/r2.log" &
 R2=$!
 "$DIR/preduce-live" -rank 0 -addrs "$ADDRS" -iters 8000 -seed 1 \
-    -trace "$DIR/live.json" -telemetry-addr "127.0.0.1:$PORT" 2> "$DIR/r0.log" &
+    -trace "$DIR/live.jsonl" -straggle 2:200us -scoreboard 2s \
+    -telemetry-addr "127.0.0.1:$PORT" 2> "$DIR/r0.log" &
 R0=$!
 
 # Scrape /metrics while the run is in flight (retry while the mesh forms).
@@ -58,13 +65,26 @@ cat "$DIR/r0.log"
 echo "trace-smoke: /metrics instruments"
 for metric in preduce_staleness_count preduce_queue_depth \
               preduce_barrier_wait_seconds_total preduce_sync_components \
-              preduce_comm_ops_total; do
+              preduce_comm_ops_total preduce_worker_wait_seconds_total \
+              preduce_worker_blame_seconds_total preduce_worker_blame_recent; do
     grep -q "$metric" "$METRICS" || { echo "trace-smoke: FAILED: $metric missing from /metrics"; exit 1; }
     grep -m1 "^$metric" "$METRICS" || true
 done
 
-echo "trace-smoke: validating traces"
+echo "trace-smoke: scoreboard dump"
+grep -q "straggler scoreboard" "$DIR/r0.log" \
+    || { echo "trace-smoke: FAILED: no scoreboard dump on rank 0 stderr"; exit 1; }
+
+echo "trace-smoke: validating traces (sim Chrome + merged live JSONL)"
 "$DIR/preduce-tracecheck" "$DIR/sim.json" \
-    "$DIR/live.r0.json" "$DIR/live.r1.json" "$DIR/live.r2.json"
+    "$DIR/live.r0.jsonl" "$DIR/live.r1.jsonl" "$DIR/live.r2.jsonl"
+
+echo "trace-smoke: analyzing merged live traces"
+"$DIR/preduce-analyze" -validate -top 3 -chrome "$DIR/merged.json" \
+    "$DIR/live.r0.jsonl" "$DIR/live.r1.jsonl" "$DIR/live.r2.jsonl" > "$DIR/report.txt"
+grep -q "Blame ledger" "$DIR/report.txt" \
+    || { echo "trace-smoke: FAILED: analyzer report missing blame ledger"; cat "$DIR/report.txt"; exit 1; }
+head -20 "$DIR/report.txt"
+"$DIR/preduce-tracecheck" "$DIR/merged.json"
 
 echo "trace-smoke: OK"
