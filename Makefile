@@ -7,11 +7,11 @@ GO ?= go
 
 # Packages whose tests exercise real goroutine concurrency and therefore run
 # under the race detector as part of tier-1.
-RACE_PKGS := ./internal/transport/ ./internal/collective/ ./internal/live/ ./internal/controller/ ./internal/policy/ ./internal/core/ ./internal/engine/ ./internal/tensor/ ./internal/bufpool/ ./internal/analyze/ .
+RACE_PKGS := ./internal/transport/ ./internal/collective/ ./internal/live/ ./internal/controller/ ./internal/policy/ ./internal/core/ ./internal/engine/ ./internal/tensor/ ./internal/bufpool/ ./internal/analyze/ ./internal/health/ .
 
-.PHONY: ci vet build test race allocgate chaos trace-smoke chargeguard bench benchgate fuzz clean
+.PHONY: ci vet build test race allocgate chaos trace-smoke postmortem-smoke chargeguard bench benchgate fuzz clean
 
-ci: vet build test race allocgate chaos trace-smoke chargeguard benchgate-quick
+ci: vet build test race allocgate chaos trace-smoke postmortem-smoke chargeguard benchgate-quick
 
 # Charge-drift guard: the simulator's traffic accounting is folded into the
 # engine's SimEnv (GroupRing/WorldRing/Exchanges), so a strategy that calls
@@ -67,6 +67,14 @@ chaos:
 # trace-event schema check over every exported trace.
 trace-smoke:
 	sh scripts/trace_smoke.sh
+
+# End-to-end health-plane smoke: a seeded three-rank live run with an
+# injected straggler and the watchdog armed; /healthz must flip to 503 with
+# blame-spike firing, exactly one postmortem bundle must land in the
+# recorder directory, and preduce-postmortem must validate and render it
+# (including the blame report recomputed from the bundled trace ring).
+postmortem-smoke:
+	sh scripts/postmortem_smoke.sh
 
 # Data-plane benchmark sweep; machine-readable results land in
 # BENCH_dataplane.json (test2json stream, one JSON object per line). The

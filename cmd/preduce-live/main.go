@@ -17,17 +17,21 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	preduce "partialreduce"
 	"partialreduce/internal/collective"
 	"partialreduce/internal/data"
+	"partialreduce/internal/health"
 	"partialreduce/internal/hetero"
 	"partialreduce/internal/live"
 	"partialreduce/internal/metrics"
@@ -99,6 +103,24 @@ func main() {
 		"rank 0: dump the live straggler scoreboard (per-worker blame/wait, ranked by recent blame) to stderr at this interval, and once on exit (0 disables; implies instruments)")
 	straggle := flag.String("straggle", "",
 		"demo straggler injection 'rank:dur' (e.g. 1:30ms): that rank sleeps dur extra per iteration, so the scoreboard and blame gauges have someone to convict")
+	sloStaleness := flag.Int64("slo-staleness-p95", 0,
+		"watchdog: fire when 95th-percentile staleness reaches this many iterations (0 disables the rule)")
+	sloBlame := flag.Float64("slo-blame-recent", 0,
+		"watchdog: fire when any worker's recent-blame EWMA reaches this many seconds (0 disables)")
+	sloRetryStorm := flag.Int64("slo-retry-storm", 0,
+		"watchdog: fire when collective retries+timeouts grow by at least this many per evaluation (0 disables)")
+	sloSyncComponents := flag.Int64("slo-sync-components", 0,
+		"watchdog: fire when the windowed sync-graph splits into at least this many components (2 = any split; 0 disables)")
+	sloQueueDepth := flag.Int64("slo-queue-depth", 0,
+		"watchdog: fire when the controller's ready-queue depth reaches this many workers (0 disables)")
+	sloEpochChurn := flag.Int64("slo-epoch-churn", 0,
+		"watchdog: fire when the membership epoch advances by at least this many bumps per evaluation (0 disables)")
+	sloSilence := flag.Duration("slo-silence", 0,
+		"watchdog: fire when no group forms for this long while >= 2 workers are active (0 disables)")
+	watchdogEvery := flag.Duration("watchdog-every", time.Second,
+		"watchdog evaluation cadence on the controller host (rank 0)")
+	postmortemDir := flag.String("postmortem-dir", "",
+		"rank 0: write a postmortem bundle (trace ring, controller snapshot, metrics, scoreboard, firing rules, run config) here whenever a watchdog rule fires, and on SIGINT/SIGTERM; inspect with preduce-postmortem")
 	flag.Parse()
 
 	list := strings.Split(*addrs, ",")
@@ -128,20 +150,57 @@ func main() {
 	}
 	train, test := ds.Split(0.8)
 
-	// Observability: a wall-clock tracer when -trace is set, instruments when
-	// either -trace or -telemetry-addr is. Both are nil-safe: a disabled
-	// tracer costs one nil check on the hot path.
-	var tr2 *trace.Tracer
-	var ins *metrics.Instruments
-	if *tracePath != "" {
-		tr2 = trace.New(trace.NewWallClock(), *traceBuf)
-		// Stamp the recording rank into every event, so merged
-		// multi-rank timelines self-identify without the .r<rank>
-		// file-name convention.
-		tr2.SetOrigin(int32(*rank))
+	// Observability is always on: the tracer ring and instruments are the
+	// flight recorder's evidence, so they exist even when no -trace or
+	// -telemetry-addr asks for them. Without -trace the ring stays small
+	// (a bounded black box, last ~8k events) and is only ever read by a
+	// postmortem capture; with -trace it gets the full export capacity.
+	ringCap := *traceBuf
+	if ringCap == 0 && *tracePath == "" {
+		ringCap = 8192
 	}
-	if *tracePath != "" || *telemetryAddr != "" || *scoreboard > 0 {
-		ins = metrics.NewInstruments(n)
+	tr2 := trace.New(trace.NewWallClock(), ringCap)
+	// Stamp the recording rank into every event, so merged multi-rank
+	// timelines self-identify without the .r<rank> file-name convention.
+	tr2.SetOrigin(int32(*rank))
+	ins := metrics.NewInstruments(n)
+
+	// The health plane lives with the controller (rank 0 here): a
+	// watchdog when any -slo-* rule is enabled or a -postmortem-dir asks
+	// for operator-requested captures, and a flight recorder when the
+	// bundle directory is set.
+	slo := health.SLO{
+		StalenessP95:   *sloStaleness,
+		BlameRecent:    *sloBlame,
+		RetryStorm:     *sloRetryStorm,
+		SyncComponents: *sloSyncComponents,
+		QueueDepth:     *sloQueueDepth,
+		EpochChurn:     *sloEpochChurn,
+		Silence:        sloSilence.Seconds(),
+	}
+	var wd *health.Watchdog
+	var rec *health.Recorder
+	if *rank == 0 && (slo != (health.SLO{}) || *postmortemDir != "") {
+		wd = health.New(health.Config{SLO: slo})
+		if *postmortemDir != "" {
+			runCfg, err := json.MarshalIndent(struct {
+				N             int        `json:"n"`
+				P             int        `json:"p"`
+				Iters         int        `json:"iters"`
+				Seed          int64      `json:"seed"`
+				Dynamic       bool       `json:"dynamic"`
+				Policy        string     `json:"policy,omitempty"`
+				Straggle      string     `json:"straggle,omitempty"`
+				Partition     string     `json:"partition,omitempty"`
+				SLO           health.SLO `json:"slo"`
+				WatchdogEvery string     `json:"watchdog_every"`
+			}{n, *p, *iters, *seed, *dynamic, *policyName, *straggle, *partition,
+				slo, watchdogEvery.String()}, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			rec = health.NewRecorder(*postmortemDir, tr2, ins, runCfg)
+		}
 	}
 
 	fmt.Fprintf(os.Stderr, "rank %d: connecting mesh over %d ranks...\n", *rank, n)
@@ -190,6 +249,10 @@ func main() {
 
 		Tracer:      tr2,
 		Instruments: ins,
+
+		Watchdog:      wd,
+		WatchdogEvery: *watchdogEvery,
+		Recorder:      rec,
 	}
 	if *retryMax > 1 {
 		cfg.Retry = collective.RetryPolicy{
@@ -240,12 +303,12 @@ func main() {
 	}
 
 	if *telemetryAddr != "" {
-		ep, err := telemetry.Serve(*telemetryAddr, cfg.Instruments)
+		ep, err := telemetry.Serve(*telemetryAddr, cfg.Instruments, wd)
 		if err != nil {
 			fail(err)
 		}
 		defer ep.Close()
-		fmt.Fprintf(os.Stderr, "rank %d: telemetry on http://%s/metrics (pprof under /debug/pprof/)\n", *rank, ep.Addr)
+		fmt.Fprintf(os.Stderr, "rank %d: telemetry on http://%s/metrics (health on /healthz and /readyz, pprof under /debug/pprof/)\n", *rank, ep.Addr)
 	}
 
 	// The blame estimator lives in the controller's process (rank 0 in
@@ -267,6 +330,44 @@ func main() {
 		}()
 	}
 
+	flushTrace := func() {
+		if *tracePath == "" {
+			return
+		}
+		path := rankPath(*tracePath, *rank)
+		if err := writeTrace(path, tr2); err != nil {
+			fmt.Fprintf(os.Stderr, "rank %d: trace write failed: %v\n", *rank, err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "rank %d: trace (%d events, %d dropped) written to %s\n",
+			*rank, tr2.Len(), tr2.Dropped(), path)
+	}
+
+	// Graceful shutdown: an operator's Ctrl-C (or a scheduler's SIGTERM)
+	// used to kill the process with the black box unread. Now it flushes
+	// an operator-requested postmortem bundle (rank 0 with -postmortem-dir)
+	// and any requested trace before exiting with the conventional
+	// 128+signal status.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		fmt.Fprintf(os.Stderr, "rank %d: %v: flushing flight recorder\n", *rank, sig)
+		if rec != nil {
+			if path, err := rec.Capture("operator-requested", tr2.Now(), nil, wd.State()); err != nil {
+				fmt.Fprintf(os.Stderr, "rank %d: postmortem capture failed: %v\n", *rank, err)
+			} else if path != "" {
+				fmt.Fprintf(os.Stderr, "rank %d: postmortem bundle written to %s\n", *rank, path)
+			}
+		}
+		flushTrace()
+		code := 130 // SIGINT
+		if sig == syscall.SIGTERM {
+			code = 143
+		}
+		os.Exit(code)
+	}()
+
 	start := time.Now()
 	rep, err := live.RunWorker(cfg, tr, *rank == 0)
 	if err != nil {
@@ -276,13 +377,10 @@ func main() {
 		_ = telemetry.WriteScoreboard(os.Stderr, ins.Snapshot())
 	}
 	fmt.Fprintf(os.Stderr, "rank %d: done in %s\n", *rank, time.Since(start).Round(time.Millisecond))
-	if tr2 != nil {
-		path := rankPath(*tracePath, *rank)
-		if err := writeTrace(path, tr2); err != nil {
-			fail(err)
-		}
-		fmt.Fprintf(os.Stderr, "rank %d: trace (%d events, %d dropped) written to %s\n",
-			*rank, tr2.Len(), tr2.Dropped(), path)
+	flushTrace()
+	if rec != nil && len(rec.Written()) > 0 {
+		fmt.Fprintf(os.Stderr, "rank %d: %d postmortem bundle(s) in %s (inspect with preduce-postmortem)\n",
+			*rank, len(rec.Written()), *postmortemDir)
 	}
 	if *commStats {
 		fmt.Fprintf(os.Stderr, "rank %d: comms %s\n", *rank, rep.Comms.String())

@@ -1,0 +1,208 @@
+// Command preduce-postmortem lists, validates, and renders the postmortem
+// bundles the health watchdog's flight recorder captures (see
+// internal/health): canonical tar archives holding the firing rules, the
+// full metrics snapshot, the straggler scoreboard, the trace ring, the
+// run config, and the controller snapshot at capture time.
+//
+//	preduce-postmortem bundle.tar               render one bundle (default)
+//	preduce-postmortem -list dir/               one summary line per bundle
+//	preduce-postmortem -validate dir/           CRC + canonical-form check
+//
+// Arguments may be bundle files or directories; a directory expands to
+// every "postmortem-*.tar" inside it, name-sorted (capture order, since
+// the recorder numbers bundles sequentially). The default rendering ends
+// with the critical-path blame report computed from the bundled trace —
+// the same analysis preduce-analyze runs on exported traces.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"partialreduce/internal/analyze"
+	"partialreduce/internal/health"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print one summary line per bundle instead of rendering")
+	validate := flag.Bool("validate", false, "verify each bundle's CRCs and canonical form; non-zero exit on any failure")
+	top := flag.Int("top", 10, "groups shown in the blame report's top-groups table")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: preduce-postmortem [flags] bundle.tar|dir [...]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	paths, err := expand(flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	if len(paths) == 0 {
+		fatal(fmt.Errorf("no postmortem bundles found"))
+	}
+
+	failed := false
+	for i, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		switch {
+		case *validate:
+			man, err := health.Validate(data)
+			if err != nil {
+				fmt.Printf("FAIL  %s: %v\n", path, err)
+				failed = true
+				continue
+			}
+			fmt.Printf("OK    %s  reason=%s rules=%s\n", path, man.Reason, rulesOrNone(man.Rules))
+		case *list:
+			man, _, err := health.ReadBundle(bytes.NewReader(data))
+			if err != nil {
+				fmt.Printf("FAIL  %s: %v\n", path, err)
+				failed = true
+				continue
+			}
+			fmt.Printf("%s  at=%.3fs reason=%s rules=%s parts=%d\n",
+				path, man.At, man.Reason, rulesOrNone(man.Rules), len(man.Parts))
+		default:
+			if i > 0 {
+				fmt.Println()
+			}
+			if err := render(path, data, *top); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// expand resolves each argument to bundle files: files pass through,
+// directories contribute their postmortem-*.tar entries name-sorted.
+func expand(args []string) ([]string, error) {
+	var out []string
+	for _, arg := range args {
+		info, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			out = append(out, arg)
+			continue
+		}
+		matches, err := filepath.Glob(filepath.Join(arg, "postmortem-*.tar"))
+		if err != nil {
+			return nil, err
+		}
+		sort.Strings(matches)
+		out = append(out, matches...)
+	}
+	return out, nil
+}
+
+// watchdogPart mirrors the bundle's watchdog.json schema.
+type watchdogPart struct {
+	Reason   string `json:"reason"`
+	At       float64
+	Breaches []struct {
+		Rule      string  `json:"rule"`
+		Value     float64 `json:"value"`
+		Threshold float64 `json:"threshold"`
+		At        float64 `json:"at"`
+		Seq       uint64  `json:"seq"`
+	} `json:"breaches"`
+	State health.State `json:"state"`
+}
+
+// render prints one bundle: manifest header, the breaches and rule table
+// from watchdog.json, the scoreboard, the run config, and the blame
+// report recomputed from the bundled trace ring.
+func render(path string, data []byte, top int) error {
+	man, parts, err := health.ReadBundle(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("postmortem bundle %s\n", path)
+	fmt.Printf("  version %d  reason %s  at %.3fs  rules %s\n",
+		man.Version, man.Reason, man.At, rulesOrNone(man.Rules))
+	for _, pi := range man.Parts {
+		fmt.Printf("  part %-15s %7d bytes  crc32 %08x\n", pi.Name, pi.Size, pi.CRC32)
+	}
+
+	var wp watchdogPart
+	if err := json.Unmarshal(parts[health.PartWatchdog], &wp); err != nil {
+		return fmt.Errorf("%s: parse %s: %w", path, health.PartWatchdog, err)
+	}
+	if len(wp.Breaches) > 0 {
+		fmt.Println("\nbreaches:")
+		for _, b := range wp.Breaches {
+			fmt.Printf("  %-18s value %.3f >= threshold %.3f at %.3fs (eval #%d)\n",
+				b.Rule, b.Value, b.Threshold, b.At, b.Seq)
+		}
+	}
+	fmt.Printf("\nwatchdog state (%d evaluations, last at %.3fs):\n", wp.State.Evals, wp.State.LastEvalAt)
+	fmt.Printf("  %-18s %-8s %-7s %10s %10s %6s\n", "rule", "enabled", "firing", "value", "threshold", "fires")
+	for _, rs := range wp.State.Rules {
+		fmt.Printf("  %-18s %-8t %-7t %10.3f %10.3f %6d\n",
+			rs.Rule, rs.Enabled, rs.Firing, rs.Value, rs.Threshold, rs.Fires)
+	}
+
+	fmt.Println("\nstraggler scoreboard:")
+	for _, line := range strings.Split(strings.TrimRight(string(parts[health.PartScoreboard]), "\n"), "\n") {
+		fmt.Println("  " + line)
+	}
+
+	if cfg := strings.TrimSpace(string(parts[health.PartConfig])); cfg != "" && cfg != "{}" {
+		fmt.Println("\nrun config:")
+		for _, line := range strings.Split(cfg, "\n") {
+			fmt.Println("  " + line)
+		}
+	}
+
+	events, err := analyze.ParseJSONL(bytes.NewReader(parts[health.PartTrace]))
+	if err != nil {
+		return fmt.Errorf("%s: parse %s: %w", path, health.PartTrace, err)
+	}
+	if len(events) == 0 {
+		fmt.Println("\n(no trace events in the ring; no blame report)")
+		return nil
+	}
+	rank := -1
+	for _, ev := range events {
+		if ev.Origin >= 0 {
+			rank = int(ev.Origin)
+			break
+		}
+	}
+	m, err := analyze.Merge([]analyze.RankTrace{{Rank: rank, Path: path, Events: events}})
+	if err != nil {
+		return fmt.Errorf("%s: merge trace: %w", path, err)
+	}
+	report, err := analyze.Analyze(m)
+	if err != nil {
+		return fmt.Errorf("%s: analyze trace: %w", path, err)
+	}
+	fmt.Println()
+	return analyze.WriteReport(os.Stdout, report, top)
+}
+
+func rulesOrNone(rules []string) string {
+	if len(rules) == 0 {
+		return "(none)"
+	}
+	return strings.Join(rules, ",")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "preduce-postmortem:", err)
+	os.Exit(1)
+}

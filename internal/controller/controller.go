@@ -271,7 +271,10 @@ func (c *Controller) SetTracer(t *trace.Tracer) { c.tracer = t }
 // are wiring, not snapshotted state. Attaching instruments enables the
 // per-group connectivity gauge computation (O(N²)), so leave them nil
 // in tight parameter sweeps.
-func (c *Controller) SetInstruments(in *metrics.Instruments) { c.ins = in }
+func (c *Controller) SetInstruments(in *metrics.Instruments) {
+	c.ins = in
+	in.SetEpoch(c.epoch)
+}
 
 // SetPolicy attaches a group-formation policy (internal/policy),
 // consulted once per formation attempt for the next group's size,

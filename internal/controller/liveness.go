@@ -28,7 +28,7 @@ func (c *Controller) ReportFailure(worker int) bool {
 	c.stats.Failures++
 	c.PurgeSignal(worker)
 	c.refreshMaxIter()
-	c.epoch++
+	c.bumpEpoch()
 	c.tracer.Instant(trace.KWorkerDead, int32(worker), -1, 0, 0)
 	return true
 }
@@ -95,7 +95,7 @@ func (c *Controller) Rejoin(worker int) error {
 	c.aliveN++
 	c.stats.Rejoins++
 	c.refreshMaxIter()
-	c.epoch++
+	c.bumpEpoch()
 	c.tracer.Instant(trace.KWorkerRejoin, int32(worker), -1, 0, 0)
 	return nil
 }

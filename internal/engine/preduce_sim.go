@@ -3,6 +3,7 @@ package engine
 import (
 	"partialreduce/internal/cluster"
 	"partialreduce/internal/controller"
+	"partialreduce/internal/health"
 	"partialreduce/internal/hetero"
 	"partialreduce/internal/metrics"
 	"partialreduce/internal/policy"
@@ -128,10 +129,15 @@ func RunPReduceSim(env *SimEnv, ctrl *controller.Controller, pol policy.Policy, 
 		}
 		rm := c.Cfg.Retry
 		timeout := rm.TimeoutOr(c.Cfg.Profile.BatchCompute + ring)
+		// Robustness events mirror into the live instruments (when attached)
+		// so the watchdog's retry-storm rule sees the same counters in sim
+		// and live.
 		c.Track.AddComms(metrics.CommStats{Timeouts: 1})
+		c.Ins.AddComms(metrics.CommStats{Timeouts: 1})
 		c.Tracer.InstantAt(trace.KTimeout, trace.ControllerTrack, int32(g.Iter), c.Eng.Now()+timeout, int64(id), int64(k))
 		if k < rm.Attempts() {
 			c.Track.AddComms(metrics.CommStats{Retries: 1})
+			c.Ins.AddComms(metrics.CommStats{Retries: 1})
 			c.Tracer.InstantAt(trace.KRetry, trace.ControllerTrack, int32(g.Iter), c.Eng.Now()+timeout+rm.Backoff(k), int64(id), int64(k+1))
 			c.Eng.After(timeout+rm.Backoff(k), func() { attempt(id, g, k+1) })
 			return
@@ -140,6 +146,7 @@ func RunPReduceSim(env *SimEnv, ctrl *controller.Controller, pol policy.Policy, 
 		// the group is aborted (dead = -1: nobody is condemned) and the
 		// survivors re-signal for the same iteration.
 		c.Track.AddComms(metrics.CommStats{Aborts: 1})
+		c.Ins.AddComms(metrics.CommStats{Aborts: 1})
 		c.Tracer.InstantAt(trace.KAbort, trace.ControllerTrack, int32(g.Iter), c.Eng.Now()+timeout, int64(id), 0)
 		c.Eng.After(timeout, func() {
 			if aborted[id] {
@@ -372,6 +379,44 @@ func RunPReduceSim(env *SimEnv, ctrl *controller.Controller, pol policy.Policy, 
 	}
 
 	c.ScheduleCrashes(onCrash, onRejoin)
+
+	// The watchdog ticks on the virtual clock, evaluated inside the event
+	// loop (the controller's serialization domain), so a same-seed replay
+	// fires the same rules at the same virtual times and captures
+	// byte-identical bundles. The tick reschedules itself only while other
+	// events remain pending — a recurring event must not keep the queue
+	// alive after the run drains.
+	if c.Health != nil {
+		every := c.HealthEvery
+		if every <= 0 {
+			every = 1.0
+		}
+		var tick func()
+		tick = func() {
+			now := c.Eng.Now()
+			breaches := c.Health.Eval(now, health.Sample{
+				Snap:       c.Ins.Snapshot(),
+				QueueDepth: ctrl.QueueDepth(),
+				Active:     c.AliveCount(),
+			})
+			if len(breaches) > 0 && c.Recorder != nil {
+				c.Recorder.SetControllerSnapshot(ctrl.Snapshot())
+				st := c.Health.State()
+				for _, br := range breaches {
+					if _, err := c.Recorder.Capture(br.Rule.String(), now, []health.Breach{br}, st); err != nil {
+						readyErr = err
+						c.Eng.Stop()
+						return
+					}
+				}
+			}
+			if c.Eng.Pending() > 0 {
+				c.Eng.After(every, tick)
+			}
+		}
+		c.Eng.After(every, tick)
+	}
+
 	for _, w := range c.Workers {
 		w := w
 		c.Eng.At(0, func() { startCompute(w) })

@@ -1,0 +1,380 @@
+package health
+
+// Postmortem bundle format: one tar archive of deterministic parts,
+// CRC-guarded by a manifest. The writer is canonical — fixed part
+// order, zeroed tar header metadata (ModTime Unix(0,0), mode 0644,
+// USTAR) and hand-ordered JSON — so a deterministic input (a same-seed
+// simulator replay) produces a byte-identical bundle, and Validate can
+// prove integrity by re-encoding the parsed parts and comparing bytes.
+//
+// Parts, in archive order:
+//
+//	manifest.json   version, reason, firing rules, part index with CRC32s
+//	watchdog.json   the breaches that triggered capture + full rule state
+//	metrics.json    the full instruments snapshot (buckets, per-worker ledgers)
+//	scoreboard.csv  the straggler scoreboard, recent-blame descending
+//	trace.jsonl     the flight-recorder ring, trace.WriteJSONL format
+//	config.json     host-supplied run config (verbatim; "{}" when absent)
+//	controller.bin  the controller snapshot blob (may be empty)
+
+import (
+	"archive/tar"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"partialreduce/internal/metrics"
+	"partialreduce/internal/trace"
+)
+
+// BundleVersion is the manifest schema version this package writes.
+const BundleVersion = 1
+
+// Part names, in canonical archive order (manifest first).
+const (
+	PartManifest   = "manifest.json"
+	PartWatchdog   = "watchdog.json"
+	PartMetrics    = "metrics.json"
+	PartScoreboard = "scoreboard.csv"
+	PartTrace      = "trace.jsonl"
+	PartConfig     = "config.json"
+	PartController = "controller.bin"
+)
+
+// partOrder is the canonical order of the non-manifest parts.
+var partOrder = []string{PartWatchdog, PartMetrics, PartScoreboard, PartTrace, PartConfig, PartController}
+
+// PartInfo is one part's manifest entry.
+type PartInfo struct {
+	Name  string `json:"name"`
+	Size  int64  `json:"size"`
+	CRC32 uint32 `json:"crc32"` // IEEE
+}
+
+// Manifest indexes a bundle: schema version, why and when it was
+// captured, which rules were involved, and the CRC-guarded part list.
+type Manifest struct {
+	Version int        `json:"version"`
+	Reason  string     `json:"reason"`
+	At      float64    `json:"at"`
+	Rules   []string   `json:"rules"`
+	Parts   []PartInfo `json:"parts"`
+}
+
+// watchdogPart is the watchdog.json schema: the breaches that triggered
+// this capture plus the full rule state at capture time.
+type watchdogPart struct {
+	Reason   string        `json:"reason"`
+	At       float64       `json:"at"`
+	Breaches []breachEntry `json:"breaches"`
+	State    State         `json:"state"`
+}
+
+// breachEntry is a Breach with its rule rendered as the stable slug.
+type breachEntry struct {
+	Rule      string  `json:"rule"`
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+	At        float64 `json:"at"`
+	Seq       uint64  `json:"seq"`
+}
+
+// metricsPart is the metrics.json schema: the full instruments snapshot
+// flattened to exported scalars and slices. It deliberately does not
+// reuse telemetry's Prometheus rendering — the bundle is a data
+// artifact, not a scrape.
+type metricsPart struct {
+	StalenessBuckets  []int64           `json:"staleness_buckets"`
+	StalenessOverflow int64             `json:"staleness_overflow"`
+	StalenessCount    int64             `json:"staleness_count"`
+	StalenessSum      int64             `json:"staleness_sum"`
+	StalenessMax      int64             `json:"staleness_max"`
+	StalenessP50      int64             `json:"staleness_p50"`
+	StalenessP95      int64             `json:"staleness_p95"`
+	QueueDepthTS      []float64         `json:"queue_depth_ts"`
+	QueueDepthV       []float64         `json:"queue_depth_v"`
+	BarrierWait       []float64         `json:"barrier_wait"`
+	GroupWait         []float64         `json:"group_wait"`
+	Blame             []float64         `json:"blame"`
+	BlameEWMA         []float64         `json:"blame_ewma"`
+	CriticalN         []int64           `json:"critical_n"`
+	GroupCount        []int64           `json:"group_count"`
+	MaxContactAge     int64             `json:"max_contact_age"`
+	SyncComponents    int64             `json:"sync_components"`
+	GroupsFormed      int64             `json:"groups_formed"`
+	Interventions     int64             `json:"interventions"`
+	Deferrals         int64             `json:"deferrals"`
+	Epoch             int64             `json:"epoch"`
+	PolicyP           int64             `json:"policy_p"`
+	PolicyAlpha       float64           `json:"policy_alpha"`
+	PolicyDeviations  int64             `json:"policy_deviations"`
+	Comms             metrics.CommStats `json:"comms"`
+}
+
+// Bundle is the in-memory form of one postmortem capture, ready to be
+// serialized by WriteBundle.
+type Bundle struct {
+	Reason     string
+	At         float64
+	Breaches   []Breach
+	State      State
+	Snap       *metrics.InstrumentsSnapshot
+	Events     []trace.Event
+	Config     []byte // run config JSON, verbatim; nil renders as "{}"
+	Controller []byte // controller snapshot blob; may be nil
+}
+
+// renderScoreboard renders the straggler scoreboard CSV: one row per
+// worker sorted by recent blame descending (cumulative blame, then rank,
+// break ties), with fixed 6-decimal floats for byte determinism.
+func renderScoreboard(snap *metrics.InstrumentsSnapshot) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("rank,recent_s,blame_s,waited_s,critical,groups\n")
+	n := len(snap.Blame)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		i, j := order[a], order[b]
+		if snap.BlameEWMA[i] != snap.BlameEWMA[j] {
+			return snap.BlameEWMA[i] > snap.BlameEWMA[j]
+		}
+		if snap.Blame[i] != snap.Blame[j] {
+			return snap.Blame[i] > snap.Blame[j]
+		}
+		return i < j
+	})
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }
+	for _, i := range order {
+		var wait float64
+		var crit, groups int64
+		if i < len(snap.GroupWait) {
+			wait = snap.GroupWait[i]
+		}
+		if i < len(snap.CriticalN) {
+			crit = snap.CriticalN[i]
+		}
+		if i < len(snap.GroupCount) {
+			groups = snap.GroupCount[i]
+		}
+		fmt.Fprintf(&buf, "%d,%s,%s,%s,%d,%d\n", i, f(snap.BlameEWMA[i]), f(snap.Blame[i]), f(wait), crit, groups)
+	}
+	return buf.Bytes()
+}
+
+// renderMetrics renders metrics.json from the snapshot.
+func renderMetrics(snap *metrics.InstrumentsSnapshot) ([]byte, error) {
+	counts, overflow := snap.Staleness.Buckets()
+	mp := metricsPart{
+		StalenessBuckets:  counts,
+		StalenessOverflow: overflow,
+		StalenessCount:    snap.Staleness.Count(),
+		StalenessSum:      snap.Staleness.Sum(),
+		StalenessMax:      snap.Staleness.Max(),
+		StalenessP50:      snap.Staleness.Quantile(0.5),
+		StalenessP95:      snap.Staleness.Quantile(0.95),
+		QueueDepthTS:      snap.QueueDepthTS,
+		QueueDepthV:       snap.QueueDepthV,
+		BarrierWait:       snap.BarrierWait,
+		GroupWait:         snap.GroupWait,
+		Blame:             snap.Blame,
+		BlameEWMA:         snap.BlameEWMA,
+		CriticalN:         snap.CriticalN,
+		GroupCount:        snap.GroupCount,
+		MaxContactAge:     snap.MaxContactAge,
+		SyncComponents:    snap.SyncComponents,
+		GroupsFormed:      snap.GroupsFormed,
+		Interventions:     snap.Interventions,
+		Deferrals:         snap.Deferrals,
+		Epoch:             snap.Epoch,
+		PolicyP:           snap.PolicyP,
+		PolicyAlpha:       snap.PolicyAlpha,
+		PolicyDeviations:  snap.PolicyDeviations,
+		Comms:             snap.Comms,
+	}
+	return json.Marshal(mp)
+}
+
+// parts renders every non-manifest part in canonical order.
+func (b *Bundle) parts() (names []string, blobs [][]byte, err error) {
+	snap := b.Snap
+	if snap == nil {
+		snap = (*metrics.Instruments)(nil).Snapshot()
+	}
+	entries := make([]breachEntry, 0, len(b.Breaches))
+	for _, br := range b.Breaches {
+		entries = append(entries, breachEntry{
+			Rule: br.Rule.String(), Value: br.Value, Threshold: br.Threshold, At: br.At, Seq: br.Seq,
+		})
+	}
+	wd, err := json.Marshal(watchdogPart{Reason: b.Reason, At: b.At, Breaches: entries, State: b.State})
+	if err != nil {
+		return nil, nil, err
+	}
+	mp, err := renderMetrics(snap)
+	if err != nil {
+		return nil, nil, err
+	}
+	var tb bytes.Buffer
+	if err := trace.WriteJSONL(&tb, b.Events); err != nil {
+		return nil, nil, err
+	}
+	cfg := b.Config
+	if len(cfg) == 0 {
+		cfg = []byte("{}")
+	}
+	ctl := b.Controller
+	if ctl == nil {
+		ctl = []byte{}
+	}
+	return partOrder, [][]byte{wd, mp, renderScoreboard(snap), tb.Bytes(), cfg, ctl}, nil
+}
+
+// writeTar writes the canonical tar: manifest first, then parts in the
+// manifest's order, every header zeroed to the epoch.
+func writeTar(w io.Writer, man *Manifest, names []string, blobs [][]byte) error {
+	manJSON, err := json.Marshal(man)
+	if err != nil {
+		return err
+	}
+	tw := tar.NewWriter(w)
+	put := func(name string, data []byte) error {
+		hdr := &tar.Header{
+			Name:    name,
+			Mode:    0644,
+			Size:    int64(len(data)),
+			ModTime: time.Unix(0, 0),
+			Format:  tar.FormatUSTAR,
+		}
+		if err := tw.WriteHeader(hdr); err != nil {
+			return err
+		}
+		_, err := tw.Write(data)
+		return err
+	}
+	if err := put(PartManifest, manJSON); err != nil {
+		return err
+	}
+	for i, name := range names {
+		if err := put(name, blobs[i]); err != nil {
+			return err
+		}
+	}
+	return tw.Close()
+}
+
+// WriteBundle serializes b as a canonical postmortem tar.
+func WriteBundle(w io.Writer, b *Bundle) error {
+	names, blobs, err := b.parts()
+	if err != nil {
+		return fmt.Errorf("health: render bundle: %w", err)
+	}
+	man := &Manifest{Version: BundleVersion, Reason: b.Reason, At: b.At}
+	for _, br := range b.Breaches {
+		man.Rules = append(man.Rules, br.Rule.String())
+	}
+	for i, name := range names {
+		man.Parts = append(man.Parts, PartInfo{
+			Name: name, Size: int64(len(blobs[i])), CRC32: crc32.ChecksumIEEE(blobs[i]),
+		})
+	}
+	if err := writeTar(w, man, names, blobs); err != nil {
+		return fmt.Errorf("health: write bundle: %w", err)
+	}
+	return nil
+}
+
+// ReadBundle parses a bundle tar: the manifest plus every part's raw
+// bytes. It verifies structure only (manifest present and first);
+// Validate performs the CRC and canonical-form checks.
+func ReadBundle(r io.Reader) (*Manifest, map[string][]byte, error) {
+	tr := tar.NewReader(r)
+	parts := map[string][]byte{}
+	var man *Manifest
+	first := true
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("health: read bundle: %w", err)
+		}
+		data, err := io.ReadAll(tr)
+		if err != nil {
+			return nil, nil, fmt.Errorf("health: read bundle part %s: %w", hdr.Name, err)
+		}
+		if first {
+			if hdr.Name != PartManifest {
+				return nil, nil, fmt.Errorf("health: bundle does not start with %s (got %s)", PartManifest, hdr.Name)
+			}
+			man = &Manifest{}
+			if err := json.Unmarshal(data, man); err != nil {
+				return nil, nil, fmt.Errorf("health: parse manifest: %w", err)
+			}
+			first = false
+		}
+		if _, dup := parts[hdr.Name]; dup {
+			return nil, nil, fmt.Errorf("health: duplicate bundle part %s", hdr.Name)
+		}
+		parts[hdr.Name] = data
+	}
+	if man == nil {
+		return nil, nil, fmt.Errorf("health: empty bundle")
+	}
+	return man, parts, nil
+}
+
+// Validate fully checks a bundle: schema version, the exact canonical
+// part set, per-part size and CRC32 against the manifest, a parseable
+// trace part, and — the round-trip check — that re-encoding the parsed
+// parts through the canonical writer reproduces data byte for byte.
+func Validate(data []byte) (*Manifest, error) {
+	man, parts, err := ReadBundle(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	if man.Version != BundleVersion {
+		return nil, fmt.Errorf("health: bundle version %d, want %d", man.Version, BundleVersion)
+	}
+	if len(man.Parts) != len(partOrder) {
+		return nil, fmt.Errorf("health: manifest lists %d parts, want %d", len(man.Parts), len(partOrder))
+	}
+	for i, want := range partOrder {
+		pi := man.Parts[i]
+		if pi.Name != want {
+			return nil, fmt.Errorf("health: manifest part %d is %s, want %s", i, pi.Name, want)
+		}
+		blob, ok := parts[pi.Name]
+		if !ok {
+			return nil, fmt.Errorf("health: bundle missing part %s", pi.Name)
+		}
+		if int64(len(blob)) != pi.Size {
+			return nil, fmt.Errorf("health: part %s is %d bytes, manifest says %d", pi.Name, len(blob), pi.Size)
+		}
+		if crc := crc32.ChecksumIEEE(blob); crc != pi.CRC32 {
+			return nil, fmt.Errorf("health: part %s CRC32 %08x, manifest says %08x", pi.Name, crc, pi.CRC32)
+		}
+	}
+	if len(parts) != len(partOrder)+1 {
+		return nil, fmt.Errorf("health: bundle holds %d parts, want %d", len(parts), len(partOrder)+1)
+	}
+	blobs := make([][]byte, len(partOrder))
+	for i, name := range partOrder {
+		blobs[i] = parts[name]
+	}
+	var re bytes.Buffer
+	if err := writeTar(&re, man, partOrder, blobs); err != nil {
+		return nil, fmt.Errorf("health: re-encode bundle: %w", err)
+	}
+	if !bytes.Equal(re.Bytes(), data) {
+		return nil, fmt.Errorf("health: bundle is not in canonical form (re-encode differs)")
+	}
+	return man, nil
+}

@@ -1,0 +1,307 @@
+package health
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"partialreduce/internal/metrics"
+	"partialreduce/internal/trace"
+)
+
+// snapWithBlame returns a snapshot whose worker 1 carries a recent-blame
+// EWMA of about ewma seconds.
+func snapWithBlame(ewma float64) *metrics.InstrumentsSnapshot {
+	ins := metrics.NewInstruments(4)
+	// One release where worker 1 arrived last charges it (1-decay)·induced
+	// into the EWMA; release repeatedly until the EWMA crosses ewma.
+	for i := 0; i < 200; i++ {
+		ins.AddGroupRelease([]int{0, 1, 2}, []float64{10 * ewma, 0, 10 * ewma}, 1)
+		if s := ins.Snapshot(); s.BlameEWMA[1] >= ewma {
+			break
+		}
+	}
+	return ins.Snapshot()
+}
+
+func TestWatchdogHysteresisFireAndClear(t *testing.T) {
+	wd := New(Config{SLO: SLO{BlameRecent: 0.5}, FireCount: 2, ClearCount: 3})
+	hot := Sample{Snap: snapWithBlame(1.0)}
+	cold := Sample{Snap: snapWithBlame(0.0)}
+
+	if br := wd.Eval(1, hot); len(br) != 0 {
+		t.Fatalf("fired after 1 breaching eval (FireCount=2): %+v", br)
+	}
+	br := wd.Eval(2, hot)
+	if len(br) != 1 || br[0].Rule != RBlameSpike {
+		t.Fatalf("want blame-spike breach at eval 2, got %+v", br)
+	}
+	if br[0].At != 2 || br[0].Threshold != 0.5 || br[0].Value < 0.5 {
+		t.Fatalf("breach fields wrong: %+v", br[0])
+	}
+	// Still breaching: no re-fire while the rule holds.
+	for i := 0; i < 5; i++ {
+		if br := wd.Eval(float64(3+i), hot); len(br) != 0 {
+			t.Fatalf("re-fired while already firing: %+v", br)
+		}
+	}
+	st := wd.State()
+	if !st.Ready() || st.Healthy() {
+		t.Fatalf("state should be ready and unhealthy: %+v", st)
+	}
+	if len(st.Firing) != 1 || st.Firing[0] != "blame-spike" {
+		t.Fatalf("firing list wrong: %v", st.Firing)
+	}
+
+	// Two clean evals (< ClearCount=3) do not re-arm...
+	wd.Eval(10, cold)
+	wd.Eval(11, cold)
+	if wd.State().Healthy() {
+		t.Fatal("cleared before ClearCount consecutive clean evals")
+	}
+	// ...a breaching eval resets the clear streak...
+	wd.Eval(12, hot)
+	wd.Eval(13, cold)
+	wd.Eval(14, cold)
+	if wd.State().Healthy() {
+		t.Fatal("clear streak should have reset on the breaching eval")
+	}
+	// ...and three consecutive clean evals finally re-arm.
+	wd.Eval(15, cold)
+	if !wd.State().Healthy() {
+		t.Fatal("rule did not clear after ClearCount clean evals")
+	}
+	// Re-armed: a fresh anomaly fires again (a second bundle for a
+	// genuinely new episode).
+	wd.Eval(20, hot)
+	br = wd.Eval(21, hot)
+	if len(br) != 1 {
+		t.Fatalf("re-armed rule did not fire on a new episode: %+v", br)
+	}
+	if got := wd.State().Rules[int(RBlameSpike)].Fires; got != 2 {
+		t.Fatalf("fires counter = %d, want 2", got)
+	}
+}
+
+func TestWatchdogDeltaRulesPrimeOnFirstEval(t *testing.T) {
+	wd := New(Config{SLO: SLO{RetryStorm: 5, EpochChurn: 2}, FireCount: 1, ClearCount: 1})
+	ins := metrics.NewInstruments(2)
+	ins.AddComms(metrics.CommStats{Retries: 100, Timeouts: 100})
+	ins.SetEpoch(50)
+	// First eval seeds baselines: the pre-existing backlog must not fire.
+	if br := wd.Eval(1, Sample{Snap: ins.Snapshot()}); len(br) != 0 {
+		t.Fatalf("delta rules fired on priming eval: %+v", br)
+	}
+	// No change: still quiet.
+	if br := wd.Eval(2, Sample{Snap: ins.Snapshot()}); len(br) != 0 {
+		t.Fatalf("delta rules fired with zero delta: %+v", br)
+	}
+	// A storm between evals fires both.
+	ins.AddComms(metrics.CommStats{Retries: 4, Timeouts: 3})
+	ins.SetEpoch(53)
+	br := wd.Eval(3, Sample{Snap: ins.Snapshot()})
+	if len(br) != 2 || br[0].Rule != RRetryStorm || br[1].Rule != REpochChurn {
+		t.Fatalf("want retry-storm + epoch-churn, got %+v", br)
+	}
+	if br[0].Value != 7 || br[1].Value != 3 {
+		t.Fatalf("delta values wrong: %+v", br)
+	}
+}
+
+func TestWatchdogSilenceGatedOnActive(t *testing.T) {
+	wd := New(Config{SLO: SLO{Silence: 5}, FireCount: 1, ClearCount: 1})
+	ins := metrics.NewInstruments(2)
+	snap := func() Sample { return Sample{Snap: ins.Snapshot(), Active: 2} }
+	wd.Eval(0, snap()) // primes progressAt=0
+	// Progress resets the silence clock.
+	ins.CountGroup(false)
+	if br := wd.Eval(6, snap()); len(br) != 0 {
+		t.Fatalf("silence fired despite fresh progress: %+v", br)
+	}
+	// 6 quiet seconds with 2 active workers: fires.
+	if br := wd.Eval(12, snap()); len(br) != 1 || br[0].Rule != RHeartbeatSilence {
+		t.Fatalf("want heartbeat-silence, got %+v", br)
+	}
+	// Same silence with the run winding down (Active < 2): gated.
+	wd2 := New(Config{SLO: SLO{Silence: 5}, FireCount: 1, ClearCount: 1})
+	wd2.Eval(0, Sample{Snap: ins.Snapshot(), Active: 1})
+	if br := wd2.Eval(12, Sample{Snap: ins.Snapshot(), Active: 1}); len(br) != 0 {
+		t.Fatalf("silence fired during wind-down: %+v", br)
+	}
+}
+
+func TestWatchdogQueueAndPartitionRules(t *testing.T) {
+	wd := New(Config{SLO: SLO{QueueDepth: 4, SyncComponents: 2, StalenessP95: 3}, FireCount: 1, ClearCount: 1})
+	ins := metrics.NewInstruments(4)
+	ins.SetSyncGauges(1, 3)
+	for i := 0; i < 18; i++ {
+		ins.ObserveStaleness(0)
+	}
+	ins.ObserveStaleness(8) // two 8s out of 20: the p95 rank (19) lands on 8
+	ins.ObserveStaleness(8)
+	br := wd.Eval(1, Sample{Snap: ins.Snapshot(), QueueDepth: 5})
+	rules := make([]string, len(br))
+	for i, b := range br {
+		rules[i] = b.Rule.String()
+	}
+	got := strings.Join(rules, ",")
+	if got != "staleness-p95,sync-partition,queue-stall" {
+		t.Fatalf("rules = %s", got)
+	}
+}
+
+func TestNilWatchdogAndRecorder(t *testing.T) {
+	var wd *Watchdog
+	if br := wd.Eval(1, Sample{}); br != nil {
+		t.Fatal("nil watchdog evaluated")
+	}
+	if st := wd.State(); st.Ready() || !st.Healthy() {
+		t.Fatalf("nil watchdog state: %+v", st)
+	}
+	var rec *Recorder
+	if p, err := rec.Capture("x", 0, nil, State{}); p != "" || err != nil {
+		t.Fatal("nil recorder captured")
+	}
+	rec.SetControllerSnapshot(nil)
+	if rec.Written() != nil || rec.Dropped() != 0 {
+		t.Fatal("nil recorder has state")
+	}
+}
+
+// buildBundle assembles a representative in-memory bundle.
+func buildBundle() *Bundle {
+	ins := metrics.NewInstruments(3)
+	ins.ObserveStaleness(1)
+	ins.ObserveStaleness(2)
+	ins.RecordQueueDepth(0.5, 2)
+	ins.AddGroupRelease([]int{0, 1, 2}, []float64{0.4, 0, 0.2}, 1)
+	ins.AddComms(metrics.CommStats{Ops: 3, Retries: 1, Timeouts: 2})
+	ins.SetEpoch(4)
+	now := 0.0
+	tr := trace.New(trace.FuncClock(func() float64 { return now }), 16)
+	tr.SetOrigin(0)
+	now = 1.5
+	tr.Instant(trace.KReady, 1, 7, 3, 0)
+	tr.SpanAt(trace.KCompute, 0, 7, 1.0, 0.25, 0, 0)
+	wd := New(Config{SLO: SLO{BlameRecent: 0.01}, FireCount: 1, ClearCount: 1})
+	br := wd.Eval(2.0, Sample{Snap: ins.Snapshot(), QueueDepth: 1, Active: 3})
+	return &Bundle{
+		Reason:     "blame-spike",
+		At:         2.0,
+		Breaches:   br,
+		State:      wd.State(),
+		Snap:       ins.Snapshot(),
+		Events:     tr.Events(),
+		Config:     []byte(`{"n":3,"p":2}`),
+		Controller: []byte{0xde, 0xad, 0xbe, 0xef},
+	}
+}
+
+func TestBundleWriteValidateDeterministic(t *testing.T) {
+	b := buildBundle()
+	var one, two bytes.Buffer
+	if err := WriteBundle(&one, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBundle(&two, b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one.Bytes(), two.Bytes()) {
+		t.Fatal("bundle serialization is not deterministic")
+	}
+	man, err := Validate(one.Bytes())
+	if err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if man.Version != BundleVersion || man.Reason != "blame-spike" || man.At != 2.0 {
+		t.Fatalf("manifest: %+v", man)
+	}
+	if len(man.Rules) != 1 || man.Rules[0] != "blame-spike" {
+		t.Fatalf("manifest rules: %v", man.Rules)
+	}
+	if len(man.Parts) != 6 {
+		t.Fatalf("manifest parts: %+v", man.Parts)
+	}
+
+	// Parts carry the expected payloads.
+	_, parts, err := ReadBundle(bytes.NewReader(one.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(parts[PartController], []byte{0xde, 0xad, 0xbe, 0xef}) {
+		t.Fatal("controller blob mangled")
+	}
+	if !strings.HasPrefix(string(parts[PartScoreboard]), "rank,recent_s,blame_s,waited_s,critical,groups\n1,") {
+		t.Fatalf("scoreboard should rank worker 1 first:\n%s", parts[PartScoreboard])
+	}
+	if lines := strings.Count(string(parts[PartTrace]), "\n"); lines != 2 {
+		t.Fatalf("trace part holds %d events, want 2", lines)
+	}
+	if !strings.Contains(string(parts[PartMetrics]), `"epoch":4`) {
+		t.Fatal("metrics part missing epoch")
+	}
+	if !strings.Contains(string(parts[PartWatchdog]), `"rule":"blame-spike"`) {
+		t.Fatal("watchdog part missing breach")
+	}
+
+	// A flipped byte in any part fails validation.
+	bad := append([]byte(nil), one.Bytes()...)
+	// Locate the controller payload and flip it.
+	i := bytes.Index(bad, []byte{0xde, 0xad, 0xbe, 0xef})
+	if i < 0 {
+		t.Fatal("controller payload not found in archive")
+	}
+	bad[i] ^= 0xff
+	if _, err := Validate(bad); err == nil {
+		t.Fatal("validate accepted a corrupted bundle")
+	}
+}
+
+func TestRecorderCaptureAndCap(t *testing.T) {
+	dir := t.TempDir()
+	ins := metrics.NewInstruments(2)
+	now := 3.0
+	tr := trace.New(trace.FuncClock(func() float64 { return now }), 8)
+	rec := NewRecorder(filepath.Join(dir, "pm"), tr, ins, []byte(`{"seed":1}`))
+	rec.MaxBundles = 2
+	rec.SetControllerSnapshot([]byte("ctrl"))
+
+	p1, err := rec.Capture("blame-spike", 3.0, []Breach{{Rule: RBlameSpike, Value: 1, Threshold: 0.5, At: 3, Seq: 4}}, State{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p1) != "postmortem-000-blame-spike.tar" {
+		t.Fatalf("bundle name: %s", p1)
+	}
+	data, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Validate(data); err != nil {
+		t.Fatalf("captured bundle invalid: %v", err)
+	}
+	if _, err := rec.Capture("Operator Requested!", 4.0, nil, State{}); err != nil {
+		t.Fatal(err)
+	}
+	// Cap reached: silently dropped.
+	p3, err := rec.Capture("retry-storm", 5.0, nil, State{})
+	if err != nil || p3 != "" {
+		t.Fatalf("capture past cap: %q %v", p3, err)
+	}
+	w := rec.Written()
+	if len(w) != 2 || filepath.Base(w[1]) != "postmortem-001-operator-requested-.tar" {
+		t.Fatalf("written: %v", w)
+	}
+	if rec.Dropped() != 1 {
+		t.Fatalf("dropped = %d", rec.Dropped())
+	}
+	// No temp litter.
+	entries, _ := os.ReadDir(filepath.Join(dir, "pm"))
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package health
+
+// Recorder is the flight-recorder half of the health plane: it owns the
+// capture sources (the always-on trace ring, the live instruments, the
+// run config, and a cached controller snapshot refreshed at each
+// watchdog evaluation) and writes postmortem bundles atomically into
+// its directory. A nil *Recorder is the disabled form — Capture is a
+// nil-safe no-op — so hosts wire it unconditionally and gate on flags.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"partialreduce/internal/metrics"
+	"partialreduce/internal/trace"
+)
+
+// DefaultMaxBundles bounds a recorder's lifetime captures: once reached,
+// further captures are dropped (counted, not written) so a firing storm
+// cannot fill the disk.
+const DefaultMaxBundles = 32
+
+// Recorder captures postmortem bundles into a directory.
+type Recorder struct {
+	mu     sync.Mutex
+	dir    string
+	tracer *trace.Tracer
+	ins    *metrics.Instruments
+	config []byte
+	ctrl   []byte
+
+	// MaxBundles caps lifetime captures (set before first Capture;
+	// <= 0 selects DefaultMaxBundles).
+	MaxBundles int
+
+	seq     int
+	written []string
+	dropped int
+}
+
+// NewRecorder returns a recorder writing bundles into dir, snapshotting
+// tracer and ins at capture time, and embedding config (run-config
+// JSON) verbatim in every bundle. dir is created on first capture.
+func NewRecorder(dir string, tr *trace.Tracer, ins *metrics.Instruments, config []byte) *Recorder {
+	return &Recorder{dir: dir, tracer: tr, ins: ins, config: config}
+}
+
+// SetControllerSnapshot caches the latest controller snapshot blob. The
+// watchdog host refreshes it inside the controller's serialization
+// domain at each evaluation, so an out-of-band capture (the SIGINT
+// flush) has a recent blob without touching the controller. Nil-safe.
+func (r *Recorder) SetControllerSnapshot(b []byte) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ctrl = b
+	r.mu.Unlock()
+}
+
+// slugify maps a capture reason onto a file-name-safe slug.
+func slugify(reason string) string {
+	out := make([]byte, 0, len(reason))
+	for i := 0; i < len(reason); i++ {
+		c := reason[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '-':
+			out = append(out, c)
+		case c >= 'A' && c <= 'Z':
+			out = append(out, c+'a'-'A')
+		default:
+			out = append(out, '-')
+		}
+	}
+	if len(out) == 0 {
+		return "capture"
+	}
+	return string(out)
+}
+
+// Capture writes one postmortem bundle for reason at clock time at,
+// carrying breaches and st, and returns its path. The bundle snapshots
+// the recorder's trace ring, instruments, cached controller blob, and
+// config at this moment. Writes are atomic (temp file + rename). Once
+// MaxBundles captures have been written, further captures are dropped
+// and return ("", nil). Nil-safe: a nil recorder returns ("", nil).
+func (r *Recorder) Capture(reason string, at float64, breaches []Breach, st State) (string, error) {
+	if r == nil {
+		return "", nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	max := r.MaxBundles
+	if max <= 0 {
+		max = DefaultMaxBundles
+	}
+	if r.seq >= max {
+		r.dropped++
+		return "", nil
+	}
+	b := &Bundle{
+		Reason:     reason,
+		At:         at,
+		Breaches:   breaches,
+		State:      st,
+		Snap:       r.ins.Snapshot(),
+		Events:     r.tracer.Events(),
+		Config:     r.config,
+		Controller: r.ctrl,
+	}
+	name := fmt.Sprintf("postmortem-%03d-%s.tar", r.seq, slugify(reason))
+	if err := os.MkdirAll(r.dir, 0755); err != nil {
+		return "", fmt.Errorf("health: recorder dir: %w", err)
+	}
+	path := filepath.Join(r.dir, name)
+	tmp, err := os.CreateTemp(r.dir, ".tmp-postmortem-*")
+	if err != nil {
+		return "", fmt.Errorf("health: recorder temp: %w", err)
+	}
+	werr := WriteBundle(tmp, b)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), path)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("health: capture %s: %w", name, werr)
+	}
+	r.seq++
+	r.written = append(r.written, path)
+	return path, nil
+}
+
+// Written returns the paths of every bundle captured so far (oldest
+// first). Nil-safe.
+func (r *Recorder) Written() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.written))
+	copy(out, r.written)
+	return out
+}
+
+// Dropped returns the number of captures dropped after MaxBundles.
+// Nil-safe.
+func (r *Recorder) Dropped() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}

@@ -1,0 +1,345 @@
+// Package health is the run's self-monitoring plane: a deterministic
+// SLO rule engine (Watchdog) evaluated on a fixed cadence over
+// metrics.Instruments snapshots plus controller introspection, and a
+// flight recorder (Recorder) that captures a postmortem bundle — the
+// always-on trace ring, a controller snapshot, the full metrics
+// snapshot, the straggler scoreboard, the firing rule with its
+// evaluated values, and the run config — the moment a rule fires.
+//
+// The paper's anomalies (straggler episodes, retry storms, sync-graph
+// partitions) are transient: by the time an operator reacts to a
+// dashboard, the evidence is gone. The watchdog closes that gap: it
+// detects the anomaly itself and snapshots the black box while the
+// anomaly is still in the ring. The engine is pure state machine — no
+// clocks, no goroutines, no I/O — so the simulator drives it with the
+// virtual clock (byte-reproducible firings under seed replay) and the
+// live runtime drives it with the wall clock through the same Eval.
+package health
+
+import (
+	"sync"
+
+	"partialreduce/internal/metrics"
+)
+
+// Rule enumerates the watchdog's SLO rules. Each rule is enabled by a
+// positive threshold in SLO and breaches when its evaluated value
+// reaches the threshold (value >= threshold, uniformly).
+type Rule uint8
+
+const (
+	// RStalenessP95 fires when the 95th-percentile observed staleness
+	// reaches SLO.StalenessP95 iterations — the bounded-staleness claim
+	// of the paper is being violated.
+	RStalenessP95 Rule = iota
+	// RBlameSpike fires when any worker's recent-blame EWMA (the
+	// straggler scoreboard signal) reaches SLO.BlameRecent seconds — a
+	// straggler episode is in progress right now.
+	RBlameSpike
+	// RRetryStorm fires when the collective retry+timeout count grows by
+	// at least SLO.RetryStorm between consecutive evaluations — the
+	// data plane is fighting a partition or a flapping link.
+	RRetryStorm
+	// RSyncPartition fires when the windowed sync-graph splits into at
+	// least SLO.SyncComponents connected components — subsets of workers
+	// have stopped synchronizing with each other (group freeze risk).
+	RSyncPartition
+	// RQueueStall fires when the controller's ready-queue depth reaches
+	// SLO.QueueDepth — workers are signaling but groups are not forming.
+	RQueueStall
+	// REpochChurn fires when the membership epoch advances by at least
+	// SLO.EpochChurn between consecutive evaluations — fail/rejoin or
+	// join/drain thrash.
+	REpochChurn
+	// RHeartbeatSilence fires when no new group has formed for
+	// SLO.Silence seconds while at least two workers are still active —
+	// global progress has stopped.
+	RHeartbeatSilence
+
+	ruleCount // internal: table size
+)
+
+// ruleNames maps rules to the stable slugs used in bundle file names,
+// /healthz bodies, and the preduce_watchdog_* rule label.
+var ruleNames = [ruleCount]string{
+	RStalenessP95:     "staleness-p95",
+	RBlameSpike:       "blame-spike",
+	RRetryStorm:       "retry-storm",
+	RSyncPartition:    "sync-partition",
+	RQueueStall:       "queue-stall",
+	REpochChurn:       "epoch-churn",
+	RHeartbeatSilence: "heartbeat-silence",
+}
+
+// String returns the stable slug of r ("rule-?" for unknown values).
+func (r Rule) String() string {
+	if int(r) < len(ruleNames) && ruleNames[r] != "" {
+		return ruleNames[r]
+	}
+	return "rule-?"
+}
+
+// Rules returns every rule in evaluation order.
+func Rules() []Rule {
+	out := make([]Rule, ruleCount)
+	for i := range out {
+		out[i] = Rule(i)
+	}
+	return out
+}
+
+// SLO holds the declarative thresholds, one per rule. A zero (or
+// negative) threshold disables its rule; every rule breaches when its
+// evaluated value >= the threshold.
+type SLO struct {
+	StalenessP95   int64   // iterations: staleness p95 at or above this
+	BlameRecent    float64 // seconds: any worker's recent-blame EWMA at or above this
+	RetryStorm     int64   // events: retries+timeouts delta per evaluation at or above this
+	SyncComponents int64   // components: sync-graph component count at or above this (2 = any split)
+	QueueDepth     int64   // workers: ready-queue depth at or above this
+	EpochChurn     int64   // bumps: membership-epoch delta per evaluation at or above this
+	Silence        float64 // seconds: no group formed for this long with >= 2 active workers
+}
+
+// Config configures a Watchdog. FireCount consecutive breaching
+// evaluations arm a rule into firing (default 2); ClearCount consecutive
+// clean evaluations re-arm it (default 4). The asymmetry is the
+// hysteresis: a flapping signal neither fires on one bad sample nor
+// re-fires the instant it dips under the threshold.
+type Config struct {
+	SLO        SLO
+	FireCount  int
+	ClearCount int
+}
+
+// DefaultFireCount and DefaultClearCount are the hysteresis defaults
+// used when Config leaves them <= 0.
+const (
+	DefaultFireCount  = 2
+	DefaultClearCount = 4
+)
+
+// Sample is one evaluation's input: the instruments snapshot plus the
+// two controller introspection values that must be read inside the
+// controller's serialization domain.
+type Sample struct {
+	Snap       *metrics.InstrumentsSnapshot
+	QueueDepth int // controller ready-queue depth now
+	Active     int // live, unfinished workers (gates heartbeat-silence)
+}
+
+// Breach is one rule transitioning into the firing state: the rule, the
+// value that armed it, its threshold, the evaluation clock time, and
+// the evaluation sequence number.
+type Breach struct {
+	Rule      Rule
+	Value     float64
+	Threshold float64
+	At        float64
+	Seq       uint64
+}
+
+// RuleState is one rule's externally visible state, for /healthz and
+// the preduce_watchdog_* series.
+type RuleState struct {
+	Rule      string  `json:"rule"`
+	Enabled   bool    `json:"enabled"`
+	Firing    bool    `json:"firing"`
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+	Fires     uint64  `json:"fires"`
+	LastFired float64 `json:"last_fired"`
+}
+
+// State is a consistent copy of the watchdog's externally visible
+// state.
+type State struct {
+	Evals      uint64      `json:"evals"`
+	LastEvalAt float64     `json:"last_eval_at"`
+	Firing     []string    `json:"firing"`
+	Rules      []RuleState `json:"rules"`
+}
+
+// Healthy reports whether no rule is firing.
+func (s State) Healthy() bool { return len(s.Firing) == 0 }
+
+// Ready reports whether the watchdog has completed at least one
+// evaluation (the /readyz signal).
+func (s State) Ready() bool { return s.Evals > 0 }
+
+// Watchdog is the deterministic rule engine. It holds no clock and
+// performs no I/O: the host calls Eval on its own cadence with its own
+// clock reading, and Eval returns the rules that newly fired this
+// evaluation (empty almost always). All methods are safe for concurrent
+// use; determinism requires only that Eval calls arrive in a
+// deterministic order with deterministic inputs, which the simulator's
+// event loop guarantees.
+type Watchdog struct {
+	mu  sync.Mutex
+	cfg Config
+
+	evals      uint64
+	lastEvalAt float64
+
+	breachStreak [ruleCount]int
+	clearStreak  [ruleCount]int
+	firing       [ruleCount]bool
+	fires        [ruleCount]uint64
+	lastValue    [ruleCount]float64
+	lastFired    [ruleCount]float64
+
+	// Baselines for the delta rules (retry-storm, epoch-churn) and the
+	// progress clock for heartbeat-silence. primed is false until the
+	// first Eval seeds them, so a run that starts with history (a
+	// restored controller) does not fire on its backlog.
+	primed       bool
+	lastRetryish int64
+	lastEpoch    int64
+	lastGroups   int64
+	progressAt   float64
+}
+
+// New returns a watchdog for cfg, with hysteresis defaults applied.
+func New(cfg Config) *Watchdog {
+	if cfg.FireCount <= 0 {
+		cfg.FireCount = DefaultFireCount
+	}
+	if cfg.ClearCount <= 0 {
+		cfg.ClearCount = DefaultClearCount
+	}
+	return &Watchdog{cfg: cfg}
+}
+
+// threshold returns r's configured threshold (<= 0 disables).
+func (w *Watchdog) threshold(r Rule) float64 {
+	switch r {
+	case RStalenessP95:
+		return float64(w.cfg.SLO.StalenessP95)
+	case RBlameSpike:
+		return w.cfg.SLO.BlameRecent
+	case RRetryStorm:
+		return float64(w.cfg.SLO.RetryStorm)
+	case RSyncPartition:
+		return float64(w.cfg.SLO.SyncComponents)
+	case RQueueStall:
+		return float64(w.cfg.SLO.QueueDepth)
+	case REpochChurn:
+		return float64(w.cfg.SLO.EpochChurn)
+	case RHeartbeatSilence:
+		return w.cfg.SLO.Silence
+	}
+	return 0
+}
+
+// Eval runs one evaluation at clock time now over s and returns the
+// rules that newly transitioned into firing (one Breach each). A rule
+// already firing does not re-breach until ClearCount consecutive clean
+// evaluations re-arm it — the exactly-one-bundle-per-anomaly property.
+// Nil-safe: a nil watchdog (monitoring off) returns nil.
+func (w *Watchdog) Eval(now float64, s Sample) []Breach {
+	if w == nil {
+		return nil
+	}
+	snap := s.Snap
+	if snap == nil {
+		snap = (*metrics.Instruments)(nil).Snapshot()
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+
+	retryish := snap.Comms.Retries + snap.Comms.Timeouts
+	if !w.primed {
+		w.primed = true
+		w.lastRetryish = retryish
+		w.lastEpoch = snap.Epoch
+		w.lastGroups = snap.GroupsFormed
+		w.progressAt = now
+	}
+	if snap.GroupsFormed > w.lastGroups {
+		w.lastGroups = snap.GroupsFormed
+		w.progressAt = now
+	}
+
+	maxEWMA := 0.0
+	for _, v := range snap.BlameEWMA {
+		if v > maxEWMA {
+			maxEWMA = v
+		}
+	}
+
+	values := [ruleCount]float64{
+		RStalenessP95:     float64(snap.Staleness.Quantile(0.95)),
+		RBlameSpike:       maxEWMA,
+		RRetryStorm:       float64(retryish - w.lastRetryish),
+		RSyncPartition:    float64(snap.SyncComponents),
+		RQueueStall:       float64(s.QueueDepth),
+		REpochChurn:       float64(snap.Epoch - w.lastEpoch),
+		RHeartbeatSilence: now - w.progressAt,
+	}
+	w.lastRetryish = retryish
+	w.lastEpoch = snap.Epoch
+
+	w.evals++
+	w.lastEvalAt = now
+
+	var fired []Breach
+	for r := Rule(0); r < ruleCount; r++ {
+		thr := w.threshold(r)
+		w.lastValue[r] = values[r]
+		if thr <= 0 {
+			continue
+		}
+		breaching := values[r] >= thr
+		if r == RHeartbeatSilence && s.Active < 2 {
+			// A run winding down (or solo) is not silent, it is done.
+			breaching = false
+		}
+		if breaching {
+			w.breachStreak[r]++
+			w.clearStreak[r] = 0
+			if !w.firing[r] && w.breachStreak[r] >= w.cfg.FireCount {
+				w.firing[r] = true
+				w.fires[r]++
+				w.lastFired[r] = now
+				fired = append(fired, Breach{
+					Rule: r, Value: values[r], Threshold: thr, At: now, Seq: w.evals,
+				})
+			}
+		} else {
+			w.breachStreak[r] = 0
+			w.clearStreak[r]++
+			if w.firing[r] && w.clearStreak[r] >= w.cfg.ClearCount {
+				w.firing[r] = false
+			}
+		}
+	}
+	return fired
+}
+
+// State returns a consistent copy of the watchdog's visible state.
+// Nil-safe: a nil watchdog reports zero evaluations and no rules.
+func (w *Watchdog) State() State {
+	if w == nil {
+		return State{}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st := State{Evals: w.evals, LastEvalAt: w.lastEvalAt}
+	for r := Rule(0); r < ruleCount; r++ {
+		thr := w.threshold(r)
+		rs := RuleState{
+			Rule:      r.String(),
+			Enabled:   thr > 0,
+			Firing:    w.firing[r],
+			Value:     w.lastValue[r],
+			Threshold: thr,
+			Fires:     w.fires[r],
+			LastFired: w.lastFired[r],
+		}
+		st.Rules = append(st.Rules, rs)
+		if rs.Firing {
+			st.Firing = append(st.Firing, rs.Rule)
+		}
+	}
+	return st
+}

@@ -33,6 +33,7 @@ import (
 	"partialreduce/internal/controller"
 	"partialreduce/internal/data"
 	"partialreduce/internal/engine"
+	"partialreduce/internal/health"
 	"partialreduce/internal/hetero"
 	"partialreduce/internal/metrics"
 	"partialreduce/internal/model"
@@ -129,6 +130,20 @@ type Config struct {
 	// totals, sync-graph gauges, running CommStats) the telemetry endpoint
 	// serves. Nil disables them at zero cost.
 	Instruments *metrics.Instruments
+
+	// Watchdog, when non-nil, arms the health plane: the controller
+	// service evaluates it every WatchdogEvery (<= 0: 1s) inside the
+	// controller's serialization domain — Instruments snapshot plus
+	// queue depth and active count — and each newly firing rule captures
+	// a postmortem bundle through Recorder. Evaluation reads the shared
+	// wall clock (the Tracer's when one is attached, so breach times and
+	// trace timestamps share an origin). Capture failures are
+	// best-effort: monitoring must never kill training.
+	Watchdog      *health.Watchdog
+	WatchdogEvery time.Duration
+	// Recorder is the flight recorder Watchdog breaches capture through;
+	// nil records nothing (the watchdog still drives /healthz).
+	Recorder *health.Recorder
 
 	// CollectiveTimeout bounds every receive inside group collectives, so a
 	// severed link or partition surfaces as a timeout instead of a hang.
@@ -676,6 +691,44 @@ func (rt *runtime) service(ctrl *controller.Controller, completed []bool, stop, 
 		tick = ticker.C
 	}
 
+	// Watchdog cadence. Evaluated here, inside the controller's
+	// serialization domain, so snapshotting never races group formation.
+	// Capture errors are swallowed: the flight recorder is best-effort
+	// and must never abort training.
+	var wdTick <-chan time.Time
+	wdStart := time.Now()
+	if cfg.Watchdog != nil {
+		every := cfg.WatchdogEvery
+		if every <= 0 {
+			every = time.Second
+		}
+		wdTicker := time.NewTicker(every)
+		defer wdTicker.Stop()
+		wdTick = wdTicker.C
+	}
+	evalWatchdog := func() {
+		now := time.Since(wdStart).Seconds()
+		if cfg.Tracer != nil {
+			now = cfg.Tracer.Now()
+		}
+		breaches := cfg.Watchdog.Eval(now, health.Sample{
+			Snap:       cfg.Instruments.Snapshot(),
+			QueueDepth: ctrl.QueueDepth(),
+			Active:     active,
+		})
+		if cfg.Recorder == nil {
+			return
+		}
+		cfg.Recorder.SetControllerSnapshot(ctrl.Snapshot())
+		if len(breaches) == 0 {
+			return
+		}
+		st := cfg.Watchdog.State()
+		for _, br := range breaches {
+			_, _ = cfg.Recorder.Capture(br.Rule.String(), now, []health.Breach{br}, st)
+		}
+	}
+
 	handle := func(msg svcMsg) {
 		w := msg.worker
 		lastHeard[w] = time.Now()
@@ -864,6 +917,8 @@ func (rt *runtime) service(ctrl *controller.Controller, completed []bool, stop, 
 				}
 			}
 			maybeCrash()
+		case <-wdTick:
+			evalWatchdog()
 		case msg := <-rt.svcCh:
 			handle(msg)
 			maybeCrash()

@@ -11,6 +11,7 @@ import (
 	"partialreduce/internal/controller"
 	"partialreduce/internal/data"
 	"partialreduce/internal/engine"
+	"partialreduce/internal/health"
 	"partialreduce/internal/hetero"
 	"partialreduce/internal/model"
 	"partialreduce/internal/optim"
@@ -457,8 +458,52 @@ func runControllerService(cfg Config, tr transport.Transport) error {
 		return nil
 	}
 
+	// Watchdog cadence, same serialization discipline as the in-process
+	// service: evaluated on the event loop so controller reads never race
+	// dispatch. Capture errors are swallowed — the flight recorder is
+	// best-effort and must never abort training.
+	var wdTick <-chan time.Time
+	wdStart := time.Now()
+	if cfg.Watchdog != nil {
+		every := cfg.WatchdogEvery
+		if every <= 0 {
+			every = time.Second
+		}
+		wdTicker := time.NewTicker(every)
+		defer wdTicker.Stop()
+		wdTick = wdTicker.C
+	}
+	evalWatchdog := func() {
+		now := time.Since(wdStart).Seconds()
+		if cfg.Tracer != nil {
+			now = cfg.Tracer.Now()
+		}
+		breaches := cfg.Watchdog.Eval(now, health.Sample{
+			Snap:       cfg.Instruments.Snapshot(),
+			QueueDepth: ctrl.QueueDepth(),
+			Active:     active,
+		})
+		if cfg.Recorder == nil {
+			return
+		}
+		cfg.Recorder.SetControllerSnapshot(ctrl.Snapshot())
+		if len(breaches) == 0 {
+			return
+		}
+		st := cfg.Watchdog.State()
+		for _, br := range breaches {
+			_, _ = cfg.Recorder.Capture(br.Rule.String(), now, []health.Breach{br}, st)
+		}
+	}
+
 	for active > 0 {
-		ev := <-events
+		var ev event
+		select {
+		case ev = <-events:
+		case <-wdTick:
+			evalWatchdog()
+			continue
+		}
 		switch {
 		case ev.lost:
 			if err := markDead(ev.worker, 0); err != nil {

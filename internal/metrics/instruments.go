@@ -197,6 +197,8 @@ type Instruments struct {
 	interventions int64
 	deferrals     int64
 
+	epoch int64 // membership epoch at the latest controller bump
+
 	policyP          int64   // group size at the latest policy decision (0: no policy)
 	policyAlpha      float64 // dynamic-weight decay in effect at that decision
 	policyDeviations int64   // decisions that deviated from the static default
@@ -380,6 +382,18 @@ func (in *Instruments) AddGroupRelease(members []int, waits []float64, critical 
 	}
 }
 
+// SetEpoch records the controller's membership epoch so snapshots (and
+// the watchdog's epoch-churn rule) can see elastic reconfiguration
+// without reaching into the controller. Nil-safe.
+func (in *Instruments) SetEpoch(epoch uint64) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.epoch = int64(epoch)
+	in.mu.Unlock()
+}
+
 // AddComms folds a data-plane delta into the running total. Nil-safe.
 func (in *Instruments) AddComms(s CommStats) {
 	if in == nil {
@@ -402,6 +416,7 @@ type InstrumentsSnapshot struct {
 	GroupsFormed     int64
 	Interventions    int64
 	Deferrals        int64
+	Epoch            int64
 	PolicyP          int64
 	PolicyAlpha      float64
 	PolicyDeviations int64
@@ -451,6 +466,7 @@ func (in *Instruments) Snapshot() *InstrumentsSnapshot {
 		GroupsFormed:   in.groupsFormed,
 		Interventions:  in.interventions,
 		Deferrals:      in.deferrals,
+		Epoch:          in.epoch,
 
 		PolicyP:          in.policyP,
 		PolicyAlpha:      in.policyAlpha,

@@ -12,6 +12,7 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
@@ -20,6 +21,7 @@ import (
 	"sort"
 	"strconv"
 
+	"partialreduce/internal/health"
 	"partialreduce/internal/metrics"
 )
 
@@ -148,6 +150,8 @@ func WriteMetrics(w io.Writer, snap *metrics.InstrumentsSnapshot) error {
 	counter("preduce_group_interventions_total", "Groups rewritten by frozen avoidance.", float64(snap.Interventions))
 	counter("preduce_group_deferrals_total", "Group formations deferred awaiting a bridging signal.", float64(snap.Deferrals))
 
+	gauge("preduce_epoch", "Current membership world-view epoch (bumps on join/drain/decommission/fail/rejoin).", float64(snap.Epoch))
+
 	gauge("preduce_policy_p", "Group size chosen at the latest formation-policy decision (0: no policy attached).", float64(snap.PolicyP))
 	gauge("preduce_policy_alpha", "Dynamic-weight decay in effect at the latest formation-policy decision.", snap.PolicyAlpha)
 	counter("preduce_policy_deviations_total", "Formation-policy decisions that deviated from the static default.", float64(snap.PolicyDeviations))
@@ -163,6 +167,63 @@ func WriteMetrics(w io.Writer, snap *metrics.InstrumentsSnapshot) error {
 	counter("preduce_comm_reduce_scatter_seconds_total", "Cumulative seconds in the reduce-scatter phase across workers.", cs.ReduceScatterS)
 	counter("preduce_comm_all_gather_seconds_total", "Cumulative seconds in the all-gather phase across workers.", cs.AllGatherS)
 
+	return ew.err
+}
+
+// WriteWatchdog renders the watchdog's state in the Prometheus text
+// exposition format: the evaluation counter plus per-rule firing/value/
+// threshold gauges and a fires counter, labeled by rule slug. The rule
+// set and order are fixed, so the output is deterministic for a fixed
+// state.
+func WriteWatchdog(w io.Writer, st health.State) error {
+	ew := &errw{w: w}
+	ew.str("# HELP preduce_watchdog_evals_total Watchdog evaluations completed.\n")
+	ew.str("# TYPE preduce_watchdog_evals_total counter\n")
+	ew.str("preduce_watchdog_evals_total ")
+	ew.i64(int64(st.Evals))
+	ew.str("\n")
+
+	perRule := func(name, typ, help string, val func(health.RuleState) float64) {
+		ew.str("# HELP ")
+		ew.str(name)
+		ew.str(" ")
+		ew.str(help)
+		ew.str("\n# TYPE ")
+		ew.str(name)
+		ew.str(" ")
+		ew.str(typ)
+		ew.str("\n")
+		for _, rs := range st.Rules {
+			ew.str(name)
+			ew.str("{rule=\"")
+			ew.str(rs.Rule)
+			ew.str("\"} ")
+			ew.f64(val(rs))
+			ew.str("\n")
+		}
+	}
+	perRule("preduce_watchdog_firing", "gauge",
+		"Whether the rule is currently firing (1) or clear (0).",
+		func(rs health.RuleState) float64 {
+			if rs.Firing {
+				return 1
+			}
+			return 0
+		})
+	perRule("preduce_watchdog_value", "gauge",
+		"The rule's most recently evaluated value.",
+		func(rs health.RuleState) float64 { return rs.Value })
+	perRule("preduce_watchdog_threshold", "gauge",
+		"The rule's configured SLO threshold (0: rule disabled).",
+		func(rs health.RuleState) float64 {
+			if !rs.Enabled {
+				return 0
+			}
+			return rs.Threshold
+		})
+	perRule("preduce_watchdog_fires_total", "counter",
+		"Times the rule has transitioned into firing.",
+		func(rs health.RuleState) float64 { return float64(rs.Fires) })
 	return ew.err
 }
 
@@ -214,13 +275,44 @@ func WriteScoreboard(w io.Writer, snap *metrics.InstrumentsSnapshot) error {
 }
 
 // Handler returns the telemetry mux: /metrics renders ins (nil-safe — a nil
-// Instruments serves an all-zero snapshot) and /debug/pprof/ serves the
-// standard profiling endpoints.
-func Handler(ins *metrics.Instruments) http.Handler {
+// Instruments serves an all-zero snapshot), /healthz and /readyz answer
+// for the watchdog, and /debug/pprof/ serves the standard profiling
+// endpoints.
+//
+// /healthz returns 200 while no watchdog rule fires and 503 while one
+// does; either way the body is the watchdog state as JSON (firing rules,
+// per-rule values and thresholds). A nil watchdog reads as healthy —
+// monitoring off is not an outage. /readyz returns 503 until the
+// watchdog has completed its first evaluation, then 200 subject to the
+// same healthy check; with a nil watchdog it is always 200, so probes
+// work unchanged on runs without a health plane.
+func Handler(ins *metrics.Instruments, wd *health.Watchdog) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = WriteMetrics(w, ins.Snapshot())
+		if wd != nil {
+			_ = WriteWatchdog(w, wd.State())
+		}
+	})
+	writeState := func(w http.ResponseWriter, st health.State, ok bool) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		body, err := json.Marshal(st)
+		if err != nil {
+			body = []byte("{}")
+		}
+		_, _ = w.Write(append(body, '\n'))
+	}
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		st := wd.State()
+		writeState(w, st, wd == nil || st.Healthy())
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		st := wd.State()
+		writeState(w, st, wd == nil || (st.Ready() && st.Healthy()))
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -238,13 +330,13 @@ type Endpoint struct {
 }
 
 // Serve binds addr (e.g. "127.0.0.1:9090", or ":0" for an ephemeral port)
-// and serves Handler(ins) in a background goroutine until Close.
-func Serve(addr string, ins *metrics.Instruments) (*Endpoint, error) {
+// and serves Handler(ins, wd) in a background goroutine until Close.
+func Serve(addr string, ins *metrics.Instruments, wd *health.Watchdog) (*Endpoint, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: Handler(ins)}
+	srv := &http.Server{Handler: Handler(ins, wd)}
 	go func() { _ = srv.Serve(ln) }()
 	return &Endpoint{Addr: ln.Addr().String(), srv: srv}, nil
 }

@@ -152,7 +152,7 @@ type failWriter struct{}
 func (failWriter) Write([]byte) (int, error) { return 0, fmt.Errorf("sink full") }
 
 func TestServeEndpoint(t *testing.T) {
-	ep, err := Serve("127.0.0.1:0", sampleInstruments())
+	ep, err := Serve("127.0.0.1:0", sampleInstruments(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +192,7 @@ func TestServeEndpoint(t *testing.T) {
 // TestHandlerNilInstruments: the endpoint stays serveable before the run
 // wires instruments in — a nil *Instruments renders an all-zero snapshot.
 func TestHandlerNilInstruments(t *testing.T) {
-	ep, err := Serve("127.0.0.1:0", nil)
+	ep, err := Serve("127.0.0.1:0", nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,81 @@
+#!/bin/sh
+# postmortem-smoke: end-to-end check of the health watchdog + flight
+# recorder (make postmortem-smoke).
+#
+# 1. A seeded three-rank live run with an injected straggler arms the
+#    watchdog (blame-spike SLO) and the flight recorder; /healthz is
+#    polled until it flips to 503 with the firing rule in the body.
+# 2. The run is left to finish; exactly one straggler bundle must be in
+#    the postmortem directory.
+# 3. preduce-postmortem -validate proves the bundle's CRCs and canonical
+#    form, -list summarizes it, and the default rendering must include
+#    the watchdog rule table, the straggler scoreboard, and the blame
+#    report recomputed from the bundled trace ring.
+#
+# Everything is stdlib + curl; the run takes a few seconds.
+set -eu
+
+GO=${GO:-go}
+PORT=${POSTMORTEM_SMOKE_PORT:-19481}
+BASE=${POSTMORTEM_SMOKE_BASE:-19491}
+DIR=$(mktemp -d "${TMPDIR:-/tmp}/postmortem-smoke.XXXXXX")
+trap 'rm -rf "$DIR"' EXIT
+
+echo "postmortem-smoke: building binaries"
+$GO build -o "$DIR/preduce-live" ./cmd/preduce-live
+$GO build -o "$DIR/preduce-postmortem" ./cmd/preduce-postmortem
+
+echo "postmortem-smoke: live run with watchdog on 127.0.0.1:$PORT"
+ADDRS="127.0.0.1:$BASE,127.0.0.1:$((BASE+1)),127.0.0.1:$((BASE+2))"
+"$DIR/preduce-live" -rank 1 -addrs "$ADDRS" -iters 8000 -seed 1 \
+    -straggle 2:200us 2> "$DIR/r1.log" &
+R1=$!
+"$DIR/preduce-live" -rank 2 -addrs "$ADDRS" -iters 8000 -seed 1 \
+    -straggle 2:200us 2> "$DIR/r2.log" &
+R2=$!
+"$DIR/preduce-live" -rank 0 -addrs "$ADDRS" -iters 8000 -seed 1 \
+    -straggle 2:200us \
+    -slo-blame-recent 0.0001 -watchdog-every 100ms \
+    -postmortem-dir "$DIR/postmortems" \
+    -telemetry-addr "127.0.0.1:$PORT" 2> "$DIR/r0.log" &
+R0=$!
+
+# Poll /healthz until the blame-spike rule fires (503 + rule in body).
+HEALTH="$DIR/healthz.json"
+fired=0
+for i in $(seq 1 100); do
+    code=$(curl -s -o "$HEALTH" -w '%{http_code}' "http://127.0.0.1:$PORT/healthz" 2>/dev/null || echo 000)
+    if [ "$code" = 503 ] && grep -q "blame-spike" "$HEALTH"; then
+        fired=1
+        break
+    fi
+    sleep 0.1
+done
+curl -sf -o "$DIR/watchdog_metrics.txt" "http://127.0.0.1:$PORT/metrics" || metrics_down=1
+
+wait $R0 $R1 $R2
+cat "$DIR/r0.log"
+
+[ "$fired" = 1 ] || { echo "postmortem-smoke: FAILED: /healthz never reported blame-spike firing"; cat "$HEALTH" 2>/dev/null || true; exit 1; }
+[ "${metrics_down:-0}" = 0 ] || { echo "postmortem-smoke: FAILED: /metrics unreachable while firing"; exit 1; }
+grep -q 'preduce_watchdog_firing{rule="blame-spike"} 1' "$DIR/watchdog_metrics.txt" \
+    || { echo "postmortem-smoke: FAILED: watchdog series missing from /metrics"; exit 1; }
+
+echo "postmortem-smoke: checking bundle count"
+count=$(ls "$DIR/postmortems"/postmortem-*.tar | wc -l)
+[ "$count" -eq 1 ] || { echo "postmortem-smoke: FAILED: $count bundles, want exactly 1"; ls "$DIR/postmortems"; exit 1; }
+
+echo "postmortem-smoke: validating bundle"
+"$DIR/preduce-postmortem" -validate "$DIR/postmortems"
+"$DIR/preduce-postmortem" -list "$DIR/postmortems" | grep -q "blame-spike" \
+    || { echo "postmortem-smoke: FAILED: -list does not name the firing rule"; exit 1; }
+
+echo "postmortem-smoke: rendering bundle"
+"$DIR/preduce-postmortem" -top 3 "$DIR/postmortems" > "$DIR/render.txt"
+for want in "watchdog state" "straggler scoreboard" "Blame ledger"; do
+    grep -q "$want" "$DIR/render.txt" \
+        || { echo "postmortem-smoke: FAILED: rendering missing '$want'"; cat "$DIR/render.txt"; exit 1; }
+done
+head -25 "$DIR/render.txt"
+
+echo "postmortem-smoke: OK"
